@@ -1,0 +1,184 @@
+// Ablation — HyperSub vs the related-work baselines it positions against:
+//   * Ferry-like [23]: one rendezvous node per scheme on Chord.
+//   * Meghdoot-like [11]: CAN in 2d dimensions, region flooding.
+//
+// The paper's claims to verify: Ferry concentrates storage and matching on
+// a tiny node set (scalability bottleneck); Meghdoot ties the overlay to
+// one scheme and pays region-flood costs; HyperSub spreads load while
+// keeping delivery costs moderate.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "baseline/ferry_like.hpp"
+#include "baseline/meghdoot_like.hpp"
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+struct Row {
+  const char* name;
+  double max_load;
+  double nonzero_load_nodes;
+  double avg_hops;
+  double avg_latency;
+  double avg_bw_kb;
+};
+
+void print_row(const Row& r) {
+  std::printf("  %-14s max-load=%6.0f  loaded-nodes=%5.0f  hops=%5.1f  "
+              "latency=%6.0f ms  bw=%7.2f KB\n",
+              r.name, r.max_load, r.nonzero_load_nodes, r.avg_hops,
+              r.avg_latency, r.avg_bw_kb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const std::size_t nodes = full ? 1000 : 300;
+  const std::size_t subs = full ? 5000 : 1500;
+  const std::size_t events = full ? 1000 : 300;
+
+  std::printf("=== Ablation: HyperSub vs Ferry-like vs Meghdoot-like "
+              "(%zu nodes, %zu subs, %zu events) ===\n",
+              nodes, subs, events);
+
+  // A 2-attribute scheme keeps the Meghdoot CAN at 4 dimensions.
+  const auto spec = workload::tiny_spec();
+
+  auto summarize_loads = [](const std::vector<std::size_t>& loads) {
+    double mx = 0, nz = 0;
+    for (const auto l : loads) {
+      mx = std::max(mx, double(l));
+      if (l > 0) ++nz;
+    }
+    return std::pair<double, double>{mx, nz};
+  };
+
+  // ---- HyperSub -----------------------------------------------------------
+  Row hs_row{"HyperSub", 0, 0, 0, 0, 0};
+  {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = nodes;
+    net::KingLikeTopology topo(tp);
+    sim::Simulator sim;
+    net::Network net(sim, topo);
+    chord::ChordNet chord(net, {});
+    chord.oracle_build();
+    core::HyperSubSystem::Config sc;
+    sc.record_deliveries = false;
+    core::HyperSubSystem sys(chord, sc);
+    workload::WorkloadGenerator gen(spec, 7);
+    core::SchemeOptions opt;
+    opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+    const auto scheme = sys.add_scheme(gen.scheme(), opt);
+    Rng rng(9);
+    for (std::size_t i = 0; i < subs; ++i) {
+      sys.subscribe(net::HostIndex(rng.index(nodes)), scheme,
+                    gen.make_subscription());
+    }
+    sim.run();
+    double t = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      t += rng.exponential(100.0);
+      pubsub::Event e = gen.make_event();
+      const auto pub = net::HostIndex(rng.index(nodes));
+      sim.schedule(t, [&sys, scheme, pub, e]() mutable {
+        sys.publish(pub, scheme, std::move(e));
+      });
+    }
+    sim.run();
+    sys.finalize_events();
+    const auto [mx, nz] = summarize_loads(sys.node_loads());
+    hs_row = {"HyperSub", mx, nz, sys.event_metrics().hops_cdf().mean(),
+              sys.event_metrics().latency_cdf().mean(),
+              sys.event_metrics().bandwidth_kb_cdf().mean()};
+  }
+
+  // ---- Ferry-like -----------------------------------------------------------
+  Row ferry_row{"Ferry-like", 0, 0, 0, 0, 0};
+  {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = nodes;
+    net::KingLikeTopology topo(tp);
+    sim::Simulator sim;
+    net::Network net(sim, topo);
+    chord::ChordNet chord(net, {});
+    chord.oracle_build();
+    workload::WorkloadGenerator gen(spec, 7);
+    baseline::FerryLike ferry(chord, gen.scheme());
+    Rng rng(9);
+    for (std::size_t i = 0; i < subs; ++i) {
+      ferry.subscribe(net::HostIndex(rng.index(nodes)),
+                      gen.make_subscription());
+    }
+    sim.run();
+    double t = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      t += rng.exponential(100.0);
+      pubsub::Event e = gen.make_event();
+      const auto pub = net::HostIndex(rng.index(nodes));
+      sim.schedule(t, [&ferry, pub, e]() mutable { ferry.publish(pub, e); });
+    }
+    sim.run();
+    ferry.finalize_events();
+    const auto [mx, nz] = summarize_loads(ferry.node_loads());
+    ferry_row = {"Ferry-like", mx, nz,
+                 ferry.event_metrics().hops_cdf().mean(),
+                 ferry.event_metrics().latency_cdf().mean(),
+                 ferry.event_metrics().bandwidth_kb_cdf().mean()};
+  }
+
+  // ---- Meghdoot-like -----------------------------------------------------------
+  Row meg_row{"Meghdoot-like", 0, 0, 0, 0, 0};
+  {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = nodes;
+    net::KingLikeTopology topo(tp);
+    sim::Simulator sim;
+    net::Network net(sim, topo);
+    workload::WorkloadGenerator gen(spec, 7);
+    can::CanNet can(net, {2 * gen.scheme().arity(), 5});
+    baseline::MeghdootLike meg(can, gen.scheme());
+    Rng rng(9);
+    for (std::size_t i = 0; i < subs; ++i) {
+      meg.subscribe(net::HostIndex(rng.index(nodes)),
+                    gen.make_subscription());
+    }
+    sim.run();
+    double t = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      t += rng.exponential(100.0);
+      pubsub::Event e = gen.make_event();
+      const auto pub = net::HostIndex(rng.index(nodes));
+      sim.schedule(t, [&meg, pub, e]() mutable { meg.publish(pub, e); });
+    }
+    sim.run();
+    meg.finalize_events();
+    const auto [mx, nz] = summarize_loads(meg.node_loads());
+    meg_row = {"Meghdoot-like", mx, nz,
+               meg.event_metrics().hops_cdf().mean(),
+               meg.event_metrics().latency_cdf().mean(),
+               meg.event_metrics().bandwidth_kb_cdf().mean()};
+  }
+
+  print_row(hs_row);
+  print_row(ferry_row);
+  print_row(meg_row);
+  std::printf(
+      "Expected shape: Ferry concentrates all %zu subscriptions on ~1 node "
+      "(max-load ~ %zu, loaded-nodes ~ 1); HyperSub spreads them across "
+      "hundreds of nodes at comparable delivery cost; Meghdoot spreads "
+      "storage but floods regions per event.\n",
+      subs, subs);
+  return 0;
+}

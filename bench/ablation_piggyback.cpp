@@ -1,0 +1,84 @@
+// Ablation — piggybacked DHT maintenance (paper §6 future work: "reduce
+// the DHT link maintenance cost by piggybacking the DHT maintenance
+// messages onto event delivery messages").
+//
+// We run the same network with periodic liveness probing of fingers and
+// predecessors, once treating event-delivery traffic as liveness evidence
+// (piggyback ON) and once not, and report the explicit ping traffic saved.
+
+#include <cstdio>
+#include <cstring>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const std::size_t nodes = full ? 1740 : 300;
+  const double window_ms = full ? 60000.0 : 20000.0;
+  const double mean_interarrival = 25.0;
+
+  std::printf("=== Ablation: piggybacked DHT maintenance (%zu nodes, "
+              "%.0f s window, ~%.0f events/s) ===\n",
+              nodes, window_ms / 1000.0, 1000.0 / mean_interarrival);
+
+  for (const bool piggyback : {false, true}) {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = nodes;
+    net::KingLikeTopology topo(tp);
+    sim::Simulator sim;
+    net::Network net(sim, topo);
+    chord::ChordNet::Params cp;
+    cp.probe_fingers = true;
+    cp.piggyback_maintenance = piggyback;
+    chord::ChordNet chord(net, cp);
+    chord.oracle_build();
+
+    core::HyperSubSystem::Config sc;
+    sc.record_deliveries = false;
+    core::HyperSubSystem sys(chord, sc);
+    workload::WorkloadGenerator gen(workload::table1_spec(), 11);
+    core::SchemeOptions opt;
+    opt.zone_cfg = {1, 20};
+    const auto scheme = sys.add_scheme(gen.scheme(), opt);
+    Rng rng(13);
+    for (net::HostIndex h = 0; h < nodes; ++h) {
+      for (int k = 0; k < 5; ++k) {
+        sys.subscribe(h, scheme, gen.make_subscription());
+      }
+    }
+    sim.run();
+
+    chord.start_maintenance();
+    double t = 0;
+    while (t < window_ms) {
+      t += rng.exponential(mean_interarrival);
+      pubsub::Event e = gen.make_event();
+      const auto pub = net::HostIndex(rng.index(nodes));
+      sim.schedule(t, [&sys, scheme, pub, e]() mutable {
+        sys.publish(pub, scheme, std::move(e));
+      });
+    }
+    sim.run_until(sim.now() + window_ms);
+    chord.stop_maintenance();
+    sim.run();
+    sys.finalize_events();
+
+    const double total = double(chord.pings_sent() + chord.pings_saved());
+    std::printf("  piggyback %-3s  pings sent=%8llu  saved=%8llu  "
+                "(%.1f%% of checks answered by event traffic)\n",
+                piggyback ? "ON" : "OFF",
+                (unsigned long long)chord.pings_sent(),
+                (unsigned long long)chord.pings_saved(),
+                total > 0 ? 100.0 * double(chord.pings_saved()) / total : 0.0);
+  }
+  std::printf("Expected shape: with piggybacking, a significant share of "
+              "liveness checks ride on event messages for free.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation — subscheme splitting (§3.5 "Improvement").
+//
+// Subscriptions that constrain only a few attributes map to huge shallow
+// zones under the plain design, concentrating load at the surrogate nodes
+// of those zones. Splitting the scheme into subschemes restores locality.
+// This bench installs a 60%-partial workload with and without subschemes
+// and compares load concentration and delivery cost.
+
+#include <cstdio>
+#include <cstring>
+
+#include "chord/chord_net.hpp"
+#include "common/stats.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const std::size_t nodes = full ? 1740 : 400;
+  const std::size_t subs = full ? 12000 : 3000;
+  const std::size_t events = full ? 2000 : 500;
+
+  std::printf("=== Ablation: subscheme splitting (%zu nodes, %zu subs, "
+              "%zu events, 60%% partial subscriptions) ===\n",
+              nodes, subs, events);
+
+  for (const bool split : {false, true}) {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = nodes;
+    net::KingLikeTopology topo(tp);
+    sim::Simulator sim;
+    net::Network net(sim, topo);
+    chord::ChordNet chord(net, {});
+    chord.oracle_build();
+    core::HyperSubSystem::Config sc;
+    sc.record_deliveries = false;
+    core::HyperSubSystem sys(chord, sc);
+
+    workload::WorkloadGenerator gen(workload::table1_spec(), 31);
+    core::SchemeOptions opt;
+    opt.zone_cfg = {1, 20};
+    if (split) opt.subschemes = {{0, 1, 2, 3}, {0, 1}, {2, 3}};
+    const auto scheme = sys.add_scheme(gen.scheme(), opt);
+
+    Rng rng(13);
+    for (std::size_t i = 0; i < subs; ++i) {
+      pubsub::Subscription sub;
+      const auto roll = rng.index(5);
+      if (roll < 2) {
+        sub = gen.make_partial_subscription({0, 1});  // front attrs only
+      } else if (roll < 3) {
+        sub = gen.make_partial_subscription({2, 3});  // back attrs only
+      } else {
+        sub = gen.make_subscription();  // full
+      }
+      sys.subscribe(net::HostIndex(rng.index(nodes)), scheme, sub);
+    }
+    sim.run();
+
+    const auto loads = sys.node_loads();
+    Summary ls;
+    for (const auto l : loads) ls.add(double(l));
+
+    net.reset_traffic();
+    sys.reset_metrics();
+    double t = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      t += rng.exponential(100.0);
+      pubsub::Event e = gen.make_event();
+      const auto pub = net::HostIndex(rng.index(nodes));
+      sim.schedule(t, [&sys, scheme, pub, e]() mutable {
+        sys.publish(pub, scheme, std::move(e));
+      });
+    }
+    sim.run();
+    sys.finalize_events();
+
+    std::printf(
+        "  subschemes %-3s  max load=%6.0f mean=%7.1f | avg hops=%.1f "
+        "avg latency=%.0f ms avg bw=%.1f KB\n",
+        split ? "ON" : "OFF", ls.max(), ls.mean(),
+        sys.event_metrics().hops_cdf().mean(),
+        sys.event_metrics().latency_cdf().mean(),
+        sys.event_metrics().bandwidth_kb_cdf().mean());
+  }
+  std::printf(
+      "Expected shape: subschemes ON cuts the max load (partial subs no "
+      "longer pile onto shallow zones); event costs stay comparable "
+      "(one rendezvous per subscheme).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+// Shared helpers for the figure-reproduction binaries.
+//
+// Every binary runs a reduced-scale configuration by default so that the
+// whole bench suite completes in minutes on one core; pass --full to run
+// the paper's exact scale (1740 nodes, 20 000 events, 1k-6k networks).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runner/experiment.hpp"
+
+namespace hypersub::bench {
+
+struct Scale {
+  bool full = false;
+  std::size_t nodes = 600;
+  std::size_t events = 1200;
+  std::size_t subs_per_node = 10;
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      s.full = true;
+      s.nodes = 1740;
+      s.events = 20000;
+    }
+  }
+  return s;
+}
+
+inline runner::ExperimentConfig base_config(const Scale& s) {
+  runner::ExperimentConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.events = s.events;
+  cfg.subs_per_node = s.subs_per_node;
+  return cfg;
+}
+
+inline void print_scale_banner(const Scale& s, const char* what) {
+  std::printf(
+      "[%s] %s scale: %zu nodes, %zu events, %zu subs/node"
+      " (pass --full for the paper's 1740 nodes / 20000 events)\n\n",
+      what, s.full ? "full" : "reduced", s.nodes, s.events, s.subs_per_node);
+}
+
+}  // namespace hypersub::bench

@@ -1,0 +1,81 @@
+// Figure 2 — distribution of events with respect to (a) percentage of
+// matched subscriptions, (b) max hops, (c) max latency, (d) bandwidth cost
+// per event; four configurations: base 2/level 20 and base 4/level 10,
+// each with and without load balancing.
+//
+// Paper shape to reproduce: the (b)(c)(d) curves track (a); larger base
+// beats smaller base on hops/latency/bandwidth; LB costs a little on each.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "metrics/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale, "fig2");
+
+  std::vector<runner::ExperimentConfig> cfgs;
+  for (const int base_bits : {1, 2}) {
+    for (const bool lb : {false, true}) {
+      auto cfg = bench::base_config(scale);
+      cfg.base_bits = base_bits;
+      cfg.load_balancing = lb;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner::run_experiments_parallel(cfgs);
+
+  // Fig 2(a): % matched subscriptions (config-independent; use config 0).
+  metrics::print_cdf_figure(
+      std::cout, "Fig 2(a): CDF of events vs % matched subscriptions",
+      "% matched",
+      {{"Avg " + std::to_string(results[0].avg_pct_matched) + "%",
+        results[0].events.pct_matched_cdf()}});
+
+  auto series_of = [&](auto extract) {
+    std::vector<metrics::Series> series;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      series.push_back({runner::config_label(cfgs[i]), extract(results[i])});
+    }
+    return series;
+  };
+
+  metrics::print_cdf_figure(
+      std::cout, "Fig 2(b): CDF of events vs max hops", "max hops",
+      series_of([](const runner::ExperimentResult& r) {
+        return r.events.hops_cdf();
+      }));
+  metrics::print_cdf_figure(
+      std::cout, "Fig 2(c): CDF of events vs max latency (ms)",
+      "max latency (ms)",
+      series_of([](const runner::ExperimentResult& r) {
+        return r.events.latency_cdf();
+      }));
+  metrics::print_cdf_figure(
+      std::cout, "Fig 2(d): CDF of events vs bandwidth cost (KB)",
+      "bandwidth (KB)",
+      series_of([](const runner::ExperimentResult& r) {
+        return r.events.bandwidth_kb_cdf();
+      }));
+
+  // Shape summary the paper's text calls out.
+  std::cout << "Shape checks (paper: larger base wins; LB adds a little):\n";
+  std::printf("  avg hops     : b2=%0.1f b2+LB=%0.1f b4=%0.1f b4+LB=%0.1f\n",
+              results[0].events.hops_cdf().mean(),
+              results[1].events.hops_cdf().mean(),
+              results[2].events.hops_cdf().mean(),
+              results[3].events.hops_cdf().mean());
+  std::printf("  avg latency  : b2=%0.0f b2+LB=%0.0f b4=%0.0f b4+LB=%0.0f ms\n",
+              results[0].events.latency_cdf().mean(),
+              results[1].events.latency_cdf().mean(),
+              results[2].events.latency_cdf().mean(),
+              results[3].events.latency_cdf().mean());
+  std::printf("  avg bandwidth: b2=%0.1f b2+LB=%0.1f b4=%0.1f b4+LB=%0.1f KB\n",
+              results[0].events.bandwidth_kb_cdf().mean(),
+              results[1].events.bandwidth_kb_cdf().mean(),
+              results[2].events.bandwidth_kb_cdf().mean(),
+              results[3].events.bandwidth_kb_cdf().mean());
+  return 0;
+}

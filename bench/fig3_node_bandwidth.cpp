@@ -1,0 +1,52 @@
+// Figure 3 — distribution of nodes with respect to (a) in-node bandwidth
+// and (b) out-node bandwidth over the event-delivery phase, for the four
+// configurations of Fig. 2.
+//
+// Paper shape to reproduce: load balancing cuts the maximum per-node
+// bandwidth substantially (e.g. base-2 in-bandwidth max 11000 -> 6639 KB);
+// base 4 without LB has the worst hot node.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "metrics/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale, "fig3");
+
+  std::vector<runner::ExperimentConfig> cfgs;
+  for (const int base_bits : {1, 2}) {
+    for (const bool lb : {false, true}) {
+      auto cfg = bench::base_config(scale);
+      cfg.base_bits = base_bits;
+      cfg.load_balancing = lb;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner::run_experiments_parallel(cfgs);
+
+  std::vector<metrics::Series> in_series, out_series;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    in_series.push_back(
+        {runner::config_label(cfgs[i]), results[i].nodes.in_kb_cdf()});
+    out_series.push_back(
+        {runner::config_label(cfgs[i]), results[i].nodes.out_kb_cdf()});
+  }
+  metrics::print_cdf_figure(std::cout,
+                            "Fig 3(a): CDF of nodes vs in-node bandwidth (KB)",
+                            "in bandwidth (KB)", in_series);
+  metrics::print_cdf_figure(
+      std::cout, "Fig 3(b): CDF of nodes vs out-node bandwidth (KB)",
+      "out bandwidth (KB)", out_series);
+
+  std::cout << "Shape checks (paper: LB reduces the max per-node bandwidth):\n";
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    std::printf("  %-22s in max=%8.0f KB   out max=%8.0f KB\n",
+                runner::config_label(cfgs[i]).c_str(),
+                results[i].nodes.in_kb_cdf().max(),
+                results[i].nodes.out_kb_cdf().max());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 5 — performance vs network size (paper: 1k..6k nodes derived from
+// King data): (a) average % matched subscriptions, (b) max hops, (c) max
+// latency, (d) bandwidth cost per event; base 2/level 20, with and without
+// load balancing.
+//
+// Paper shape to reproduce: % matched decreases slightly with size while
+// absolute matches grow; hops/latency/bandwidth grow modestly
+// (logarithmically) — HyperSub scales.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "metrics/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  const auto scale = bench::parse_scale(argc, argv);
+  // Network sizes (paper's Table 2 uses 1k..6k; reduced mode scales down).
+  std::vector<std::size_t> sizes;
+  if (scale.full) {
+    sizes = {1000, 2000, 3000, 4000, 5000, 6000};
+  } else {
+    sizes = {200, 400, 600, 800, 1000, 1200};
+  }
+  const std::size_t events = scale.full ? 4000 : 600;
+  std::printf("[fig5] %s scale: sizes %zu..%zu, %zu events each\n\n",
+              scale.full ? "full" : "reduced", sizes.front(), sizes.back(),
+              events);
+
+  std::vector<runner::ExperimentConfig> cfgs;
+  for (const std::size_t n : sizes) {
+    for (const bool lb : {false, true}) {
+      runner::ExperimentConfig cfg;
+      cfg.nodes = n;
+      cfg.events = events;
+      cfg.load_balancing = lb;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner::run_experiments_parallel(cfgs);
+
+  std::vector<double> xs;
+  std::vector<double> pct, hops_no, hops_lb, lat_no, lat_lb, bw_no, bw_lb;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& no_lb = results[2 * i];
+    const auto& with_lb = results[2 * i + 1];
+    xs.push_back(double(sizes[i]) / 1000.0);
+    pct.push_back(no_lb.avg_pct_matched);
+    hops_no.push_back(no_lb.events.hops_cdf().mean());
+    hops_lb.push_back(with_lb.events.hops_cdf().mean());
+    lat_no.push_back(no_lb.events.latency_cdf().mean());
+    lat_lb.push_back(with_lb.events.latency_cdf().mean());
+    bw_no.push_back(no_lb.events.bandwidth_kb_cdf().mean());
+    bw_lb.push_back(with_lb.events.bandwidth_kb_cdf().mean());
+  }
+
+  metrics::print_xy_figure(std::cout,
+                           "Fig 5(a): avg % matched subscriptions vs size",
+                           "size (x1000)", {"% matched"}, xs, {pct});
+  metrics::print_xy_figure(
+      std::cout, "Fig 5(b): avg max-hops vs size", "size (x1000)",
+      {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs,
+      {hops_no, hops_lb});
+  metrics::print_xy_figure(
+      std::cout, "Fig 5(c): avg max-latency (ms) vs size", "size (x1000)",
+      {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs, {lat_no, lat_lb});
+  metrics::print_xy_figure(
+      std::cout, "Fig 5(d): avg bandwidth per event (KB) vs size",
+      "size (x1000)", {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs,
+      {bw_no, bw_lb});
+  return 0;
+}

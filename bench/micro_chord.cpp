@@ -1,0 +1,73 @@
+// Micro-benchmark: Chord routing-table operations and simulated lookups.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "chord/chord_net.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+};
+
+Stack make_stack(std::size_t n) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  s.chord = std::make_unique<chord::ChordNet>(*s.net, chord::ChordNet::Params{});
+  s.chord->oracle_build();
+  return s;
+}
+
+void BM_ClosestPreceding(benchmark::State& state) {
+  auto s = make_stack(512);
+  const auto& nd = s.chord->node(0);
+  Rng rng(1);
+  std::vector<Id> keys;
+  for (int i = 0; i < 1024; ++i) keys.push_back(rng.next_u64());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nd.closest_preceding(keys[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClosestPreceding);
+
+void BM_SimulatedLookup(benchmark::State& state) {
+  // Full end-to-end simulated lookup, including the event queue.
+  auto s = make_stack(std::size_t(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    int hops = 0;
+    s.chord->route(net::HostIndex(rng.index(std::size_t(state.range(0)))),
+                   rng.next_u64(), 0,
+                   [&](const chord::ChordNet::RouteResult& r) {
+                     hops = r.hops;
+                   });
+    s.sim->run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedLookup)->Arg(128)->Arg(512)->Arg(1740);
+
+void BM_OracleBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = make_stack(std::size_t(state.range(0)));
+    benchmark::DoNotOptimize(s.chord.get());
+  }
+}
+BENCHMARK(BM_OracleBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Micro-benchmark: locality-preserving hash throughput (Algorithm 1),
+// swept over base, dimensionality, and input kind.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "lph/lph.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+void BM_LphEvent(benchmark::State& state) {
+  const int base_bits = int(state.range(0));
+  const std::size_t dims = std::size_t(state.range(1));
+  const lph::ZoneSystem zs(HyperRect::uniform(dims, 0.0, 1000.0),
+                           {base_bits, 20});
+  Rng rng(1);
+  std::vector<Point> points;
+  for (int i = 0; i < 1024; ++i) {
+    Point p(dims);
+    for (auto& x : p) x = rng.uniform(0.0, 1000.0);
+    points.push_back(std::move(p));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lph::hash_event(zs, points[i++ & 1023], 0x1234).key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LphEvent)
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->Args({1, 8});
+
+void BM_LphSubscription(benchmark::State& state) {
+  const int base_bits = int(state.range(0));
+  const std::size_t dims = std::size_t(state.range(1));
+  const lph::ZoneSystem zs(HyperRect::uniform(dims, 0.0, 1000.0),
+                           {base_bits, 20});
+  Rng rng(2);
+  std::vector<HyperRect> rects;
+  for (int i = 0; i < 1024; ++i) {
+    std::vector<Interval> iv;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double w = rng.uniform(0.1, 100.0);
+      const double lo = rng.uniform(0.0, 1000.0 - w);
+      iv.push_back({lo, lo + w});
+    }
+    rects.emplace_back(std::move(iv));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lph::hash_subscription(zs, rects[i++ & 1023], 0x1234).key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LphSubscription)->Args({1, 2})->Args({1, 4})->Args({2, 4});
+
+void BM_ZoneExtent(benchmark::State& state) {
+  const lph::ZoneSystem zs(HyperRect::uniform(4, 0.0, 1.0), {1, 20});
+  // A deep zone: replaying 20 splits.
+  lph::Zone z{0b10110100101101001011, 20};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zs.extent(z));
+  }
+}
+BENCHMARK(BM_ZoneExtent);
+
+}  // namespace

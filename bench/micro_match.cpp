@@ -1,0 +1,79 @@
+// Micro-benchmark: zone-repository event matching and summary-filter
+// maintenance — the per-node hot path of event processing.
+
+#include <benchmark/benchmark.h>
+
+#include "core/zone_state.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+core::ZoneState make_zone(std::size_t subs, std::uint64_t seed) {
+  core::ZoneState z(core::ZoneAddr{});
+  workload::WorkloadGenerator gen(workload::table1_spec(), seed);
+  for (std::size_t i = 0; i < subs; ++i) {
+    const auto sub = gen.make_subscription();
+    z.add_subscription(core::StoredSub{
+        core::SubId{i, std::uint32_t(i), core::SubIdKind::kSubscriber}, sub,
+        sub.range()});
+  }
+  return z;
+}
+
+void BM_ZoneMatch(benchmark::State& state) {
+  const auto z = make_zone(std::size_t(state.range(0)), 1);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 256; ++i) pts.push_back(gen.make_event().point);
+  std::vector<core::SubId> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    z.match(pts[i & 255], pts[i & 255], out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZoneMatch)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_SummaryUpdate(benchmark::State& state) {
+  workload::WorkloadGenerator gen(workload::table1_spec(), 3);
+  std::vector<pubsub::Subscription> subs;
+  for (int i = 0; i < 4096; ++i) subs.push_back(gen.make_subscription());
+  std::size_t i = 0;
+  core::ZoneState z(core::ZoneAddr{});
+  for (auto _ : state) {
+    const auto& s = subs[i & 4095];
+    benchmark::DoNotOptimize(z.add_subscription(core::StoredSub{
+        core::SubId{i, std::uint32_t(i), core::SubIdKind::kSubscriber}, s,
+        s.range()}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SummaryUpdate);
+
+void BM_BruteForceMatch(benchmark::State& state) {
+  // Reference point: linear scan over N subscriptions (what a centralized
+  // broker — or the Ferry rendezvous — pays per event).
+  workload::WorkloadGenerator gen(workload::table1_spec(), 4);
+  std::vector<pubsub::Subscription> subs;
+  const std::size_t n = std::size_t(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) subs.push_back(gen.make_subscription());
+  std::vector<Point> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back(gen.make_event().point);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t matched = 0;
+    const Point& p = pts[i++ & 63];
+    for (const auto& s : subs) matched += s.matches(p);
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BruteForceMatch)->Arg(1024)->Arg(17400);
+
+}  // namespace

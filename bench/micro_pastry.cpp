@@ -1,0 +1,90 @@
+// Micro-benchmark: Pastry routing operations (next-hop selection, table
+// construction, simulated lookups) — the substrate side of ablation_dht.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "pastry/pastry_net.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<pastry::PastryNet> pastry;
+};
+
+Stack make_stack(std::size_t n) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  s.pastry = std::make_unique<pastry::PastryNet>(*s.net,
+                                                 pastry::PastryNet::Params{});
+  s.pastry->oracle_build();
+  return s;
+}
+
+void BM_PastryNextHop(benchmark::State& state) {
+  auto s = make_stack(512);
+  const auto& nd = s.pastry->node(0);
+  Rng rng(1);
+  std::vector<Id> keys;
+  for (int i = 0; i < 1024; ++i) keys.push_back(rng.next_u64());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nd.next_hop(keys[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PastryNextHop);
+
+void BM_PastrySimulatedLookup(benchmark::State& state) {
+  auto s = make_stack(std::size_t(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    int hops = 0;
+    s.pastry->route(
+        net::HostIndex(rng.index(std::size_t(state.range(0)))),
+        rng.next_u64(), 0,
+        [&](const overlay::Overlay::RouteResult& r) { hops = r.hops; });
+    s.sim->run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PastrySimulatedLookup)->Arg(128)->Arg(512)->Arg(1740);
+
+void BM_PastryOracleBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = make_stack(std::size_t(state.range(0)));
+    benchmark::DoNotOptimize(s.pastry.get());
+  }
+}
+BENCHMARK(BM_PastryOracleBuild)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SharedPrefixDigits(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<Id, Id>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(rng.next_u64(), rng.next_u64());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(pastry::shared_prefix_digits(a, b));
+  }
+}
+BENCHMARK(BM_SharedPrefixDigits);
+
+}  // namespace

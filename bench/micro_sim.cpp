@@ -1,0 +1,43 @@
+// Micro-benchmark: the discrete-event engine itself — scheduling overhead
+// bounds every simulated experiment's wall-clock cost.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+void BM_ScheduleRun(benchmark::State& state) {
+  // Schedule-and-drain batches of N events.
+  const std::size_t n = std::size_t(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule(double(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SelfRescheduling(benchmark::State& state) {
+  // A chain that re-schedules itself — the steady-state pattern of
+  // maintenance timers.
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::size_t left = 10000;
+    std::function<void()> step = [&] {
+      if (--left) s.schedule(1.0, step);
+    };
+    s.schedule(1.0, step);
+    s.run();
+    benchmark::DoNotOptimize(left);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SelfRescheduling);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Churn demo: HyperSub over a ring maintained by the live Chord protocol
+// (join/stabilize/failure detection) rather than oracle construction —
+// the paper's future-work scenario. Nodes join one by one, the system
+// operates, then a batch of nodes crashes mid-service and the remaining
+// ring repairs itself while events keep flowing.
+//
+//   $ ./examples/churn_demo [nodes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  const std::size_t nodes = argc > 1 ? std::size_t(std::atoi(argv[1])) : 48;
+
+  net::KingLikeTopology::Params tp;
+  tp.hosts = nodes;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator simulator;
+  net::Network network(simulator, topo);
+  chord::ChordNet chord(network, {});
+  core::HyperSubSystem hypersub(chord);
+
+  // Bootstrap: host 0 alone, everyone else joins via the protocol.
+  chord.node(0).set_predecessor(chord.node(0).self());
+  chord.node(0).set_successor(chord.node(0).self());
+  chord.start_maintenance();
+  for (net::HostIndex h = 1; h < nodes; ++h) {
+    chord.join(h, 0);
+    simulator.run_until(simulator.now() + 800.0);
+  }
+  simulator.run_until(simulator.now() + 30000.0);
+
+  // Verify ring consistency against ground truth.
+  const auto ring = chord.oracle_ring();
+  std::size_t consistent = 0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (chord.node(ring[i].host).successor().id ==
+        ring[(i + 1) % ring.size()].id) {
+      ++consistent;
+    }
+  }
+  std::printf("after protocol bootstrap: %zu/%zu successor pointers exact\n",
+              consistent, ring.size());
+
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 3);
+  core::SchemeOptions opts;
+  opts.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = hypersub.add_scheme(gen.scheme(), opts);
+  for (net::HostIndex h = 0; h < nodes; ++h) {
+    hypersub.subscribe(h, scheme, gen.make_subscription());
+  }
+  simulator.run_until(simulator.now() + 30000.0);
+  std::printf("%zu subscriptions installed over the live ring\n",
+              hypersub.total_subscriptions());
+
+  Rng rng(9);
+  auto publish_batch = [&](std::size_t count) {
+    const std::size_t before = hypersub.deliveries().size();
+    for (std::size_t i = 0; i < count; ++i) {
+      net::HostIndex pub;
+      do {
+        pub = net::HostIndex(rng.index(nodes));
+      } while (!network.alive(pub));
+      hypersub.publish(pub, scheme, gen.make_event());
+    }
+    simulator.run_until(simulator.now() + 60000.0);
+    hypersub.finalize_events();
+    return hypersub.deliveries().size() - before;
+  };
+
+  std::printf("steady state: 50 events -> %zu deliveries\n",
+              publish_batch(50));
+
+  // Crash 1/8 of the nodes.
+  std::size_t killed = 0;
+  for (net::HostIndex h = 1; h < nodes && killed < nodes / 8; h += 8, ++killed) {
+    chord.fail(h);
+  }
+  std::printf("crashed %zu nodes; repairing...\n", killed);
+  simulator.run_until(simulator.now() + 120000.0);
+
+  const auto ring2 = chord.oracle_ring();
+  consistent = 0;
+  for (std::size_t i = 0; i < ring2.size(); ++i) {
+    if (chord.node(ring2[i].host).successor().id ==
+        ring2[(i + 1) % ring2.size()].id) {
+      ++consistent;
+    }
+  }
+  std::printf("after repair: %zu/%zu successor pointers exact\n", consistent,
+              ring2.size());
+  std::printf("post-churn: 50 events -> %zu deliveries "
+              "(subscriptions stored on dead nodes are lost; the paper "
+              "defers replication to the DHT layer)\n",
+              publish_batch(50));
+  std::printf("messages dropped at dead hosts: %llu\n",
+              (unsigned long long)network.dropped());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: bring up a small HyperSub network, subscribe, publish, and
+// watch deliveries arrive.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole public API surface: topology → network → Chord →
+// HyperSubSystem → scheme → subscribe/publish → delivery log.
+
+#include <cstdio>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "pubsub/subscription.hpp"
+
+int main() {
+  using namespace hypersub;
+
+  // 1. A 64-host Internet-like network and its discrete-event simulator.
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 64;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator simulator;
+  net::Network network(simulator, topo);
+
+  // 2. A Chord ring over the hosts (with proximity neighbor selection).
+  chord::ChordNet chord(network, {});
+  chord.oracle_build();
+
+  // 3. The pub/sub service and a stock-quote scheme.
+  core::HyperSubSystem hypersub(chord);
+  pubsub::Scheme quotes("quotes", {
+                                      {"price", {0.0, 1000.0}},
+                                      {"volume", {0.0, 1e6}},
+                                  });
+  core::SchemeOptions opts;
+  opts.zone_cfg = lph::ZoneSystem::Config::for_dims(quotes.arity());
+  const auto scheme = hypersub.add_scheme(quotes, opts);
+
+  // 4. Node 7 wants cheap high-volume quotes; node 13 wants a price band.
+  {
+    const pubsub::Predicate preds[] = {{0, {0.0, 150.0}},
+                                       {1, {500000.0, 1e6}}};
+    hypersub.subscribe(7, scheme,
+                       pubsub::Subscription::from_predicates(quotes, preds));
+  }
+  {
+    const pubsub::Predicate preds[] = {{0, {100.0, 300.0}}};
+    hypersub.subscribe(13, scheme,
+                       pubsub::Subscription::from_predicates(quotes, preds));
+  }
+  simulator.run();  // let the installations settle
+
+  // 5. Node 42 publishes three quotes.
+  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 750000.0}});  // both
+  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 1000.0}});    // 13
+  hypersub.publish(42, scheme, pubsub::Event{0, {900.0, 750000.0}});  // none
+  simulator.run();
+  hypersub.finalize_events();
+
+  // 6. Inspect what arrived where.
+  std::printf("deliveries (%zu):\n", hypersub.deliveries().size());
+  for (const auto& d : hypersub.deliveries()) {
+    std::printf(
+        "  event #%llu -> node %zu (sub iid=%u) after %d hops, %.1f ms\n",
+        (unsigned long long)d.event_seq, d.subscriber, d.iid, d.hops,
+        d.latency_ms);
+  }
+  for (const auto& r : hypersub.event_metrics().records()) {
+    std::printf(
+        "event #%llu: matched=%zu, max_hops=%d, max_latency=%.1f ms, "
+        "bandwidth=%llu B\n",
+        (unsigned long long)r.seq, r.matched, r.max_hops, r.max_latency_ms,
+        (unsigned long long)r.bandwidth_bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Stock-ticker scenario: the workload the pub/sub literature's intros
+// motivate. Several thousand brokers subscribe to price/volume/change
+// bands on a ticker scheme; a market feed publishes quotes; dynamic load
+// balancing keeps hot price regions from overloading their surrogate
+// nodes.
+//
+//   $ ./examples/stock_ticker [nodes] [quotes]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "core/load_balancer.hpp"
+#include "net/topology.hpp"
+#include "pubsub/subscription.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypersub;
+  const std::size_t nodes = argc > 1 ? std::size_t(std::atoi(argv[1])) : 300;
+  const std::size_t quotes = argc > 2 ? std::size_t(std::atoi(argv[2])) : 400;
+
+  net::KingLikeTopology::Params tp;
+  tp.hosts = nodes;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator simulator;
+  net::Network network(simulator, topo);
+  chord::ChordNet chord(network, {});
+  chord.oracle_build();
+  core::HyperSubSystem::Config sc;
+  sc.record_deliveries = false;  // we only need counts at this scale
+  core::HyperSubSystem hypersub(chord, sc);
+
+  // Ticker scheme: symbol id, price, volume, percent change.
+  pubsub::Scheme ticker("ticker", {
+                                      {"symbol", {0.0, 500.0}},
+                                      {"price", {0.0, 2000.0}},
+                                      {"volume", {0.0, 1e7}},
+                                      {"change_pct", {-20.0, 20.0}},
+                                  });
+  core::SchemeOptions opts;
+  opts.zone_cfg = {1, 20};
+  // Brokers often constrain only (symbol, price) or only (change_pct):
+  // split the scheme accordingly (§3.5).
+  opts.subschemes = {{0, 1, 2, 3}, {0, 1}, {3}};
+  const auto scheme = hypersub.add_scheme(ticker, opts);
+
+  // Brokers: every node installs a few watches, clustered on hot symbols.
+  Rng rng(7);
+  std::size_t installed = 0;
+  for (net::HostIndex h = 0; h < nodes; ++h) {
+    for (int k = 0; k < 5; ++k) {
+      const double hot = rng.chance(0.7) ? rng.uniform(0, 50)    // hot decile
+                                         : rng.uniform(0, 500);  // long tail
+      const double band = rng.uniform(5, 60);
+      const double mid = rng.uniform(10, 1900);
+      if (rng.chance(0.5)) {
+        // Price watch on one symbol.
+        const pubsub::Predicate preds[] = {
+            {0, {hot, hot}},
+            {1, {std::max(0.0, mid - band), std::min(2000.0, mid + band)}}};
+        hypersub.subscribe(
+            h, scheme, pubsub::Subscription::from_predicates(ticker, preds));
+      } else {
+        // Mover alert: any symbol beyond +/- x %.
+        const double x = rng.uniform(2.0, 10.0);
+        const pubsub::Predicate preds[] = {{3, {x, 20.0}}};
+        hypersub.subscribe(
+            h, scheme, pubsub::Subscription::from_predicates(ticker, preds));
+      }
+      ++installed;
+    }
+  }
+  simulator.run();
+  std::printf("installed %zu subscriptions across %zu brokers\n", installed,
+              nodes);
+
+  // Balance the hot symbol zones before the feed opens.
+  core::LoadBalancer::Config lc;
+  lc.delta = 0.1;
+  lc.min_load = 8;
+  core::LoadBalancer lb(hypersub, lc);
+  lb.run_round();
+  std::printf("load balancing migrated %llu subscriptions\n",
+              (unsigned long long)lb.migrated_count());
+
+  network.reset_traffic();
+  hypersub.reset_metrics();
+
+  // Market feed: quotes arrive every ~50 ms, clustered on hot symbols.
+  double t = 0.0;
+  for (std::size_t i = 0; i < quotes; ++i) {
+    t += rng.exponential(50.0);
+    const double sym = rng.chance(0.7) ? rng.uniform(0, 50)
+                                       : rng.uniform(0, 500);
+    const double change = std::clamp(rng.normal(0.0, 4.0), -20.0, 20.0);
+    pubsub::Event quote{
+        0, {sym, rng.uniform(1, 2000), rng.uniform(0, 1e7), change}};
+    const auto feed = net::HostIndex(rng.index(nodes));
+    simulator.schedule(t, [&hypersub, scheme, feed, quote]() mutable {
+      hypersub.publish(feed, scheme, std::move(quote));
+    });
+  }
+  simulator.run();
+  hypersub.finalize_events();
+
+  const auto& m = hypersub.event_metrics();
+  std::printf("\npublished %zu quotes:\n", m.count());
+  std::printf("  avg matched brokers/quote : %.1f\n",
+              m.pct_matched_cdf().mean() / 100.0 *
+                  double(hypersub.total_subscriptions()));
+  std::printf("  avg max-hops              : %.1f\n", m.hops_cdf().mean());
+  std::printf("  avg max-latency           : %.0f ms\n",
+              m.latency_cdf().mean());
+  std::printf("  avg bandwidth/quote       : %.1f KB\n",
+              m.bandwidth_kb_cdf().mean());
+  std::printf("  total feed bandwidth      : %.1f MB\n",
+              double(network.total_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}

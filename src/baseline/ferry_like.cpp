@@ -1,0 +1,143 @@
+#include "baseline/ferry_like.hpp"
+
+#include <algorithm>
+
+#include "common/hashing.hpp"
+#include "core/subid.hpp"
+
+namespace hypersub::baseline {
+
+FerryLike::FerryLike(chord::ChordNet& chord, pubsub::Scheme scheme)
+    : chord_(chord),
+      scheme_(std::move(scheme)),
+      rendezvous_key_(hash_string(scheme_.name())) {}
+
+void FerryLike::subscribe(net::HostIndex subscriber,
+                          pubsub::Subscription sub) {
+  const Id sub_id = chord_.id_of(subscriber);
+  const std::uint32_t iid = ++iid_;
+  ++total_subs_;
+  const std::uint64_t bytes =
+      chord::kHeaderBytes + core::kSubIdBytes + 16 * scheme_.arity();
+  chord_.route(subscriber, rendezvous_key_, bytes,
+               [this, sub_id, iid, sub = std::move(sub)](
+                   const chord::ChordNet::RouteResult& r) mutable {
+                 store_[r.owner.host].push_back(
+                     Stored{sub_id, iid, std::move(sub)});
+               });
+}
+
+std::uint64_t FerryLike::publish(net::HostIndex publisher,
+                                 pubsub::Event event) {
+  const std::uint64_t seq = ++seq_;
+  event.seq = seq;
+  Tracker& t = trackers_[seq];
+  t.publish_time = chord_.simulator().now();
+  t.outstanding = 1;
+
+  const std::uint64_t bytes = chord::kHeaderBytes + core::kEventBytes;
+  chord_.route(
+      publisher, rendezvous_key_, bytes - chord::kHeaderBytes,
+      [this, seq, event = std::move(event)](
+          const chord::ChordNet::RouteResult& r) {
+        Tracker& tr = trackers_[seq];
+        tr.max_hops = std::max(tr.max_hops, r.hops);
+        // Bytes of the inbound routing path: approximate with per-hop cost.
+        tr.bytes += std::uint64_t(r.hops) *
+                    (chord::kHeaderBytes + core::kEventBytes);
+        // Central match.
+        std::vector<std::pair<Id, std::uint32_t>> targets;
+        const auto it = store_.find(r.owner.host);
+        if (it != store_.end()) {
+          for (const auto& s : it->second) {
+            if (s.sub.matches(event.point)) {
+              targets.emplace_back(s.subscriber_id, s.iid);
+            }
+          }
+        }
+        deliver(r.owner.host, seq, std::move(targets), r.hops);
+        Tracker& tr2 = trackers_[seq];
+        --tr2.outstanding;
+        finalize_if_done(seq);
+      });
+  return seq;
+}
+
+void FerryLike::deliver(net::HostIndex host, std::uint64_t seq,
+                        std::vector<std::pair<Id, std::uint32_t>> targets,
+                        int hops) {
+  Tracker& t = trackers_[seq];
+  t.max_hops = std::max(t.max_hops, hops);
+  chord::ChordNode& cn = chord_.node(host);
+
+  std::unordered_map<net::HostIndex,
+                     std::vector<std::pair<Id, std::uint32_t>>>
+      groups;
+  for (const auto& [target_id, iid] : targets) {
+    if (cn.owns(target_id) && target_id == cn.id()) {
+      ++t.matched;
+      ++deliveries_;
+      t.max_latency = std::max(t.max_latency,
+                               chord_.simulator().now() - t.publish_time);
+      continue;
+    }
+    chord::NodeRef next;
+    const chord::NodeRef succ = cn.successor();
+    if (succ.valid() && ring::in_open_closed(target_id, cn.id(), succ.id)) {
+      next = succ;
+    } else {
+      next = cn.closest_preceding(target_id);
+      if (!next.valid() || next.id == cn.id()) next = succ;
+    }
+    if (!next.valid()) continue;
+    groups[next.host].emplace_back(target_id, iid);
+  }
+  for (auto& [to, sublist] : groups) {
+    const std::uint64_t bytes = chord::kHeaderBytes + core::kEventBytes +
+                                core::kSubIdBytes * sublist.size();
+    t.bytes += bytes;
+    ++t.outstanding;
+    chord_.network().send(host, to, bytes,
+                          [this, to, seq, sublist = std::move(sublist),
+                           hops]() mutable {
+                            Tracker& tr = trackers_[seq];
+                            deliver(to, seq, std::move(sublist), hops + 1);
+                            --tr.outstanding;
+                            finalize_if_done(seq);
+                          });
+  }
+}
+
+void FerryLike::finalize_if_done(std::uint64_t seq) {
+  const auto it = trackers_.find(seq);
+  if (it == trackers_.end() || it->second.outstanding != 0) return;
+  const Tracker& t = it->second;
+  metrics::EventRecord r;
+  r.seq = seq;
+  r.matched = t.matched;
+  r.pct_matched = total_subs_ > 0
+                      ? 100.0 * double(t.matched) / double(total_subs_)
+                      : 0.0;
+  r.max_hops = t.max_hops;
+  r.max_latency_ms = t.max_latency;
+  r.bandwidth_bytes = t.bytes;
+  metrics_.add(r);
+  trackers_.erase(it);
+}
+
+void FerryLike::finalize_events() {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, t] : trackers_) seqs.push_back(seq);
+  for (const std::uint64_t s : seqs) {
+    trackers_[s].outstanding = 0;
+    finalize_if_done(s);
+  }
+}
+
+std::vector<std::size_t> FerryLike::node_loads() const {
+  std::vector<std::size_t> loads(chord_.size(), 0);
+  for (const auto& [host, subs] : store_) loads[host] = subs.size();
+  return loads;
+}
+
+}  // namespace hypersub::baseline

@@ -1,0 +1,78 @@
+#pragma once
+// Ferry-like baseline [23]: one rendezvous node per scheme.
+//
+// Ferry stores all subscriptions of a scheme at the successor of
+// hash(scheme name), routes every event there (O(log N) hops), matches
+// centrally, and then delivers to subscribers through the DHT's embedded
+// tree (the same subid-splitting trick HyperSub uses). The paper's critique
+// — the small rendezvous set becomes a scalability bottleneck — is exactly
+// what bench/ablation_baselines measures against HyperSub.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/chord_net.hpp"
+#include "metrics/event_metrics.hpp"
+#include "pubsub/event.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace hypersub::baseline {
+
+class FerryLike {
+ public:
+  FerryLike(chord::ChordNet& chord, pubsub::Scheme scheme);
+
+  const pubsub::Scheme& scheme() const noexcept { return scheme_; }
+
+  /// The rendezvous node id (successor of hash(scheme name)).
+  Id rendezvous_key() const noexcept { return rendezvous_key_; }
+
+  /// Install a subscription (routed to the rendezvous node).
+  void subscribe(net::HostIndex subscriber, pubsub::Subscription sub);
+
+  /// Publish an event; match at the rendezvous, deliver via DHT links.
+  std::uint64_t publish(net::HostIndex publisher, pubsub::Event event);
+
+  /// Flush trackers after the simulation drains.
+  void finalize_events();
+
+  metrics::EventMetrics& event_metrics() noexcept { return metrics_; }
+  std::size_t deliveries() const noexcept { return deliveries_; }
+  std::size_t total_subscriptions() const noexcept { return total_subs_; }
+
+  /// Stored subscriptions per host (to expose the rendezvous hotspot).
+  std::vector<std::size_t> node_loads() const;
+
+ private:
+  struct Stored {
+    Id subscriber_id;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  struct Tracker {
+    double publish_time = 0.0;
+    std::size_t outstanding = 0;
+    std::size_t matched = 0;
+    int max_hops = 0;
+    double max_latency = 0.0;
+    std::uint64_t bytes = 0;
+  };
+
+  void deliver(net::HostIndex host, std::uint64_t seq,
+               std::vector<std::pair<Id, std::uint32_t>> targets, int hops);
+  void finalize_if_done(std::uint64_t seq);
+
+  chord::ChordNet& chord_;
+  pubsub::Scheme scheme_;
+  Id rendezvous_key_;
+  std::unordered_map<net::HostIndex, std::vector<Stored>> store_;
+  std::unordered_map<std::uint64_t, Tracker> trackers_;
+  metrics::EventMetrics metrics_;
+  std::uint64_t seq_ = 0;
+  std::uint32_t iid_ = 0;
+  std::size_t deliveries_ = 0;
+  std::size_t total_subs_ = 0;
+};
+
+}  // namespace hypersub::baseline

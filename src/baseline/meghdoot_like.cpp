@@ -1,0 +1,149 @@
+#include "baseline/meghdoot_like.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "chord/chord_net.hpp"  // wire-size constants
+#include "core/subid.hpp"
+
+namespace hypersub::baseline {
+
+MeghdootLike::MeghdootLike(can::CanNet& can, pubsub::Scheme scheme)
+    : can_(can), scheme_(std::move(scheme)) {
+  assert(can_.dims() == 2 * scheme_.arity());
+}
+
+double MeghdootLike::normalize(std::size_t attr, double v) const {
+  const Interval dom = scheme_.attribute(attr).domain;
+  return (v - dom.lo) / dom.length();
+}
+
+Point MeghdootLike::subscription_point(
+    const pubsub::Subscription& sub) const {
+  const std::size_t d = scheme_.arity();
+  Point p(2 * d);
+  for (std::size_t i = 0; i < d; ++i) {
+    p[i] = normalize(i, sub.range().dim(i).lo);
+    p[d + i] = normalize(i, sub.range().dim(i).hi);
+  }
+  return p;
+}
+
+HyperRect MeghdootLike::affected_region(const pubsub::Event& e) const {
+  const std::size_t d = scheme_.arity();
+  std::vector<Interval> dims(2 * d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double v = normalize(i, e.point[i]);
+    dims[i] = Interval{0.0, v};      // l_i <= v_i
+    dims[d + i] = Interval{v, 1.0};  // h_i >= v_i
+  }
+  return HyperRect(std::move(dims));
+}
+
+void MeghdootLike::subscribe(net::HostIndex subscriber,
+                             pubsub::Subscription sub) {
+  const std::uint32_t iid = ++iid_;
+  ++total_subs_;
+  const Point p = subscription_point(sub);
+  const std::uint64_t bytes =
+      chord::kHeaderBytes + core::kSubIdBytes + 16 * scheme_.arity();
+  can_.route(subscriber, p, bytes,
+             [this, subscriber, iid, sub = std::move(sub)](
+                 const can::CanNet::RouteResult& r) mutable {
+               store_[r.owner].push_back(
+                   Stored{subscriber, iid, std::move(sub)});
+             });
+}
+
+std::uint64_t MeghdootLike::publish(net::HostIndex publisher,
+                                    pubsub::Event event) {
+  const std::uint64_t seq = ++seq_;
+  event.seq = seq;
+  Tracker& t = trackers_[seq];
+  t.publish_time = can_.network().simulator().now();
+  const std::size_t d = scheme_.arity();
+
+  Point start(2 * d);
+  for (std::size_t i = 0; i < d; ++i) {
+    start[i] = normalize(i, event.point[i]);
+    start[d + i] = start[i];
+  }
+  const HyperRect region = affected_region(event);
+  const std::uint64_t msg_bytes = chord::kHeaderBytes + core::kEventBytes;
+
+  can_.region_multicast(
+      publisher, start, region, msg_bytes,
+      /*on_visit=*/
+      [this, seq, event](net::HostIndex host, int hops) {
+        Tracker& t2 = trackers_[seq];
+        t2.bytes += chord::kHeaderBytes + core::kEventBytes;
+        t2.max_hops = std::max(t2.max_hops, hops);
+        const auto it = store_.find(host);
+        if (it == store_.end()) return;
+        for (const auto& s : it->second) {
+          if (!s.sub.matches(event.point)) continue;
+          // Unicast delivery from the matching zone to the subscriber
+          // (Meghdoot delivers from the zones holding the subscription).
+          ++t2.matched;
+          ++t2.pending_unicasts;
+          const std::uint64_t ub = chord::kHeaderBytes + core::kEventBytes +
+                                   core::kSubIdBytes;
+          t2.bytes += ub;
+          can_.network().send(host, s.subscriber, ub,
+                              [this, seq, hops] {
+                                Tracker& t3 = trackers_[seq];
+                                ++deliveries_;
+                                t3.max_hops =
+                                    std::max(t3.max_hops, hops + 1);
+                                t3.max_latency = std::max(
+                                    t3.max_latency, can_.network().simulator().now() -
+                                                        t3.publish_time);
+                                --t3.pending_unicasts;
+                                finalize_if_done(seq);
+                              });
+        }
+      },
+      /*on_done=*/
+      [this, seq](int) {
+        Tracker& t2 = trackers_[seq];
+        t2.flood_done = true;
+        finalize_if_done(seq);
+      });
+  return seq;
+}
+
+void MeghdootLike::finalize_if_done(std::uint64_t seq) {
+  const auto it = trackers_.find(seq);
+  if (it == trackers_.end()) return;
+  const Tracker& t = it->second;
+  if (!t.flood_done || t.pending_unicasts != 0) return;
+  metrics::EventRecord r;
+  r.seq = seq;
+  r.matched = t.matched;
+  r.pct_matched = total_subs_ > 0
+                      ? 100.0 * double(t.matched) / double(total_subs_)
+                      : 0.0;
+  r.max_hops = t.max_hops;
+  r.max_latency_ms = t.max_latency;
+  r.bandwidth_bytes = t.bytes;
+  metrics_.add(r);
+  trackers_.erase(it);
+}
+
+void MeghdootLike::finalize_events() {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, t] : trackers_) seqs.push_back(seq);
+  for (const std::uint64_t s : seqs) {
+    trackers_[s].flood_done = true;
+    trackers_[s].pending_unicasts = 0;
+    finalize_if_done(s);
+  }
+}
+
+std::vector<std::size_t> MeghdootLike::node_loads() const {
+  std::vector<std::size_t> loads(can_.size(), 0);
+  for (const auto& [host, subs] : store_) loads[host] = subs.size();
+  return loads;
+}
+
+}  // namespace hypersub::baseline

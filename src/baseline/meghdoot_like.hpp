@@ -1,0 +1,75 @@
+#pragma once
+// Meghdoot-like baseline [11]: content-based pub/sub over CAN.
+//
+// A scheme with d attributes maps to a CAN of 2d dimensions. A subscription
+// with ranges [l_i, h_i] becomes the point (l_1..l_d, h_1..h_d); an event
+// e = (v_1..v_d) affects exactly the region {x : x_i <= v_i <= x_{d+i}},
+// so delivery routes the event to (v_1..v_d, v_1..v_d) and floods the
+// affected region through CAN neighbor links, matching stored subscriptions
+// in every visited zone. The paper's critique — the overlay dimensionality
+// is tied to the scheme (no multi-scheme support) and the affected region
+// grows with the event's position — is what the ablation bench quantifies.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "can/can_net.hpp"
+#include "metrics/event_metrics.hpp"
+#include "pubsub/event.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace hypersub::baseline {
+
+class MeghdootLike {
+ public:
+  /// The CanNet must have dims() == 2 * scheme.arity().
+  MeghdootLike(can::CanNet& can, pubsub::Scheme scheme);
+
+  const pubsub::Scheme& scheme() const noexcept { return scheme_; }
+
+  void subscribe(net::HostIndex subscriber, pubsub::Subscription sub);
+  std::uint64_t publish(net::HostIndex publisher, pubsub::Event event);
+  void finalize_events();
+
+  metrics::EventMetrics& event_metrics() noexcept { return metrics_; }
+  std::size_t deliveries() const noexcept { return deliveries_; }
+  std::size_t total_subscriptions() const noexcept { return total_subs_; }
+  std::vector<std::size_t> node_loads() const;
+
+  /// Map a subscription to its CAN point (normalized 2d coordinates).
+  Point subscription_point(const pubsub::Subscription& sub) const;
+  /// Affected region of an event in CAN space.
+  HyperRect affected_region(const pubsub::Event& e) const;
+
+ private:
+  struct Stored {
+    net::HostIndex subscriber;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  struct Tracker {
+    double publish_time = 0.0;
+    std::size_t matched = 0;
+    int max_hops = 0;
+    double max_latency = 0.0;
+    std::uint64_t bytes = 0;
+    std::size_t pending_unicasts = 0;
+    bool flood_done = false;
+  };
+
+  double normalize(std::size_t attr, double v) const;
+  void finalize_if_done(std::uint64_t seq);
+
+  can::CanNet& can_;
+  pubsub::Scheme scheme_;
+  std::unordered_map<net::HostIndex, std::vector<Stored>> store_;
+  std::unordered_map<std::uint64_t, Tracker> trackers_;
+  metrics::EventMetrics metrics_;
+  std::uint64_t seq_ = 0;
+  std::uint32_t iid_ = 0;
+  std::size_t deliveries_ = 0;
+  std::size_t total_subs_ = 0;
+};
+
+}  // namespace hypersub::baseline

@@ -1,0 +1,89 @@
+#pragma once
+// CAN (Content-Addressable Network) overlay — the substrate Meghdoot [11]
+// builds on; implemented here so the ablation benches can compare HyperSub
+// against a Meghdoot-like baseline on its native overlay.
+//
+// The coordinate space is the unit d-cube. Nodes join by picking a random
+// point; the zone owning the point splits in half along its longest side
+// and the joiner takes the half containing the point. Routing is greedy:
+// forward to the neighbor whose zone is closest to the target point.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hyperrect.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace hypersub::can {
+
+/// One CAN node: its zone of the unit cube and its adjacent zones' owners.
+struct CanNode {
+  HyperRect zone;
+  std::vector<net::HostIndex> neighbors;
+};
+
+class CanNet {
+ public:
+  struct Params {
+    std::size_t dims = 2;
+    std::uint64_t seed = 1;
+  };
+
+  /// Builds the overlay by joining every network host sequentially.
+  CanNet(net::Network& net, const Params& params);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::size_t dims() const noexcept { return dims_; }
+  net::Network& network() noexcept { return net_; }
+  const CanNode& node(net::HostIndex h) const { return nodes_[h]; }
+
+  /// Ground truth: host whose zone contains `p` (boundaries resolve to the
+  /// first owner found; zones partition the cube).
+  net::HostIndex owner_of(const Point& p) const;
+
+  struct RouteResult {
+    net::HostIndex owner = 0;
+    int hops = 0;
+    double latency_ms = 0.0;
+  };
+  using RouteCallback = std::function<void(const RouteResult&)>;
+
+  /// Greedy routing of `p` (unit-cube coordinates) from `from`; callback
+  /// fires at the owner.
+  void route(net::HostIndex from, const Point& p, std::uint64_t bytes,
+             RouteCallback cb);
+
+  /// Deliver `on_visit` at every node whose zone overlaps `region`,
+  /// starting from the zone containing `start` (which must lie in the
+  /// region). Visits propagate zone-to-zone through neighbor links; each
+  /// overlapping zone is visited exactly once. `on_done(max_hops)` fires
+  /// when the flood quiesces. The duplicate-suppression set is centralized
+  /// (a simulator shortcut for Meghdoot's parent-pointer scheme; the
+  /// message pattern and costs are the same).
+  void region_multicast(net::HostIndex from, const Point& start,
+                        const HyperRect& region, std::uint64_t bytes,
+                        std::function<void(net::HostIndex, int)> on_visit,
+                        std::function<void(int)> on_done);
+
+  /// Structural invariants (tests): zones tile the unit cube; neighbor
+  /// lists are symmetric and geometrically correct.
+  bool check_invariants() const;
+
+ private:
+  void split_and_join(net::HostIndex owner, net::HostIndex joiner,
+                      const Point& p);
+  static bool adjacent(const HyperRect& a, const HyperRect& b);
+  double distance_to_zone(const HyperRect& z, const Point& p) const;
+  void route_step(net::HostIndex at, const Point& p, std::uint64_t bytes,
+                  int hops, double issued, std::shared_ptr<RouteCallback> cb);
+
+  net::Network& net_;
+  std::size_t dims_;
+  std::vector<CanNode> nodes_;
+};
+
+}  // namespace hypersub::can

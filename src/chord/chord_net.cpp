@@ -1,0 +1,387 @@
+#include "chord/chord_net.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypersub::chord {
+
+ChordNet::ChordNet(net::Network& net, const Params& params)
+    : net_(net), params_(params) {
+  Rng rng(params.seed);
+  const auto ids = random_ids(net.size(), rng);
+  nodes_.reserve(net.size());
+  for (net::HostIndex h = 0; h < net.size(); ++h) {
+    nodes_.push_back(
+        std::make_unique<ChordNode>(ids[h], h, params.succ_list_len));
+    host_by_id_[ids[h]] = h;
+  }
+  next_finger_.assign(net.size(), 0);
+  next_probe_.assign(net.size(), 0);
+  maintaining_.assign(net.size(), false);
+  last_heard_.resize(net.size());
+}
+
+void ChordNet::note_contact(net::HostIndex at, Id peer) {
+  if (!params_.piggyback_maintenance) return;
+  last_heard_[at][peer] = net_.simulator().now();
+}
+
+bool ChordNet::recently_heard(net::HostIndex h, Id peer) const {
+  if (!params_.piggyback_maintenance) return false;
+  const auto it = last_heard_[h].find(peer);
+  return it != last_heard_[h].end() &&
+         net_.simulator().now() - it->second <= params_.stabilize_period_ms;
+}
+
+void ChordNet::liveness_ping(net::HostIndex h, NodeRef peer) {
+  ++pings_sent_;
+  auto done = std::make_shared<bool>(false);
+  net_.send(h, peer.host, kHeaderBytes, [this, h, peer, done] {
+    net_.send(peer.host, h, kHeaderBytes, [this, h, peer, done] {
+      *done = true;
+      note_contact(h, peer.id);
+    });
+  });
+  net_.simulator().schedule(params_.rpc_timeout_ms, [this, h, peer, done] {
+    if (*done || !net_.alive(h)) return;
+    nodes_[h]->remove_peer(peer.id);
+  });
+}
+
+void ChordNet::probe_finger_liveness(net::HostIndex h) {
+  ChordNode& nd = *nodes_[h];
+  // Round-robin over fingers; skip invalid ones and (with piggybacking)
+  // peers recently heard from via application traffic.
+  for (int attempts = 0; attempts < kIdBits; ++attempts) {
+    const int i = next_probe_[h];
+    next_probe_[h] = (i + 1) % kIdBits;
+    const NodeRef f = nd.finger(i);
+    if (!f.valid() || f.id == nd.id()) continue;
+    if (recently_heard(h, f.id)) {
+      ++pings_saved_;
+      return;
+    }
+    liveness_ping(h, f);
+    return;
+  }
+}
+
+std::vector<NodeRef> ChordNet::oracle_ring() const {
+  std::vector<NodeRef> ring;
+  ring.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (net_.alive(n->host())) ring.push_back(n->self());
+  }
+  std::sort(ring.begin(), ring.end(),
+            [](const NodeRef& a, const NodeRef& b) { return a.id < b.id; });
+  return ring;
+}
+
+NodeRef ChordNet::oracle_successor(Id key) const {
+  const auto ring = oracle_ring();
+  assert(!ring.empty());
+  std::vector<Id> ids;
+  ids.reserve(ring.size());
+  for (const auto& n : ring) ids.push_back(n.id);
+  return ring[successor_index(ids, key)];
+}
+
+void ChordNet::oracle_build() {
+  const auto ring = oracle_ring();
+  const std::size_t n = ring.size();
+  assert(n >= 1);
+  // Position of each live node in the sorted ring.
+  std::unordered_map<Id, std::size_t> pos;
+  for (std::size_t i = 0; i < n; ++i) pos[ring[i].id] = i;
+  std::vector<Id> ids;
+  ids.reserve(n);
+  for (const auto& r : ring) ids.push_back(r.id);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ChordNode& nd = *nodes_[ring[i].host];
+    // Predecessor and successor list straight from ring order.
+    nd.set_predecessor(ring[(i + n - 1) % n]);
+    std::vector<NodeRef> rest;
+    for (std::size_t k = 2; k <= params_.succ_list_len && k < n + 1; ++k) {
+      rest.push_back(ring[(i + k) % n]);
+    }
+    nd.adopt_successor_list(ring[(i + 1) % n], rest);
+    // Fingers with optional PNS: candidates are the first pns_candidates
+    // nodes clockwise from the finger start that stay within
+    // [start, next_start); pick the closest by network latency.
+    for (int f = 0; f < kIdBits; ++f) {
+      const Id start = ring::finger_start(nd.id(), f);
+      const Id next_start = ring::finger_start(nd.id(), (f + 1) % kIdBits);
+      const std::size_t first = successor_index(ids, start);
+      NodeRef chosen = ring[first];
+      if (params_.pns) {
+        double best = net_.topology().latency(nd.host(), chosen.host);
+        std::size_t idx = first;
+        for (std::size_t c = 1; c < params_.pns_candidates; ++c) {
+          idx = (idx + 1) % n;
+          const NodeRef& cand = ring[idx];
+          // Stop once candidates leave the finger's interval (for f == 63
+          // the interval is the half ring back to the node itself).
+          const bool in_range =
+              f == kIdBits - 1
+                  ? ring::in_closed_open(cand.id, start, nd.id())
+                  : ring::in_closed_open(cand.id, start, next_start);
+          if (!in_range) break;
+          const double lat = net_.topology().latency(nd.host(), cand.host);
+          if (lat < best) {
+            best = lat;
+            chosen = cand;
+          }
+        }
+      }
+      nd.set_finger(f, chosen);
+    }
+  }
+}
+
+NodeRef ChordNet::next_hop(net::HostIndex h, Id key) const {
+  const ChordNode& nd = *nodes_[h];
+  const NodeRef succ = nd.successor();
+  if (succ.valid() && ring::in_open_closed(key, nd.id(), succ.id)) {
+    return succ;
+  }
+  NodeRef next = nd.closest_preceding(key);
+  if (!next.valid() || next.id == nd.id()) next = succ;
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup routing
+// ---------------------------------------------------------------------------
+
+void ChordNet::route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
+                     RouteCallback cb) {
+  auto shared_cb = std::make_shared<RouteCallback>(std::move(cb));
+  route_step(from, key, extra_bytes, 0, net_.simulator().now(),
+             std::move(shared_cb));
+}
+
+void ChordNet::route_step(net::HostIndex at, Id key,
+                          std::uint64_t extra_bytes, int hops,
+                          double issued_at,
+                          std::shared_ptr<RouteCallback> cb) {
+  ChordNode& nd = *nodes_[at];
+  if (nd.owns(key)) {
+    RouteResult r;
+    r.owner = nd.self();
+    r.hops = hops;
+    r.latency_ms = net_.simulator().now() - issued_at;
+    (*cb)(r);
+    return;
+  }
+  // Final hop: key lies between us and our successor.
+  NodeRef next;
+  const NodeRef succ = nd.successor();
+  if (succ.valid() && ring::in_open_closed(key, nd.id(), succ.id)) {
+    next = succ;
+  } else {
+    next = nd.closest_preceding(key);
+    if (!next.valid() || next.id == nd.id()) next = succ;
+  }
+  if (!next.valid()) return;  // isolated node: drop
+  const std::uint64_t bytes = kHeaderBytes + kKeyBytes + extra_bytes;
+  net_.send(at, next.host, bytes,
+            [this, to = next.host, key, extra_bytes, hops, issued_at, cb] {
+              route_step(to, key, extra_bytes, hops + 1, issued_at, cb);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance protocol
+// ---------------------------------------------------------------------------
+
+void ChordNet::get_state(
+    net::HostIndex from, net::HostIndex to,
+    std::function<void(NodeRef, std::vector<NodeRef>)> ok,
+    std::function<void()> fail) {
+  auto done = std::make_shared<bool>(false);
+  const std::uint64_t req = kHeaderBytes;
+  net_.send(from, to, req, [this, from, to, done, ok = std::move(ok)] {
+    // Server side: reply with predecessor + successor list.
+    ChordNode& peer = *nodes_[to];
+    const NodeRef pred = peer.predecessor();
+    const std::vector<NodeRef> slist = peer.successor_list();
+    const std::uint64_t reply =
+        kHeaderBytes + kNodeRefBytes * (1 + slist.size());
+    net_.send(to, from, reply, [done, ok = std::move(ok), pred, slist] {
+      if (*done) return;
+      *done = true;
+      ok(pred, slist);
+    });
+  });
+  net_.simulator().schedule(params_.rpc_timeout_ms,
+                            [done, fail = std::move(fail)] {
+                              if (*done) return;
+                              *done = true;
+                              if (fail) fail();
+                            });
+}
+
+void ChordNet::start_maintenance() {
+  maintenance_stopped_ = false;
+  Rng rng(params_.seed ^ 0x5741494eULL);
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    if (!net_.alive(h) || maintaining_[h]) continue;
+    schedule_tick(h, rng.uniform(0.0, params_.stabilize_period_ms));
+  }
+}
+
+void ChordNet::schedule_tick(net::HostIndex h, double delay) {
+  maintaining_[h] = true;
+  net_.simulator().schedule(delay, [this, h] {
+    if (maintenance_stopped_ || !net_.alive(h)) {
+      maintaining_[h] = false;
+      return;
+    }
+    stabilize(h);
+    fix_next_finger(h);
+    check_predecessor(h);
+    if (params_.probe_fingers) probe_finger_liveness(h);
+    schedule_tick(h, params_.stabilize_period_ms);
+  });
+}
+
+void ChordNet::stabilize(net::HostIndex h) {
+  ChordNode& nd = *nodes_[h];
+  const NodeRef succ = nd.successor();
+  if (!succ.valid()) return;
+  get_state(
+      h, succ.host,
+      [this, h, succ](NodeRef pred, std::vector<NodeRef> slist) {
+        ChordNode& me = *nodes_[h];
+        NodeRef target = succ;
+        // Classic Chord treats the degenerate single-node interval (n, n)
+        // as the whole ring during stabilization, so a freshly bootstrapped
+        // node adopts its first peer.
+        const bool degenerate = succ.id == me.id();
+        if (pred.valid() && pred.id != me.id() &&
+            (degenerate || ring::in_open(pred.id, me.id(), succ.id))) {
+          // A closer successor appeared between us and our successor.
+          target = pred;
+          me.set_successor(target);
+        } else {
+          me.adopt_successor_list(succ, slist);
+        }
+        // notify(target): "I believe I am your predecessor".
+        net_.send(h, target.host, kHeaderBytes + kNodeRefBytes,
+                  [this, h, to = target.host] {
+                    ChordNode& peer = *nodes_[to];
+                    const NodeRef cand = nodes_[h]->self();
+                    if (cand.id == peer.id()) return;
+                    const NodeRef cur = peer.predecessor();
+                    if (!cur.valid() || cur.id == peer.id() ||
+                        ring::in_open(cand.id, cur.id, peer.id())) {
+                      peer.set_predecessor(cand);
+                    }
+                  });
+      },
+      [this, h, succ] {
+        // Successor unresponsive: drop it and fail over to the next backup.
+        nodes_[h]->remove_peer(succ.id);
+      });
+}
+
+void ChordNet::fix_next_finger(net::HostIndex h) {
+  ChordNode& nd = *nodes_[h];
+  const int i = next_finger_[h];
+  next_finger_[h] = (i + 1) % kIdBits;
+  const Id start = ring::finger_start(nd.id(), i);
+  route(h, start, 0, [this, h, i, start](const RouteResult& r) {
+    if (!net_.alive(h)) return;
+    ChordNode& me = *nodes_[h];
+    if (!params_.pns) {
+      me.set_finger(i, r.owner);
+      return;
+    }
+    // PNS refinement: fetch the owner's successor list and keep the
+    // lowest-latency candidate still inside the finger interval.
+    get_state(
+        h, r.owner.host,
+        [this, h, i, start, owner = r.owner](NodeRef,
+                                             std::vector<NodeRef> slist) {
+          if (!net_.alive(h)) return;
+          ChordNode& me2 = *nodes_[h];
+          const Id next_start =
+              ring::finger_start(me2.id(), (i + 1) % kIdBits);
+          NodeRef best = owner;
+          double best_lat = net_.topology().latency(h, owner.host);
+          for (const auto& cand : slist) {
+            if (!cand.valid()) continue;
+            const bool in_range =
+                i == kIdBits - 1
+                    ? ring::in_closed_open(cand.id, start, me2.id())
+                    : ring::in_closed_open(cand.id, start, next_start);
+            if (!in_range) continue;
+            const double lat = net_.topology().latency(h, cand.host);
+            if (lat < best_lat) {
+              best_lat = lat;
+              best = cand;
+            }
+          }
+          me2.set_finger(i, best);
+        },
+        [this, h, i, owner = r.owner] {
+          if (net_.alive(h)) nodes_[h]->set_finger(i, owner);
+        });
+  });
+}
+
+void ChordNet::check_predecessor(net::HostIndex h) {
+  ChordNode& nd = *nodes_[h];
+  const NodeRef pred = nd.predecessor();
+  if (!pred.valid()) return;
+  if (recently_heard(h, pred.id)) {
+    ++pings_saved_;
+    return;
+  }
+  ++pings_sent_;
+  auto done = std::make_shared<bool>(false);
+  net_.send(h, pred.host, kHeaderBytes, [this, h, pred, done] {
+    // Ping reached a live predecessor; pong back.
+    net_.send(pred.host, h, kHeaderBytes, [this, h, pred, done] {
+      *done = true;
+      note_contact(h, pred.id);
+    });
+  });
+  net_.simulator().schedule(params_.rpc_timeout_ms, [this, h, pred, done] {
+    if (*done || !net_.alive(h)) return;
+    ChordNode& me = *nodes_[h];
+    if (me.predecessor() == pred) me.clear_predecessor();
+  });
+}
+
+void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
+                    std::function<void()> on_joined) {
+  assert(net_.alive(host));
+  ChordNode& nd = *nodes_[host];
+  nd.clear_predecessor();
+  route(bootstrap, nd.id(), 0,
+        [this, host, on_joined = std::move(on_joined)](const RouteResult& r) {
+          if (!net_.alive(host)) return;
+          ChordNode& me = *nodes_[host];
+          me.set_successor(r.owner);
+          if (!maintaining_[host]) schedule_tick(host, 0.0);
+          if (on_joined) on_joined();
+        });
+}
+
+void ChordNet::fail(net::HostIndex host) { net_.kill(host); }
+
+void ChordNet::maintenance_round() {
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    if (!net_.alive(h)) continue;
+    stabilize(h);
+    fix_next_finger(h);
+    check_predecessor(h);
+  }
+  // Let the round's messages drain plus timeouts fire.
+  net_.simulator().run_until(net_.simulator().now() +
+                             2.0 * params_.rpc_timeout_ms);
+}
+
+}  // namespace hypersub::chord

@@ -1,0 +1,189 @@
+#pragma once
+// Chord overlay: construction, lookup routing, and the maintenance protocol
+// (stabilization, finger repair, predecessor checks, join, failure).
+//
+// Two ways to build the ring:
+//   * oracle_build()  — global-knowledge construction with optional PNS
+//                       (proximity neighbor selection). This is what the
+//                       benches use to reach the paper's "after system
+//                       stabilization" state quickly.
+//   * protocol join   — join(host, bootstrap) plus start_maintenance();
+//                       the ring converges through stabilize/notifyticks.
+//                       This is what the churn tests/examples exercise.
+//
+// All inter-node communication flows through net::Network, so lookup hops,
+// latencies and bytes are measured, not modeled.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/chord_node.hpp"
+#include "chord/ring.hpp"
+#include "net/network.hpp"
+#include "overlay/overlay.hpp"
+
+namespace hypersub::chord {
+
+/// Wire-size constants (aliases of the overlay-neutral values).
+inline constexpr std::uint64_t kHeaderBytes = overlay::kHeaderBytes;
+inline constexpr std::uint64_t kNodeRefBytes = overlay::kNodeRefBytes;
+inline constexpr std::uint64_t kKeyBytes = overlay::kKeyBytes;
+
+class ChordNet final : public overlay::Overlay {
+ public:
+  struct Params {
+    bool pns = true;                    ///< proximity neighbor selection
+    std::size_t succ_list_len = 16;     ///< r, successor-list length
+    std::size_t pns_candidates = 16;    ///< PNS(k): candidates per finger
+    double stabilize_period_ms = 500.0; ///< maintenance tick period
+    double rpc_timeout_ms = 1500.0;     ///< failure-detection timeout
+    std::uint64_t seed = 1;             ///< id assignment seed
+    /// Ping one finger per maintenance tick (liveness probing). Off by
+    /// default to keep the base protocol equal to classic Chord.
+    bool probe_fingers = false;
+    /// §6 extension: treat application traffic (event-delivery messages)
+    /// as implicit liveness evidence and skip redundant maintenance pings
+    /// to peers heard from within one stabilization period.
+    bool piggyback_maintenance = false;
+  };
+
+  /// Creates one Chord node per network host. Ids are random and unique.
+  ChordNet(net::Network& net, const Params& params);
+
+  std::size_t size() const override { return nodes_.size(); }
+  net::Network& network() override { return net_; }
+  sim::Simulator& simulator() { return net_.simulator(); }
+  const Params& params() const noexcept { return params_; }
+
+  ChordNode& node(net::HostIndex h) { return *nodes_[h]; }
+  const ChordNode& node(net::HostIndex h) const { return *nodes_[h]; }
+  Id id_of(net::HostIndex h) const override { return nodes_[h]->id(); }
+
+  // -- overlay::Overlay -----------------------------------------------------
+
+  /// Chord ownership: key in (predecessor, self].
+  bool owns(net::HostIndex h, Id key) const override {
+    return nodes_[h]->owns(key);
+  }
+
+  /// Greedy Chord step: the successor when the key lies between this node
+  /// and it (final hop), else the closest preceding routing-table entry.
+  NodeRef next_hop(net::HostIndex h, Id key) const override;
+
+  std::vector<NodeRef> neighbors(net::HostIndex h) const override {
+    return nodes_[h]->neighbors();
+  }
+
+  void note_app_contact(net::HostIndex at, Id peer) override {
+    note_contact(at, peer);
+  }
+
+  /// Replication targets: the first k entries of the successor list.
+  std::vector<NodeRef> replica_set(net::HostIndex h,
+                                   std::size_t k) const override {
+    const auto& sl = nodes_[h]->successor_list();
+    return {sl.begin(), sl.begin() + std::min(k, sl.size())};
+  }
+
+  // -- global-knowledge (oracle) operations --------------------------------
+
+  /// Fill predecessor/successor lists/fingers for every node from the global
+  /// membership; applies PNS if params().pns. O(n * 64 * pns_candidates).
+  void oracle_build();
+
+  /// Ground truth: the live node that owns `key` (its successor). Used by
+  /// tests and by metrics, never by the protocol paths.
+  NodeRef oracle_successor(Id key) const;
+
+  /// Ground-truth ring order (ascending ids) of live nodes.
+  std::vector<NodeRef> oracle_ring() const;
+
+  // -- lookup ---------------------------------------------------------------
+
+  using RouteResult = overlay::Overlay::RouteResult;
+  using RouteCallback = overlay::Overlay::RouteCallback;
+
+  /// Recursive greedy routing of `key` starting at `from`. `extra_bytes`
+  /// rides along (e.g. a subscription being installed). The callback fires
+  /// *at the owner* (in simulated time). Routing failures during churn are
+  /// retried through successor fallbacks; if the message is dropped the
+  /// callback never fires.
+  void route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
+             RouteCallback cb) override;
+
+  // -- protocol maintenance -------------------------------------------------
+
+  /// Start periodic stabilization on every currently-live node (staggered
+  /// within one period to avoid lockstep).
+  void start_maintenance();
+
+  /// Protocol join of `host` using `bootstrap` as the entry point. The host
+  /// must be alive in the network. Integration completes via maintenance.
+  void join(net::HostIndex host, net::HostIndex bootstrap,
+            std::function<void()> on_joined = {});
+
+  /// Crash-stop failure: the host drops all messages from now on.
+  void fail(net::HostIndex host);
+
+  /// True if the node participates (alive and not failed).
+  bool live(net::HostIndex host) const { return net_.alive(host); }
+
+  /// Run one maintenance round synchronously on every live node (test hook):
+  /// stabilize + notify + one finger fix. Drives convergence in unit tests
+  /// without waiting for periodic timers.
+  void maintenance_round();
+
+  /// Stop periodic maintenance: queued ticks fire once and do not
+  /// reschedule, letting the simulator drain. Restartable.
+  void stop_maintenance() { maintenance_stopped_ = true; }
+
+  // -- piggybacked liveness (§6 extension) ----------------------------------
+
+  /// Record that `at` just received application traffic from `peer`
+  /// (called by the pub/sub layer when piggybacking is enabled).
+  void note_contact(net::HostIndex at, Id peer);
+
+  /// Liveness pings actually sent / skipped thanks to fresh contact.
+  std::uint64_t pings_sent() const noexcept { return pings_sent_; }
+  std::uint64_t pings_saved() const noexcept { return pings_saved_; }
+
+ private:
+  void stabilize(net::HostIndex h);
+  void fix_next_finger(net::HostIndex h);
+  void check_predecessor(net::HostIndex h);
+  void probe_finger_liveness(net::HostIndex h);
+  void schedule_tick(net::HostIndex h, double delay);
+
+  /// True if `h` heard from `peer` within one stabilization period (only
+  /// when piggybacking is enabled).
+  bool recently_heard(net::HostIndex h, Id peer) const;
+  /// Ping `peer` from `h`; on timeout drop it from h's routing state.
+  void liveness_ping(net::HostIndex h, NodeRef peer);
+
+  // Ask `to` for its predecessor + successor list; on timeout call on_fail.
+  void get_state(net::HostIndex from, net::HostIndex to,
+                 std::function<void(NodeRef pred, std::vector<NodeRef>)> ok,
+                 std::function<void()> fail);
+
+  void route_step(net::HostIndex at, Id key, std::uint64_t extra_bytes,
+                  int hops, double issued_at,
+                  std::shared_ptr<RouteCallback> cb);
+
+  net::Network& net_;
+  Params params_;
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+  std::vector<int> next_finger_;        // per-node fix_fingers cursor
+  std::vector<int> next_probe_;         // per-node liveness-probe cursor
+  std::vector<bool> maintaining_;       // tick scheduled?
+  bool maintenance_stopped_ = false;
+  std::unordered_map<Id, net::HostIndex> host_by_id_;
+  std::vector<std::unordered_map<Id, double>> last_heard_;  // per host
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t pings_saved_ = 0;
+};
+
+}  // namespace hypersub::chord

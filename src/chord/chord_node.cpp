@@ -1,0 +1,103 @@
+#include "chord/chord_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypersub::chord {
+
+ChordNode::ChordNode(Id id, net::HostIndex host, std::size_t succ_list_len)
+    : id_(id), host_(host), succ_cap_(succ_list_len) {
+  assert(succ_list_len >= 1);
+  succ_.reserve(succ_list_len);
+}
+
+NodeRef ChordNode::successor() const {
+  return succ_.empty() ? NodeRef{} : succ_.front();
+}
+
+void ChordNode::set_successor(NodeRef s) {
+  assert(s.valid());
+  if (succ_.empty()) {
+    succ_.push_back(s);
+  } else if (succ_.front() != s) {
+    // Keep old successors as backups; dedupe below.
+    succ_.insert(succ_.begin(), s);
+    std::vector<NodeRef> dedup;
+    for (const auto& n : succ_) {
+      if (std::find(dedup.begin(), dedup.end(), n) == dedup.end()) {
+        dedup.push_back(n);
+      }
+    }
+    succ_ = std::move(dedup);
+    if (succ_.size() > succ_cap_) succ_.resize(succ_cap_);
+  }
+}
+
+void ChordNode::adopt_successor_list(NodeRef succ,
+                                     const std::vector<NodeRef>& rest) {
+  assert(succ.valid());
+  succ_.clear();
+  succ_.push_back(succ);
+  for (const auto& n : rest) {
+    if (succ_.size() >= succ_cap_) break;
+    if (n.valid() && n.id != id_ &&
+        std::find(succ_.begin(), succ_.end(), n) == succ_.end()) {
+      succ_.push_back(n);
+    }
+  }
+}
+
+void ChordNode::remove_peer(Id failed) {
+  succ_.erase(std::remove_if(succ_.begin(), succ_.end(),
+                             [failed](const NodeRef& n) {
+                               return n.id == failed;
+                             }),
+              succ_.end());
+  for (auto& f : fingers_) {
+    if (f.valid() && f.id == failed) f = NodeRef{};
+  }
+  if (pred_.valid() && pred_.id == failed) pred_ = NodeRef{};
+}
+
+bool ChordNode::owns(Id key) const {
+  if (!pred_.valid()) return key == id_;
+  return ring::in_open_closed(key, pred_.id, id_);
+}
+
+NodeRef ChordNode::closest_preceding(Id target) const {
+  // Pick the known node with the greatest clockwise progress from us while
+  // staying strictly inside (id, target) — or landing exactly on target's
+  // ... predecessor side. Standard Chord closest_preceding_finger extended
+  // over the successor list.
+  NodeRef best = self();
+  Id best_dist = 0;  // progress distance(id_, best.id); self has 0
+  auto consider = [&](const NodeRef& n) {
+    if (!n.valid() || n.id == id_) return;
+    if (!ring::in_open(n.id, id_, target)) return;
+    const Id d = ring::distance(id_, n.id);
+    if (d > best_dist) {
+      best_dist = d;
+      best = n;
+    }
+  };
+  for (const auto& f : fingers_) consider(f);
+  for (const auto& s : succ_) consider(s);
+  return best;
+}
+
+std::vector<NodeRef> ChordNode::neighbors() const {
+  std::vector<NodeRef> out;
+  auto add = [&](const NodeRef& n) {
+    if (!n.valid() || n.id == id_) return;
+    for (const auto& e : out) {
+      if (e.id == n.id) return;
+    }
+    out.push_back(n);
+  };
+  for (const auto& s : succ_) add(s);
+  for (const auto& f : fingers_) add(f);
+  add(pred_);
+  return out;
+}
+
+}  // namespace hypersub::chord

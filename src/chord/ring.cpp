@@ -1,0 +1,29 @@
+#include "chord/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace hypersub::chord {
+
+std::vector<Id> random_ids(std::size_t n, Rng& rng) {
+  std::unordered_set<Id> seen;
+  std::vector<Id> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const Id id = rng.next_u64();
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t successor_index(const std::vector<Id>& sorted_ids, Id key) {
+  assert(!sorted_ids.empty());
+  assert(std::is_sorted(sorted_ids.begin(), sorted_ids.end()));
+  const auto it =
+      std::lower_bound(sorted_ids.begin(), sorted_ids.end(), key);
+  if (it == sorted_ids.end()) return 0;  // wrap
+  return std::size_t(it - sorted_ids.begin());
+}
+
+}  // namespace hypersub::chord

@@ -1,0 +1,21 @@
+#pragma once
+// Ring-level helpers shared by the Chord implementation and by oracle/test
+// code that reasons about a global view of the identifier space.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace hypersub::chord {
+
+/// Generate `n` distinct node identifiers, uniformly at random over the
+/// 64-bit ring (the paper assigns ids by hashing, i.e. uniformly).
+std::vector<Id> random_ids(std::size_t n, Rng& rng);
+
+/// Index into `sorted_ids` (ascending) of the successor of `key`: the first
+/// id >= key, wrapping to index 0 past the top of the ring.
+std::size_t successor_index(const std::vector<Id>& sorted_ids, Id key);
+
+}  // namespace hypersub::chord

@@ -1,0 +1,24 @@
+#pragma once
+// Consistent hashing helpers.
+//
+// The paper derives per-scheme rotation offsets by hashing the scheme name
+// with a consistent hash function (it suggests SHA-1). We use a 64-bit
+// FNV-1a core strengthened by two rounds of splitmix64 finalization: the
+// properties the rotation needs are determinism and dispersion, not
+// cryptographic strength.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hypersub {
+
+/// splitmix64 finalizer: bijective 64-bit mixer with good avalanche.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// FNV-1a over the bytes of `s`, then mixed. Stable across platforms/runs.
+std::uint64_t hash_string(std::string_view s) noexcept;
+
+/// Combine two 64-bit hashes (order-dependent).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace hypersub

@@ -1,0 +1,77 @@
+#include "common/hyperrect.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace hypersub {
+
+HyperRect HyperRect::uniform(std::size_t d, double lo, double hi) {
+  return HyperRect(std::vector<Interval>(d, Interval{lo, hi}));
+}
+
+bool HyperRect::contains(const Point& p) const {
+  assert(p.size() == dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].contains(p[i])) return false;
+  }
+  return true;
+}
+
+bool HyperRect::covers(const HyperRect& o) const {
+  assert(o.dims_.size() == dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].covers(o.dims_[i])) return false;
+  }
+  return true;
+}
+
+bool HyperRect::overlaps(const HyperRect& o) const {
+  assert(o.dims_.size() == dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].overlaps(o.dims_[i])) return false;
+  }
+  return true;
+}
+
+HyperRect HyperRect::intersect(const HyperRect& o) const {
+  assert(overlaps(o));
+  std::vector<Interval> out;
+  out.reserve(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    out.push_back(dims_[i].intersect(o.dims_[i]));
+  }
+  return HyperRect(std::move(out));
+}
+
+HyperRect HyperRect::hull(const HyperRect& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  assert(o.dims_.size() == dims_.size());
+  std::vector<Interval> out;
+  out.reserve(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    out.push_back(dims_[i].hull(o.dims_[i]));
+  }
+  return HyperRect(std::move(out));
+}
+
+double HyperRect::volume_fraction(const HyperRect& universe) const {
+  assert(universe.dims_.size() == dims_.size());
+  double f = 1.0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const double u = universe.dims_[i].length();
+    f *= (u > 0.0) ? dims_[i].length() / u : 0.0;
+  }
+  return f;
+}
+
+std::string HyperRect::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << 'x';
+    os << '[' << dims_[i].lo << ',' << dims_[i].hi << ']';
+  }
+  return os.str();
+}
+
+}  // namespace hypersub

@@ -1,0 +1,64 @@
+#pragma once
+// Axis-aligned hyper-cuboid over a d-dimensional content space.
+//
+// The paper's model (§3.1): an event is a point, a subscription is a
+// hyper-cuboid, a zone extent is a hyper-cuboid, and a summary filter is
+// the minimal hyper-cuboid covering everything registered in a zone.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+
+namespace hypersub {
+
+/// d-dimensional point (one coordinate per scheme attribute).
+using Point = std::vector<double>;
+
+/// Axis-aligned hyper-cuboid: one closed interval per dimension.
+class HyperRect {
+ public:
+  HyperRect() = default;
+  explicit HyperRect(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+
+  /// Rectangle spanning [lo, hi] on every one of `d` dimensions.
+  static HyperRect uniform(std::size_t d, double lo, double hi);
+
+  std::size_t dimensions() const noexcept { return dims_.size(); }
+  bool empty() const noexcept { return dims_.empty(); }
+
+  const Interval& dim(std::size_t i) const { return dims_[i]; }
+  Interval& dim(std::size_t i) { return dims_[i]; }
+  const std::vector<Interval>& dims() const noexcept { return dims_; }
+
+  /// Point containment: every coordinate within its interval.
+  bool contains(const Point& p) const;
+
+  /// Full containment of another rectangle (dimension counts must match).
+  bool covers(const HyperRect& o) const;
+
+  /// True if the rectangles share at least one point.
+  bool overlaps(const HyperRect& o) const;
+
+  /// Intersection; only valid when overlaps(o).
+  HyperRect intersect(const HyperRect& o) const;
+
+  /// Smallest rectangle covering this and `o`. If this is empty (zero
+  /// dimensions — the "no subscriptions yet" summary filter), returns `o`.
+  HyperRect hull(const HyperRect& o) const;
+
+  /// Fraction of `universe`'s volume this rectangle occupies, in [0, 1].
+  /// Degenerate (zero-length) dimensions contribute factor 0.
+  double volume_fraction(const HyperRect& universe) const;
+
+  /// Human-readable form, e.g. "[0,10]x[3,4]".
+  std::string to_string() const;
+
+  friend bool operator==(const HyperRect&, const HyperRect&) = default;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace hypersub

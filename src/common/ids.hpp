@@ -1,0 +1,51 @@
+#pragma once
+// Identifier-space arithmetic for a 2^64 circular key space.
+//
+// Chord, the LPH zone keys, and the load balancer all reason about arcs of
+// the same 64-bit ring. All arithmetic is modulo 2^64, which unsigned
+// integer wrap-around gives us for free.
+
+#include <cstdint>
+
+namespace hypersub {
+
+/// A point on the 2^64 identifier ring (node id or key).
+using Id = std::uint64_t;
+
+/// Number of bits in ring identifiers (the paper simulates 64-bit ids).
+inline constexpr int kIdBits = 64;
+
+namespace ring {
+
+/// Clockwise distance from `from` to `to` (how far a lookup must travel).
+/// distance(a, a) == 0.
+constexpr Id distance(Id from, Id to) noexcept { return to - from; }
+
+/// True if `x` lies in the open arc (a, b), walking clockwise from `a`.
+/// Empty when a == b (the full ring minus one point convention is NOT used;
+/// Chord uses in_open(a, a) == false together with explicit self checks).
+constexpr bool in_open(Id x, Id a, Id b) noexcept {
+  return distance(a, x) != 0 && distance(a, x) < distance(a, b) && x != b;
+}
+
+/// True if `x` lies in the half-open arc (a, b].
+/// This is Chord's "successor responsibility" test: node n with predecessor p
+/// owns exactly the keys k with in_open_closed(k, p, n).
+constexpr bool in_open_closed(Id x, Id a, Id b) noexcept {
+  if (a == b) return true;  // degenerate arc covers the whole ring
+  return distance(a, x) != 0 && distance(a, x) <= distance(a, b);
+}
+
+/// True if `x` lies in the half-open arc [a, b).
+constexpr bool in_closed_open(Id x, Id a, Id b) noexcept {
+  if (a == b) return true;
+  return distance(a, x) < distance(a, b);
+}
+
+/// The i-th Chord finger start for node n: n + 2^i (mod 2^64).
+constexpr Id finger_start(Id n, int i) noexcept {
+  return n + (Id{1} << i);
+}
+
+}  // namespace ring
+}  // namespace hypersub

@@ -1,0 +1,48 @@
+#pragma once
+// Closed real interval [lo, hi] on one attribute dimension.
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypersub {
+
+/// Closed interval over one attribute's numeric domain. Subscriptions are
+/// conjunctions of such intervals; an equality predicate is a degenerate
+/// interval with lo == hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr Interval() = default;
+  constexpr Interval(double l, double h) : lo(l), hi(h) { assert(l <= h); }
+
+  /// Point containment (closed at both ends).
+  constexpr bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+
+  /// Full containment of another interval.
+  constexpr bool covers(const Interval& o) const noexcept {
+    return lo <= o.lo && o.hi <= hi;
+  }
+
+  /// True if the two intervals share at least one point.
+  constexpr bool overlaps(const Interval& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+
+  constexpr double length() const noexcept { return hi - lo; }
+  constexpr double center() const noexcept { return (lo + hi) / 2.0; }
+
+  /// Intersection; only valid when overlaps(o).
+  constexpr Interval intersect(const Interval& o) const noexcept {
+    return Interval{std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// Smallest interval covering both.
+  constexpr Interval hull(const Interval& o) const noexcept {
+    return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace hypersub

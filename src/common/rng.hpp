@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that a
+// simulation run is a pure function of its configuration. No global RNG
+// state exists anywhere in the library (Core Guidelines I.2 / P.10).
+
+#include <cstdint>
+#include <random>
+
+namespace hypersub {
+
+/// Seedable pseudo-random source with the distribution helpers the
+/// simulations need. Thin wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n) — handy for index selection. n must be > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Exponentially distributed real with the given mean (inter-arrival times).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal deviate.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Lognormal deviate (used for last-mile latency jitter).
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fresh 64-bit value (node identifiers).
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Derive an independent child generator; used to give each node/component
+  /// its own stream so adding randomness in one place does not perturb others.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hypersub

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace hypersub {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / double(samples_.size());
+}
+
+double Cdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Cdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Cdf::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * double(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return double(it - samples_.begin()) / double(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = points == 1
+                         ? hi
+                         : lo + (hi - lo) * double(i) / double(points - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+std::vector<double> Cdf::ranked_desc() const {
+  ensure_sorted();
+  std::vector<double> out(samples_.rbegin(), samples_.rend());
+  return out;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t width) {
+  std::ostringstream os;
+  for (const auto& c : cells) {
+    std::string cell = c;
+    if (cell.size() < width) cell.resize(width, ' ');
+    os << cell << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace hypersub

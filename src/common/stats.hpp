@@ -1,0 +1,71 @@
+#pragma once
+// Summary statistics and CDF accumulation for experiment reporting.
+//
+// Every figure in the paper's evaluation is either a CDF over events/nodes
+// or a ranked-load curve; these helpers turn raw samples into the rows the
+// bench binaries print.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hypersub {
+
+/// Streaming summary: count / mean / min / max / stddev (Welford).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects raw samples and reports empirical-CDF points and quantiles.
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// q in [0,1]; nearest-rank quantile of the sample set.
+  double quantile(double q) const;
+
+  /// Fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+
+  /// `points` evenly spaced (value, cumulative fraction) pairs spanning
+  /// [min, max] — the series a CDF plot needs.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  /// All samples sorted descending — the Fig. 4 "nodes ranked by load" view.
+  std::vector<double> ranked_desc() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats a row of fixed-width columns for the bench tables.
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t width = 14);
+
+}  // namespace hypersub

@@ -1,0 +1,37 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hypersub {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    h += 1.0 / std::pow(double(k), s);
+    cdf_[k - 1] = h;
+  }
+  for (auto& c : cdf_) c /= h;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::size_t(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  return k == 1 ? cdf_[0] : cdf_[k - 1] - cdf_[k - 2];
+}
+
+double ZipfSampler::cdf(std::size_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  return cdf_[k - 1];
+}
+
+}  // namespace hypersub

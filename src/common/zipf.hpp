@@ -1,0 +1,39 @@
+#pragma once
+// Zipfian sampling over a discrete rank space.
+//
+// §5.1: "Events are generated based on Zipfian distribution ... the
+// cumulative distribution function is H_{k,s} / H_{N,s}". We precompute the
+// normalized harmonic CDF once and sample by binary search, then scale and
+// shift ranks into attribute domains (workload module).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hypersub {
+
+/// Samples ranks k in [1, N] with P(K <= k) = H_{k,s} / H_{N,s}.
+class ZipfSampler {
+ public:
+  /// `n` ranks, skew factor `s` >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t n() const noexcept { return cdf_.size(); }
+  double skew() const noexcept { return s_; }
+
+  /// Draw a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (1-based).
+  double pmf(std::size_t k) const;
+
+  /// Cumulative probability of ranks <= k (1-based). cdf(n) == 1.
+  double cdf(std::size_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = H_{k,s} / H_{n,s}
+};
+
+}  // namespace hypersub

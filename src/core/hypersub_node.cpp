@@ -1,0 +1,82 @@
+#include "core/hypersub_node.hpp"
+
+#include <cassert>
+
+namespace hypersub::core {
+
+ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
+  auto [it, inserted] = zones_.try_emplace(addr, addr);
+  if (inserted) {
+    // A key aliases a zone and its rightmost descendants, so several zones
+    // sharing one key is the normal case, not a collision.
+    zones_by_key_[rotated_key].push_back(addr);
+  }
+  return it->second;
+}
+
+std::vector<ZoneState*> HyperSubNode::find_zones_by_key(Id rotated_key) {
+  std::vector<ZoneState*> out;
+  const auto it = zones_by_key_.find(rotated_key);
+  if (it == zones_by_key_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& addr : it->second) {
+    const auto zit = zones_.find(addr);
+    if (zit != zones_.end()) out.push_back(&zit->second);
+  }
+  return out;
+}
+
+const ZoneState* HyperSubNode::find_zone_by_key(Id rotated_key) const {
+  auto zones = const_cast<HyperSubNode*>(this)->find_zones_by_key(rotated_key);
+  return zones.empty() ? nullptr : zones.front();
+}
+
+ZoneState& HyperSubNode::replica_zone_state(const ZoneAddr& addr,
+                                            Id rotated_key) {
+  auto [it, inserted] = replica_zones_.try_emplace(addr, addr);
+  if (inserted) replicas_by_key_[rotated_key].push_back(addr);
+  return it->second;
+}
+
+std::vector<ZoneState*> HyperSubNode::find_replica_zones_by_key(
+    Id rotated_key) {
+  std::vector<ZoneState*> out;
+  const auto it = replicas_by_key_.find(rotated_key);
+  if (it == replicas_by_key_.end()) return out;
+  for (const auto& addr : it->second) {
+    const auto zit = replica_zones_.find(addr);
+    if (zit != replica_zones_.end()) out.push_back(&zit->second);
+  }
+  return out;
+}
+
+std::uint32_t HyperSubNode::accept_migration(Id origin_zone_key,
+                                             std::vector<StoredSub> subs) {
+  const std::uint32_t token = ++token_counter_;
+  migrated_in_.emplace(token,
+                       MigratedRepo{origin_zone_key, std::move(subs)});
+  return token;
+}
+
+const MigratedRepo* HyperSubNode::find_migrated(std::uint32_t token) const {
+  const auto it = migrated_in_.find(token);
+  return it == migrated_in_.end() ? nullptr : &it->second;
+}
+
+std::size_t HyperSubNode::load() const {
+  std::size_t n = 0;
+  for (const auto& [addr, z] : zones_) {
+    n += z.subscription_count() + z.buckets().size();
+  }
+  for (const auto& [tok, repo] : migrated_in_) n += repo.subs.size();
+  return n;
+}
+
+std::size_t HyperSubNode::stored_entries() const {
+  std::size_t n = 0;
+  for (const auto& [addr, z] : zones_) n += z.entry_count();
+  for (const auto& [tok, repo] : migrated_in_) n += repo.subs.size();
+  return n;
+}
+
+}  // namespace hypersub::core

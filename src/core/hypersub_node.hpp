@@ -1,0 +1,115 @@
+#pragma once
+// Per-node HyperSub state: the subscriber-side repository, the hosted zone
+// repositories (virtual nodes), and migrated-in buckets accepted from
+// overloaded peers.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/zone_state.hpp"
+#include "net/topology.hpp"
+
+namespace hypersub::core {
+
+/// Subscriptions accepted from an overloaded peer, keyed by bucket token.
+struct MigratedRepo {
+  Id origin_zone_key = 0;        ///< zone the subs were extracted from
+  std::vector<StoredSub> subs;   ///< full entries, exact matching
+};
+
+/// All pub/sub state hosted by one simulated node.
+class HyperSubNode {
+ public:
+  HyperSubNode(net::HostIndex host, Id node_id)
+      : host_(host), node_id_(node_id) {}
+
+  net::HostIndex host() const noexcept { return host_; }
+  Id node_id() const noexcept { return node_id_; }
+
+  // -- subscriber side -----------------------------------------------------
+
+  /// Allocate the next internal id for a subscription owned by this node.
+  std::uint32_t next_iid() { return ++iid_counter_; }
+  void record_local(std::uint32_t iid, pubsub::Subscription sub) {
+    local_subs_.emplace(iid, std::move(sub));
+  }
+  bool erase_local(std::uint32_t iid) { return local_subs_.erase(iid) > 0; }
+  const std::unordered_map<std::uint32_t, pubsub::Subscription>& local_subs()
+      const noexcept {
+    return local_subs_;
+  }
+
+  // -- surrogate side (hosted zones) ----------------------------------------
+
+  /// Find-or-create the state of a hosted zone; indexes its rotated key for
+  /// kRendezvous/kZone dispatch.
+  ZoneState& zone_state(const ZoneAddr& addr, Id rotated_key);
+
+  /// Zone dispatch by rotated key. NOTE: a zone key aliases the keys of its
+  /// rightmost descendants (right-padding with β-1 digits), so one key can
+  /// legitimately address a whole leaf-to-ancestor chain of zones — all
+  /// hosted by the same surrogate node. Returns every zone indexed under
+  /// the key (empty if none).
+  std::vector<ZoneState*> find_zones_by_key(Id rotated_key);
+
+  /// First zone under the key, if any (test convenience).
+  const ZoneState* find_zone_by_key(Id rotated_key) const;
+
+  /// All hosted zones (iteration order unspecified).
+  std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash>& zones() {
+    return zones_;
+  }
+  const std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash>& zones() const {
+    return zones_;
+  }
+
+  // -- replicated zone state (robustness extension) ---------------------------
+
+  /// Find-or-create replica state of a zone whose primary lives elsewhere.
+  /// Replicas are matched only after the primary's failure promotes this
+  /// node to owner of the key.
+  ZoneState& replica_zone_state(const ZoneAddr& addr, Id rotated_key);
+  std::vector<ZoneState*> find_replica_zones_by_key(Id rotated_key);
+  std::size_t replica_zone_count() const noexcept {
+    return replica_zones_.size();
+  }
+
+  // -- migrated-in buckets ---------------------------------------------------
+
+  /// Accept a migration: returns the bucket token.
+  std::uint32_t accept_migration(Id origin_zone_key,
+                                 std::vector<StoredSub> subs);
+  const MigratedRepo* find_migrated(std::uint32_t token) const;
+  const std::unordered_map<std::uint32_t, MigratedRepo>& migrated_in() const {
+    return migrated_in_;
+  }
+
+  // -- load ------------------------------------------------------------------
+
+  /// The paper's load metric (§4: "load on node is measured as the number
+  /// of subscriptions stored on the node"): subscriptions stored in hosted
+  /// zones, migrated-bucket pointers, and migrated-in subscriptions.
+  /// Structural summary-filter pieces are NOT included — they are not
+  /// migratable, and Fig. 4 (migration halves the max load) is only
+  /// consistent with the subscription-count reading.
+  std::size_t load() const;
+
+  /// Piece-inclusive storage footprint: everything in load() plus the
+  /// summary-filter pieces registered into hosted zones.
+  std::size_t stored_entries() const;
+
+ private:
+  net::HostIndex host_;
+  Id node_id_;
+  std::uint32_t iid_counter_ = 0;
+  std::uint32_t token_counter_ = 0;
+  std::unordered_map<std::uint32_t, pubsub::Subscription> local_subs_;
+  std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> zones_;
+  std::unordered_map<Id, std::vector<ZoneAddr>> zones_by_key_;
+  std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> replica_zones_;
+  std::unordered_map<Id, std::vector<ZoneAddr>> replicas_by_key_;
+  std::unordered_map<std::uint32_t, MigratedRepo> migrated_in_;
+};
+
+}  // namespace hypersub::core

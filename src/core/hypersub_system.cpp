@@ -1,0 +1,438 @@
+#include "core/hypersub_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace hypersub::core {
+
+HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
+    : dht_(dht), cfg_(cfg) {
+  nodes_.reserve(dht.size());
+  for (net::HostIndex h = 0; h < dht.size(); ++h) {
+    nodes_.push_back(std::make_unique<HyperSubNode>(h, dht.id_of(h)));
+  }
+}
+
+HyperSubSystem::~HyperSubSystem() = default;
+
+std::uint32_t HyperSubSystem::add_scheme(pubsub::Scheme scheme,
+                                         const SchemeOptions& opt) {
+  schemes_.push_back(
+      std::make_unique<SchemeRuntime>(std::move(scheme), opt));
+  return std::uint32_t(schemes_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Subscription installation (Alg. 2 + Alg. 3)
+// ---------------------------------------------------------------------------
+
+std::uint32_t HyperSubSystem::subscribe(net::HostIndex subscriber,
+                                        std::uint32_t scheme,
+                                        pubsub::Subscription sub) {
+  assert(scheme < schemes_.size());
+  HyperSubNode& me = *nodes_[subscriber];
+  const std::uint32_t iid = me.next_iid();
+  me.record_local(iid, sub);
+  ++total_subs_;
+
+  const SchemeRuntime& rt = *schemes_[scheme];
+  const std::uint32_t ssi = std::uint32_t(rt.choose_subscheme(sub));
+  const Subscheme& ss = rt.subscheme(ssi);
+  const HyperRect projected = ss.project(sub.range());
+  const auto lph = lph::hash_subscription(ss.zones(), projected,
+                                          ss.rotation());
+  const ZoneAddr addr{scheme, ssi, lph.zone};
+  StoredSub stored{SubId{me.node_id(), iid, SubIdKind::kSubscriber},
+                   std::move(sub), projected};
+
+  const std::size_t dims = ss.attributes().size();
+  dht_.route(subscriber, lph.key, install_bytes(dims),
+               [this, addr, key = lph.key, stored = std::move(stored)](
+                   const overlay::Overlay::RouteResult& r) mutable {
+                 register_subscription_at(r.owner.host, addr, key,
+                                          std::move(stored));
+               });
+  return iid;
+}
+
+void HyperSubSystem::unsubscribe(net::HostIndex subscriber,
+                                 std::uint32_t scheme, std::uint32_t iid,
+                                 const pubsub::Subscription& sub) {
+  assert(scheme < schemes_.size());
+  HyperSubNode& me = *nodes_[subscriber];
+  if (!me.erase_local(iid)) return;
+  assert(total_subs_ > 0);
+  --total_subs_;
+
+  const SchemeRuntime& rt = *schemes_[scheme];
+  const std::uint32_t ssi = std::uint32_t(rt.choose_subscheme(sub));
+  const Subscheme& ss = rt.subscheme(ssi);
+  const HyperRect projected = ss.project(sub.range());
+  const auto lph = lph::hash_subscription(ss.zones(), projected,
+                                          ss.rotation());
+  const ZoneAddr addr{scheme, ssi, lph.zone};
+  const SubId owner{me.node_id(), iid, SubIdKind::kSubscriber};
+
+  dht_.route(subscriber, lph.key, install_bytes(ss.attributes().size()),
+               [this, addr, key = lph.key, owner](
+                   const overlay::Overlay::RouteResult& r) {
+                 HyperSubNode& nd = *nodes_[r.owner.host];
+                 ZoneState& zs = nd.zone_state(addr, key);
+                 const HyperRect before = zs.summary();
+                 if (!zs.remove_subscription(owner)) return;
+                 // Mirror the removal at the replicas.
+                 if (cfg_.replicas > 0) {
+                   const std::size_t dims =
+                       scheme_runtime(addr.scheme).scheme().arity();
+                   for (const auto& peer :
+                        dht_.replica_set(r.owner.host, cfg_.replicas)) {
+                     network().send(
+                         r.owner.host, peer.host, install_bytes(dims),
+                         [this, host = peer.host, addr, key, owner] {
+                           nodes_[host]
+                               ->replica_zone_state(addr, key)
+                               .remove_subscription(owner);
+                         });
+                   }
+                 }
+                 if (!(zs.summary() == before)) {
+                   propagate_pieces(r.owner.host, addr);
+                 }
+               });
+}
+
+void HyperSubSystem::register_subscription_at(net::HostIndex owner,
+                                              const ZoneAddr& addr,
+                                              Id rotated_key,
+                                              StoredSub stored) {
+  HyperSubNode& nd = *nodes_[owner];
+  ZoneState& zs = nd.zone_state(addr, rotated_key);
+  if (cfg_.replicas > 0) {
+    // Copy to the owner's heirs before the move below consumes `stored`.
+    const std::size_t dims = stored.projected.dimensions();
+    for (const auto& peer : dht_.replica_set(owner, cfg_.replicas)) {
+      network().send(owner, peer.host, install_bytes(dims),
+                     [this, host = peer.host, addr, rotated_key, stored] {
+                       nodes_[host]
+                           ->replica_zone_state(addr, rotated_key)
+                           .add_subscription(stored);
+                     });
+    }
+  }
+  const bool grew = zs.add_subscription(std::move(stored));
+  if (grew && !cfg_.ancestor_probing) propagate_pieces(owner, addr);
+}
+
+void HyperSubSystem::register_piece_at(net::HostIndex owner,
+                                       const ZoneAddr& addr, Id rotated_key,
+                                       HyperRect piece, Id parent_key) {
+  HyperSubNode& nd = *nodes_[owner];
+  ZoneState& zs = nd.zone_state(addr, rotated_key);
+  if (cfg_.replicas > 0) {
+    const std::size_t dims = piece.empty()
+                                 ? schemes_[addr.scheme]
+                                       ->subscheme(addr.subscheme)
+                                       .attributes()
+                                       .size()
+                                 : piece.dimensions();
+    for (const auto& peer : dht_.replica_set(owner, cfg_.replicas)) {
+      network().send(owner, peer.host, install_bytes(dims),
+                     [this, host = peer.host, addr, rotated_key, piece,
+                      parent_key] {
+                       nodes_[host]
+                           ->replica_zone_state(addr, rotated_key)
+                           .set_parent_piece(piece, parent_key);
+                     });
+    }
+  }
+  const bool changed = zs.set_parent_piece(std::move(piece), parent_key);
+  if (changed) propagate_pieces(owner, addr);
+}
+
+void HyperSubSystem::propagate_pieces(net::HostIndex host,
+                                      const ZoneAddr& addr) {
+  const SchemeRuntime& rt = *schemes_[addr.scheme];
+  const Subscheme& ss = rt.subscheme(addr.subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  if (zsys.is_leaf(addr.zone)) return;
+
+  HyperSubNode& nd = *nodes_[host];
+  ZoneState* zs = nd.zones().contains(addr) ? &nd.zones().at(addr) : nullptr;
+  if (zs == nullptr) return;
+  const HyperRect summary = zs->summary();
+  const Id my_key = lph::zone_key(zsys, addr.zone, ss.rotation());
+
+  for (int digit = 0; digit < zsys.base(); ++digit) {
+    const lph::Zone child = zsys.child(addr.zone, digit);
+    HyperRect piece;
+    if (!summary.empty()) {
+      const HyperRect ext = zsys.extent(child);
+      if (summary.overlaps(ext)) piece = summary.intersect(ext);
+    }
+    if (piece == zs->child_piece(digit)) continue;
+    zs->set_child_piece(digit, piece);
+
+    const ZoneAddr child_addr{addr.scheme, addr.subscheme, child};
+    const Id child_key = lph::zone_key(zsys, child, ss.rotation());
+    dht_.route(host, child_key, install_bytes(ss.attributes().size()),
+                 [this, child_addr, child_key, piece, my_key](
+                     const overlay::Overlay::RouteResult& r) {
+                   register_piece_at(r.owner.host, child_addr, child_key,
+                                     piece, my_key);
+                 });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event publication + delivery (Alg. 4 + Alg. 5)
+// ---------------------------------------------------------------------------
+
+std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
+                                      std::uint32_t scheme,
+                                      pubsub::Event event) {
+  assert(scheme < schemes_.size());
+  const SchemeRuntime& rt = *schemes_[scheme];
+  assert(pubsub::valid_event(rt.scheme(), event));
+
+  const std::uint64_t seq = ++event_seq_;
+  event.seq = seq;
+
+  auto ctx = std::make_shared<EventCtx>();
+  ctx->seq = seq;
+  ctx->scheme = scheme;
+  ctx->event = std::move(event);
+  ctx->projected.reserve(rt.subscheme_count());
+  for (std::size_t i = 0; i < rt.subscheme_count(); ++i) {
+    ctx->projected.push_back(rt.subscheme(i).project(ctx->event.point));
+  }
+
+  Tracker& t = trackers_[seq];
+  t.publish_time = simulator().now();
+
+  // Initial subid list: one rendezvous (leaf zone) per subscheme; in
+  // ancestor-probing mode additionally every ancestor zone.
+  std::vector<SubId> list;
+  for (std::uint32_t i = 0; i < rt.subscheme_count(); ++i) {
+    const Subscheme& ss = rt.subscheme(i);
+    const auto lph = lph::hash_event(ss.zones(), ctx->projected[i],
+                                     ss.rotation());
+    list.push_back(SubId{lph.key, 0, SubIdKind::kRendezvous});
+    if (cfg_.ancestor_probing) {
+      lph::Zone z = lph.zone;
+      while (z.level > 0) {
+        z = ss.zones().parent(z);
+        list.push_back(SubId{lph::zone_key(ss.zones(), z, ss.rotation()), 0,
+                             SubIdKind::kZone});
+      }
+    }
+  }
+
+  t.outstanding = 1;
+  simulator().schedule(0.0, [this, publisher, ctx = std::move(ctx),
+                             list = std::move(list)]() mutable {
+    process_event_message(publisher, ctx, std::move(list), 0);
+  });
+  return seq;
+}
+
+void HyperSubSystem::process_event_message(net::HostIndex host,
+                                           const EventCtxPtr& ctx,
+                                           std::vector<SubId> list,
+                                           int hops) {
+  HyperSubNode& nd = *nodes_[host];
+  // The tracker may already have been force-finalized (finalize_events()
+  // during churn runs); keep delivering, just stop accounting.
+  const auto tit = trackers_.find(ctx->seq);
+  Tracker* t = tit == trackers_.end() ? nullptr : &tit->second;
+  if (t) t->max_hops = std::max(t->max_hops, hops);
+
+  // Phase 1 (Alg. 5 lines 3-23): consume subids targeting this node; their
+  // matches go back on the worklist because a freshly matched target (a
+  // parent zone, a subscriber, a migration acceptor) may be owned by this
+  // very node.
+  std::vector<SubId> pending;
+  // One zone key can alias a whole rightmost zone chain, and a chain's
+  // parent pointer may target the same key the rendezvous already did —
+  // process each key at most once per message.
+  std::unordered_set<Id> matched_keys;
+  std::size_t cursor = 0;
+  while (cursor < list.size()) {
+    const SubId subid = list[cursor++];
+    if (!dht_.owns(host, subid.target)) {
+      pending.push_back(subid);
+      continue;
+    }
+    switch (subid.kind) {
+      case SubIdKind::kRendezvous:
+      case SubIdKind::kZone: {
+        if (!matched_keys.insert(subid.target).second) break;
+        for (ZoneState* zs : nd.find_zones_by_key(subid.target)) {
+          if (zs->addr().scheme != ctx->scheme) continue;
+          const Point& proj = ctx->projected[zs->addr().subscheme];
+          zs->match(ctx->event.point, proj, list);
+        }
+        // Failover path: we own this key (possibly inherited after the
+        // primary's failure) — replicated state counts too. While the
+        // primary is alive this node never owns the key, so replicas are
+        // never matched redundantly; post-failover, a subscription lives
+        // either in the replica (pre-failure) or in fresh primary state
+        // (post-failure), never both, and duplicate zone pointers collapse
+        // in the per-message key dedupe above.
+        for (ZoneState* zs : nd.find_replica_zones_by_key(subid.target)) {
+          if (zs->addr().scheme != ctx->scheme) continue;
+          const Point& proj = ctx->projected[zs->addr().subscheme];
+          zs->match(ctx->event.point, proj, list);
+        }
+        break;
+      }
+      case SubIdKind::kSubscriber: {
+        // Deliver only if this node *is* the subscriber (a successor that
+        // merely inherited the id range after a failure drops it).
+        if (subid.target == nd.node_id()) {
+          double lat = 0.0;
+          if (t) {
+            ++t->matched;
+            lat = simulator().now() - t->publish_time;
+            t->max_latency = std::max(t->max_latency, lat);
+          }
+          if (cfg_.record_deliveries) {
+            deliveries_.push_back(
+                Delivery{ctx->seq, host, subid.iid, hops, lat});
+          }
+        }
+        break;
+      }
+      case SubIdKind::kMigrated: {
+        if (subid.target == nd.node_id()) {
+          if (const MigratedRepo* repo = nd.find_migrated(subid.iid)) {
+            for (const auto& s : repo->subs) {
+              if (s.sub.matches(ctx->event.point)) list.push_back(s.owner);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Phase 2 (Alg. 5 lines 20-29): split the remaining subids across DHT
+  // links; all subids sharing a next hop ride in one message.
+  std::unordered_map<net::HostIndex, std::vector<SubId>> groups;
+  for (const SubId& subid : pending) {
+    const overlay::Peer next = dht_.next_hop(host, subid.target);
+    if (!next.valid()) continue;  // isolated node; drop
+    groups[next.host].push_back(subid);
+  }
+  for (auto& [to, sublist] : groups) {
+    const std::uint64_t bytes =
+        overlay::kHeaderBytes + kEventBytes + kSubIdBytes * sublist.size();
+    if (t) {
+      t->bytes += bytes;
+      ++t->outstanding;
+    }
+    network().send(host, to, bytes,
+                   [this, to, ctx, sender = dht_.id_of(host),
+                    sublist = std::move(sublist), hops]() mutable {
+                     // §6 piggyback: event traffic doubles as liveness
+                     // evidence for the DHT layer (no-op unless enabled).
+                     dht_.note_app_contact(to, sender);
+                     process_event_message(to, ctx, std::move(sublist),
+                                           hops + 1);
+                   });
+  }
+
+  if (t) {
+    assert(t->outstanding > 0);
+    --t->outstanding;
+    finalize_if_done(ctx->seq);
+  }
+}
+
+void HyperSubSystem::finalize_if_done(std::uint64_t seq) {
+  const auto it = trackers_.find(seq);
+  if (it == trackers_.end() || it->second.outstanding != 0) return;
+  const Tracker& t = it->second;
+  metrics::EventRecord r;
+  r.seq = seq;
+  r.matched = t.matched;
+  r.pct_matched = total_subs_ > 0
+                      ? 100.0 * double(t.matched) / double(total_subs_)
+                      : 0.0;
+  r.max_hops = t.max_hops;
+  r.max_latency_ms = t.max_latency;
+  r.bandwidth_bytes = t.bytes;
+  event_metrics_.add(r);
+  trackers_.erase(it);
+}
+
+void HyperSubSystem::finalize_events() {
+  // Messages dropped at dead nodes leave outstanding counts above zero;
+  // flush whatever remains (their partial costs are still meaningful).
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(trackers_.size());
+  for (const auto& [seq, t] : trackers_) seqs.push_back(seq);
+  for (const std::uint64_t seq : seqs) {
+    trackers_[seq].outstanding = 0;
+    finalize_if_done(seq);
+  }
+}
+
+void HyperSubSystem::reset_metrics() {
+  event_metrics_ = metrics::EventMetrics{};
+  deliveries_.clear();
+}
+
+bool HyperSubSystem::check_zone_invariants() const {
+  for (const auto& nd : nodes_) {
+    for (const auto& [addr, zone] : nd->zones()) {
+      const SchemeRuntime& rt = *schemes_[addr.scheme];
+      const Subscheme& ss = rt.subscheme(addr.subscheme);
+      const lph::ZoneSystem& zsys = ss.zones();
+      const HyperRect extent = zsys.extent(addr.zone);
+      // Stored subscriptions project inside the zone's extent (LPH put
+      // them at their covering zone).
+      for (const auto& s : zone.subscriptions()) {
+        if (!extent.covers(s.projected)) return false;
+      }
+      // Summary is the exact hull of contents.
+      ZoneState copy = zone;
+      const HyperRect before = copy.summary();
+      copy.recompute_summary();
+      if (!(copy.summary() == before)) return false;
+      // Cached child pieces are exactly summary ∩ child extent.
+      if (!zsys.is_leaf(addr.zone)) {
+        for (int c = 0; c < zsys.base(); ++c) {
+          HyperRect expect;
+          if (!zone.summary().empty()) {
+            const HyperRect ce = zsys.extent(zsys.child(addr.zone, c));
+            if (zone.summary().overlaps(ce)) {
+              expect = zone.summary().intersect(ce);
+            }
+          }
+          if (!(zone.child_piece(c) == expect) &&
+              !(zone.child_piece(c).empty() && expect.empty())) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> HyperSubSystem::node_loads() const {
+  std::vector<std::size_t> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& n : nodes_) loads.push_back(n->load());
+  return loads;
+}
+
+std::vector<std::size_t> HyperSubSystem::node_stored_entries() const {
+  std::vector<std::size_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->stored_entries());
+  return out;
+}
+
+}  // namespace hypersub::core

@@ -1,0 +1,179 @@
+#pragma once
+// HyperSubSystem: the distributed pub/sub service itself.
+//
+// Wires the HyperSub protocol (paper Algorithms 2-5) onto a ChordNet:
+//   subscribe()  — Alg. 2 + Alg. 3 (installation + summary-filter pieces)
+//   publish()    — Alg. 4 (LPH rendezvous per subscheme)
+//   event messages — Alg. 5 (match + split across DHT links, recursively)
+// plus the §4 load-balancing hooks (rotation is in the subscheme layer;
+// dynamic migration is driven by LoadBalancer).
+//
+// The system also owns experiment observability: per-event cost trackers,
+// the delivery log, and per-node loads.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "core/hypersub_node.hpp"
+#include "core/subscheme.hpp"
+#include "metrics/event_metrics.hpp"
+#include "pubsub/event.hpp"
+
+namespace hypersub::core {
+
+class LoadBalancer;
+
+/// One completed delivery of an event to a subscriber (observability).
+struct Delivery {
+  std::uint64_t event_seq = 0;
+  net::HostIndex subscriber = 0;
+  std::uint32_t iid = 0;
+  int hops = 0;            ///< overlay hops the event travelled to get here
+  double latency_ms = 0.0; ///< publish -> delivery
+};
+
+class HyperSubSystem {
+ public:
+  struct Config {
+    /// Alternative to the paper's summary-filter piece propagation: events
+    /// probe every ancestor zone directly (ablation; default off = paper).
+    bool ancestor_probing = false;
+    /// Record every delivery in the delivery log (tests; large runs can
+    /// disable and rely on per-event counts only).
+    bool record_deliveries = true;
+    /// Robustness extension: replicate every zone registration to this
+    /// many of the owner's would-be heirs (overlay replica_set). When the
+    /// owner fails and the DHT repairs, the promoted node matches from its
+    /// replicas, so subscriptions survive surrogate failures. 0 = paper
+    /// behavior (state on dead nodes is lost).
+    std::size_t replicas = 0;
+  };
+
+  /// Build on any DHT substrate (Chord, Pastry, ...).
+  explicit HyperSubSystem(overlay::Overlay& dht)
+      : HyperSubSystem(dht, Config{}) {}
+  HyperSubSystem(overlay::Overlay& dht, Config cfg);
+  ~HyperSubSystem();
+
+  HyperSubSystem(const HyperSubSystem&) = delete;
+  HyperSubSystem& operator=(const HyperSubSystem&) = delete;
+
+  overlay::Overlay& overlay() noexcept { return dht_; }
+  net::Network& network() noexcept { return dht_.network(); }
+  sim::Simulator& simulator() noexcept { return dht_.simulator(); }
+  const Config& config() const noexcept { return cfg_; }
+
+  // -- schemes ---------------------------------------------------------------
+
+  /// Register a pub/sub scheme; returns its index. HyperSub supports any
+  /// number of simultaneous schemes (§1).
+  std::uint32_t add_scheme(pubsub::Scheme scheme, const SchemeOptions& opt);
+  std::size_t scheme_count() const noexcept { return schemes_.size(); }
+  const SchemeRuntime& scheme_runtime(std::uint32_t s) const {
+    return *schemes_[s];
+  }
+
+  // -- subscriber/publisher API -----------------------------------------------
+
+  /// Install a subscription for `subscriber` (Alg. 2). Asynchronous: the
+  /// installation completes in simulated time. Returns the internal id.
+  std::uint32_t subscribe(net::HostIndex subscriber, std::uint32_t scheme,
+                          pubsub::Subscription sub);
+
+  /// Remove a previously installed subscription (extension; the paper
+  /// leaves unsubscription unspecified).
+  void unsubscribe(net::HostIndex subscriber, std::uint32_t scheme,
+                   std::uint32_t iid, const pubsub::Subscription& sub);
+
+  /// Publish an event (Alg. 4). Asynchronous; returns the event sequence
+  /// number used in metrics and the delivery log.
+  std::uint64_t publish(net::HostIndex publisher, std::uint32_t scheme,
+                        pubsub::Event event);
+
+  // -- observability -----------------------------------------------------------
+
+  const std::vector<Delivery>& deliveries() const noexcept {
+    return deliveries_;
+  }
+  metrics::EventMetrics& event_metrics() noexcept { return event_metrics_; }
+
+  /// Finalize trackers of events whose message trees were cut short (e.g.
+  /// by node failures); call after the simulation drains.
+  void finalize_events();
+
+  /// Clear event metrics + delivery log (e.g. after warm-up).
+  void reset_metrics();
+
+  /// Current per-node loads (paper's stored-subscription metric).
+  std::vector<std::size_t> node_loads() const;
+
+  /// Piece-inclusive per-node storage footprints (see
+  /// HyperSubNode::stored_entries).
+  std::vector<std::size_t> node_stored_entries() const;
+
+  /// Live subscriptions in the whole system (for % matched).
+  std::size_t total_subscriptions() const noexcept { return total_subs_; }
+
+  HyperSubNode& node(net::HostIndex h) { return *nodes_[h]; }
+  const HyperSubNode& node(net::HostIndex h) const { return *nodes_[h]; }
+
+  /// Structural invariants over all hosted zone state; call only after the
+  /// simulation has quiesced. Checks that every zone's summary filter is
+  /// exactly the hull of its contents, that stored subscriptions project
+  /// inside their zone's extent, and that cached child pieces equal
+  /// summary ∩ child-extent. Returns false (and stops) on first violation.
+  bool check_zone_invariants() const;
+
+ private:
+  friend class LoadBalancer;
+
+  /// Immutable per-event context shared by all messages of one event.
+  struct EventCtx {
+    std::uint64_t seq;
+    std::uint32_t scheme;
+    pubsub::Event event;
+    std::vector<Point> projected;  // per subscheme
+  };
+  using EventCtxPtr = std::shared_ptr<const EventCtx>;
+
+  struct Tracker {
+    double publish_time = 0.0;
+    std::size_t outstanding = 0;
+    std::size_t matched = 0;
+    int max_hops = 0;
+    double max_latency = 0.0;
+    std::uint64_t bytes = 0;
+  };
+
+  // Alg. 3: registration at the surrogate node + piece propagation.
+  void register_subscription_at(net::HostIndex owner, const ZoneAddr& addr,
+                                Id rotated_key, StoredSub stored);
+  void register_piece_at(net::HostIndex owner, const ZoneAddr& addr,
+                         Id rotated_key, HyperRect piece, Id parent_key);
+  void propagate_pieces(net::HostIndex host, const ZoneAddr& addr);
+
+  // Alg. 5: one event message arriving at `host`.
+  void process_event_message(net::HostIndex host, const EventCtxPtr& ctx,
+                             std::vector<SubId> list, int hops);
+  void finalize_if_done(std::uint64_t seq);
+
+  std::uint64_t install_bytes(std::size_t dims) const {
+    return overlay::kHeaderBytes + kSubIdBytes + 16 * dims;
+  }
+
+  overlay::Overlay& dht_;
+  Config cfg_;
+  std::vector<std::unique_ptr<HyperSubNode>> nodes_;
+  std::vector<std::unique_ptr<SchemeRuntime>> schemes_;
+  std::vector<Delivery> deliveries_;
+  metrics::EventMetrics event_metrics_;
+  std::unordered_map<std::uint64_t, Tracker> trackers_;
+  std::uint64_t event_seq_ = 0;
+  std::size_t total_subs_ = 0;
+};
+
+}  // namespace hypersub::core

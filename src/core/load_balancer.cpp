@@ -1,0 +1,230 @@
+#include "core/load_balancer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace hypersub::core {
+
+namespace {
+
+/// Wire cost of one migrated subscription: subid + full-space rectangle.
+std::uint64_t sub_bytes(std::size_t dims) { return kSubIdBytes + 16 * dims; }
+
+/// In-flight state of one node's probe round.
+struct ProbeRound {
+  std::vector<overlay::Peer> targets;  // probed nodes
+  std::vector<std::size_t> loads;       // replies, same order; SIZE_MAX=none
+  std::size_t pending = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(HyperSubSystem& sys, Config cfg)
+    : sys_(sys), cfg_(cfg), ticking_(sys.overlay().size(), false) {
+  assert(cfg_.probe_level >= 1);
+}
+
+void LoadBalancer::start() {
+  stopped_ = false;
+  Rng rng(0x4c4241ULL);  // staggering only
+  for (net::HostIndex h = 0; h < sys_.overlay().size(); ++h) {
+    if (!sys_.network().alive(h) || ticking_[h]) continue;
+    schedule_tick(h, rng.uniform(0.0, cfg_.period_ms));
+  }
+}
+
+void LoadBalancer::schedule_tick(net::HostIndex h, double delay) {
+  ticking_[h] = true;
+  sys_.simulator().schedule(delay, [this, h] {
+    if (stopped_ || !sys_.network().alive(h)) {
+      ticking_[h] = false;
+      return;
+    }
+    tick(h);
+    schedule_tick(h, cfg_.period_ms);
+  });
+}
+
+void LoadBalancer::run_round() {
+  for (net::HostIndex h = 0; h < sys_.overlay().size(); ++h) {
+    if (sys_.network().alive(h)) tick(h);
+  }
+  sys_.simulator().run();
+}
+
+void LoadBalancer::tick(net::HostIndex h) { probe_and_balance(h); }
+
+void LoadBalancer::probe_and_balance(net::HostIndex h) {
+  // Sampling set: overlay neighbors; with probe_level >= 2 their neighbors
+  // are added when replies come back (one extra probe wave).
+  auto round = std::make_shared<ProbeRound>();
+  auto add_target = [round, h, this](const overlay::Peer& n) {
+    if (!n.valid() || n.host == h) return false;
+    for (const auto& t : round->targets) {
+      if (t.id == n.id) return false;
+    }
+    round->targets.push_back(n);
+    round->loads.push_back(~std::size_t{0});
+    return true;
+  };
+
+  auto finalize = [this, h, round] {
+    if (round->done) return;
+    round->done = true;
+    // Average load over responding neighbors (plus self, to be defensive
+    // against tiny samples).
+    double sum = 0.0;
+    std::size_t n = 0;
+    std::vector<std::pair<std::size_t, overlay::Peer>> responders;
+    for (std::size_t i = 0; i < round->targets.size(); ++i) {
+      if (round->loads[i] == ~std::size_t{0}) continue;
+      sum += double(round->loads[i]);
+      ++n;
+      responders.emplace_back(round->loads[i], round->targets[i]);
+    }
+    if (n == 0) return;
+    const double avg = sum / double(n);
+    const std::size_t my_load = sys_.node(h).load();
+    if (double(my_load) <= avg * (1.0 + cfg_.delta)) return;
+    if (my_load < cfg_.min_load) return;
+    // Acceptors: lightly loaded responders, lightest first, capped at k.
+    std::sort(responders.begin(), responders.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<overlay::Peer> acceptors;
+    for (const auto& [load, ref] : responders) {
+      if (double(load) >= avg) break;
+      acceptors.push_back(ref);
+      if (acceptors.size() >= cfg_.max_acceptors) break;
+    }
+    if (!acceptors.empty()) migrate(h, std::move(acceptors));
+  };
+
+  // Wave 1: direct neighbors.
+  const auto neighbors = sys_.overlay().neighbors(h);
+  std::vector<overlay::Peer> wave;
+  for (const auto& nb : neighbors) {
+    if (add_target(nb)) wave.push_back(nb);
+  }
+  if (wave.empty()) return;
+
+  const bool deep = cfg_.probe_level >= 2;
+  round->pending = wave.size();
+  for (const auto& target : wave) {
+    // Probe: request load (and, when probing deep, the peer's neighbors).
+    sys_.network().send(
+        h, target.host, overlay::kHeaderBytes,
+        [this, h, target, round, deep, add_target, finalize] {
+          const std::size_t peer_load = sys_.node(target.host).load();
+          std::vector<overlay::Peer> peer_neighbors;
+          if (deep) {
+            peer_neighbors = sys_.overlay().neighbors(target.host);
+          }
+          const std::uint64_t reply_bytes =
+              overlay::kHeaderBytes + 8 +
+              overlay::kNodeRefBytes * peer_neighbors.size();
+          sys_.network().send(
+              target.host, h, reply_bytes,
+              [this, h, target, round, peer_load, peer_neighbors, add_target,
+               finalize] {
+                if (round->done) return;
+                for (std::size_t i = 0; i < round->targets.size(); ++i) {
+                  if (round->targets[i].id == target.id) {
+                    round->loads[i] = peer_load;
+                    break;
+                  }
+                }
+                // Wave 2: probe the second-level nodes for load only.
+                for (const auto& nn : peer_neighbors) {
+                  if (!add_target(nn)) continue;
+                  ++round->pending;
+                  sys_.network().send(
+                      h, nn.host, overlay::kHeaderBytes,
+                      [this, h, nn, round, finalize] {
+                        const std::size_t l2 = sys_.node(nn.host).load();
+                        sys_.network().send(
+                            nn.host, h, overlay::kHeaderBytes + 8,
+                            [round, nn, l2, finalize] {
+                              if (round->done) return;
+                              for (std::size_t i = 0;
+                                   i < round->targets.size(); ++i) {
+                                if (round->targets[i].id == nn.id) {
+                                  round->loads[i] = l2;
+                                  break;
+                                }
+                              }
+                              assert(round->pending > 0);
+                              --round->pending;
+                              if (round->pending == 0) finalize();
+                            });
+                      });
+                }
+                assert(round->pending > 0);
+                --round->pending;
+                if (round->pending == 0) finalize();
+              });
+        });
+  }
+  // Timeout: finalize with whatever replies arrived (dead peers never answer).
+  sys_.simulator().schedule(cfg_.reply_timeout_ms, finalize);
+}
+
+void LoadBalancer::migrate(net::HostIndex h,
+                           std::vector<overlay::Peer> acceptors) {
+  HyperSubNode& me = sys_.node(h);
+  const Id my_id = me.node_id();
+  // Clockwise order from this node: N, A1, ..., Ak (paper §4).
+  std::sort(acceptors.begin(), acceptors.end(),
+            [my_id](const overlay::Peer& a, const overlay::Peer& b) {
+              return ring::distance(my_id, a.id) < ring::distance(my_id, b.id);
+            });
+  const std::size_t k = acceptors.size();
+
+  for (auto& [addr, zone] : me.zones()) {
+    if (zone.subscription_count() == 0) continue;
+    const SchemeRuntime& rt = sys_.scheme_runtime(addr.scheme);
+    const Subscheme& ss = rt.subscheme(addr.subscheme);
+    const Id zone_key = lph::zone_key(ss.zones(), addr.zone, ss.rotation());
+    const std::size_t dims = rt.scheme().arity();
+
+    for (std::size_t i = 0; i < k; ++i) {
+      // Arc [A_i, A_{i+1}); the last acceptor takes [A_k, N).
+      const Id lo = acceptors[i].id;
+      const Id hi = (i + 1 < k) ? acceptors[i + 1].id : my_id;
+      auto bucket = zone.extract_subscribers_in_arc(lo, hi);
+      if (bucket.empty()) continue;
+      migrated_ += bucket.size();
+
+      // Summary of what leaves (projected space) — the pointer filter.
+      HyperRect summary;
+      for (const auto& s : bucket) summary = summary.hull(s.projected);
+
+      const std::uint64_t total_bytes =
+          overlay::kHeaderBytes + sub_bytes(dims) * bucket.size();
+      const auto acceptor = acceptors[i];
+      const ZoneAddr origin_addr = addr;
+      sys_.network().send(
+          h, acceptor.host, total_bytes,
+          [this, h, acceptor, origin_addr, zone_key, summary,
+           bucket = std::move(bucket), dims]() mutable {
+            HyperSubNode& acc = sys_.node(acceptor.host);
+            const std::uint32_t token =
+                acc.accept_migration(zone_key, std::move(bucket));
+            // Register the surrogate pointer back at the origin.
+            sys_.network().send(
+                acceptor.host, h,
+                overlay::kHeaderBytes + kSubIdBytes + 16 * dims,
+                [this, h, acceptor, origin_addr, zone_key, summary, token] {
+                  HyperSubNode& origin = sys_.node(h);
+                  ZoneState& zs = origin.zone_state(origin_addr, zone_key);
+                  zs.add_migrated_bucket(MigratedBucket{
+                      summary,
+                      SubId{acceptor.id, token, SubIdKind::kMigrated}});
+                });
+          });
+    }
+  }
+}
+
+}  // namespace hypersub::core

@@ -1,0 +1,65 @@
+#pragma once
+// Dynamic subscription migration (paper §4).
+//
+// Each node periodically samples the load of its overlay neighbors (and,
+// with probe level > 1, the neighbors' neighbors). A node whose load
+// exceeds the neighborhood average by the threshold factor (1 + δ) picks
+// the lightly loaded probed nodes as acceptors, orders them clockwise, and
+// migrates the subscriptions whose subscribers' node ids fall into each
+// acceptor's ring arc. Every acceptor summarizes what it received and
+// registers a surrogate (migrated-bucket pointer) back at the origin, so
+// event matching still starts at the origin zone and detours through the
+// acceptor only when the summary matches.
+
+#include <cstdint>
+
+#include "core/hypersub_system.hpp"
+
+namespace hypersub::core {
+
+class LoadBalancer {
+ public:
+  struct Config {
+    double period_ms = 5000.0;   ///< sampling period per node
+    double delta = 0.1;          ///< δ: overload threshold factor
+    int probe_level = 1;         ///< P_l: neighbor sampling depth (1 or 2)
+    std::size_t max_acceptors = 4;  ///< k cap per migration
+    std::size_t min_load = 8;    ///< don't migrate trivial loads
+    double reply_timeout_ms = 1500.0;
+  };
+
+  LoadBalancer(HyperSubSystem& sys, Config cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Start periodic sampling on every live node (staggered).
+  void start();
+
+  /// Stop periodic sampling: already-queued ticks fire once and do not
+  /// reschedule, so the simulator's queue can drain. Restartable.
+  void stop() { stopped_ = true; }
+
+  /// One synchronous balancing round: every live node probes and (if
+  /// overloaded) migrates; runs the simulator until the round's messages
+  /// drain. Bench/test convenience — identical logic to the periodic path.
+  void run_round();
+
+  /// Total subscriptions migrated so far (observability).
+  std::uint64_t migrated_count() const noexcept { return migrated_; }
+
+ private:
+  void tick(net::HostIndex h);
+  void schedule_tick(net::HostIndex h, double delay);
+  /// Probe the sampling set, then decide + migrate.
+  void probe_and_balance(net::HostIndex h);
+  void migrate(net::HostIndex h,
+               std::vector<overlay::Peer> acceptors);
+
+  HyperSubSystem& sys_;
+  Config cfg_;
+  std::vector<bool> ticking_;
+  bool stopped_ = false;
+  std::uint64_t migrated_ = 0;
+};
+
+}  // namespace hypersub::core

@@ -1,0 +1,19 @@
+#include "core/subid.hpp"
+
+#include <sstream>
+
+namespace hypersub::core {
+
+std::string SubId::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case SubIdKind::kRendezvous: os << "rdv"; break;
+    case SubIdKind::kZone: os << "zone"; break;
+    case SubIdKind::kSubscriber: os << "sub"; break;
+    case SubIdKind::kMigrated: os << "mig"; break;
+  }
+  os << '(' << std::hex << target << std::dec << ',' << iid << ')';
+  return os.str();
+}
+
+}  // namespace hypersub::core

@@ -1,0 +1,52 @@
+#pragma once
+// Subscription identifiers carried in event messages (paper §3.3–3.4).
+//
+// The paper's subid = (nid, iid) overloads nid with both zone keys (the
+// rendezvous entry, surrogate-subscription entries) and node ids (real
+// subscriber entries) — both are routed by successor(nid). We make the
+// overloading explicit with a kind tag; the wire size stays the paper's
+// 9 bytes (8 B target + 1 B internal id, the tag riding in the iid byte's
+// spare bits).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace hypersub::core {
+
+/// What a SubId's target means.
+enum class SubIdKind : std::uint8_t {
+  kRendezvous,  ///< target = leaf zone key; iid unused (Alg. 4's NULL iid)
+  kZone,        ///< target = zone key of a surrogate-subscription's zone
+  kSubscriber,  ///< target = subscriber node id; iid = subscription id
+  kMigrated,    ///< target = acceptor node id; iid = migration bucket token
+};
+
+/// Routing handle for one pending match/delivery obligation.
+struct SubId {
+  Id target = 0;
+  std::uint32_t iid = 0;
+  SubIdKind kind = SubIdKind::kRendezvous;
+
+  friend bool operator==(const SubId&, const SubId&) = default;
+
+  std::string to_string() const;
+};
+
+/// Wire size of one subid in an event message: 8 B nodeid + 1 B iid.
+inline constexpr std::uint64_t kSubIdBytes = 9;
+/// Wire size of the event payload in an event message.
+inline constexpr std::uint64_t kEventBytes = 100;
+
+struct SubIdHash {
+  std::size_t operator()(const SubId& s) const noexcept {
+    std::size_t h = std::hash<Id>{}(s.target);
+    h ^= std::hash<std::uint64_t>{}(
+        (std::uint64_t(s.iid) << 8) | std::uint64_t(s.kind));
+    return h;
+  }
+};
+
+}  // namespace hypersub::core

@@ -1,0 +1,101 @@
+#include "core/zone_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/ids.hpp"
+
+namespace hypersub::core {
+
+namespace {
+const HyperRect kEmptyRect{};
+}
+
+bool ZoneState::add_subscription(StoredSub s) {
+  const HyperRect grown = summary_.hull(s.projected);
+  subs_.push_back(std::move(s));
+  if (grown == summary_) return false;
+  summary_ = grown;
+  return true;
+}
+
+std::optional<StoredSub> ZoneState::remove_subscription(const SubId& owner) {
+  const auto it = std::find_if(
+      subs_.begin(), subs_.end(),
+      [&owner](const StoredSub& s) { return s.owner == owner; });
+  if (it == subs_.end()) return std::nullopt;
+  StoredSub out = std::move(*it);
+  subs_.erase(it);
+  recompute_summary();
+  return out;
+}
+
+bool ZoneState::set_parent_piece(HyperRect rect, Id parent_key) {
+  // An empty rect clears the piece (the parent's summary shrank away from
+  // this child). Replace-then-recompute also handles shrinking pieces.
+  if (rect.empty()) {
+    if (!parent_piece_) return false;
+    parent_piece_.reset();
+  } else {
+    parent_piece_ = {std::move(rect), parent_key};
+  }
+  return recompute_summary();
+}
+
+void ZoneState::add_migrated_bucket(MigratedBucket b) {
+  buckets_.push_back(std::move(b));
+  // Migrated subs were already part of the summary before migration; the
+  // bucket hull cannot grow it, but hull anyway for safety.
+  summary_ = summary_.hull(buckets_.back().summary);
+}
+
+std::vector<StoredSub> ZoneState::extract_subscribers_in_arc(Id lo, Id hi) {
+  std::vector<StoredSub> out;
+  auto it = subs_.begin();
+  while (it != subs_.end()) {
+    if (ring::in_closed_open(it->owner.target, lo, hi)) {
+      out.push_back(std::move(*it));
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void ZoneState::match(const Point& full, const Point& projected,
+                      std::vector<SubId>& out) const {
+  for (const auto& s : subs_) {
+    if (s.sub.matches(full)) out.push_back(s.owner);
+  }
+  if (parent_piece_ && parent_piece_->first.contains(projected)) {
+    out.push_back(SubId{parent_piece_->second, 0, SubIdKind::kZone});
+  }
+  for (const auto& b : buckets_) {
+    if (b.summary.contains(projected)) out.push_back(b.pointer);
+  }
+}
+
+const HyperRect& ZoneState::child_piece(int digit) const {
+  if (std::size_t(digit) >= child_pieces_.size()) return kEmptyRect;
+  return child_pieces_[std::size_t(digit)];
+}
+
+void ZoneState::set_child_piece(int digit, HyperRect piece) {
+  if (std::size_t(digit) >= child_pieces_.size()) {
+    child_pieces_.resize(std::size_t(digit) + 1);
+  }
+  child_pieces_[std::size_t(digit)] = std::move(piece);
+}
+
+bool ZoneState::recompute_summary() {
+  HyperRect fresh;
+  for (const auto& s : subs_) fresh = fresh.hull(s.projected);
+  if (parent_piece_) fresh = fresh.hull(parent_piece_->first);
+  for (const auto& b : buckets_) fresh = fresh.hull(b.summary);
+  if (fresh == summary_) return false;
+  summary_ = std::move(fresh);
+  return true;
+}
+
+}  // namespace hypersub::core

@@ -1,0 +1,123 @@
+#pragma once
+// Per-zone repository kept by a zone's surrogate node (paper §3.3).
+//
+// A surrogate node manages each hosted content zone as a virtual node. The
+// zone's state holds:
+//   * real subscriptions mapped to this zone by LPH,
+//   * at most one surrogate-subscription piece registered by the parent
+//     zone (the subdivision of the parent's summary filter that falls into
+//     this zone),
+//   * migrated-bucket pointers left behind by dynamic load balancing,
+//   * the summary filter: minimal hyper-cuboid covering all of the above,
+//   * the cache of the pieces last registered at each child zone.
+//
+// Geometry is in the owning subscheme's projected space; real
+// subscriptions also carry their full-space hyper-cuboid so final matching
+// is exact.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hyperrect.hpp"
+#include "core/subid.hpp"
+#include "lph/zone.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace hypersub::core {
+
+/// Globally unique address of a zone instance.
+struct ZoneAddr {
+  std::uint32_t scheme = 0;
+  std::uint32_t subscheme = 0;
+  lph::Zone zone;
+
+  friend bool operator==(const ZoneAddr&, const ZoneAddr&) = default;
+};
+
+struct ZoneAddrHash {
+  std::size_t operator()(const ZoneAddr& a) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(a.zone.code);
+    h ^= std::hash<std::uint64_t>{}(
+        (std::uint64_t(a.scheme) << 40) ^ (std::uint64_t(a.subscheme) << 20) ^
+        std::uint64_t(a.zone.level));
+    return h;
+  }
+};
+
+/// A real subscription stored at its covering zone.
+struct StoredSub {
+  SubId owner;                   ///< kSubscriber: subscriber node id + iid
+  pubsub::Subscription sub;      ///< full-space range (exact matching)
+  HyperRect projected;           ///< range projected onto the subscheme
+};
+
+/// Pointer to subscriptions migrated away by load balancing.
+struct MigratedBucket {
+  HyperRect summary;  ///< projected-space hull of the migrated subs
+  SubId pointer;      ///< kMigrated: acceptor node id + bucket token
+};
+
+/// Repository + summary filter of one content zone.
+class ZoneState {
+ public:
+  explicit ZoneState(ZoneAddr addr) : addr_(addr) {}
+
+  const ZoneAddr& addr() const noexcept { return addr_; }
+
+  /// Register a real subscription. Returns true if the summary filter grew.
+  bool add_subscription(StoredSub s);
+
+  /// Remove a subscription by owner identity; returns the removed entry.
+  /// Shrinks the summary filter (recomputed exactly).
+  std::optional<StoredSub> remove_subscription(const SubId& owner);
+
+  /// Install/refresh the surrogate piece from the parent zone. Returns true
+  /// if the summary filter grew.
+  bool set_parent_piece(HyperRect rect, Id parent_key);
+
+  /// Record a migrated bucket pointer (kept by the migration origin).
+  void add_migrated_bucket(MigratedBucket b);
+
+  /// Remove and return the stored subscriptions whose subscriber node id
+  /// lies in the clockwise ring arc [lo, hi). Used by migration. The
+  /// summary filter is left unshrunk (still a valid cover).
+  std::vector<StoredSub> extract_subscribers_in_arc(Id lo, Id hi);
+
+  /// Event matching for this zone (Alg. 5's event_match): appends the
+  /// subids of matching real subscriptions, the parent piece if the
+  /// projected point falls inside it, and any matching migrated buckets.
+  void match(const Point& full, const Point& projected,
+             std::vector<SubId>& out) const;
+
+  /// Summary filter (projected space); empty() when nothing registered.
+  const HyperRect& summary() const noexcept { return summary_; }
+
+  /// Piece last pushed to child `digit`; empty() if none yet.
+  const HyperRect& child_piece(int digit) const;
+  void set_child_piece(int digit, HyperRect piece);
+
+  /// Load contribution of this zone: stored entries of any kind.
+  std::size_t entry_count() const noexcept {
+    return subs_.size() + (parent_piece_ ? 1 : 0) + buckets_.size();
+  }
+  std::size_t subscription_count() const noexcept { return subs_.size(); }
+  const std::vector<StoredSub>& subscriptions() const noexcept { return subs_; }
+  const std::vector<MigratedBucket>& buckets() const noexcept { return buckets_; }
+  bool has_parent_piece() const noexcept { return parent_piece_.has_value(); }
+
+  /// Exact recompute of the summary filter from current contents.
+  /// Returns true if it changed. (Used after removals.)
+  bool recompute_summary();
+
+ private:
+  ZoneAddr addr_;
+  std::vector<StoredSub> subs_;
+  std::optional<std::pair<HyperRect, Id>> parent_piece_;  // rect, parent key
+  std::vector<MigratedBucket> buckets_;
+  HyperRect summary_;  // empty() == no content
+  std::vector<HyperRect> child_pieces_;  // lazily sized to the zone base
+};
+
+}  // namespace hypersub::core

@@ -1,0 +1,24 @@
+#include "lph/lph.hpp"
+
+namespace hypersub::lph {
+
+Id rotation_offset(std::string_view scheme_name) {
+  return hash_string(scheme_name);
+}
+
+Id zone_key(const ZoneSystem& zs, const Zone& z, Id rotation) {
+  return zs.key(z) + rotation;  // mod 2^64 by unsigned wrap
+}
+
+LphResult hash_subscription(const ZoneSystem& zs, const HyperRect& range,
+                            Id rotation) {
+  const Zone z = zs.locate(range);
+  return LphResult{z, zone_key(zs, z, rotation)};
+}
+
+LphResult hash_event(const ZoneSystem& zs, const Point& p, Id rotation) {
+  const Zone z = zs.locate(p);
+  return LphResult{z, zone_key(zs, z, rotation)};
+}
+
+}  // namespace hypersub::lph

@@ -1,0 +1,38 @@
+#pragma once
+// The locality-preserving hash function (paper Algorithm 1) plus the
+// zone-mapping rotation used for load balancing (§4).
+//
+// LPH(se) identifies the content zone for a subscription's hyper-cuboid or
+// an event's point and returns the zone's Chord key. With rotation, every
+// scheme/subscheme adds its own offset φ = hash(name) so that structurally
+// identical zones of different schemes land on different nodes.
+
+#include <string_view>
+
+#include "common/hashing.hpp"
+#include "lph/zone.hpp"
+
+namespace hypersub::lph {
+
+/// Result of hashing a subscription or event into the zone tree.
+struct LphResult {
+  Zone zone;   ///< the content zone (smallest covering / leaf)
+  Id key = 0;  ///< rotated Chord key the zone maps to
+};
+
+/// Rotation offset for a scheme or subscheme name (consistent hashing of
+/// the name, as §4 prescribes). Rotation 0 disables the mechanism.
+Id rotation_offset(std::string_view scheme_name);
+
+/// LPH for a subscription range: smallest covering zone.
+LphResult hash_subscription(const ZoneSystem& zs, const HyperRect& range,
+                            Id rotation);
+
+/// LPH for an event point: containing leaf zone.
+LphResult hash_event(const ZoneSystem& zs, const Point& p, Id rotation);
+
+/// Rotated key of an arbitrary zone (used when climbing/descending the
+/// zone tree during surrogate registration and delivery).
+Id zone_key(const ZoneSystem& zs, const Zone& z, Id rotation);
+
+}  // namespace hypersub::lph

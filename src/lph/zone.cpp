@@ -1,0 +1,111 @@
+#include "lph/zone.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace hypersub::lph {
+
+ZoneSystem::ZoneSystem(HyperRect space, Config cfg)
+    : space_(std::move(space)), cfg_(cfg) {
+  assert(!space_.empty());
+  assert(cfg_.base_bits >= 1 && cfg_.base_bits <= 8);
+  assert(cfg_.code_bits >= cfg_.base_bits && cfg_.code_bits <= 60);
+  assert(cfg_.code_bits % cfg_.base_bits == 0);
+  for (std::size_t i = 0; i < space_.dimensions(); ++i) {
+    assert(space_.dim(i).length() > 0.0);
+  }
+  max_level_ = cfg_.code_bits / cfg_.base_bits;
+}
+
+Zone ZoneSystem::parent(const Zone& z) const {
+  assert(z.level > 0);
+  return Zone{z.code >> cfg_.base_bits, z.level - 1};
+}
+
+Zone ZoneSystem::child(const Zone& z, int digit) const {
+  assert(z.level < max_level_);
+  assert(digit >= 0 && digit < base());
+  return Zone{(z.code << cfg_.base_bits) | std::uint64_t(digit), z.level + 1};
+}
+
+int ZoneSystem::digit(const Zone& z, int i) const {
+  assert(i >= 1 && i <= z.level);
+  const int shift = (z.level - i) * cfg_.base_bits;
+  return int((z.code >> shift) & ((std::uint64_t(1) << cfg_.base_bits) - 1));
+}
+
+HyperRect ZoneSystem::extent(const Zone& z) const {
+  HyperRect r = space_;
+  for (int i = 1; i <= z.level; ++i) {
+    const std::size_t j = split_dimension(i - 1);
+    const int p = digit(z, i);
+    Interval& iv = r.dim(j);
+    const double w = iv.length() / double(base());
+    const double lo = iv.lo + w * double(p);
+    iv = Interval{lo, lo + w};
+  }
+  return r;
+}
+
+Id ZoneSystem::key(const Zone& z) const {
+  const int used = z.level * cfg_.base_bits;
+  assert(used <= kIdBits);
+  if (used == 0) return ~Id{0};  // root zone: all (β-1) digits
+  const int pad = kIdBits - used;
+  const Id ones = pad == 0 ? 0 : ((Id{1} << pad) - 1);
+  return (z.code << pad) | ones;
+}
+
+Zone ZoneSystem::locate(const HyperRect& range) const {
+  assert(range.dimensions() == space_.dimensions());
+  HyperRect t = space_;
+  Zone z = root();
+  for (int i = 1; i <= max_level_; ++i) {
+    const std::size_t j = split_dimension(i - 1);
+    Interval& iv = t.dim(j);
+    const double w = iv.length() / double(base());
+    // Find the child range that fully covers range.dim(j), if any.
+    int p = -1;
+    for (int c = 0; c < base(); ++c) {
+      const Interval cand{iv.lo + w * double(c), iv.lo + w * double(c + 1)};
+      if (cand.covers(range.dim(j))) {
+        p = c;
+        break;
+      }
+    }
+    if (p < 0) break;
+    iv = Interval{iv.lo + w * double(p), iv.lo + w * double(p + 1)};
+    z = child(z, p);
+  }
+  return z;
+}
+
+Zone ZoneSystem::locate(const Point& p) const {
+  assert(p.size() == space_.dimensions());
+  assert(space_.contains(p));
+  HyperRect t = space_;
+  Zone z = root();
+  for (int i = 1; i <= max_level_; ++i) {
+    const std::size_t j = split_dimension(i - 1);
+    Interval& iv = t.dim(j);
+    const double w = iv.length() / double(base());
+    // Half-open range selection; the top boundary belongs to the last child.
+    int c = int((p[j] - iv.lo) / w);
+    if (c >= base()) c = base() - 1;
+    if (c < 0) c = 0;
+    iv = Interval{iv.lo + w * double(c), iv.lo + w * double(c + 1)};
+    z = child(z, c);
+  }
+  return z;
+}
+
+std::string ZoneSystem::to_string(const Zone& z) const {
+  std::ostringstream os;
+  os << "zone(level=" << z.level << ", code=";
+  for (int i = 1; i <= z.level; ++i) os << digit(z, i);
+  if (z.level == 0) os << "root";
+  os << ')';
+  return os.str();
+}
+
+}  // namespace hypersub::lph

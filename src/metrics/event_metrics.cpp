@@ -1,0 +1,33 @@
+#include "metrics/event_metrics.hpp"
+
+namespace hypersub::metrics {
+
+Cdf EventMetrics::pct_matched_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(r.pct_matched);
+  return c;
+}
+
+Cdf EventMetrics::hops_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.max_hops));
+  return c;
+}
+
+Cdf EventMetrics::latency_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(r.max_latency_ms);
+  return c;
+}
+
+Cdf EventMetrics::bandwidth_kb_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.bandwidth_bytes) / 1024.0);
+  return c;
+}
+
+}  // namespace hypersub::metrics

@@ -1,0 +1,42 @@
+#pragma once
+// Per-event cost metrics (paper §5.1):
+//   hops       — maximum path length to reach any matched subscriber
+//   latency    — maximum time to reach any matched subscriber
+//   bandwidth  — total bytes of all messages carrying the event
+//   matched    — number (and percentage) of matched subscriptions
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hypersub::metrics {
+
+/// Final record for one published event.
+struct EventRecord {
+  std::uint64_t seq = 0;
+  std::size_t matched = 0;          ///< matched subscriptions
+  double pct_matched = 0.0;         ///< matched / total subscriptions * 100
+  int max_hops = 0;                 ///< max overlay path length of a delivery
+  double max_latency_ms = 0.0;      ///< publish -> last delivery
+  std::uint64_t bandwidth_bytes = 0;///< all event-message bytes
+};
+
+/// Accumulates event records and exposes the CDF views Fig. 2 plots.
+class EventMetrics {
+ public:
+  void add(const EventRecord& r) { records_.push_back(r); }
+  void reserve(std::size_t n) { records_.reserve(n); }
+  std::size_t count() const noexcept { return records_.size(); }
+  const std::vector<EventRecord>& records() const noexcept { return records_; }
+
+  Cdf pct_matched_cdf() const;
+  Cdf hops_cdf() const;
+  Cdf latency_cdf() const;
+  Cdf bandwidth_kb_cdf() const;
+
+ private:
+  std::vector<EventRecord> records_;
+};
+
+}  // namespace hypersub::metrics

@@ -1,0 +1,44 @@
+#include "metrics/node_metrics.hpp"
+
+#include <cassert>
+
+namespace hypersub::metrics {
+
+Cdf NodeMetrics::in_kb_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.bytes_in) / 1024.0);
+  return c;
+}
+
+Cdf NodeMetrics::out_kb_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.bytes_out) / 1024.0);
+  return c;
+}
+
+Cdf NodeMetrics::load_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.load));
+  return c;
+}
+
+std::vector<double> NodeMetrics::ranked_load() const {
+  return load_cdf().ranked_desc();
+}
+
+NodeMetrics snapshot_nodes(const net::Network& network,
+                           const std::vector<std::size_t>& loads) {
+  assert(loads.size() == network.size());
+  NodeMetrics m;
+  m.reserve(loads.size());
+  for (std::size_t h = 0; h < loads.size(); ++h) {
+    const auto& t = network.traffic(h);
+    m.add(NodeRecord{t.bytes_in, t.bytes_out, loads[h]});
+  }
+  return m;
+}
+
+}  // namespace hypersub::metrics

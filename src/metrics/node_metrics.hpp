@@ -1,0 +1,43 @@
+#pragma once
+// Per-node metrics: in/out bandwidth over the simulation (Fig. 3) and the
+// stored-subscription load used for the ranked-load view (Fig. 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace hypersub::metrics {
+
+/// Snapshot of a node's accumulated cost.
+struct NodeRecord {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::size_t load = 0;  ///< stored (surrogate) subscription entries
+};
+
+/// Collects per-node snapshots at the end of a run.
+class NodeMetrics {
+ public:
+  void add(const NodeRecord& r) { records_.push_back(r); }
+  void reserve(std::size_t n) { records_.reserve(n); }
+  std::size_t count() const noexcept { return records_.size(); }
+  const std::vector<NodeRecord>& records() const noexcept { return records_; }
+
+  Cdf in_kb_cdf() const;
+  Cdf out_kb_cdf() const;
+  Cdf load_cdf() const;
+
+  /// Loads sorted descending — Fig. 4's "nodes ranked by load".
+  std::vector<double> ranked_load() const;
+
+ private:
+  std::vector<NodeRecord> records_;
+};
+
+/// Build node records by combining network traffic with per-node loads.
+NodeMetrics snapshot_nodes(const net::Network& network,
+                           const std::vector<std::size_t>& loads);
+
+}  // namespace hypersub::metrics

@@ -1,0 +1,99 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hypersub::metrics {
+
+namespace {
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+}  // namespace
+
+void print_cdf_figure(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<Series>& series,
+                      std::size_t points) {
+  os << "== " << title << " ==\n";
+  for (const auto& s : series) {
+    os << "  series: " << s.label << "  (n=" << s.cdf.count()
+       << ", avg=" << fmt(s.cdf.mean()) << ", p50=" << fmt(s.cdf.quantile(0.5))
+       << ", p99=" << fmt(s.cdf.quantile(0.99))
+       << ", max=" << fmt(s.cdf.max()) << ")\n";
+  }
+  // Shared x grid spanning all series.
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const auto& s : series) {
+    if (s.cdf.count() == 0) continue;
+    if (first) {
+      lo = s.cdf.min();
+      hi = s.cdf.max();
+      first = false;
+    } else {
+      lo = std::min(lo, s.cdf.min());
+      hi = std::max(hi, s.cdf.max());
+    }
+  }
+  std::vector<std::string> head{x_label};
+  for (const auto& s : series) head.push_back(s.label);
+  os << format_row(head, 26) << '\n';
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi : lo + (hi - lo) * double(i) / double(points - 1);
+    std::vector<std::string> row{fmt(x)};
+    for (const auto& s : series) row.push_back(fmt(s.cdf.fraction_at_or_below(x)));
+    os << format_row(row, 26) << '\n';
+  }
+  os << '\n';
+}
+
+void print_ranked_figure(std::ostream& os, const std::string& title,
+                         const std::vector<Series>& series,
+                         std::size_t top_n, std::size_t step) {
+  os << "== " << title << " ==\n";
+  std::vector<std::vector<double>> ranked;
+  std::vector<std::string> head{"rank"};
+  for (const auto& s : series) {
+    ranked.push_back(s.cdf.ranked_desc());
+    head.push_back(s.label + " (max " + fmt(s.cdf.max()) + ")");
+  }
+  os << format_row(head, 30) << '\n';
+  for (std::size_t r = 0; r < top_n; r += step) {
+    std::vector<std::string> row{std::to_string(r + 1)};
+    for (const auto& v : ranked) {
+      row.push_back(r < v.size() ? fmt(v[r]) : "-");
+    }
+    os << format_row(row, 30) << '\n';
+  }
+  os << '\n';
+}
+
+void print_xy_figure(std::ostream& os, const std::string& title,
+                     const std::string& x_label,
+                     const std::vector<std::string>& series_labels,
+                     const std::vector<double>& xs,
+                     const std::vector<std::vector<double>>& ys) {
+  assert(series_labels.size() == ys.size());
+  os << "== " << title << " ==\n";
+  std::vector<std::string> head{x_label};
+  for (const auto& l : series_labels) head.push_back(l);
+  os << format_row(head, 24) << '\n';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{fmt(xs[i])};
+    for (const auto& s : ys) {
+      assert(s.size() == xs.size());
+      row.push_back(fmt(s[i]));
+    }
+    os << format_row(row, 24) << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace hypersub::metrics

@@ -1,0 +1,38 @@
+#pragma once
+// Plain-text reporting of CDF curves and ranked series — the bench binaries
+// print these tables as the reproduction of the paper's figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hypersub::metrics {
+
+/// One labelled series for a figure (e.g. "Base 2, level 20, no LB").
+struct Series {
+  std::string label;
+  Cdf cdf;
+};
+
+/// Print a CDF figure: header, per-series mean/max, then `points` rows of
+/// (value, fraction) per series.
+void print_cdf_figure(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<Series>& series,
+                      std::size_t points = 11);
+
+/// Print a ranked-descending figure (Fig. 4): first `top_n` values.
+void print_ranked_figure(std::ostream& os, const std::string& title,
+                         const std::vector<Series>& series,
+                         std::size_t top_n = 100, std::size_t step = 10);
+
+/// Print an x-vs-y line figure (Fig. 5): one row per x.
+void print_xy_figure(std::ostream& os, const std::string& title,
+                     const std::string& x_label,
+                     const std::vector<std::string>& series_labels,
+                     const std::vector<double>& xs,
+                     const std::vector<std::vector<double>>& ys);
+
+}  // namespace hypersub::metrics

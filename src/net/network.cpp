@@ -1,0 +1,56 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hypersub::net {
+
+Network::Network(sim::Simulator& sim, const Topology& topo)
+    : sim_(sim),
+      topo_(topo),
+      traffic_(topo.size()),
+      alive_(topo.size(), true) {}
+
+void Network::send(HostIndex from, HostIndex to, std::uint64_t bytes,
+                   std::function<void()> handler) {
+  assert(from < alive_.size() && to < alive_.size());
+  if (from == to) {
+    sim_.schedule(0.0, std::move(handler));
+    return;
+  }
+  if (!alive_[to] || !alive_[from]) {
+    ++dropped_;
+    return;
+  }
+  traffic_[from].bytes_out += bytes;
+  traffic_[from].msgs_out += 1;
+  traffic_[to].bytes_in += bytes;
+  traffic_[to].msgs_in += 1;
+  ++total_messages_;
+  total_bytes_ += bytes;
+  const double delay = topo_.latency(from, to);
+  // Re-check liveness at delivery time: the destination may die in flight.
+  sim_.schedule(delay, [this, to, h = std::move(handler)]() mutable {
+    if (alive_[to]) h();
+    else ++dropped_;
+  });
+}
+
+void Network::kill(HostIndex h) {
+  assert(h < alive_.size());
+  alive_[h] = false;
+}
+
+void Network::revive(HostIndex h) {
+  assert(h < alive_.size());
+  alive_[h] = true;
+}
+
+void Network::reset_traffic() {
+  for (auto& t : traffic_) t = HostTraffic{};
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace hypersub::net

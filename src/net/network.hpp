@@ -1,0 +1,69 @@
+#pragma once
+// Packet-level message delivery with per-node byte accounting.
+//
+// Every overlay RPC in the system flows through Network::send so that the
+// evaluation's bandwidth metrics (total bytes per event, in/out bytes per
+// node) fall out of one accounting point. Latency of a message equals the
+// topology's one-way delay between the two hosts; host-local processing is
+// treated as free, matching the paper's packet-level model.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace hypersub::net {
+
+/// Per-host traffic counters, reset-able between measurement phases.
+struct HostTraffic {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t msgs_in = 0;
+  std::uint64_t msgs_out = 0;
+};
+
+/// Message fabric over a Topology + Simulator. Hosts are dense indices; the
+/// overlay layer (Chord) maps ring ids onto hosts.
+class Network {
+ public:
+  /// Neither `sim` nor `topo` is owned; both must outlive the Network.
+  Network(sim::Simulator& sim, const Topology& topo);
+
+  std::size_t size() const noexcept { return alive_.size(); }
+  sim::Simulator& simulator() noexcept { return sim_; }
+  const Topology& topology() const noexcept { return topo_; }
+
+  /// Deliver `handler` at the destination after the one-way latency.
+  /// Accounts `bytes` against both endpoints. Messages to self are delivered
+  /// after `local_delay_ms` (default 0) without traffic accounting.
+  /// Messages to dead hosts are dropped (counted in dropped()).
+  void send(HostIndex from, HostIndex to, std::uint64_t bytes,
+            std::function<void()> handler);
+
+  /// Mark a host dead; future messages to it are dropped (failure injection).
+  void kill(HostIndex h);
+  /// Revive a host.
+  void revive(HostIndex h);
+  bool alive(HostIndex h) const { return alive_[h]; }
+
+  const HostTraffic& traffic(HostIndex h) const { return traffic_[h]; }
+  /// Zero all traffic counters (e.g., after warm-up/stabilization).
+  void reset_traffic();
+
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  std::vector<HostTraffic> traffic_;
+  std::vector<bool> alive_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hypersub::net

@@ -1,0 +1,71 @@
+#pragma once
+// The DHT substrate interface HyperSub builds on (paper §3: "the techniques
+// presented in this paper are applicable to other DHTs such as Pastry and
+// Tapestry"). The pub/sub core needs exactly four things from a DHT:
+//
+//   * key ownership  — which node is responsible for a key,
+//   * greedy step    — the best next hop toward a key from a node's own
+//                      routing state (this is what embeds the delivery
+//                      trees: subids sharing a next hop share a message),
+//   * recursive route— install/publish routing with hop/latency accounting,
+//   * neighbor view  — the peers a node samples for load balancing.
+//
+// ChordNet and PastryNet implement this interface; HyperSubSystem and
+// LoadBalancer are written against it.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "overlay/peer.hpp"
+
+namespace hypersub::overlay {
+
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  /// Number of participating hosts.
+  virtual std::size_t size() const = 0;
+  /// Ring/key-space id of a host.
+  virtual Id id_of(net::HostIndex h) const = 0;
+  /// The message fabric (for the pub/sub layer's own messages).
+  virtual net::Network& network() = 0;
+  sim::Simulator& simulator() { return network().simulator(); }
+
+  /// True if `h`, by its own routing state, is responsible for `key`.
+  virtual bool owns(net::HostIndex h, Id key) const = 0;
+
+  /// One greedy step from `h` toward `key`: the neighbor the node would
+  /// forward to. Invalid peer when the node has nowhere better to send
+  /// (isolated); never returns `h` itself for a key it does not own.
+  virtual Peer next_hop(net::HostIndex h, Id key) const = 0;
+
+  struct RouteResult {
+    Peer owner;
+    int hops = 0;
+    double latency_ms = 0.0;
+  };
+  using RouteCallback = std::function<void(const RouteResult&)>;
+
+  /// Recursive routing of `key` from `from`, carrying `extra_bytes` of
+  /// payload; the callback fires at the owner in simulated time.
+  virtual void route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
+                     RouteCallback cb) = 0;
+
+  /// The node's overlay neighbors (load-balancer probe set).
+  virtual std::vector<Peer> neighbors(net::HostIndex h) const = 0;
+
+  /// Liveness evidence from application traffic (piggybacked maintenance,
+  /// paper §6). Default: ignored.
+  virtual void note_app_contact(net::HostIndex /*at*/, Id /*peer*/) {}
+
+  /// The nodes that inherit `h`'s key range if it fails — the replication
+  /// targets for state stored at `h` (Chord: the successor list; Pastry:
+  /// the clockwise leaves). At most `k` peers; may return fewer.
+  virtual std::vector<Peer> replica_set(net::HostIndex h,
+                                        std::size_t k) const = 0;
+};
+
+}  // namespace hypersub::overlay

@@ -1,0 +1,29 @@
+#pragma once
+// Overlay-neutral peer reference and wire-size constants shared by every
+// DHT implementation (Chord, Pastry) and the pub/sub layer above them.
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "net/topology.hpp"
+
+namespace hypersub::overlay {
+
+/// Reference to a remote overlay node: ring id + simulator host index.
+struct Peer {
+  Id id = 0;
+  net::HostIndex host = kInvalidHost;
+
+  static constexpr net::HostIndex kInvalidHost = ~std::size_t{0};
+  bool valid() const noexcept { return host != kInvalidHost; }
+
+  friend bool operator==(const Peer&, const Peer&) = default;
+};
+
+/// Wire-size constants for control messages (bytes): the paper charges a
+/// 20-byte packet header per message; node references carry id + address.
+inline constexpr std::uint64_t kHeaderBytes = 20;
+inline constexpr std::uint64_t kNodeRefBytes = 16;
+inline constexpr std::uint64_t kKeyBytes = 8;
+
+}  // namespace hypersub::overlay

@@ -1,0 +1,256 @@
+#include "pastry/pastry_net.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "chord/ring.hpp"  // random_ids, successor_index
+
+namespace hypersub::pastry {
+
+int shared_prefix_digits(Id a, Id b) noexcept {
+  for (int d = 0; d < kDigits; ++d) {
+    if (digit_of(a, d) != digit_of(b, d)) return d;
+  }
+  return kDigits;
+}
+
+// ---------------------------------------------------------------------------
+// PastryNode
+// ---------------------------------------------------------------------------
+
+bool closer_to(Id key, const Peer& a, const Peer& b) noexcept {
+  const Id da = circular_distance(a.id, key);
+  const Id db = circular_distance(b.id, key);
+  if (da != db) return da < db;
+  if (a.id == b.id) return false;
+  // Equal circular distance: prefer the node on the clockwise side of key.
+  const bool a_cw = (a.id - key) == da;
+  const bool b_cw = (b.id - key) == db;
+  if (a_cw != b_cw) return a_cw;
+  return a.id < b.id;
+}
+
+bool PastryNode::owns(Id key) const {
+  const Peer me = self();
+  for (const auto& l : leaves_) {
+    if (l.valid() && closer_to(key, l, me)) return false;
+  }
+  return true;
+}
+
+Peer PastryNode::next_hop(Id key) const {
+  const Peer me = self();
+  if (owns(key)) return Peer{};
+
+  // Leaf-set span: the circular arc from the farthest counter-clockwise
+  // leaf to the farthest clockwise leaf (through self). Inside it, jump to
+  // the numerically closest leaf.
+  Id cw_far = id_, ccw_far = id_;
+  Id cw_best = 0, ccw_best = 0;
+  for (const auto& l : leaves_) {
+    if (!l.valid()) continue;
+    const Id cw = l.id - id_;
+    const Id ccw = id_ - l.id;
+    if (cw < ccw) {
+      if (cw > cw_best) {
+        cw_best = cw;
+        cw_far = l.id;
+      }
+    } else if (ccw > ccw_best) {
+      ccw_best = ccw;
+      ccw_far = l.id;
+    }
+  }
+  if (ring::in_open_closed(key, ccw_far - 1, cw_far)) {
+    Peer best = me;
+    for (const auto& l : leaves_) {
+      if (l.valid() && closer_to(key, l, best)) best = l;
+    }
+    if (best.id != id_) return best;
+    return Peer{};  // we are closest after all
+  }
+
+  // Prefix routing: one more matching digit.
+  const int r = shared_prefix_digits(id_, key);
+  if (r < kDigits) {
+    const Peer& entry = table_[std::size_t(r)][std::size_t(digit_of(key, r))];
+    if (entry.valid()) return entry;
+  }
+
+  // Rare fallback: any known node with at least as long a prefix that is
+  // strictly numerically closer.
+  Peer best{};
+  int best_prefix = -1;
+  const Id my_dist = circular_distance(id_, key);
+  auto consider = [&](const Peer& p) {
+    if (!p.valid() || p.id == id_) return;
+    if (circular_distance(p.id, key) >= my_dist) return;
+    const int pr = shared_prefix_digits(p.id, key);
+    if (pr < r) return;
+    if (pr > best_prefix ||
+        (pr == best_prefix && best.valid() && closer_to(key, p, best))) {
+      best_prefix = pr;
+      best = p;
+    }
+  };
+  for (const auto& l : leaves_) consider(l);
+  for (const auto& row : table_) {
+    for (const auto& p : row) consider(p);
+  }
+  return best;
+}
+
+std::vector<Peer> PastryNode::neighbors() const {
+  std::vector<Peer> out;
+  auto add = [&](const Peer& p) {
+    if (!p.valid() || p.id == id_) return;
+    for (const auto& e : out) {
+      if (e.id == p.id) return;
+    }
+    out.push_back(p);
+  };
+  for (const auto& l : leaves_) add(l);
+  for (const auto& row : table_) {
+    for (const auto& p : row) add(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PastryNet
+// ---------------------------------------------------------------------------
+
+PastryNet::PastryNet(net::Network& net, const Params& params)
+    : net_(net), params_(params) {
+  Rng rng(params.seed);
+  const auto ids = chord::random_ids(net.size(), rng);
+  nodes_.reserve(net.size());
+  for (net::HostIndex h = 0; h < net.size(); ++h) {
+    nodes_.push_back(std::make_unique<PastryNode>(ids[h], h));
+  }
+}
+
+Peer PastryNet::oracle_owner(Id key) const {
+  Peer best{};
+  for (const auto& n : nodes_) {
+    if (!net_.alive(n->host())) continue;
+    const Peer p = n->self();
+    if (!best.valid() || closer_to(key, p, best)) best = p;
+  }
+  return best;
+}
+
+void PastryNet::oracle_build() {
+  // Sorted ring view.
+  std::vector<Peer> ring;
+  ring.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (net_.alive(n->host())) ring.push_back(n->self());
+  }
+  std::sort(ring.begin(), ring.end(),
+            [](const Peer& a, const Peer& b) { return a.id < b.id; });
+  const std::size_t n = ring.size();
+  std::vector<Id> ids;
+  ids.reserve(n);
+  for (const auto& p : ring) ids.push_back(p.id);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    PastryNode& nd = *nodes_[ring[i].host];
+    // Leaf set: L/2 distinct nodes on each side (fewer when the network
+    // is smaller than the leaf set).
+    nd.leaf_set().clear();
+    const std::size_t half = std::min(params_.leaf_set / 2, n - 1);
+    auto add_leaf = [&nd](const Peer& p) {
+      if (p.id == nd.id()) return;
+      for (const auto& e : nd.leaf_set()) {
+        if (e.id == p.id) return;
+      }
+      nd.leaf_set().push_back(p);
+    };
+    for (std::size_t k = 1; k <= half; ++k) {
+      add_leaf(ring[(i + k) % n]);
+      add_leaf(ring[(i + n - k) % n]);
+    }
+    // Routing table with locality: among the nodes matching (prefix, next
+    // digit), pick the lowest-latency candidate.
+    for (int r = 0; r < kDigits; ++r) {
+      const int my_digit = digit_of(nd.id(), r);
+      const int rem_bits = kIdBits - kDigitBits * (r + 1);
+      const Id prefix = rem_bits + kDigitBits >= kIdBits
+                            ? 0
+                            : (nd.id() >> (rem_bits + kDigitBits))
+                                  << (rem_bits + kDigitBits);
+      for (int c = 0; c < kDigitBase; ++c) {
+        if (c == my_digit) continue;
+        const Id lo = prefix | (Id(c) << rem_bits);
+        const Id hi = lo | (rem_bits == 0 ? 0 : ((Id{1} << rem_bits) - 1));
+        std::size_t idx = chord::successor_index(ids, lo);
+        Peer chosen{};
+        double best_lat = 0.0;
+        for (std::size_t tried = 0;
+             tried < params_.candidates && idx < n && ids[idx] <= hi &&
+             ids[idx] >= lo;
+             ++tried, ++idx) {
+          const Peer& cand = ring[idx];
+          const double lat =
+              net_.topology().latency(nd.host(), cand.host);
+          if (!chosen.valid() || lat < best_lat) {
+            chosen = cand;
+            best_lat = lat;
+          }
+        }
+        nd.set_table(r, c, chosen);
+      }
+    }
+  }
+}
+
+Peer PastryNet::next_hop(net::HostIndex h, Id key) const {
+  return nodes_[h]->next_hop(key);
+}
+
+std::vector<Peer> PastryNet::replica_set(net::HostIndex h,
+                                         std::size_t k) const {
+  // Clockwise-nearest leaves first.
+  std::vector<Peer> leaves = nodes_[h]->leaf_set();
+  const Id me = nodes_[h]->id();
+  std::sort(leaves.begin(), leaves.end(),
+            [me](const Peer& a, const Peer& b) {
+              return (a.id - me) < (b.id - me);  // clockwise distance
+            });
+  if (leaves.size() > k) leaves.resize(k);
+  return leaves;
+}
+
+void PastryNet::route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
+                      RouteCallback cb) {
+  auto shared = std::make_shared<RouteCallback>(std::move(cb));
+  route_step(from, key, extra_bytes, 0, net_.simulator().now(),
+             std::move(shared));
+}
+
+void PastryNet::route_step(net::HostIndex at, Id key,
+                           std::uint64_t extra_bytes, int hops,
+                           double issued,
+                           std::shared_ptr<RouteCallback> cb) {
+  PastryNode& nd = *nodes_[at];
+  const Peer next = nd.next_hop(key);
+  if (!next.valid()) {
+    // We are the owner (or an isolated dead end, which cannot happen on an
+    // oracle-built overlay).
+    RouteResult r;
+    r.owner = nd.self();
+    r.hops = hops;
+    r.latency_ms = net_.simulator().now() - issued;
+    (*cb)(r);
+    return;
+  }
+  const std::uint64_t bytes =
+      overlay::kHeaderBytes + overlay::kKeyBytes + extra_bytes;
+  net_.send(at, next.host, bytes,
+            [this, to = next.host, key, extra_bytes, hops, issued, cb] {
+              route_step(to, key, extra_bytes, hops + 1, issued, cb);
+            });
+}
+
+}  // namespace hypersub::pastry

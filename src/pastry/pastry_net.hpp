@@ -1,0 +1,148 @@
+#pragma once
+// Pastry DHT substrate (paper §3: "the techniques presented in this paper
+// are applicable to other DHTs such as Pastry and Tapestry"; §6 lists
+// evaluating HyperSub over Pastry as future work).
+//
+// Identifiers are 64-bit, viewed as 16 hexadecimal digits (b = 4). Each
+// node keeps
+//   * a leaf set: the L/2 numerically closest nodes on either side,
+//   * a routing table: rows indexed by shared-prefix length, columns by
+//     the next digit; among the candidates for an entry the physically
+//     closest is chosen (Pastry's locality heuristic, same role as
+//     Chord-PNS).
+// A key is owned by the numerically closest node (ties break clockwise).
+// Routing: if the key is within the leaf-set span, jump straight to the
+// numerically closest leaf; otherwise use the routing-table entry matching
+// one more digit; otherwise fall back to any known node strictly closer.
+//
+// This substrate is built with global knowledge (oracle_build), matching
+// how the benches use Chord after stabilization; Pastry's join/repair
+// protocol is out of scope (the paper's churn story lives in the Chord
+// implementation).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "overlay/overlay.hpp"
+
+namespace hypersub::pastry {
+
+using overlay::Peer;
+
+/// Digit parameters: b = 4 bits per digit, 16 digits in a 64-bit id.
+inline constexpr int kDigitBits = 4;
+inline constexpr int kDigits = kIdBits / kDigitBits;
+inline constexpr int kDigitBase = 1 << kDigitBits;
+
+/// d-th digit (0 = most significant) of an id.
+constexpr int digit_of(Id id, int d) noexcept {
+  return int((id >> (kIdBits - kDigitBits * (d + 1))) &
+             ((Id{1} << kDigitBits) - 1));
+}
+
+/// Number of leading digits two ids share.
+int shared_prefix_digits(Id a, Id b) noexcept;
+
+/// Circular numeric distance |a - b| on the 2^64 ring (min direction).
+constexpr Id circular_distance(Id a, Id b) noexcept {
+  const Id cw = b - a;
+  const Id ccw = a - b;
+  return cw < ccw ? cw : ccw;
+}
+
+/// Strictly-closer-to-key order with a deterministic clockwise tie-break,
+/// so every node agrees on key ownership.
+bool closer_to(Id key, const Peer& a, const Peer& b) noexcept;
+
+/// Routing state of one Pastry node.
+class PastryNode {
+ public:
+  PastryNode(Id id, net::HostIndex host) : id_(id), host_(host) {}
+
+  Id id() const noexcept { return id_; }
+  net::HostIndex host() const noexcept { return host_; }
+  Peer self() const noexcept { return Peer{id_, host_}; }
+
+  std::vector<Peer>& leaf_set() noexcept { return leaves_; }
+  const std::vector<Peer>& leaf_set() const noexcept { return leaves_; }
+
+  const Peer& table(int row, int col) const {
+    return table_[std::size_t(row)][std::size_t(col)];
+  }
+  void set_table(int row, int col, Peer p) {
+    table_[std::size_t(row)][std::size_t(col)] = p;
+  }
+
+  /// True if this node is numerically closest to `key` among itself and
+  /// its leaf set (ties clockwise).
+  bool owns(Id key) const;
+
+  /// Pastry next-hop selection; invalid peer when this node owns the key
+  /// or knows nothing closer.
+  Peer next_hop(Id key) const;
+
+  /// Distinct valid peers from leaf set + routing table.
+  std::vector<Peer> neighbors() const;
+
+ private:
+  Id id_;
+  net::HostIndex host_;
+  std::vector<Peer> leaves_;
+  std::array<std::array<Peer, kDigitBase>, kDigits> table_{};
+};
+
+/// The Pastry overlay over a simulated network.
+class PastryNet final : public overlay::Overlay {
+ public:
+  struct Params {
+    std::size_t leaf_set = 16;      ///< L (split evenly on both sides)
+    std::size_t candidates = 8;     ///< locality candidates per table entry
+    std::uint64_t seed = 1;
+  };
+
+  PastryNet(net::Network& net, const Params& params);
+
+  std::size_t size() const override { return nodes_.size(); }
+  Id id_of(net::HostIndex h) const override { return nodes_[h]->id(); }
+  net::Network& network() override { return net_; }
+  const Params& params() const noexcept { return params_; }
+
+  PastryNode& node(net::HostIndex h) { return *nodes_[h]; }
+  const PastryNode& node(net::HostIndex h) const { return *nodes_[h]; }
+
+  /// Global-knowledge construction of leaf sets + routing tables.
+  void oracle_build();
+
+  /// Ground truth: the live node numerically closest to `key`.
+  Peer oracle_owner(Id key) const;
+
+  bool owns(net::HostIndex h, Id key) const override {
+    return nodes_[h]->owns(key);
+  }
+  Peer next_hop(net::HostIndex h, Id key) const override;
+  void route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
+             RouteCallback cb) override;
+  std::vector<Peer> neighbors(net::HostIndex h) const override {
+    return nodes_[h]->neighbors();
+  }
+
+  /// Replication targets: the k clockwise-nearest leaf-set members (the
+  /// nodes that inherit this node's share of the key space).
+  std::vector<Peer> replica_set(net::HostIndex h,
+                                std::size_t k) const override;
+
+ private:
+  void route_step(net::HostIndex at, Id key, std::uint64_t extra_bytes,
+                  int hops, double issued,
+                  std::shared_ptr<RouteCallback> cb);
+
+  net::Network& net_;
+  Params params_;
+  std::vector<std::unique_ptr<PastryNode>> nodes_;
+};
+
+}  // namespace hypersub::pastry

@@ -1,0 +1,22 @@
+#include "pubsub/event.hpp"
+
+#include <sstream>
+
+namespace hypersub::pubsub {
+
+std::string Event::to_string() const {
+  std::ostringstream os;
+  os << "event#" << seq << '(';
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    if (i) os << ',';
+    os << point[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+bool valid_event(const Scheme& scheme, const Event& e) {
+  return scheme.contains(e.point);
+}
+
+}  // namespace hypersub::pubsub

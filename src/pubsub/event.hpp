@@ -1,0 +1,24 @@
+#pragma once
+// Events: full-arity equality tuples == points in the content space.
+
+#include <cstdint>
+#include <string>
+
+#include "common/hyperrect.hpp"
+#include "pubsub/scheme.hpp"
+
+namespace hypersub::pubsub {
+
+/// A published event: one value per scheme attribute, plus a sequence
+/// number assigned by the publishing layer (used to key metrics).
+struct Event {
+  std::uint64_t seq = 0;
+  Point point;
+
+  std::string to_string() const;
+};
+
+/// Validate an event against a scheme (arity + domain bounds).
+bool valid_event(const Scheme& scheme, const Event& e);
+
+}  // namespace hypersub::pubsub

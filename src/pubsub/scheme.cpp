@@ -1,0 +1,30 @@
+#include "pubsub/scheme.hpp"
+
+#include <cassert>
+
+namespace hypersub::pubsub {
+
+Scheme::Scheme(std::string name, std::vector<Attribute> attributes)
+    : name_(std::move(name)), attrs_(std::move(attributes)) {
+  assert(!attrs_.empty());
+  std::vector<Interval> dims;
+  dims.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    assert(a.domain.lo < a.domain.hi);
+    dims.push_back(a.domain);
+  }
+  domain_ = HyperRect(std::move(dims));
+}
+
+std::size_t Scheme::index_of(const std::string& attr_name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == attr_name) return i;
+  }
+  return attrs_.size();
+}
+
+bool Scheme::contains(const Point& p) const {
+  return p.size() == attrs_.size() && domain_.contains(p);
+}
+
+}  // namespace hypersub::pubsub

@@ -1,0 +1,51 @@
+#pragma once
+// Content-based pub/sub data model (paper §3.1, after Fabret et al.).
+//
+// A scheme S = {A1..An} declares named, bounded numeric attributes. An
+// event assigns a value to every attribute (a point in the content space);
+// a subscription is a conjunction of per-attribute range predicates (a
+// hyper-cuboid). String prefix/suffix predicates are assumed converted to
+// numeric ranges upstream, exactly as the paper does.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/hyperrect.hpp"
+#include "common/interval.hpp"
+
+namespace hypersub::pubsub {
+
+/// One attribute of a pub/sub scheme: a name and a bounded numeric domain.
+struct Attribute {
+  std::string name;
+  Interval domain;
+};
+
+/// A pub/sub scheme: an ordered attribute list. The content space is the
+/// cartesian product of the attribute domains.
+class Scheme {
+ public:
+  Scheme(std::string name, std::vector<Attribute> attributes);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t arity() const noexcept { return attrs_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+
+  /// Index of the attribute with the given name; arity() if absent.
+  std::size_t index_of(const std::string& attr_name) const;
+
+  /// The full content space as a hyper-rectangle.
+  const HyperRect& domain() const noexcept { return domain_; }
+
+  /// True if `p` has the right arity and every coordinate is in-domain.
+  bool contains(const Point& p) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  HyperRect domain_;
+};
+
+}  // namespace hypersub::pubsub

@@ -1,0 +1,42 @@
+#include "pubsub/strings.hpp"
+
+#include <algorithm>
+
+namespace hypersub::pubsub {
+
+namespace {
+constexpr std::size_t kResolutionBytes = 8;
+}
+
+double string_to_unit(std::string_view s) {
+  double value = 0.0;
+  double scale = 1.0 / 256.0;
+  const std::size_t n = std::min(s.size(), kResolutionBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    value += double(static_cast<unsigned char>(s[i])) * scale;
+    scale /= 256.0;
+  }
+  return value;
+}
+
+Interval prefix_range(std::string_view prefix) {
+  if (prefix.empty()) return Interval{0.0, 1.0};
+  const double lo = string_to_unit(prefix);
+  // Upper bound: the prefix with its last in-resolution byte bumped by one
+  // — every string starting with `prefix` embeds below it.
+  const std::size_t n = std::min(prefix.size(), kResolutionBytes);
+  double width = 1.0;
+  for (std::size_t i = 0; i < n; ++i) width /= 256.0;
+  return Interval{lo, lo + width};
+}
+
+Interval exact_range(std::string_view value) {
+  const double v = string_to_unit(value);
+  return Interval{v, v};
+}
+
+std::string reversed(std::string_view s) {
+  return std::string(s.rbegin(), s.rend());
+}
+
+}  // namespace hypersub::pubsub

@@ -1,0 +1,36 @@
+#pragma once
+// String attributes (paper §3.1: "the prefix and suffix predicates on
+// string type attributes can be converted to numerical ranges").
+//
+// Strings are embedded into [0, 1) preserving lexicographic order (the
+// first 8 bytes decide; longer strings collide with their 8-byte prefix,
+// which is safe for range predicates: a containment test may widen, never
+// narrow, and exact matching of the original strings happens at the
+// subscriber if needed). Prefix predicates become half-open numeric
+// ranges; suffix predicates become prefix predicates over a reversed
+// shadow attribute.
+
+#include <string>
+#include <string_view>
+
+#include "common/interval.hpp"
+
+namespace hypersub::pubsub {
+
+/// Order-preserving embedding of a string into [0, 1):
+/// sum of byte[i] / 256^(i+1) over the first 8 bytes.
+double string_to_unit(std::string_view s);
+
+/// Numeric interval covering exactly the strings starting with `prefix`
+/// (up to the embedding's 8-byte resolution). An empty prefix covers the
+/// whole domain [0, 1].
+Interval prefix_range(std::string_view prefix);
+
+/// Equality predicate for a full string value (degenerate interval).
+Interval exact_range(std::string_view value);
+
+/// Reversed copy — index this on a shadow attribute so a suffix predicate
+/// "*xyz" becomes the prefix predicate "zyx*".
+std::string reversed(std::string_view s);
+
+}  // namespace hypersub::pubsub

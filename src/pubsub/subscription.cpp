@@ -1,0 +1,38 @@
+#include "pubsub/subscription.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypersub::pubsub {
+
+Subscription Subscription::from_predicates(const Scheme& scheme,
+                                           std::span<const Predicate> preds) {
+  std::vector<Interval> dims;
+  dims.reserve(scheme.arity());
+  for (std::size_t i = 0; i < scheme.arity(); ++i) {
+    dims.push_back(scheme.attribute(i).domain);
+  }
+  for (const auto& p : preds) {
+    assert(p.attribute < scheme.arity());
+    const Interval dom = scheme.attribute(p.attribute).domain;
+    Interval r{std::max(p.range.lo, dom.lo), std::min(p.range.hi, dom.hi)};
+    Interval& cur = dims[p.attribute];
+    // Conjunction of several predicates on one attribute = intersection.
+    if (cur.overlaps(r)) {
+      cur = cur.intersect(r);
+    } else {
+      cur = Interval{r.lo, r.lo};  // unsatisfiable; degenerate point
+    }
+  }
+  return Subscription(HyperRect(std::move(dims)));
+}
+
+std::size_t Subscription::constrained_count(const Scheme& scheme) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < scheme.arity(); ++i) {
+    if (range_.dim(i) != scheme.attribute(i).domain) ++n;
+  }
+  return n;
+}
+
+}  // namespace hypersub::pubsub

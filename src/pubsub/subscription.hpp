@@ -1,0 +1,51 @@
+#pragma once
+// Subscriptions: conjunctions of range predicates == hyper-cuboids.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/hyperrect.hpp"
+#include "pubsub/scheme.hpp"
+
+namespace hypersub::pubsub {
+
+/// One range predicate on one attribute. An equality predicate is a
+/// degenerate range (lo == hi).
+struct Predicate {
+  std::size_t attribute = 0;
+  Interval range;
+};
+
+/// A subscription over a scheme: a hyper-cuboid covering exactly the events
+/// the subscriber wants. Attributes without predicates span their full
+/// domain (paper §3.1).
+class Subscription {
+ public:
+  Subscription() = default;
+  explicit Subscription(HyperRect range) : range_(std::move(range)) {}
+
+  /// Build from a predicate list; unspecified attributes default to the
+  /// whole domain. Predicates are clamped into the attribute domain.
+  /// Multiple predicates on one attribute intersect (the paper instead
+  /// splits them into several subscriptions; intersection is equivalent for
+  /// conjunctive semantics).
+  static Subscription from_predicates(const Scheme& scheme,
+                                      std::span<const Predicate> preds);
+
+  const HyperRect& range() const noexcept { return range_; }
+
+  /// True if event point `p` satisfies every predicate.
+  bool matches(const Point& p) const { return range_.contains(p); }
+
+  /// Fraction of attributes actually constrained (narrower than domain) —
+  /// used by the subscheme router.
+  std::size_t constrained_count(const Scheme& scheme) const;
+
+  friend bool operator==(const Subscription&, const Subscription&) = default;
+
+ private:
+  HyperRect range_;
+};
+
+}  // namespace hypersub::pubsub

@@ -1,0 +1,74 @@
+#pragma once
+// Discrete event-driven simulation engine (the p2psim substitute's core).
+//
+// The engine executes scheduled callbacks in non-decreasing virtual-time
+// order; ties break by scheduling order so runs are fully deterministic.
+// Virtual time is in milliseconds (double), matching the paper's latency
+// units. The engine is single-threaded by design; parallel experiments run
+// independent Simulator instances on separate threads (CP.2: no shared
+// mutable state).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hypersub::sim {
+
+/// Virtual time in milliseconds since simulation start.
+using Time = double;
+
+/// Discrete-event scheduler. Typical usage:
+///
+///   Simulator s;
+///   s.schedule(5.0, []{ ... });   // run 5 ms from now
+///   s.run();                      // drain the event queue
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time. 0 before any event has run.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` ms from now. Negative delays clamp
+  /// to "immediately" (same-time events run in scheduling order).
+  void schedule(Time delay, Action action);
+
+  /// Schedule at an absolute virtual time (>= now()).
+  void schedule_at(Time when, Action action);
+
+  /// Run until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with time <= `until`, leaving later events queued.
+  std::uint64_t run_until(Time until);
+
+  /// Events currently queued.
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // FIFO tiebreak for equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hypersub::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Event and subscription generation per the paper's §5.1:
+//  * event values: Zipfian ranks scaled/shifted into each attribute domain,
+//    rotated so the modal rank sits at the dimension's hotspot;
+//  * subscription ranges: width Zipf-distributed (scaled by the size
+//    hotspot), centered at a point drawn from the event distribution.
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "pubsub/event.hpp"
+#include "pubsub/subscription.hpp"
+#include "workload/scheme_factory.hpp"
+
+namespace hypersub::workload {
+
+/// Deterministic generator of events and subscriptions for one spec.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed);
+
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+  const pubsub::Scheme& scheme() const noexcept { return scheme_; }
+
+  /// Draw one event (seq left 0; the system assigns it on publish).
+  pubsub::Event make_event();
+
+  /// Draw one subscription (full-arity hyper-cuboid).
+  pubsub::Subscription make_subscription();
+
+  /// Draw a subscription constraining only `attrs` (others span the
+  /// domain) — exercises the §3.5 subscheme improvement.
+  pubsub::Subscription make_partial_subscription(
+      const std::vector<std::size_t>& attrs);
+
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  double value_for(std::size_t dim);
+  double width_for(std::size_t dim);
+
+  WorkloadSpec spec_;
+  pubsub::Scheme scheme_;
+  Rng rng_;
+  std::vector<ZipfSampler> value_zipf_;  // per dim
+  std::vector<ZipfSampler> size_zipf_;   // per dim
+};
+
+}  // namespace hypersub::workload

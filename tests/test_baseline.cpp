@@ -1,0 +1,147 @@
+// Baseline tests: the Ferry-like single-rendezvous system and the
+// Meghdoot-like CAN system must both deliver exactly the brute-force match
+// set — they are comparison systems, so their correctness matters as much
+// as HyperSub's.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "baseline/ferry_like.hpp"
+#include "baseline/meghdoot_like.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub::baseline {
+namespace {
+
+TEST(Ferry, AllSubscriptionsLandOnRendezvousNode) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 60;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  chord::ChordNet chord(net, {});
+  chord.oracle_build();
+
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 3);
+  FerryLike ferry(chord, gen.scheme());
+  for (net::HostIndex h = 0; h < 60; ++h) {
+    ferry.subscribe(h, gen.make_subscription());
+  }
+  sim.run();
+
+  const auto loads = ferry.node_loads();
+  std::size_t nonzero = 0, total = 0;
+  for (const auto l : loads) {
+    if (l > 0) ++nonzero;
+    total += l;
+  }
+  EXPECT_EQ(nonzero, 1u);  // the single-rendezvous bottleneck
+  EXPECT_EQ(total, 60u);
+  const auto rdv = chord.oracle_successor(ferry.rendezvous_key());
+  EXPECT_GT(loads[rdv.host], 0u);
+}
+
+TEST(Ferry, DeliversBruteForceMatchSet) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 50;
+  tp.seed = 5;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  chord::ChordNet chord(net, {});
+  chord.oracle_build();
+
+  workload::WorkloadGenerator gen(workload::table1_spec(), 7);
+  FerryLike ferry(chord, gen.scheme());
+  std::vector<std::pair<net::HostIndex, pubsub::Subscription>> subs;
+  Rng rng(11);
+  for (int i = 0; i < 150; ++i) {
+    const auto h = net::HostIndex(rng.index(50));
+    const auto sub = gen.make_subscription();
+    ferry.subscribe(h, sub);
+    subs.emplace_back(h, sub);
+  }
+  sim.run();
+
+  std::size_t expected_total = 0;
+  std::size_t published = 40;
+  for (std::size_t i = 0; i < published; ++i) {
+    const auto e = gen.make_event();
+    for (const auto& [h, sub] : subs) {
+      if (sub.matches(e.point)) ++expected_total;
+    }
+    ferry.publish(net::HostIndex(rng.index(50)), e);
+    sim.run();
+  }
+  ferry.finalize_events();
+  EXPECT_EQ(ferry.deliveries(), expected_total);
+  EXPECT_EQ(ferry.event_metrics().count(), published);
+}
+
+TEST(Meghdoot, DeliversBruteForceMatchSet) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 80;
+  tp.seed = 9;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 13);
+  can::CanNet can(net, {2 * gen.scheme().arity(), 4});
+  ASSERT_TRUE(can.check_invariants());
+  MeghdootLike meg(can, gen.scheme());
+
+  std::vector<std::pair<net::HostIndex, pubsub::Subscription>> subs;
+  Rng rng(15);
+  for (int i = 0; i < 150; ++i) {
+    const auto h = net::HostIndex(rng.index(80));
+    const auto sub = gen.make_subscription();
+    meg.subscribe(h, sub);
+    subs.emplace_back(h, sub);
+  }
+  sim.run();
+
+  std::size_t expected_total = 0;
+  const std::size_t published = 30;
+  for (std::size_t i = 0; i < published; ++i) {
+    const auto e = gen.make_event();
+    for (const auto& [h, sub] : subs) {
+      if (sub.matches(e.point)) ++expected_total;
+    }
+    meg.publish(net::HostIndex(rng.index(80)), e);
+    sim.run();
+  }
+  meg.finalize_events();
+  EXPECT_EQ(meg.deliveries(), expected_total);
+  EXPECT_EQ(meg.event_metrics().count(), published);
+}
+
+TEST(Meghdoot, SubscriptionPointAndRegionGeometry) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 10;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 1);
+  can::CanNet can(net, {2 * gen.scheme().arity(), 2});
+  MeghdootLike meg(can, gen.scheme());
+
+  // A subscription's point must lie inside the affected region of every
+  // event it matches — the invariant the whole mapping relies on.
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const auto sub = gen.make_subscription();
+    const auto e = gen.make_event();
+    const auto p = meg.subscription_point(sub);
+    const auto region = meg.affected_region(e);
+    EXPECT_EQ(sub.matches(e.point), region.contains(p))
+        << "mapping broken at sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hypersub::baseline

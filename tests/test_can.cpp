@@ -1,0 +1,144 @@
+// CAN overlay tests: construction invariants, greedy routing, and the
+// region multicast used by the Meghdoot-like baseline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "can/can_net.hpp"
+#include "net/topology.hpp"
+
+namespace hypersub::can {
+namespace {
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<CanNet> can;
+};
+
+Stack make_stack(std::size_t n, std::size_t dims, std::uint64_t seed = 1) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = seed;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  s.can = std::make_unique<CanNet>(*s.net, CanNet::Params{dims, seed});
+  return s;
+}
+
+class CanBuildTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CanBuildTest, InvariantsHoldAfterConstruction) {
+  const auto [n, dims] = GetParam();
+  auto s = make_stack(n, dims);
+  EXPECT_TRUE(s.can->check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CanBuildTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 2},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{50, 2},
+                      std::pair<std::size_t, std::size_t>{100, 3},
+                      std::pair<std::size_t, std::size_t>{200, 4},
+                      std::pair<std::size_t, std::size_t>{100, 8}));
+
+TEST(Can, OwnerOfIsConsistentWithZones) {
+  auto s = make_stack(64, 2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(0, 1), rng.uniform(0, 1)};
+    const auto h = s.can->owner_of(p);
+    EXPECT_TRUE(s.can->node(h).zone.contains(p));
+  }
+}
+
+TEST(Can, RouteReachesOwner) {
+  auto s = make_stack(128, 2, 7);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.uniform(0, 1), rng.uniform(0, 1)};
+    const auto from = net::HostIndex(rng.index(128));
+    bool done = false;
+    s.can->route(from, p, 50, [&](const CanNet::RouteResult& r) {
+      done = true;
+      EXPECT_TRUE(s.can->node(r.owner).zone.contains(p));
+      EXPECT_GE(r.hops, 0);
+    });
+    s.sim->run();
+    EXPECT_TRUE(done);
+  }
+}
+
+TEST(Can, RouteFromOwnerTakesZeroHops) {
+  auto s = make_stack(32, 2);
+  const Point p{0.5, 0.5};
+  const auto owner = s.can->owner_of(p);
+  bool done = false;
+  s.can->route(owner, p, 10, [&](const CanNet::RouteResult& r) {
+    done = true;
+    EXPECT_EQ(r.hops, 0);
+    EXPECT_EQ(r.owner, owner);
+  });
+  s.sim->run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Can, RegionMulticastVisitsExactlyOverlappingZones) {
+  auto s = make_stack(100, 2, 11);
+  const HyperRect region({{0.2, 0.6}, {0.3, 0.7}});
+  const Point start{0.4, 0.5};
+
+  std::set<net::HostIndex> expected;
+  for (net::HostIndex h = 0; h < 100; ++h) {
+    if (s.can->node(h).zone.overlaps(region)) expected.insert(h);
+  }
+
+  std::set<net::HostIndex> visited;
+  bool done = false;
+  s.can->region_multicast(
+      3, start, region, 100,
+      [&](net::HostIndex h, int) { visited.insert(h); },
+      [&](int max_hops) {
+        done = true;
+        EXPECT_GE(max_hops, 0);
+      });
+  s.sim->run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(Can, RegionMulticastVisitsEachZoneOnce) {
+  auto s = make_stack(80, 2, 13);
+  const HyperRect region({{0.0, 1.0}, {0.0, 1.0}});
+  std::vector<net::HostIndex> visits;
+  bool done = false;
+  s.can->region_multicast(
+      0, Point{0.1, 0.1}, region, 100,
+      [&](net::HostIndex h, int) { visits.push_back(h); },
+      [&](int) { done = true; });
+  s.sim->run();
+  EXPECT_TRUE(done);
+  std::set<net::HostIndex> uniq(visits.begin(), visits.end());
+  EXPECT_EQ(uniq.size(), visits.size()) << "a zone was visited twice";
+  EXPECT_EQ(uniq.size(), 80u) << "full-space region must reach every zone";
+}
+
+TEST(Can, TrafficIsAccounted) {
+  auto s = make_stack(64, 2);
+  s.can->route(0, Point{0.9, 0.9}, 123, [](const CanNet::RouteResult&) {});
+  s.sim->run();
+  // Unless host 0 owned the point, at least one message was charged.
+  if (s.can->owner_of(Point{0.9, 0.9}) != 0) {
+    EXPECT_GT(s.net->total_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hypersub::can

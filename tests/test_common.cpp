@@ -1,0 +1,281 @@
+// Unit tests for the common substrate: ring arithmetic, hashing, intervals,
+// hyper-rectangles, statistics, and Zipf sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/hashing.hpp"
+#include "common/hyperrect.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/zipf.hpp"
+
+namespace hypersub {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ring arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(Ring, DistanceBasics) {
+  EXPECT_EQ(ring::distance(5, 5), 0u);
+  EXPECT_EQ(ring::distance(5, 7), 2u);
+  // Wrap-around: from near the top back past zero.
+  EXPECT_EQ(ring::distance(~Id{0}, 1), 2u);
+}
+
+TEST(Ring, InOpen) {
+  EXPECT_TRUE(ring::in_open(5, 3, 8));
+  EXPECT_FALSE(ring::in_open(3, 3, 8));
+  EXPECT_FALSE(ring::in_open(8, 3, 8));
+  // Wrapping arc (10, 2).
+  EXPECT_TRUE(ring::in_open(0, 10, 2));
+  EXPECT_TRUE(ring::in_open(~Id{0}, 10, 2));
+  EXPECT_FALSE(ring::in_open(5, 10, 2));
+  // Empty arc.
+  EXPECT_FALSE(ring::in_open(1, 4, 4));
+}
+
+TEST(Ring, InOpenClosed) {
+  EXPECT_TRUE(ring::in_open_closed(8, 3, 8));
+  EXPECT_FALSE(ring::in_open_closed(3, 3, 8));
+  EXPECT_TRUE(ring::in_open_closed(1, 10, 2));
+  // Degenerate arc (a, a] covers the whole ring.
+  EXPECT_TRUE(ring::in_open_closed(123, 7, 7));
+}
+
+TEST(Ring, InClosedOpen) {
+  EXPECT_TRUE(ring::in_closed_open(3, 3, 8));
+  EXPECT_FALSE(ring::in_closed_open(8, 3, 8));
+  EXPECT_TRUE(ring::in_closed_open(11, 10, 2));
+}
+
+TEST(Ring, FingerStart) {
+  EXPECT_EQ(ring::finger_start(0, 0), 1u);
+  EXPECT_EQ(ring::finger_start(0, 63), Id{1} << 63);
+  // Wraps modulo 2^64.
+  EXPECT_EQ(ring::finger_start(~Id{0}, 0), 0u);
+}
+
+// Exhaustive cross-check of the interval predicates against a model on a
+// tiny ring.
+TEST(Ring, IntervalModelCheck) {
+  constexpr int kMod = 16;
+  auto model_open = [](int x, int a, int b) {
+    if (a == b) return false;
+    for (int i = (a + 1) % kMod; i != b; i = (i + 1) % kMod) {
+      if (i == x) return true;
+    }
+    return false;
+  };
+  for (int a = 0; a < kMod; ++a) {
+    for (int b = 0; b < kMod; ++b) {
+      for (int x = 0; x < kMod; ++x) {
+        // Map the tiny ring into the top of the 64-bit ring so wrap
+        // behaviour is exercised.
+        const Id A = (~Id{0} - kMod + 1) + Id(a);
+        const Id B = (~Id{0} - kMod + 1) + Id(b);
+        const Id X = (~Id{0} - kMod + 1) + Id(x);
+        EXPECT_EQ(ring::in_open(X, A, B), model_open(x, a, b))
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hashing
+// ---------------------------------------------------------------------------
+
+TEST(Hashing, Deterministic) {
+  EXPECT_EQ(hash_string("table1"), hash_string("table1"));
+  EXPECT_NE(hash_string("table1"), hash_string("table2"));
+  EXPECT_NE(hash_string(""), hash_string("a"));
+}
+
+TEST(Hashing, Mix64Bijective) {
+  // Distinct inputs -> distinct outputs on a sample (bijectivity spot check).
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0), mix64(~std::uint64_t{0}));
+}
+
+TEST(Hashing, CombineOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// ---------------------------------------------------------------------------
+// intervals & hyperrects
+// ---------------------------------------------------------------------------
+
+TEST(Interval, Basics) {
+  const Interval i{2.0, 5.0};
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_TRUE(i.contains(5.0));
+  EXPECT_FALSE(i.contains(5.0001));
+  EXPECT_TRUE(i.covers(Interval{3, 4}));
+  EXPECT_FALSE(i.covers(Interval{3, 6}));
+  EXPECT_TRUE(i.overlaps(Interval{5, 9}));
+  EXPECT_FALSE(i.overlaps(Interval{5.5, 9}));
+  EXPECT_EQ(i.intersect(Interval{4, 9}), (Interval{4, 5}));
+  EXPECT_EQ(i.hull(Interval{4, 9}), (Interval{2, 9}));
+  EXPECT_DOUBLE_EQ(i.length(), 3.0);
+  EXPECT_DOUBLE_EQ(i.center(), 3.5);
+}
+
+TEST(HyperRect, ContainsCoversOverlaps) {
+  const HyperRect r({{0, 10}, {0, 4}});
+  EXPECT_TRUE(r.contains(Point{5, 2}));
+  EXPECT_FALSE(r.contains(Point{5, 4.5}));
+  EXPECT_TRUE(r.covers(HyperRect({{1, 2}, {1, 2}})));
+  EXPECT_FALSE(r.covers(HyperRect({{1, 11}, {1, 2}})));
+  EXPECT_TRUE(r.overlaps(HyperRect({{9, 20}, {3, 9}})));
+  EXPECT_FALSE(r.overlaps(HyperRect({{11, 20}, {3, 9}})));
+}
+
+TEST(HyperRect, HullWithEmpty) {
+  const HyperRect empty;
+  const HyperRect r({{1, 2}, {3, 4}});
+  EXPECT_EQ(empty.hull(r), r);
+  EXPECT_EQ(r.hull(empty), r);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(HyperRect, IntersectAndVolume) {
+  const HyperRect a({{0, 10}, {0, 10}});
+  const HyperRect b({{5, 15}, {5, 15}});
+  EXPECT_EQ(a.intersect(b), HyperRect({{5, 10}, {5, 10}}));
+  EXPECT_DOUBLE_EQ(a.intersect(b).volume_fraction(a), 0.25);
+  EXPECT_DOUBLE_EQ(a.volume_fraction(a), 1.0);
+}
+
+TEST(HyperRect, UniformFactoryAndToString) {
+  const HyperRect u = HyperRect::uniform(3, 0.0, 1.0);
+  EXPECT_EQ(u.dimensions(), 3u);
+  EXPECT_EQ(u.to_string(), "[0,1]x[0,1]x[0,1]");
+}
+
+// ---------------------------------------------------------------------------
+// statistics
+// ---------------------------------------------------------------------------
+
+TEST(Summary, WelfordMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Cdf, QuantilesAndFractions) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(double(i));
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 50.5);
+}
+
+TEST(Cdf, CurveMonotone) {
+  Cdf c;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) c.add(rng.uniform(0, 100));
+  const auto curve = c.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Cdf, RankedDescending) {
+  Cdf c;
+  for (const double x : {3.0, 1.0, 2.0}) c.add(x);
+  const auto r = c.ranked_desc();
+  EXPECT_EQ(r, (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+TEST(Zipf, CdfIsNormalizedAndMonotone) {
+  const ZipfSampler z(100, 0.95);
+  EXPECT_DOUBLE_EQ(z.cdf(100), 1.0);
+  for (std::size_t k = 2; k <= 100; ++k) {
+    EXPECT_GT(z.cdf(k), z.cdf(k - 1));
+    // pmf decreasing in rank
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1) + 1e-15);
+  }
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  const ZipfSampler z(50, 1.0);
+  Rng rng(42);
+  std::vector<std::size_t> counts(51, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(double(counts[k]) / kN, z.pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HigherSkewConcentratesMass) {
+  const double s = GetParam();
+  const ZipfSampler z(100, s);
+  const ZipfSampler z_less(100, s / 2.0);
+  // The top rank carries at least as much mass under higher skew.
+  EXPECT_GE(z.pmf(1) + 1e-12, z_less.pmf(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.5, 2.0));
+
+// ---------------------------------------------------------------------------
+// Rng determinism
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(1), b(1), c(2);
+  const auto x = a.next_u64();
+  EXPECT_EQ(x, b.next_u64());
+  EXPECT_NE(x, c.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(1);
+  Rng child = a.fork();
+  // Child stream differs from parent's next outputs.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng a(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = a.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const auto u = a.uniform_u64(10, 12);
+    EXPECT_GE(u, 10u);
+    EXPECT_LE(u, 12u);
+  }
+}
+
+}  // namespace
+}  // namespace hypersub

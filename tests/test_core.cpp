@@ -1,0 +1,477 @@
+// HyperSub core tests: zone state, subschemes, subscription installation,
+// event delivery, and the exactness property — the set of deliveries the
+// distributed protocol produces equals brute-force matching, with no
+// duplicates, across bases / rotation / subschemes / ancestor-probing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "core/load_balancer.hpp"
+#include "net/topology.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ZoneState unit tests
+// ---------------------------------------------------------------------------
+
+StoredSub stored(Id nid, std::uint32_t iid, const HyperRect& r) {
+  return StoredSub{SubId{nid, iid, SubIdKind::kSubscriber},
+                   pubsub::Subscription(r), r};
+}
+
+TEST(ZoneState, SummaryGrowsWithSubscriptions) {
+  ZoneState z(ZoneAddr{});
+  EXPECT_TRUE(z.add_subscription(stored(1, 1, HyperRect({{1, 2}, {1, 2}}))));
+  EXPECT_EQ(z.summary(), HyperRect({{1, 2}, {1, 2}}));
+  // Inside the hull: no growth.
+  EXPECT_FALSE(z.add_subscription(stored(2, 1, HyperRect({{1, 1.5}, {1, 2}}))));
+  EXPECT_TRUE(z.add_subscription(stored(3, 1, HyperRect({{3, 4}, {1, 2}}))));
+  EXPECT_EQ(z.summary(), HyperRect({{1, 4}, {1, 2}}));
+  EXPECT_EQ(z.subscription_count(), 3u);
+  EXPECT_EQ(z.entry_count(), 3u);
+}
+
+TEST(ZoneState, RemoveRecomputesSummary) {
+  ZoneState z(ZoneAddr{});
+  z.add_subscription(stored(1, 1, HyperRect({{1, 2}, {1, 2}})));
+  z.add_subscription(stored(2, 5, HyperRect({{5, 6}, {1, 2}})));
+  const auto removed =
+      z.remove_subscription(SubId{2, 5, SubIdKind::kSubscriber});
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(z.summary(), HyperRect({{1, 2}, {1, 2}}));
+  EXPECT_FALSE(
+      z.remove_subscription(SubId{9, 9, SubIdKind::kSubscriber}).has_value());
+}
+
+TEST(ZoneState, ParentPieceReplaceShrinkClear) {
+  ZoneState z(ZoneAddr{});
+  EXPECT_TRUE(z.set_parent_piece(HyperRect({{0, 4}, {0, 4}}), 77));
+  EXPECT_EQ(z.summary(), HyperRect({{0, 4}, {0, 4}}));
+  // Shrink.
+  EXPECT_TRUE(z.set_parent_piece(HyperRect({{0, 2}, {0, 2}}), 77));
+  EXPECT_EQ(z.summary(), HyperRect({{0, 2}, {0, 2}}));
+  // Clear via empty rect.
+  EXPECT_TRUE(z.set_parent_piece(HyperRect{}, 77));
+  EXPECT_TRUE(z.summary().empty());
+  EXPECT_FALSE(z.has_parent_piece());
+}
+
+TEST(ZoneState, MatchProducesAllKinds) {
+  ZoneState z(ZoneAddr{});
+  z.add_subscription(stored(1, 1, HyperRect({{0, 10}, {0, 10}})));
+  z.add_subscription(stored(2, 1, HyperRect({{50, 60}, {0, 10}})));
+  z.set_parent_piece(HyperRect({{0, 5}, {0, 5}}), 1234);
+  z.add_migrated_bucket(
+      MigratedBucket{HyperRect({{0, 3}, {0, 3}}),
+                     SubId{99, 7, SubIdKind::kMigrated}});
+  std::vector<SubId> out;
+  z.match(Point{2, 2}, Point{2, 2}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].target, 1u);                      // matching sub
+  EXPECT_EQ(out[1].kind, SubIdKind::kZone);          // parent piece
+  EXPECT_EQ(out[1].target, 1234u);
+  EXPECT_EQ(out[2].kind, SubIdKind::kMigrated);      // bucket
+  out.clear();
+  z.match(Point{55, 2}, Point{55, 2}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].target, 2u);
+}
+
+TEST(ZoneState, ExtractByArcWraps) {
+  ZoneState z(ZoneAddr{});
+  z.add_subscription(stored(10, 1, HyperRect({{0, 1}})));
+  z.add_subscription(stored(20, 1, HyperRect({{0, 1}})));
+  z.add_subscription(stored(~Id{0} - 5, 1, HyperRect({{0, 1}})));
+  // Arc wrapping past zero: [2^64-10, 15) catches the last and id 10.
+  const auto got = z.extract_subscribers_in_arc(~Id{0} - 10, 15);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(z.subscription_count(), 1u);
+  EXPECT_EQ(z.subscriptions()[0].owner.target, 20u);
+}
+
+TEST(SubIdTest, ToStringAndHash) {
+  const SubId a{1, 2, SubIdKind::kSubscriber};
+  const SubId b{1, 2, SubIdKind::kZone};
+  EXPECT_NE(SubIdHash{}(a), SubIdHash{}(b));
+  EXPECT_EQ(a.to_string(), "sub(1,2)");
+}
+
+// ---------------------------------------------------------------------------
+// Subscheme tests
+// ---------------------------------------------------------------------------
+
+pubsub::Scheme scheme4() {
+  return pubsub::Scheme("s4", {{"a", {0, 10}},
+                               {"b", {0, 10}},
+                               {"c", {0, 10}},
+                               {"d", {0, 10}}});
+}
+
+TEST(Subscheme, ProjectionRoundTrip) {
+  const auto s = scheme4();
+  Subscheme ss("s4#0", {1, 3}, s, {1, 20}, true);
+  const HyperRect full({{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  EXPECT_EQ(ss.project(full), HyperRect({{2, 3}, {6, 7}}));
+  EXPECT_EQ(ss.project(Point{0, 2, 4, 6}), (Point{2, 6}));
+}
+
+TEST(Subscheme, CoversConstraints) {
+  const auto s = scheme4();
+  Subscheme ss("s4#0", {1, 3}, s, {1, 20}, true);
+  // Constrains only b.
+  pubsub::Predicate p1{1, {2, 3}};
+  const auto sub1 = pubsub::Subscription::from_predicates(s, std::span(&p1, 1));
+  EXPECT_TRUE(ss.covers_constraints(s, sub1));
+  pubsub::Predicate p2{0, {2, 3}};
+  const auto sub2 = pubsub::Subscription::from_predicates(s, std::span(&p2, 1));
+  EXPECT_FALSE(ss.covers_constraints(s, sub2));
+  EXPECT_EQ(ss.constrained_overlap(s, sub1), 1u);
+  EXPECT_EQ(ss.constrained_overlap(s, sub2), 0u);
+}
+
+TEST(SchemeRuntime, DefaultSingleSubscheme) {
+  SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const SchemeRuntime rt(scheme4(), opt);
+  EXPECT_EQ(rt.subscheme_count(), 1u);
+  EXPECT_EQ(rt.subscheme(0).attributes().size(), 4u);
+}
+
+TEST(SchemeRuntime, ChoosesSmallestCoveringSubscheme) {
+  SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  opt.subschemes = {{0, 1, 2, 3}, {0, 1}, {2}};
+  const SchemeRuntime rt(scheme4(), opt);
+  pubsub::Predicate pc{2, {1, 2}};
+  const auto sub_c =
+      pubsub::Subscription::from_predicates(rt.scheme(), std::span(&pc, 1));
+  EXPECT_EQ(rt.choose_subscheme(sub_c), 2u);
+  pubsub::Predicate pab[] = {{0, {1, 2}}, {1, {1, 2}}};
+  const auto sub_ab = pubsub::Subscription::from_predicates(rt.scheme(), pab);
+  EXPECT_EQ(rt.choose_subscheme(sub_ab), 1u);
+  pubsub::Predicate pall[] = {{0, {1, 2}}, {2, {1, 2}}};
+  const auto sub_ac = pubsub::Subscription::from_predicates(rt.scheme(), pall);
+  EXPECT_EQ(rt.choose_subscheme(sub_ac), 0u);
+}
+
+TEST(SchemeRuntime, RotationDiffersAcrossSubschemes) {
+  SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  opt.subschemes = {{0, 1}, {2, 3}};
+  const SchemeRuntime rt(scheme4(), opt);
+  EXPECT_NE(rt.subscheme(0).rotation(), rt.subscheme(1).rotation());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: delivery == brute force
+// ---------------------------------------------------------------------------
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+  std::unique_ptr<HyperSubSystem> sys;
+};
+
+Stack make_stack(std::size_t n, HyperSubSystem::Config sc = {},
+                 std::uint64_t seed = 1) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = seed;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  chord::ChordNet::Params cp;
+  cp.seed = seed;
+  s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
+  s.chord->oracle_build();
+  s.sys = std::make_unique<HyperSubSystem>(*s.chord, sc);
+  return s;
+}
+
+struct ExactnessCase {
+  int base_bits;
+  bool rotate;
+  bool ancestor_probing;
+  bool subschemes;
+  const char* name;
+};
+
+class ExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(ExactnessTest, DeliveriesEqualBruteForce) {
+  const auto param = GetParam();
+  auto s = make_stack(80, {param.ancestor_probing, true}, 3);
+
+  workload::WorkloadGenerator gen(workload::table1_spec(), 17);
+  SchemeOptions opt;
+  opt.zone_cfg = {param.base_bits, 20};
+  opt.rotate = param.rotate;
+  if (param.subschemes) opt.subschemes = {{0, 1}, {2, 3}};
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+
+  // Install subscriptions: mix of full and partial.
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  std::vector<Owned> subs;
+  Rng rng(23);
+  for (int i = 0; i < 240; ++i) {
+    const auto host = net::HostIndex(rng.index(80));
+    pubsub::Subscription sub;
+    const auto roll = rng.index(4);
+    if (roll == 0) {
+      sub = gen.make_partial_subscription({0, 1});
+    } else if (roll == 1) {
+      sub = gen.make_partial_subscription({2});
+    } else {
+      sub = gen.make_subscription();
+    }
+    const auto iid = s.sys->subscribe(host, scheme, sub);
+    subs.push_back({host, iid, sub});
+  }
+  s.sim->run();
+
+  // Publish events and compare against brute force.
+  std::vector<pubsub::Event> events;
+  std::vector<std::uint64_t> seqs;
+  for (int i = 0; i < 120; ++i) {
+    auto e = gen.make_event();
+    const auto pub = net::HostIndex(rng.index(80));
+    seqs.push_back(s.sys->publish(pub, scheme, e));
+    events.push_back(e);
+  }
+  s.sim->run();
+  s.sys->finalize_events();
+
+  // Group actual deliveries by event.
+  std::map<std::uint64_t, std::multiset<std::pair<std::size_t, std::uint32_t>>>
+      actual;
+  for (const auto& d : s.sys->deliveries()) {
+    actual[d.event_seq].insert({d.subscriber, d.iid});
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::multiset<std::pair<std::size_t, std::uint32_t>> expected;
+    for (const auto& o : subs) {
+      if (o.sub.matches(events[i].point)) expected.insert({o.host, o.iid});
+    }
+    EXPECT_EQ(actual[seqs[i]], expected)
+        << param.name << ": event " << i << " mismatch (duplicates or "
+        << "missing deliveries)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ExactnessTest,
+    ::testing::Values(
+        ExactnessCase{1, true, false, false, "base2"},
+        ExactnessCase{2, true, false, false, "base4"},
+        ExactnessCase{4, true, false, false, "base16"},
+        ExactnessCase{1, false, false, false, "base2_norot"},
+        ExactnessCase{1, true, true, false, "base2_probing"},
+        ExactnessCase{1, true, false, true, "base2_subschemes"},
+        ExactnessCase{2, true, true, true, "base4_probing_subschemes"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(HyperSub, EventMetricsRecorded) {
+  auto s = make_stack(40);
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 5);
+  SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  for (net::HostIndex h = 0; h < 40; ++h) {
+    s.sys->subscribe(h, scheme, gen.make_subscription());
+  }
+  s.sim->run();
+  for (int i = 0; i < 30; ++i) {
+    s.sys->publish(net::HostIndex(i % 40), scheme, gen.make_event());
+  }
+  s.sim->run();
+  s.sys->finalize_events();
+  EXPECT_EQ(s.sys->event_metrics().count(), 30u);
+  for (const auto& r : s.sys->event_metrics().records()) {
+    EXPECT_GE(r.max_hops, 0);
+    EXPECT_GE(r.bandwidth_bytes, 0u);
+    if (r.matched > 0) {
+      EXPECT_GT(r.max_latency_ms, 0.0);
+      EXPECT_GT(r.bandwidth_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(s.sys->total_subscriptions(), 40u);
+}
+
+TEST(HyperSub, UnsubscribeStopsDelivery) {
+  auto s = make_stack(30);
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 6);
+  SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  // A subscription that matches everything.
+  const pubsub::Subscription all(gen.scheme().domain());
+  const auto iid = s.sys->subscribe(5, scheme, all);
+  s.sim->run();
+
+  s.sys->publish(9, scheme, gen.make_event());
+  s.sim->run();
+  s.sys->finalize_events();
+  EXPECT_EQ(s.sys->deliveries().size(), 1u);
+
+  s.sys->unsubscribe(5, scheme, iid, all);
+  s.sim->run();
+  s.sys->publish(9, scheme, gen.make_event());
+  s.sim->run();
+  s.sys->finalize_events();
+  EXPECT_EQ(s.sys->deliveries().size(), 1u);  // no new delivery
+  EXPECT_EQ(s.sys->total_subscriptions(), 0u);
+}
+
+TEST(HyperSub, MultipleSchemesCoexist) {
+  auto s = make_stack(40);
+  workload::WorkloadGenerator g1(workload::tiny_spec(), 7);
+  auto spec2 = workload::tiny_spec();
+  spec2.scheme_name = "tiny2";
+  workload::WorkloadGenerator g2(spec2, 8);
+  SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto s1 = s.sys->add_scheme(g1.scheme(), opt);
+  const auto s2 = s.sys->add_scheme(g2.scheme(), opt);
+  ASSERT_NE(s1, s2);
+
+  const pubsub::Subscription all1(g1.scheme().domain());
+  const pubsub::Subscription all2(g2.scheme().domain());
+  s.sys->subscribe(1, s1, all1);
+  s.sys->subscribe(2, s2, all2);
+  s.sim->run();
+
+  s.sys->publish(3, s1, g1.make_event());
+  s.sim->run();
+  s.sys->finalize_events();
+  // Only the scheme-1 subscriber got it.
+  ASSERT_EQ(s.sys->deliveries().size(), 1u);
+  EXPECT_EQ(s.sys->deliveries()[0].subscriber, 1u);
+
+  s.sys->publish(3, s2, g2.make_event());
+  s.sim->run();
+  s.sys->finalize_events();
+  ASSERT_EQ(s.sys->deliveries().size(), 2u);
+  EXPECT_EQ(s.sys->deliveries()[1].subscriber, 2u);
+}
+
+TEST(HyperSub, PublisherIsAlsoSubscriber) {
+  auto s = make_stack(20);
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 9);
+  SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  s.sys->subscribe(4, scheme, pubsub::Subscription(gen.scheme().domain()));
+  s.sim->run();
+  s.sys->publish(4, scheme, gen.make_event());
+  s.sim->run();
+  s.sys->finalize_events();
+  ASSERT_EQ(s.sys->deliveries().size(), 1u);
+  EXPECT_EQ(s.sys->deliveries()[0].subscriber, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Load balancing
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancing, MigrationPreservesExactness) {
+  auto s = make_stack(60, {}, 11);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 19);
+  SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  std::vector<Owned> subs;
+  Rng rng(29);
+  for (int i = 0; i < 300; ++i) {
+    const auto host = net::HostIndex(rng.index(60));
+    const auto sub = gen.make_subscription();
+    const auto iid = s.sys->subscribe(host, scheme, sub);
+    subs.push_back({host, iid, sub});
+  }
+  s.sim->run();
+
+  LoadBalancer::Config lc;
+  lc.delta = 0.05;
+  lc.min_load = 2;
+  LoadBalancer lb(*s.sys, lc);
+  lb.run_round();
+  lb.run_round();
+  EXPECT_GT(lb.migrated_count(), 0u);
+
+  std::vector<pubsub::Event> events;
+  std::vector<std::uint64_t> seqs;
+  for (int i = 0; i < 80; ++i) {
+    auto e = gen.make_event();
+    seqs.push_back(s.sys->publish(net::HostIndex(rng.index(60)), scheme, e));
+    events.push_back(e);
+  }
+  s.sim->run();
+  s.sys->finalize_events();
+
+  std::map<std::uint64_t, std::multiset<std::pair<std::size_t, std::uint32_t>>>
+      actual;
+  for (const auto& d : s.sys->deliveries()) {
+    actual[d.event_seq].insert({d.subscriber, d.iid});
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::multiset<std::pair<std::size_t, std::uint32_t>> expected;
+    for (const auto& o : subs) {
+      if (o.sub.matches(events[i].point)) expected.insert({o.host, o.iid});
+    }
+    EXPECT_EQ(actual[seqs[i]], expected) << "event " << i;
+  }
+}
+
+TEST(LoadBalancing, ReducesMaxLoad) {
+  auto s = make_stack(60, {}, 13);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 21);
+  SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    s.sys->subscribe(net::HostIndex(rng.index(60)), scheme,
+                     gen.make_subscription());
+  }
+  s.sim->run();
+
+  const auto before = s.sys->node_loads();
+  const std::size_t max_before =
+      *std::max_element(before.begin(), before.end());
+
+  LoadBalancer::Config lc;
+  lc.delta = 0.1;
+  lc.min_load = 4;
+  LoadBalancer lb(*s.sys, lc);
+  for (int i = 0; i < 3; ++i) lb.run_round();
+
+  const auto after = s.sys->node_loads();
+  const std::size_t max_after = *std::max_element(after.begin(), after.end());
+  EXPECT_LT(max_after, max_before);
+  EXPECT_GT(lb.migrated_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hypersub::core

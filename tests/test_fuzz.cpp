@@ -1,0 +1,154 @@
+// Randomized model-checking of the geometric core: interval/hyper-rect
+// algebra against brute-force point sampling, and LPH locate against a
+// linear search over the zone tree. These are the invariants everything
+// above (summary filters, piece chains, matching) silently relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/hyperrect.hpp"
+#include "common/rng.hpp"
+#include "lph/zone.hpp"
+
+namespace hypersub {
+namespace {
+
+Interval random_interval(Rng& rng, double lo, double hi) {
+  double a = rng.uniform(lo, hi);
+  double b = rng.uniform(lo, hi);
+  if (a > b) std::swap(a, b);
+  return Interval{a, b};
+}
+
+TEST(Fuzz, IntervalAlgebraAgreesWithPointSampling) {
+  Rng rng(101);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Interval x = random_interval(rng, 0, 10);
+    const Interval y = random_interval(rng, 0, 10);
+    // covers == every sampled point of y is in x.
+    bool covers = true;
+    bool overlaps = false;
+    for (int s = 0; s <= 20; ++s) {
+      const double p = y.lo + (y.hi - y.lo) * double(s) / 20.0;
+      covers = covers && x.contains(p);
+      overlaps = overlaps || x.contains(p);
+    }
+    EXPECT_EQ(x.covers(y), covers) << x.lo << "," << x.hi << " vs " << y.lo
+                                   << "," << y.hi;
+    // Sampling can miss a sliver overlap, but never invent one.
+    if (overlaps) EXPECT_TRUE(x.overlaps(y));
+    if (!x.overlaps(y)) EXPECT_FALSE(overlaps);
+    // hull contains both; intersect (when valid) is inside both.
+    const Interval h = x.hull(y);
+    EXPECT_TRUE(h.covers(x));
+    EXPECT_TRUE(h.covers(y));
+    if (x.overlaps(y)) {
+      const Interval i = x.intersect(y);
+      EXPECT_TRUE(x.covers(i));
+      EXPECT_TRUE(y.covers(i));
+      EXPECT_LE(i.length(), std::min(x.length(), y.length()) + 1e-12);
+    }
+  }
+}
+
+TEST(Fuzz, HyperRectAlgebraAgreesWithPointSampling) {
+  Rng rng(103);
+  for (int iter = 0; iter < 800; ++iter) {
+    const std::size_t d = 1 + rng.index(4);
+    std::vector<Interval> xs, ys;
+    for (std::size_t i = 0; i < d; ++i) {
+      xs.push_back(random_interval(rng, 0, 10));
+      ys.push_back(random_interval(rng, 0, 10));
+    }
+    const HyperRect x(xs), y(ys);
+    // Sample points of y; covers means all inside x.
+    bool covers = true;
+    for (int s = 0; s < 50; ++s) {
+      Point p;
+      for (std::size_t i = 0; i < d; ++i) {
+        p.push_back(rng.uniform(y.dim(i).lo, y.dim(i).hi));
+      }
+      EXPECT_TRUE(y.contains(p));
+      covers = covers && x.contains(p);
+    }
+    if (x.covers(y)) EXPECT_TRUE(covers);
+    if (!covers) EXPECT_FALSE(x.covers(y));
+    // hull/intersect relations.
+    EXPECT_TRUE(x.hull(y).covers(x));
+    EXPECT_TRUE(x.hull(y).covers(y));
+    if (x.overlaps(y)) {
+      const HyperRect i = x.intersect(y);
+      EXPECT_TRUE(x.covers(i));
+      EXPECT_TRUE(y.covers(i));
+      EXPECT_LE(i.volume_fraction(x.hull(y)), 1.0 + 1e-12);
+    }
+  }
+}
+
+// LPH locate(point) against a linear descent that tries every child.
+TEST(Fuzz, LocatePointAgreesWithExhaustiveDescent) {
+  Rng rng(107);
+  for (const int bb : {1, 2}) {
+    for (const std::size_t dims : {std::size_t{1}, std::size_t{3}}) {
+      const lph::ZoneSystem zs(HyperRect::uniform(dims, 0.0, 100.0),
+                               lph::ZoneSystem::Config::for_dims(dims, bb));
+      for (int iter = 0; iter < 300; ++iter) {
+        Point p;
+        for (std::size_t i = 0; i < dims; ++i) {
+          p.push_back(rng.uniform(0.0, 100.0));
+        }
+        const lph::Zone fast = zs.locate(p);
+        // Exhaustive: at each level pick any child whose extent contains p
+        // (ties on boundaries allowed — fast must match one such path).
+        lph::Zone z = zs.root();
+        bool fast_on_path = true;
+        for (int l = 0; l < zs.max_level(); ++l) {
+          bool found = false;
+          for (int c = 0; c < zs.base(); ++c) {
+            const lph::Zone child = zs.child(z, c);
+            if (zs.extent(child).contains(p)) {
+              // Follow the same branch locate() chose when both contain p.
+              const int fast_digit = zs.digit(fast, l + 1);
+              z = zs.extent(zs.child(z, fast_digit)).contains(p)
+                      ? zs.child(z, fast_digit)
+                      : child;
+              found = true;
+              break;
+            }
+          }
+          ASSERT_TRUE(found) << "no child contains the point";
+        }
+        fast_on_path = (z == fast);
+        EXPECT_TRUE(fast_on_path);
+        EXPECT_TRUE(zs.extent(fast).contains(p));
+      }
+    }
+  }
+}
+
+// locate(rect) minimality, fuzzed across dims/bases.
+TEST(Fuzz, LocateRectIsMinimalCover) {
+  Rng rng(109);
+  for (const int bb : {1, 2}) {
+    const std::size_t dims = 3;
+    const lph::ZoneSystem zs(HyperRect::uniform(dims, 0.0, 1.0),
+                             lph::ZoneSystem::Config::for_dims(dims, bb));
+    for (int iter = 0; iter < 400; ++iter) {
+      std::vector<Interval> r;
+      for (std::size_t i = 0; i < dims; ++i) {
+        r.push_back(random_interval(rng, 0.0, 1.0));
+      }
+      const HyperRect rect(r);
+      const lph::Zone z = zs.locate(rect);
+      EXPECT_TRUE(zs.extent(z).covers(rect));
+      if (!zs.is_leaf(z)) {
+        for (int c = 0; c < zs.base(); ++c) {
+          EXPECT_FALSE(zs.extent(zs.child(z, c)).covers(rect))
+              << "covering zone was not minimal";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypersub

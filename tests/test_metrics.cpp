@@ -1,0 +1,73 @@
+// Metrics and reporting tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/event_metrics.hpp"
+#include "metrics/node_metrics.hpp"
+#include "metrics/report.hpp"
+#include "net/network.hpp"
+
+namespace hypersub::metrics {
+namespace {
+
+TEST(EventMetrics, CdfViews) {
+  EventMetrics m;
+  m.add({1, 5, 0.5, 10, 100.0, 2048});
+  m.add({2, 10, 1.0, 20, 200.0, 4096});
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.pct_matched_cdf().mean(), 0.75);
+  EXPECT_DOUBLE_EQ(m.hops_cdf().max(), 20.0);
+  EXPECT_DOUBLE_EQ(m.latency_cdf().min(), 100.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth_kb_cdf().mean(), 3.0);
+}
+
+TEST(NodeMetrics, SnapshotCombinesTrafficAndLoad) {
+  sim::Simulator sim;
+  net::MatrixTopology topo({{0, 1}, {1, 0}});
+  net::Network net(sim, topo);
+  net.send(0, 1, 500, [] {});
+  sim.run();
+  const auto m = snapshot_nodes(net, {7, 3});
+  ASSERT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.records()[0].bytes_out, 500u);
+  EXPECT_EQ(m.records()[1].bytes_in, 500u);
+  EXPECT_EQ(m.records()[0].load, 7u);
+  EXPECT_DOUBLE_EQ(m.load_cdf().max(), 7.0);
+  const auto ranked = m.ranked_load();
+  EXPECT_EQ(ranked, (std::vector<double>{7.0, 3.0}));
+}
+
+TEST(Report, CdfFigurePrintsSeriesAndRows) {
+  Cdf c;
+  for (int i = 1; i <= 10; ++i) c.add(double(i));
+  std::ostringstream os;
+  print_cdf_figure(os, "Fig X", "value", {{"series-a", c}}, 5);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+  EXPECT_NE(out.find("avg=5.500"), std::string::npos);
+}
+
+TEST(Report, RankedFigure) {
+  Cdf c;
+  for (int i = 1; i <= 50; ++i) c.add(double(i));
+  std::ostringstream os;
+  print_ranked_figure(os, "Fig 4", {{"loads", c}}, 30, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig 4"), std::string::npos);
+  EXPECT_NE(out.find("max 50.000"), std::string::npos);
+}
+
+TEST(Report, XyFigure) {
+  std::ostringstream os;
+  print_xy_figure(os, "Fig 5", "n", {"a", "b"}, {1, 2},
+                  {{10, 20}, {30, 40}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig 5"), std::string::npos);
+  EXPECT_NE(out.find("30.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypersub::metrics

@@ -1,0 +1,155 @@
+// Unit tests for topologies and the message fabric.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace hypersub::net {
+namespace {
+
+MatrixTopology make_triangle() {
+  // One-way latencies of a 3-host triangle.
+  return MatrixTopology({{0, 5, 10},
+                         {5, 0, 20},
+                         {10, 20, 0}});
+}
+
+TEST(MatrixTopology, LatencyAndRtt) {
+  const auto t = make_triangle();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.latency(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(t.rtt(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(t.latency(2, 2), 0.0);
+}
+
+TEST(MatrixTopology, MeanRttExactForSmall) {
+  const auto t = make_triangle();
+  // pairs: (0,1)=10, (0,2)=20, (1,2)=40 -> mean 70/3
+  EXPECT_NEAR(t.mean_rtt(), 70.0 / 3.0, 1e-9);
+}
+
+TEST(KingLikeTopology, CalibratesToTargetMeanRtt) {
+  KingLikeTopology::Params p;
+  p.hosts = 400;
+  p.target_mean_rtt_ms = 180.0;
+  KingLikeTopology t(p);
+  EXPECT_NEAR(t.mean_rtt(20000, 9), 180.0, 18.0);  // within 10%
+}
+
+TEST(KingLikeTopology, SymmetricZeroDiagonalPositive) {
+  KingLikeTopology::Params p;
+  p.hosts = 50;
+  KingLikeTopology t(p);
+  for (HostIndex a = 0; a < 50; ++a) {
+    EXPECT_DOUBLE_EQ(t.latency(a, a), 0.0);
+    for (HostIndex b = a + 1; b < 50; ++b) {
+      EXPECT_DOUBLE_EQ(t.latency(a, b), t.latency(b, a));
+      EXPECT_GT(t.latency(a, b), 0.0);
+    }
+  }
+}
+
+TEST(KingLikeTopology, DeterministicPerSeed) {
+  KingLikeTopology::Params p;
+  p.hosts = 30;
+  p.seed = 5;
+  KingLikeTopology a(p), b(p);
+  p.seed = 6;
+  KingLikeTopology c(p);
+  EXPECT_DOUBLE_EQ(a.latency(3, 17), b.latency(3, 17));
+  EXPECT_NE(a.latency(3, 17), c.latency(3, 17));
+}
+
+class KingSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KingSizeTest, MeanStaysNearTargetAcrossSizes) {
+  KingLikeTopology::Params p;
+  p.hosts = GetParam();
+  p.target_mean_rtt_ms = 180.0;
+  p.seed = 11;
+  KingLikeTopology t(p);
+  EXPECT_NEAR(t.mean_rtt(20000, 3), 180.0, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KingSizeTest,
+                         ::testing::Values(100, 500, 1000, 1740, 3000));
+
+TEST(Network, DeliversAfterLatency) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  double arrived = -1.0;
+  net.send(0, 2, 100, [&] { arrived = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(arrived, 10.0);
+}
+
+TEST(Network, AccountsTraffic) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  net.send(0, 1, 100, [] {});
+  net.send(1, 0, 50, [] {});
+  s.run();
+  EXPECT_EQ(net.traffic(0).bytes_out, 100u);
+  EXPECT_EQ(net.traffic(0).bytes_in, 50u);
+  EXPECT_EQ(net.traffic(1).bytes_in, 100u);
+  EXPECT_EQ(net.traffic(1).bytes_out, 50u);
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.total_bytes(), 150u);
+}
+
+TEST(Network, SelfSendIsFreeAndImmediate) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  bool ran = false;
+  net.send(1, 1, 1000, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(net.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Network, DropsToDeadHosts) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  net.kill(2);
+  bool ran = false;
+  net.send(0, 2, 10, [&] { ran = true; });
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(net.dropped(), 1u);
+  net.revive(2);
+  net.send(0, 2, 10, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Network, DeathInFlightDropsDelivery) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  bool ran = false;
+  net.send(0, 2, 10, [&] { ran = true; });  // arrives at t=10
+  s.schedule(5.0, [&] { net.kill(2); });
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(Network, ResetTrafficZeroes) {
+  sim::Simulator s;
+  const auto topo = make_triangle();
+  Network net(s, topo);
+  net.send(0, 1, 100, [] {});
+  s.run();
+  net.reset_traffic();
+  EXPECT_EQ(net.traffic(0).bytes_out, 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace hypersub::net

@@ -1,0 +1,145 @@
+// Tests for the §6 extension: piggybacking DHT liveness maintenance onto
+// event-delivery traffic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+};
+
+Stack make_stack(std::size_t n, bool probe, bool piggyback,
+                 std::uint64_t seed = 1) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = seed;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  chord::ChordNet::Params cp;
+  cp.seed = seed;
+  cp.probe_fingers = probe;
+  cp.piggyback_maintenance = piggyback;
+  s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
+  s.chord->oracle_build();
+  return s;
+}
+
+TEST(Piggyback, FingerProbesSendPings) {
+  auto s = make_stack(32, /*probe=*/true, /*piggyback=*/false);
+  s.chord->start_maintenance();
+  s.sim->run_until(5000.0);
+  s.chord->stop_maintenance();
+  s.sim->run();
+  EXPECT_GT(s.chord->pings_sent(), 0u);
+  EXPECT_EQ(s.chord->pings_saved(), 0u);  // piggyback off: nothing saved
+}
+
+TEST(Piggyback, NoteContactSuppressesPings) {
+  auto s = make_stack(32, /*probe=*/true, /*piggyback=*/true);
+  // Feed fresh contact for every neighbor of every node continuously.
+  for (int round = 0; round < 10; ++round) {
+    for (net::HostIndex h = 0; h < 32; ++h) {
+      for (const auto& nb : s.chord->node(h).neighbors()) {
+        s.chord->note_contact(h, nb.id);
+      }
+    }
+    s.chord->start_maintenance();
+    s.sim->run_until(s.sim->now() + 400.0);
+    s.chord->stop_maintenance();
+    s.sim->run();
+  }
+  EXPECT_GT(s.chord->pings_saved(), 0u);
+}
+
+TEST(Piggyback, NoteContactIsNoOpWhenDisabled) {
+  auto s = make_stack(16, true, /*piggyback=*/false);
+  s.chord->note_contact(0, s.chord->node(1).id());
+  s.chord->start_maintenance();
+  s.sim->run_until(2000.0);
+  s.chord->stop_maintenance();
+  s.sim->run();
+  EXPECT_EQ(s.chord->pings_saved(), 0u);
+}
+
+TEST(Piggyback, EventTrafficReducesMaintenancePings) {
+  // End to end: the same network + maintenance, once idle and once under
+  // event load with piggybacking. Under load, fewer explicit pings.
+  std::uint64_t sent_idle = 0, sent_busy = 0, saved_busy = 0;
+  for (const bool busy : {false, true}) {
+    auto s = make_stack(60, /*probe=*/true, /*piggyback=*/true, 5);
+    core::HyperSubSystem sys(*s.chord);
+    workload::WorkloadGenerator gen(workload::tiny_spec(), 3);
+    core::SchemeOptions opt;
+    opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+    const auto scheme = sys.add_scheme(gen.scheme(), opt);
+    for (net::HostIndex h = 0; h < 60; ++h) {
+      sys.subscribe(h, scheme,
+                    pubsub::Subscription(gen.scheme().domain()));
+    }
+    s.sim->run();
+    s.chord->start_maintenance();
+    if (busy) {
+      Rng rng(7);
+      double t = 0;
+      for (int i = 0; i < 400; ++i) {
+        t += rng.exponential(25.0);  // heavy feed: ~40 events/second
+        pubsub::Event e = gen.make_event();
+        const auto pub = net::HostIndex(rng.index(60));
+        s.sim->schedule(t, [&sys, scheme, pub, e]() mutable {
+          sys.publish(pub, scheme, std::move(e));
+        });
+      }
+    }
+    s.sim->run_until(s.sim->now() + 10000.0);
+    s.chord->stop_maintenance();
+    s.sim->run();
+    sys.finalize_events();
+    if (busy) {
+      sent_busy = s.chord->pings_sent();
+      saved_busy = s.chord->pings_saved();
+    } else {
+      sent_idle = s.chord->pings_sent();
+    }
+  }
+  EXPECT_GT(saved_busy, 0u);
+  EXPECT_LT(sent_busy, sent_idle);
+}
+
+TEST(Piggyback, DeadFingerStillDetectedWithoutRecentContact) {
+  auto s = make_stack(24, /*probe=*/true, /*piggyback=*/true, 9);
+  s.chord->start_maintenance();
+  s.sim->run_until(2000.0);
+  // Kill a node; with no traffic, probes must eventually clear it from
+  // routing tables of nodes that had it as a finger.
+  const net::HostIndex victim = 7;
+  const Id victim_id = s.chord->id_of(victim);
+  s.chord->fail(victim);
+  s.sim->run_until(s.sim->now() + 120000.0);
+  s.chord->stop_maintenance();
+  s.sim->run();
+  for (net::HostIndex h = 0; h < 24; ++h) {
+    if (h == victim || !s.net->alive(h)) continue;
+    const auto& nd = s.chord->node(h);
+    EXPECT_NE(nd.successor().id, victim_id) << "host " << h;
+    EXPECT_TRUE(!nd.predecessor().valid() ||
+                nd.predecessor().id != victim_id);
+  }
+}
+
+}  // namespace
+}  // namespace hypersub

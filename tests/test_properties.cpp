@@ -1,0 +1,170 @@
+// Property-based sweeps across both DHT substrates:
+//   * delivery == brute force after random subscribe/unsubscribe interleaving
+//   * zone-state structural invariants hold after quiescence
+//   * overlay conformance (ownership partition, route agreement)
+// parameterized over {Chord, Pastry} x seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "net/topology.hpp"
+#include "pastry/pastry_net.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+struct Substrate {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+  std::unique_ptr<pastry::PastryNet> pastry;
+  overlay::Overlay* dht = nullptr;
+};
+
+Substrate make_substrate(const std::string& kind, std::size_t n,
+                         std::uint64_t seed) {
+  Substrate s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = seed;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  if (kind == "chord") {
+    chord::ChordNet::Params cp;
+    cp.seed = seed;
+    s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
+    s.chord->oracle_build();
+    s.dht = s.chord.get();
+  } else {
+    pastry::PastryNet::Params pp;
+    pp.seed = seed;
+    s.pastry = std::make_unique<pastry::PastryNet>(*s.net, pp);
+    s.pastry->oracle_build();
+    s.dht = s.pastry.get();
+  }
+  return s;
+}
+
+using Param = std::pair<std::string, std::uint64_t>;  // substrate, seed
+
+class SubstrateProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SubstrateProperty, OwnershipPartitionAndRouteAgreement) {
+  const auto& [kind, seed] = GetParam();
+  auto s = make_substrate(kind, 72, seed);
+  Rng rng(seed * 31 + 1);
+  for (int i = 0; i < 100; ++i) {
+    const Id key = rng.next_u64();
+    std::size_t owners = 0;
+    net::HostIndex owner_host = 0;
+    for (net::HostIndex h = 0; h < 72; ++h) {
+      if (s.dht->owns(h, key)) {
+        ++owners;
+        owner_host = h;
+      }
+    }
+    ASSERT_EQ(owners, 1u) << kind << " key " << key;
+    bool done = false;
+    s.dht->route(net::HostIndex(rng.index(72)), key, 0,
+                 [&](const overlay::Overlay::RouteResult& r) {
+                   done = true;
+                   EXPECT_EQ(r.owner.host, owner_host);
+                 });
+    s.sim->run();
+    EXPECT_TRUE(done);
+  }
+}
+
+TEST_P(SubstrateProperty, NextHopNeverLoopsToSelf) {
+  const auto& [kind, seed] = GetParam();
+  auto s = make_substrate(kind, 48, seed);
+  Rng rng(seed * 37 + 5);
+  for (int i = 0; i < 200; ++i) {
+    const Id key = rng.next_u64();
+    for (net::HostIndex h = 0; h < 48; h += 7) {
+      if (s.dht->owns(h, key)) continue;
+      const overlay::Peer next = s.dht->next_hop(h, key);
+      ASSERT_TRUE(next.valid());
+      EXPECT_NE(next.host, h);
+    }
+  }
+}
+
+TEST_P(SubstrateProperty, ChurningSubscriptionsStayExact) {
+  const auto& [kind, seed] = GetParam();
+  auto s = make_substrate(kind, 50, seed);
+  core::HyperSubSystem sys(*s.dht);
+  workload::WorkloadGenerator gen(workload::table1_spec(), seed * 41 + 7);
+  core::SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = sys.add_scheme(gen.scheme(), opt);
+
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  std::vector<Owned> live;
+  Rng rng(seed * 43 + 9);
+
+  // Interleave subscribes, unsubscribes, and events; after each batch the
+  // delivery set must equal brute force over the live subscriptions.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const auto host = net::HostIndex(rng.index(50));
+      const auto sub = gen.make_subscription();
+      const auto iid = sys.subscribe(host, scheme, sub);
+      live.push_back({host, iid, sub});
+    }
+    // Unsubscribe ~25% of live subscriptions.
+    std::vector<Owned> keep;
+    for (const auto& o : live) {
+      if (rng.chance(0.25)) {
+        sys.unsubscribe(o.host, scheme, o.iid, o.sub);
+      } else {
+        keep.push_back(o);
+      }
+    }
+    live = std::move(keep);
+    s.sim->run();
+
+    const std::size_t before = sys.deliveries().size();
+    auto e = gen.make_event();
+    sys.publish(net::HostIndex(rng.index(50)), scheme, e);
+    s.sim->run();
+    sys.finalize_events();
+
+    std::multiset<std::pair<std::size_t, std::uint32_t>> got, expect;
+    for (std::size_t i = before; i < sys.deliveries().size(); ++i) {
+      got.insert({sys.deliveries()[i].subscriber, sys.deliveries()[i].iid});
+    }
+    for (const auto& o : live) {
+      if (o.sub.matches(e.point)) expect.insert({o.host, o.iid});
+    }
+    EXPECT_EQ(got, expect) << kind << " round " << round;
+    // Structural invariants hold at quiescence.
+    EXPECT_TRUE(sys.check_zone_invariants()) << kind << " round " << round;
+  }
+  EXPECT_EQ(sys.total_subscriptions(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Substrates, SubstrateProperty,
+    ::testing::Values(Param{"chord", 1}, Param{"chord", 2},
+                      Param{"chord", 3}, Param{"pastry", 1},
+                      Param{"pastry", 2}, Param{"pastry", 3}),
+    [](const auto& info) {
+      return info.param.first + "_seed" + std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace hypersub

@@ -1,0 +1,95 @@
+// Experiment-runner tests: the turn-key harness drives a full simulation,
+// returns sane metrics, and is deterministic per seed.
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace hypersub::runner {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.nodes = 60;
+  cfg.subs_per_node = 3;
+  cfg.events = 60;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Runner, ProducesMetricsForEveryEvent) {
+  const auto r = run_experiment(small_config());
+  EXPECT_EQ(r.events.count(), 60u);
+  EXPECT_EQ(r.nodes.count(), 60u);
+  EXPECT_EQ(r.total_subs, 180u);
+  EXPECT_GT(r.mean_rtt_ms, 0.0);
+  // Some events should match something under the Table-1 workload.
+  EXPECT_GT(r.avg_pct_matched, 0.0);
+}
+
+TEST(Runner, DeterministicPerSeed) {
+  const auto a = run_experiment(small_config());
+  const auto b = run_experiment(small_config());
+  ASSERT_EQ(a.events.count(), b.events.count());
+  for (std::size_t i = 0; i < a.events.count(); ++i) {
+    EXPECT_EQ(a.events.records()[i].matched, b.events.records()[i].matched);
+    EXPECT_EQ(a.events.records()[i].max_hops, b.events.records()[i].max_hops);
+    EXPECT_DOUBLE_EQ(a.events.records()[i].max_latency_ms,
+                     b.events.records()[i].max_latency_ms);
+    EXPECT_EQ(a.events.records()[i].bandwidth_bytes,
+              b.events.records()[i].bandwidth_bytes);
+  }
+}
+
+TEST(Runner, SeedChangesResults) {
+  auto cfg = small_config();
+  const auto a = run_experiment(cfg);
+  cfg.seed = 6;
+  const auto b = run_experiment(cfg);
+  // Identical totals would be a one-in-astronomical coincidence.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.events.count(), b.events.count());
+       ++i) {
+    if (a.events.records()[i].bandwidth_bytes !=
+        b.events.records()[i].bandwidth_bytes) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Runner, LoadBalancingMigratesAndKeepsCounts) {
+  auto cfg = small_config();
+  cfg.load_balancing = true;
+  cfg.lb.delta = 0.05;
+  cfg.lb.min_load = 2;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.events.count(), 60u);
+  EXPECT_GT(r.migrated, 0u);
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.base_bits = 2;
+  const auto serial1 = run_experiment(c1);
+  const auto serial2 = run_experiment(c2);
+  const auto par = run_experiments_parallel({c1, c2});
+  ASSERT_EQ(par.size(), 2u);
+  EXPECT_EQ(par[0].events.records()[10].bandwidth_bytes,
+            serial1.events.records()[10].bandwidth_bytes);
+  EXPECT_EQ(par[1].events.records()[10].bandwidth_bytes,
+            serial2.events.records()[10].bandwidth_bytes);
+}
+
+TEST(Runner, ConfigLabels) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(config_label(cfg), "Base 2,level 20,no LB");
+  cfg.base_bits = 2;
+  cfg.load_balancing = true;
+  EXPECT_EQ(config_label(cfg), "Base 4,level 10,LB");
+}
+
+}  // namespace
+}  // namespace hypersub::runner

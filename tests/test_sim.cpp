@@ -1,0 +1,115 @@
+// Unit tests for the discrete-event simulation engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hypersub::sim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(10.0, [&] { order.push_back(2); });
+  s.schedule(5.0, [&] { order.push_back(1); });
+  s.schedule(20.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+}
+
+TEST(Simulator, FifoTiebreakAtEqualTimes) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule(1.0, [&] {
+    times.push_back(s.now());
+    s.schedule(2.0, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  double fired = -1.0;
+  s.schedule(5.0, [&] {
+    s.schedule(-3.0, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired, 5.0);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(1.0, [&] { ++ran; });
+  s.schedule(2.0, [&] { ++ran; });
+  s.schedule(3.0, [&] { ++ran; });
+  const auto n = s.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWhenIdle) {
+  Simulator s;
+  s.run_until(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, MaxEventsBound) {
+  Simulator s;
+  int ran = 0;
+  for (int i = 0; i < 5; ++i) s.schedule(double(i), [&] { ++ran; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(1.0, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Simulator, ScheduleAtAbsolute) {
+  Simulator s;
+  double t = 0.0;
+  s.schedule_at(9.5, [&] { t = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(t, 9.5);
+}
+
+// Stress: a self-rescheduling chain stays deterministic and ordered.
+TEST(Simulator, LongChainDeterministic) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> step = [&] {
+    if (++count < 10000) s.schedule(0.1, step);
+  };
+  s.schedule(0.1, step);
+  s.run();
+  EXPECT_EQ(count, 10000);
+  EXPECT_NEAR(s.now(), 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hypersub::sim
