@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_churn"
+  "../bench/ablation_churn.pdb"
+  "CMakeFiles/ablation_churn.dir/ablation_churn.cpp.o"
+  "CMakeFiles/ablation_churn.dir/ablation_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dht"
+  "../bench/ablation_dht.pdb"
+  "CMakeFiles/ablation_dht.dir/ablation_dht.cpp.o"
+  "CMakeFiles/ablation_dht.dir/ablation_dht.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

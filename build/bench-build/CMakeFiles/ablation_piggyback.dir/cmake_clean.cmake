@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_piggyback"
+  "../bench/ablation_piggyback.pdb"
+  "CMakeFiles/ablation_piggyback.dir/ablation_piggyback.cpp.o"
+  "CMakeFiles/ablation_piggyback.dir/ablation_piggyback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pns"
+  "../bench/ablation_pns.pdb"
+  "CMakeFiles/ablation_pns.dir/ablation_pns.cpp.o"
+  "CMakeFiles/ablation_pns.dir/ablation_pns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rotation"
+  "../bench/ablation_rotation.pdb"
+  "CMakeFiles/ablation_rotation.dir/ablation_rotation.cpp.o"
+  "CMakeFiles/ablation_rotation.dir/ablation_rotation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_subscheme"
+  "../bench/ablation_subscheme.pdb"
+  "CMakeFiles/ablation_subscheme.dir/ablation_subscheme.cpp.o"
+  "CMakeFiles/ablation_subscheme.dir/ablation_subscheme.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subscheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

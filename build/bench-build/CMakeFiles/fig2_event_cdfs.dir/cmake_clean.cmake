@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_event_cdfs"
+  "../bench/fig2_event_cdfs.pdb"
+  "CMakeFiles/fig2_event_cdfs.dir/fig2_event_cdfs.cpp.o"
+  "CMakeFiles/fig2_event_cdfs.dir/fig2_event_cdfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_event_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

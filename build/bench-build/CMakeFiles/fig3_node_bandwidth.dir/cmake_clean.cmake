@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_node_bandwidth"
+  "../bench/fig3_node_bandwidth.pdb"
+  "CMakeFiles/fig3_node_bandwidth.dir/fig3_node_bandwidth.cpp.o"
+  "CMakeFiles/fig3_node_bandwidth.dir/fig3_node_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_node_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

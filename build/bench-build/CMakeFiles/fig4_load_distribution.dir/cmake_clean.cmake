@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_load_distribution"
+  "../bench/fig4_load_distribution.pdb"
+  "CMakeFiles/fig4_load_distribution.dir/fig4_load_distribution.cpp.o"
+  "CMakeFiles/fig4_load_distribution.dir/fig4_load_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_load_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

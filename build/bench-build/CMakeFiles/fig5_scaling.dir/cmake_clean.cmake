@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scaling"
+  "../bench/fig5_scaling.pdb"
+  "CMakeFiles/fig5_scaling.dir/fig5_scaling.cpp.o"
+  "CMakeFiles/fig5_scaling.dir/fig5_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lph"
+  "../bench/micro_lph.pdb"
+  "CMakeFiles/micro_lph.dir/micro_lph.cpp.o"
+  "CMakeFiles/micro_lph.dir/micro_lph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

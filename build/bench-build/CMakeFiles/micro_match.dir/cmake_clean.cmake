@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_match"
+  "../bench/micro_match.pdb"
+  "CMakeFiles/micro_match.dir/micro_match.cpp.o"
+  "CMakeFiles/micro_match.dir/micro_match.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

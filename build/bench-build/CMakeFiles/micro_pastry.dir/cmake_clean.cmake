@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pastry"
+  "../bench/micro_pastry.pdb"
+  "CMakeFiles/micro_pastry.dir/micro_pastry.cpp.o"
+  "CMakeFiles/micro_pastry.dir/micro_pastry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim.cpp" "bench-build/CMakeFiles/micro_sim.dir/micro_sim.cpp.o" "gcc" "bench-build/CMakeFiles/micro_sim.dir/micro_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_lph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_scheme"
+  "../bench/table1_scheme.pdb"
+  "CMakeFiles/table1_scheme.dir/table1_scheme.cpp.o"
+  "CMakeFiles/table1_scheme.dir/table1_scheme.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_networks"
+  "../bench/table2_networks.pdb"
+  "CMakeFiles/table2_networks.dir/table2_networks.cpp.o"
+  "CMakeFiles/table2_networks.dir/table2_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/auction_monitor"
+  "../examples/auction_monitor.pdb"
+  "CMakeFiles/auction_monitor.dir/auction_monitor.cpp.o"
+  "CMakeFiles/auction_monitor.dir/auction_monitor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_tenant"
+  "../examples/multi_tenant.pdb"
+  "CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o"
+  "CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

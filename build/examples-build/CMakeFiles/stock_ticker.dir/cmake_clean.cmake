@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stock_ticker"
+  "../examples/stock_ticker.pdb"
+  "CMakeFiles/stock_ticker.dir/stock_ticker.cpp.o"
+  "CMakeFiles/stock_ticker.dir/stock_ticker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_ticker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

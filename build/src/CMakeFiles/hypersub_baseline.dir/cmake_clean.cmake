@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_baseline.dir/baseline/ferry_like.cpp.o"
+  "CMakeFiles/hypersub_baseline.dir/baseline/ferry_like.cpp.o.d"
+  "CMakeFiles/hypersub_baseline.dir/baseline/meghdoot_like.cpp.o"
+  "CMakeFiles/hypersub_baseline.dir/baseline/meghdoot_like.cpp.o.d"
+  "libhypersub_baseline.a"
+  "libhypersub_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_can.dir/can/can_net.cpp.o"
+  "CMakeFiles/hypersub_can.dir/can/can_net.cpp.o.d"
+  "libhypersub_can.a"
+  "libhypersub_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypersub_can.a"
+)

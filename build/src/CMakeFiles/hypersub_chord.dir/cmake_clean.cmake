@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_chord.dir/chord/chord_net.cpp.o"
+  "CMakeFiles/hypersub_chord.dir/chord/chord_net.cpp.o.d"
+  "CMakeFiles/hypersub_chord.dir/chord/chord_node.cpp.o"
+  "CMakeFiles/hypersub_chord.dir/chord/chord_node.cpp.o.d"
+  "CMakeFiles/hypersub_chord.dir/chord/ring.cpp.o"
+  "CMakeFiles/hypersub_chord.dir/chord/ring.cpp.o.d"
+  "libhypersub_chord.a"
+  "libhypersub_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hashing.cpp" "src/CMakeFiles/hypersub_common.dir/common/hashing.cpp.o" "gcc" "src/CMakeFiles/hypersub_common.dir/common/hashing.cpp.o.d"
+  "/root/repo/src/common/hyperrect.cpp" "src/CMakeFiles/hypersub_common.dir/common/hyperrect.cpp.o" "gcc" "src/CMakeFiles/hypersub_common.dir/common/hyperrect.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hypersub_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hypersub_common.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/CMakeFiles/hypersub_common.dir/common/zipf.cpp.o" "gcc" "src/CMakeFiles/hypersub_common.dir/common/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

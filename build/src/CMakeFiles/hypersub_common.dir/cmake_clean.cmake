@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_common.dir/common/hashing.cpp.o"
+  "CMakeFiles/hypersub_common.dir/common/hashing.cpp.o.d"
+  "CMakeFiles/hypersub_common.dir/common/hyperrect.cpp.o"
+  "CMakeFiles/hypersub_common.dir/common/hyperrect.cpp.o.d"
+  "CMakeFiles/hypersub_common.dir/common/stats.cpp.o"
+  "CMakeFiles/hypersub_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/hypersub_common.dir/common/zipf.cpp.o"
+  "CMakeFiles/hypersub_common.dir/common/zipf.cpp.o.d"
+  "libhypersub_common.a"
+  "libhypersub_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

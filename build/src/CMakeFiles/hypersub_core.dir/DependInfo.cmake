@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hypersub_node.cpp" "src/CMakeFiles/hypersub_core.dir/core/hypersub_node.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/hypersub_node.cpp.o.d"
+  "/root/repo/src/core/hypersub_system.cpp" "src/CMakeFiles/hypersub_core.dir/core/hypersub_system.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/hypersub_system.cpp.o.d"
+  "/root/repo/src/core/load_balancer.cpp" "src/CMakeFiles/hypersub_core.dir/core/load_balancer.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/load_balancer.cpp.o.d"
+  "/root/repo/src/core/subid.cpp" "src/CMakeFiles/hypersub_core.dir/core/subid.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/subid.cpp.o.d"
+  "/root/repo/src/core/subscheme.cpp" "src/CMakeFiles/hypersub_core.dir/core/subscheme.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/subscheme.cpp.o.d"
+  "/root/repo/src/core/zone_state.cpp" "src/CMakeFiles/hypersub_core.dir/core/zone_state.cpp.o" "gcc" "src/CMakeFiles/hypersub_core.dir/core/zone_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_lph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_core.dir/core/hypersub_node.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/hypersub_node.cpp.o.d"
+  "CMakeFiles/hypersub_core.dir/core/hypersub_system.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/hypersub_system.cpp.o.d"
+  "CMakeFiles/hypersub_core.dir/core/load_balancer.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/load_balancer.cpp.o.d"
+  "CMakeFiles/hypersub_core.dir/core/subid.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/subid.cpp.o.d"
+  "CMakeFiles/hypersub_core.dir/core/subscheme.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/subscheme.cpp.o.d"
+  "CMakeFiles/hypersub_core.dir/core/zone_state.cpp.o"
+  "CMakeFiles/hypersub_core.dir/core/zone_state.cpp.o.d"
+  "libhypersub_core.a"
+  "libhypersub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lph/lph.cpp" "src/CMakeFiles/hypersub_lph.dir/lph/lph.cpp.o" "gcc" "src/CMakeFiles/hypersub_lph.dir/lph/lph.cpp.o.d"
+  "/root/repo/src/lph/zone.cpp" "src/CMakeFiles/hypersub_lph.dir/lph/zone.cpp.o" "gcc" "src/CMakeFiles/hypersub_lph.dir/lph/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_lph.dir/lph/lph.cpp.o"
+  "CMakeFiles/hypersub_lph.dir/lph/lph.cpp.o.d"
+  "CMakeFiles/hypersub_lph.dir/lph/zone.cpp.o"
+  "CMakeFiles/hypersub_lph.dir/lph/zone.cpp.o.d"
+  "libhypersub_lph.a"
+  "libhypersub_lph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_lph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/event_metrics.cpp" "src/CMakeFiles/hypersub_metrics.dir/metrics/event_metrics.cpp.o" "gcc" "src/CMakeFiles/hypersub_metrics.dir/metrics/event_metrics.cpp.o.d"
+  "/root/repo/src/metrics/node_metrics.cpp" "src/CMakeFiles/hypersub_metrics.dir/metrics/node_metrics.cpp.o" "gcc" "src/CMakeFiles/hypersub_metrics.dir/metrics/node_metrics.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/hypersub_metrics.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/hypersub_metrics.dir/metrics/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_metrics.dir/metrics/event_metrics.cpp.o"
+  "CMakeFiles/hypersub_metrics.dir/metrics/event_metrics.cpp.o.d"
+  "CMakeFiles/hypersub_metrics.dir/metrics/node_metrics.cpp.o"
+  "CMakeFiles/hypersub_metrics.dir/metrics/node_metrics.cpp.o.d"
+  "CMakeFiles/hypersub_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/hypersub_metrics.dir/metrics/report.cpp.o.d"
+  "libhypersub_metrics.a"
+  "libhypersub_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

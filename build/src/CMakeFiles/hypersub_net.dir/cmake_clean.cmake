@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_net.dir/net/network.cpp.o"
+  "CMakeFiles/hypersub_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/hypersub_net.dir/net/topology.cpp.o"
+  "CMakeFiles/hypersub_net.dir/net/topology.cpp.o.d"
+  "libhypersub_net.a"
+  "libhypersub_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

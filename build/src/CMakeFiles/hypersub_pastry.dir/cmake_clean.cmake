@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_pastry.dir/pastry/pastry_net.cpp.o"
+  "CMakeFiles/hypersub_pastry.dir/pastry/pastry_net.cpp.o.d"
+  "libhypersub_pastry.a"
+  "libhypersub_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

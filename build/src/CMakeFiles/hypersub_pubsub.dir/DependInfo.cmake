@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/event.cpp" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/event.cpp.o" "gcc" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/event.cpp.o.d"
+  "/root/repo/src/pubsub/scheme.cpp" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/scheme.cpp.o" "gcc" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/scheme.cpp.o.d"
+  "/root/repo/src/pubsub/strings.cpp" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/strings.cpp.o" "gcc" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/strings.cpp.o.d"
+  "/root/repo/src/pubsub/subscription.cpp" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/subscription.cpp.o" "gcc" "src/CMakeFiles/hypersub_pubsub.dir/pubsub/subscription.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/event.cpp.o"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/event.cpp.o.d"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/scheme.cpp.o"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/scheme.cpp.o.d"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/strings.cpp.o"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/strings.cpp.o.d"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/subscription.cpp.o"
+  "CMakeFiles/hypersub_pubsub.dir/pubsub/subscription.cpp.o.d"
+  "libhypersub_pubsub.a"
+  "libhypersub_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

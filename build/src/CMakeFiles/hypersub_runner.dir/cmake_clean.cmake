@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_runner.dir/runner/experiment.cpp.o"
+  "CMakeFiles/hypersub_runner.dir/runner/experiment.cpp.o.d"
+  "libhypersub_runner.a"
+  "libhypersub_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/hypersub_sim.dir/sim/simulator.cpp.o.d"
+  "libhypersub_sim.a"
+  "libhypersub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/scheme_factory.cpp" "src/CMakeFiles/hypersub_workload.dir/workload/scheme_factory.cpp.o" "gcc" "src/CMakeFiles/hypersub_workload.dir/workload/scheme_factory.cpp.o.d"
+  "/root/repo/src/workload/zipf_workload.cpp" "src/CMakeFiles/hypersub_workload.dir/workload/zipf_workload.cpp.o" "gcc" "src/CMakeFiles/hypersub_workload.dir/workload/zipf_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypersub_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypersub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersub_workload.dir/workload/scheme_factory.cpp.o"
+  "CMakeFiles/hypersub_workload.dir/workload/scheme_factory.cpp.o.d"
+  "CMakeFiles/hypersub_workload.dir/workload/zipf_workload.cpp.o"
+  "CMakeFiles/hypersub_workload.dir/workload/zipf_workload.cpp.o.d"
+  "libhypersub_workload.a"
+  "libhypersub_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersub_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_can.dir/test_can.cpp.o"
+  "CMakeFiles/test_can.dir/test_can.cpp.o.d"
+  "test_can"
+  "test_can.pdb"
+  "test_can[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lph.dir/test_lph.cpp.o"
+  "CMakeFiles/test_lph.dir/test_lph.cpp.o.d"
+  "test_lph"
+  "test_lph.pdb"
+  "test_lph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pastry.dir/test_pastry.cpp.o"
+  "CMakeFiles/test_pastry.dir/test_pastry.cpp.o.d"
+  "test_pastry"
+  "test_pastry.pdb"
+  "test_pastry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piggyback.dir/test_piggyback.cpp.o"
+  "CMakeFiles/test_piggyback.dir/test_piggyback.cpp.o.d"
+  "test_piggyback"
+  "test_piggyback.pdb"
+  "test_piggyback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
