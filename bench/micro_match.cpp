@@ -1,7 +1,19 @@
 // Micro-benchmark: zone-repository event matching and summary-filter
 // maintenance — the per-node hot path of event processing.
+//
+// Besides the google-benchmark timings, running this binary performs a
+// subs-per-zone sweep comparing the SubIndex-backed match against the
+// linear scan and writes machine-readable results to BENCH_match.json
+// (override with --json=PATH) so successive PRs can track the matching
+// trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/zone_state.hpp"
 #include "workload/zipf_workload.hpp"
@@ -10,8 +22,11 @@ namespace {
 
 using namespace hypersub;
 
-core::ZoneState make_zone(std::size_t subs, std::uint64_t seed) {
-  core::ZoneState z(core::ZoneAddr{});
+constexpr std::size_t kNever = ~std::size_t{0};
+
+core::ZoneState make_zone(std::size_t subs, std::uint64_t seed,
+                          std::size_t index_threshold) {
+  core::ZoneState z(core::ZoneAddr{}, index_threshold);
   workload::WorkloadGenerator gen(workload::table1_spec(), seed);
   for (std::size_t i = 0; i < subs; ++i) {
     const auto sub = gen.make_subscription();
@@ -22,8 +37,8 @@ core::ZoneState make_zone(std::size_t subs, std::uint64_t seed) {
   return z;
 }
 
-void BM_ZoneMatch(benchmark::State& state) {
-  const auto z = make_zone(std::size_t(state.range(0)), 1);
+void zone_match_bench(benchmark::State& state, std::size_t threshold) {
+  const auto z = make_zone(std::size_t(state.range(0)), 1, threshold);
   workload::WorkloadGenerator gen(workload::table1_spec(), 2);
   std::vector<Point> pts;
   for (int i = 0; i < 256; ++i) pts.push_back(gen.make_event().point);
@@ -37,7 +52,16 @@ void BM_ZoneMatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ZoneMatch)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ZoneMatch(benchmark::State& state) {
+  zone_match_bench(state, core::ZoneState::kDefaultIndexThreshold);
+}
+BENCHMARK(BM_ZoneMatch)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_ZoneMatchLinear(benchmark::State& state) {
+  zone_match_bench(state, kNever);
+}
+BENCHMARK(BM_ZoneMatchLinear)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_SummaryUpdate(benchmark::State& state) {
   workload::WorkloadGenerator gen(workload::table1_spec(), 3);
@@ -76,4 +100,125 @@ void BM_BruteForceMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_BruteForceMatch)->Arg(1024)->Arg(17400);
 
+// ---------------------------------------------------------------------------
+// Machine-readable subs-per-zone sweep
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+  std::size_t subs = 0;
+  double matches_per_event = 0.0;
+  double ns_indexed = 0.0;
+  double ns_scan = 0.0;
+};
+
+/// Average ns per match() call, running at least `min_events` calls and at
+/// least ~20 ms of wall time.
+double time_match(const core::ZoneState& z, const std::vector<Point>& pts,
+                  std::size_t min_events) {
+  using clock = std::chrono::steady_clock;
+  std::vector<core::SubId> out;
+  std::size_t done = 0;
+  double elapsed_ns = 0.0;
+  while (done < min_events || elapsed_ns < 2e7) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      out.clear();
+      z.match(pts[i], pts[i], out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    elapsed_ns += double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             clock::now() - t0)
+                             .count());
+    done += pts.size();
+  }
+  return elapsed_ns / double(done);
+}
+
+SweepRow sweep_point(std::size_t subs) {
+  SweepRow row;
+  row.subs = subs;
+  const auto indexed =
+      make_zone(subs, 1, core::ZoneState::kDefaultIndexThreshold);
+  const auto linear = make_zone(subs, 1, kNever);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 256; ++i) pts.push_back(gen.make_event().point);
+
+  std::vector<core::SubId> out;
+  std::size_t matched = 0;
+  for (const auto& p : pts) {
+    out.clear();
+    indexed.match(p, p, out);
+    matched += out.size();
+  }
+  row.matches_per_event = double(matched) / double(pts.size());
+  row.ns_indexed = time_match(indexed, pts, 4096);
+  row.ns_scan = time_match(linear, pts, 512);
+  return row;
+}
+
+bool run_sweep(const std::string& json_path) {
+  const std::size_t sizes[] = {1000, 10000, 50000, 100000};
+  std::vector<SweepRow> rows;
+  std::printf("\nsubs-per-zone sweep (table1 workload):\n");
+  std::printf("%10s %14s %14s %12s %9s\n", "subs", "matches/event",
+              "ns/ev indexed", "ns/ev scan", "speedup");
+  for (const std::size_t n : sizes) {
+    rows.push_back(sweep_point(n));
+    const auto& r = rows.back();
+    std::printf("%10zu %14.1f %14.0f %12.0f %8.1fx\n", r.subs,
+                r.matches_per_event, r.ns_indexed, r.ns_scan,
+                r.ns_scan / r.ns_indexed);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_match\",\n");
+  std::fprintf(f, "  \"workload\": \"table1\",\n");
+  std::fprintf(f, "  \"index_threshold\": %zu,\n",
+               core::ZoneState::kDefaultIndexThreshold);
+  std::fprintf(f, "  \"events_sampled\": 256,\n");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"subs_per_zone\": %zu, \"matches_per_event\": %.2f, "
+                 "\"ns_per_event_indexed\": %.1f, \"ns_per_event_scan\": "
+                 "%.1f, \"speedup\": %.2f}%s\n",
+                 r.subs, r.matches_per_event, r.ns_indexed, r.ns_scan,
+                 r.ns_scan / r.ns_indexed, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_match.json";
+  bool sweep = true;
+  // Strip our flags before google-benchmark sees the argument list.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (sweep && !run_sweep(json_path)) return 1;
+  return 0;
+}

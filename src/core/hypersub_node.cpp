@@ -1,11 +1,53 @@
 #include "core/hypersub_node.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hypersub::core {
 
+namespace {
+
+// Shared const-correct key lookup: works on the zone map and the replica
+// map, const or not, deducing the matching ZoneState pointer type.
+template <typename ZoneMap, typename KeyMap, typename Out>
+void append_zones_for_key(ZoneMap& zones, const KeyMap& by_key,
+                          Id rotated_key, Out& out) {
+  const auto it = by_key.find(rotated_key);
+  if (it == by_key.end()) return;
+  out.reserve(out.size() + it->second.size());
+  for (const auto& addr : it->second) {
+    const auto zit = zones.find(addr);
+    if (zit != zones.end()) out.push_back(&zit->second);
+  }
+}
+
+template <typename ZoneMap, typename KeyMap>
+auto zones_for_key(ZoneMap& zones, const KeyMap& by_key, Id rotated_key) {
+  std::vector<decltype(&zones.begin()->second)> out;
+  append_zones_for_key(zones, by_key, rotated_key, out);
+  return out;
+}
+
+}  // namespace
+
+void MigratedRepo::match(const Point& p, std::vector<SubId>& out,
+                         std::vector<std::uint32_t>& scratch) const {
+  if (!indexed) {
+    for (const auto& s : subs) {
+      if (s.sub.matches(p)) out.push_back(s.owner);
+    }
+    return;
+  }
+  scratch.clear();
+  index.candidates(p, scratch);
+  for (const std::uint32_t slot : scratch) {
+    const StoredSub& s = subs[slot];
+    if (s.sub.matches(p)) out.push_back(s.owner);
+  }
+}
+
 ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
-  auto [it, inserted] = zones_.try_emplace(addr, addr);
+  auto [it, inserted] = zones_.try_emplace(addr, addr, index_threshold_);
   if (inserted) {
     // A key aliases a zone and its rightmost descendants, so several zones
     // sharing one key is the normal case, not a collision.
@@ -15,46 +57,46 @@ ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
 }
 
 std::vector<ZoneState*> HyperSubNode::find_zones_by_key(Id rotated_key) {
-  std::vector<ZoneState*> out;
-  const auto it = zones_by_key_.find(rotated_key);
-  if (it == zones_by_key_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& addr : it->second) {
-    const auto zit = zones_.find(addr);
-    if (zit != zones_.end()) out.push_back(&zit->second);
-  }
-  return out;
+  return zones_for_key(zones_, zones_by_key_, rotated_key);
+}
+
+void HyperSubNode::append_zones_by_key(Id rotated_key,
+                                       std::vector<ZoneState*>& out) {
+  append_zones_for_key(zones_, zones_by_key_, rotated_key, out);
 }
 
 const ZoneState* HyperSubNode::find_zone_by_key(Id rotated_key) const {
-  auto zones = const_cast<HyperSubNode*>(this)->find_zones_by_key(rotated_key);
+  const auto zones = zones_for_key(zones_, zones_by_key_, rotated_key);
   return zones.empty() ? nullptr : zones.front();
 }
 
 ZoneState& HyperSubNode::replica_zone_state(const ZoneAddr& addr,
                                             Id rotated_key) {
-  auto [it, inserted] = replica_zones_.try_emplace(addr, addr);
+  auto [it, inserted] =
+      replica_zones_.try_emplace(addr, addr, index_threshold_);
   if (inserted) replicas_by_key_[rotated_key].push_back(addr);
   return it->second;
 }
 
 std::vector<ZoneState*> HyperSubNode::find_replica_zones_by_key(
     Id rotated_key) {
-  std::vector<ZoneState*> out;
-  const auto it = replicas_by_key_.find(rotated_key);
-  if (it == replicas_by_key_.end()) return out;
-  for (const auto& addr : it->second) {
-    const auto zit = replica_zones_.find(addr);
-    if (zit != replica_zones_.end()) out.push_back(&zit->second);
-  }
-  return out;
+  return zones_for_key(replica_zones_, replicas_by_key_, rotated_key);
+}
+
+void HyperSubNode::append_replica_zones_by_key(Id rotated_key,
+                                               std::vector<ZoneState*>& out) {
+  append_zones_for_key(replica_zones_, replicas_by_key_, rotated_key, out);
 }
 
 std::uint32_t HyperSubNode::accept_migration(Id origin_zone_key,
                                              std::vector<StoredSub> subs) {
   const std::uint32_t token = ++token_counter_;
-  migrated_in_.emplace(token,
-                       MigratedRepo{origin_zone_key, std::move(subs)});
+  MigratedRepo repo{origin_zone_key, std::move(subs), SubIndex{}, false};
+  if (repo.subs.size() >= index_threshold_) {
+    for (const auto& s : repo.subs) repo.index.insert(s.sub.range());
+    repo.indexed = true;
+  }
+  migrated_in_.emplace(token, std::move(repo));
   return token;
 }
 

@@ -13,16 +13,25 @@
 namespace hypersub::core {
 
 /// Subscriptions accepted from an overloaded peer, keyed by bucket token.
+/// Large buckets carry a matching index (slots == positions in `subs`;
+/// the repo is append-never after acceptance, so no slot bookkeeping).
 struct MigratedRepo {
   Id origin_zone_key = 0;        ///< zone the subs were extracted from
   std::vector<StoredSub> subs;   ///< full entries, exact matching
+  SubIndex index;                ///< over subs' full-space ranges
+  bool indexed = false;
+
+  /// Append the owners of the subs matching `p` (exact), in `subs` order.
+  void match(const Point& p, std::vector<SubId>& out,
+             std::vector<std::uint32_t>& scratch) const;
 };
 
 /// All pub/sub state hosted by one simulated node.
 class HyperSubNode {
  public:
-  HyperSubNode(net::HostIndex host, Id node_id)
-      : host_(host), node_id_(node_id) {}
+  HyperSubNode(net::HostIndex host, Id node_id,
+               std::size_t index_threshold = ZoneState::kDefaultIndexThreshold)
+      : host_(host), node_id_(node_id), index_threshold_(index_threshold) {}
 
   net::HostIndex host() const noexcept { return host_; }
   Id node_id() const noexcept { return node_id_; }
@@ -53,6 +62,10 @@ class HyperSubNode {
   /// the key (empty if none).
   std::vector<ZoneState*> find_zones_by_key(Id rotated_key);
 
+  /// Allocation-free variant for the delivery hot path: appends the zones
+  /// under the key to a caller-held scratch vector.
+  void append_zones_by_key(Id rotated_key, std::vector<ZoneState*>& out);
+
   /// First zone under the key, if any (test convenience).
   const ZoneState* find_zone_by_key(Id rotated_key) const;
 
@@ -71,6 +84,8 @@ class HyperSubNode {
   /// node to owner of the key.
   ZoneState& replica_zone_state(const ZoneAddr& addr, Id rotated_key);
   std::vector<ZoneState*> find_replica_zones_by_key(Id rotated_key);
+  void append_replica_zones_by_key(Id rotated_key,
+                                   std::vector<ZoneState*>& out);
   std::size_t replica_zone_count() const noexcept {
     return replica_zones_.size();
   }
@@ -102,6 +117,7 @@ class HyperSubNode {
  private:
   net::HostIndex host_;
   Id node_id_;
+  std::size_t index_threshold_;
   std::uint32_t iid_counter_ = 0;
   std::uint32_t token_counter_ = 0;
   std::unordered_map<std::uint32_t, pubsub::Subscription> local_subs_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 namespace hypersub::core {
 
@@ -10,7 +9,8 @@ HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
     : dht_(dht), cfg_(cfg) {
   nodes_.reserve(dht.size());
   for (net::HostIndex h = 0; h < dht.size(); ++h) {
-    nodes_.push_back(std::make_unique<HyperSubNode>(h, dht.id_of(h)));
+    nodes_.push_back(std::make_unique<HyperSubNode>(
+        h, dht.id_of(h), cfg_.match_index_threshold));
   }
 }
 
@@ -161,7 +161,7 @@ void HyperSubSystem::propagate_pieces(net::HostIndex host,
   ZoneState* zs = nd.zones().contains(addr) ? &nd.zones().at(addr) : nullptr;
   if (zs == nullptr) return;
   const HyperRect summary = zs->summary();
-  const Id my_key = lph::zone_key(zsys, addr.zone, ss.rotation());
+  const Id my_key = ss.zone_key(addr.zone);
 
   for (int digit = 0; digit < zsys.base(); ++digit) {
     const lph::Zone child = zsys.child(addr.zone, digit);
@@ -174,7 +174,7 @@ void HyperSubSystem::propagate_pieces(net::HostIndex host,
     zs->set_child_piece(digit, piece);
 
     const ZoneAddr child_addr{addr.scheme, addr.subscheme, child};
-    const Id child_key = lph::zone_key(zsys, child, ss.rotation());
+    const Id child_key = ss.zone_key(child);
     dht_.route(host, child_key, install_bytes(ss.attributes().size()),
                  [this, child_addr, child_key, piece, my_key](
                      const overlay::Overlay::RouteResult& r) {
@@ -215,15 +215,13 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
   std::vector<SubId> list;
   for (std::uint32_t i = 0; i < rt.subscheme_count(); ++i) {
     const Subscheme& ss = rt.subscheme(i);
-    const auto lph = lph::hash_event(ss.zones(), ctx->projected[i],
-                                     ss.rotation());
-    list.push_back(SubId{lph.key, 0, SubIdKind::kRendezvous});
+    const lph::Zone leaf = ss.zones().locate(ctx->projected[i]);
+    list.push_back(SubId{ss.zone_key(leaf), 0, SubIdKind::kRendezvous});
     if (cfg_.ancestor_probing) {
-      lph::Zone z = lph.zone;
+      lph::Zone z = leaf;
       while (z.level > 0) {
         z = ss.zones().parent(z);
-        list.push_back(SubId{lph::zone_key(ss.zones(), z, ss.rotation()), 0,
-                             SubIdKind::kZone});
+        list.push_back(SubId{ss.zone_key(z), 0, SubIdKind::kZone});
       }
     }
   }
@@ -250,12 +248,17 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   // Phase 1 (Alg. 5 lines 3-23): consume subids targeting this node; their
   // matches go back on the worklist because a freshly matched target (a
   // parent zone, a subscriber, a migration acceptor) may be owned by this
-  // very node.
-  std::vector<SubId> pending;
+  // very node. `pending` and `matched_keys` are system-held scratch — the
+  // delivery path allocates nothing per message beyond the outgoing
+  // per-neighbor sublists, which the send closures must own anyway.
+  std::vector<SubId>& pending = scratch_pending_;
+  pending.clear();
   // One zone key can alias a whole rightmost zone chain, and a chain's
   // parent pointer may target the same key the rendezvous already did —
-  // process each key at most once per message.
-  std::unordered_set<Id> matched_keys;
+  // process each key at most once per message. The handful of keys per
+  // message makes a linear find over a flat vector cheaper than hashing.
+  std::vector<Id>& matched_keys = scratch_keys_;
+  matched_keys.clear();
   std::size_t cursor = 0;
   while (cursor < list.size()) {
     const SubId subid = list[cursor++];
@@ -266,8 +269,15 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     switch (subid.kind) {
       case SubIdKind::kRendezvous:
       case SubIdKind::kZone: {
-        if (!matched_keys.insert(subid.target).second) break;
-        for (ZoneState* zs : nd.find_zones_by_key(subid.target)) {
+        if (std::find(matched_keys.begin(), matched_keys.end(),
+                      subid.target) != matched_keys.end()) {
+          break;
+        }
+        matched_keys.push_back(subid.target);
+        auto& zlist = scratch_zones_;
+        zlist.clear();
+        nd.append_zones_by_key(subid.target, zlist);
+        for (ZoneState* zs : zlist) {
           if (zs->addr().scheme != ctx->scheme) continue;
           const Point& proj = ctx->projected[zs->addr().subscheme];
           zs->match(ctx->event.point, proj, list);
@@ -279,7 +289,9 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
         // either in the replica (pre-failure) or in fresh primary state
         // (post-failure), never both, and duplicate zone pointers collapse
         // in the per-message key dedupe above.
-        for (ZoneState* zs : nd.find_replica_zones_by_key(subid.target)) {
+        zlist.clear();
+        nd.append_replica_zones_by_key(subid.target, zlist);
+        for (ZoneState* zs : zlist) {
           if (zs->addr().scheme != ctx->scheme) continue;
           const Point& proj = ctx->projected[zs->addr().subscheme];
           zs->match(ctx->event.point, proj, list);
@@ -306,9 +318,7 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
       case SubIdKind::kMigrated: {
         if (subid.target == nd.node_id()) {
           if (const MigratedRepo* repo = nd.find_migrated(subid.iid)) {
-            for (const auto& s : repo->subs) {
-              if (s.sub.matches(ctx->event.point)) list.push_back(s.owner);
-            }
+            repo->match(ctx->event.point, list, scratch_cand_);
           }
         }
         break;
@@ -317,14 +327,28 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   }
 
   // Phase 2 (Alg. 5 lines 20-29): split the remaining subids across DHT
-  // links; all subids sharing a next hop ride in one message.
-  std::unordered_map<net::HostIndex, std::vector<SubId>> groups;
+  // links; all subids sharing a next hop ride in one message. Grouping by
+  // a stable sort over a flat (next hop, subid) vector keeps each group's
+  // subid order identical to the old per-bucket insertion order.
+  auto& routed = scratch_routed_;
+  routed.clear();
   for (const SubId& subid : pending) {
     const overlay::Peer next = dht_.next_hop(host, subid.target);
     if (!next.valid()) continue;  // isolated node; drop
-    groups[next.host].push_back(subid);
+    routed.emplace_back(next.host, subid);
   }
-  for (auto& [to, sublist] : groups) {
+  std::stable_sort(routed.begin(), routed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (std::size_t i = 0; i < routed.size();) {
+    const net::HostIndex to = routed[i].first;
+    std::size_t j = i;
+    while (j < routed.size() && routed[j].first == to) ++j;
+    std::vector<SubId> sublist;
+    sublist.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) sublist.push_back(routed[k].second);
+    i = j;
     const std::uint64_t bytes =
         overlay::kHeaderBytes + kEventBytes + kSubIdBytes * sublist.size();
     if (t) {

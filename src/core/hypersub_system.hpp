@@ -51,6 +51,10 @@ class HyperSubSystem {
     /// replicas, so subscriptions survive surrogate failures. 0 = paper
     /// behavior (state on dead nodes is lost).
     std::size_t replicas = 0;
+    /// Zones (and migrated buckets) holding at least this many
+    /// subscriptions match through a SubIndex instead of a linear scan;
+    /// ~size_t(-1) disables indexing entirely (see ZoneState).
+    std::size_t match_index_threshold = ZoneState::kDefaultIndexThreshold;
   };
 
   /// Build on any DHT substrate (Chord, Pastry, ...).
@@ -174,6 +178,16 @@ class HyperSubSystem {
   std::unordered_map<std::uint64_t, Tracker> trackers_;
   std::uint64_t event_seq_ = 0;
   std::size_t total_subs_ = 0;
+
+  // Event-delivery scratch, reused across process_event_message calls to
+  // keep the hot path allocation-free. Safe because the simulation core is
+  // single-threaded and every network send/schedule is asynchronous — no
+  // reentrant call can observe a half-used buffer.
+  std::vector<SubId> scratch_pending_;
+  std::vector<Id> scratch_keys_;
+  std::vector<std::pair<net::HostIndex, SubId>> scratch_routed_;
+  std::vector<std::uint32_t> scratch_cand_;
+  std::vector<ZoneState*> scratch_zones_;
 };
 
 }  // namespace hypersub::core

@@ -185,7 +185,7 @@ void LoadBalancer::migrate(net::HostIndex h,
     if (zone.subscription_count() == 0) continue;
     const SchemeRuntime& rt = sys_.scheme_runtime(addr.scheme);
     const Subscheme& ss = rt.subscheme(addr.subscheme);
-    const Id zone_key = lph::zone_key(ss.zones(), addr.zone, ss.rotation());
+    const Id zone_key = ss.zone_key(addr.zone);
     const std::size_t dims = rt.scheme().arity();
 
     for (std::size_t i = 0; i < k; ++i) {

@@ -1,0 +1,140 @@
+#include "core/sub_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace hypersub::core {
+
+std::size_t SubIndex::cell_of(const Dim& d, double x) {
+  return std::size_t(
+      std::upper_bound(d.bounds.begin(), d.bounds.end(), x) -
+      d.bounds.begin());
+}
+
+std::uint32_t SubIndex::insert(const HyperRect& range) {
+  assert(!range.empty());
+  if (dims_.empty()) dims_.resize(range.dimensions());
+  assert(range.dimensions() == dims_.size());
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    rects_[slot] = range;
+  } else {
+    slot = std::uint32_t(rects_.size());
+    rects_.push_back(range);
+  }
+  ++live_;
+  if (live_ > cfg_.rebuild_factor * built_size_) {
+    rebuild();  // re-derive boundaries from the grown endpoint population
+  } else {
+    set_bits(range, slot);
+  }
+  return slot;
+}
+
+void SubIndex::remove(std::uint32_t slot) {
+  assert(slot < rects_.size() && !rects_[slot].empty());
+  clear_bits(rects_[slot], slot);
+  rects_[slot] = HyperRect{};
+  free_.push_back(slot);
+  --live_;
+  if (live_ * cfg_.rebuild_factor < built_size_) rebuild();
+}
+
+void SubIndex::set_bits(const HyperRect& r, std::uint32_t slot) {
+  const std::size_t w = slot / 64;
+  const std::uint64_t m = std::uint64_t{1} << (slot % 64);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    Dim& dim = dims_[d];
+    if (dim.cells.empty()) dim.cells.resize(dim.bounds.size() + 1);
+    const std::size_t c0 = cell_of(dim, r.dim(d).lo);
+    const std::size_t c1 = cell_of(dim, r.dim(d).hi);
+    for (std::size_t c = c0; c <= c1; ++c) {
+      auto& words = dim.cells[c];
+      if (words.size() <= w) words.resize(w + 1, 0);
+      words[w] |= m;
+    }
+  }
+}
+
+void SubIndex::clear_bits(const HyperRect& r, std::uint32_t slot) {
+  const std::size_t w = slot / 64;
+  const std::uint64_t m = std::uint64_t{1} << (slot % 64);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    Dim& dim = dims_[d];
+    if (dim.cells.empty()) continue;
+    const std::size_t c0 = cell_of(dim, r.dim(d).lo);
+    const std::size_t c1 = cell_of(dim, r.dim(d).hi);
+    for (std::size_t c = c0; c <= c1; ++c) {
+      auto& words = dim.cells[c];
+      if (words.size() > w) words[w] &= ~m;
+    }
+  }
+}
+
+void SubIndex::rebuild() {
+  std::vector<double> endpoints;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    Dim& dim = dims_[d];
+    endpoints.clear();
+    endpoints.reserve(2 * live_);
+    for (const auto& r : rects_) {
+      if (r.empty()) continue;
+      endpoints.push_back(r.dim(d).lo);
+      endpoints.push_back(r.dim(d).hi);
+    }
+    std::sort(endpoints.begin(), endpoints.end());
+    // Equi-depth boundaries over the endpoint list; duplicates collapse, so
+    // a degenerate (single-valued) dimension ends up with <= 2 cells.
+    dim.bounds.clear();
+    const std::size_t c = cfg_.cells_per_dim;
+    for (std::size_t k = 1; k < c && !endpoints.empty(); ++k) {
+      const double b = endpoints[k * endpoints.size() / c];
+      if (dim.bounds.empty() || dim.bounds.back() < b) dim.bounds.push_back(b);
+    }
+    dim.cells.assign(dim.bounds.size() + 1, {});
+  }
+  for (std::uint32_t s = 0; s < rects_.size(); ++s) {
+    if (!rects_[s].empty()) set_bits(rects_[s], s);
+  }
+  built_size_ = live_;
+}
+
+void SubIndex::candidates(const Point& p,
+                          std::vector<std::uint32_t>& out) const {
+  if (live_ == 0) return;
+  assert(p.size() == dims_.size());
+  // Words absent from a shorter cell vector are zero, so the AND result is
+  // only as wide as the narrowest cell.
+  std::size_t len = ~std::size_t{0};
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    if (dim.cells.empty()) return;
+    len = std::min(len, dim.cells[cell_of(dim, p[d])].size());
+  }
+  if (len == 0) return;
+
+  {
+    const Dim& dim = dims_[0];
+    const auto& words = dim.cells[cell_of(dim, p[0])];
+    scratch_.assign(words.begin(), words.begin() + std::ptrdiff_t(len));
+  }
+  for (std::size_t d = 1; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    const auto& words = dim.cells[cell_of(dim, p[d])];
+    for (std::size_t w = 0; w < len; ++w) scratch_[w] &= words[w];
+  }
+  for (std::size_t w = 0; w < len; ++w) {
+    std::uint64_t bits = scratch_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      out.push_back(std::uint32_t(w * 64 + std::size_t(b)));
+    }
+  }
+}
+
+}  // namespace hypersub::core

@@ -38,6 +38,18 @@ HyperRect Subscheme::project(const HyperRect& full) const {
   return HyperRect(std::move(dims));
 }
 
+Id Subscheme::zone_key(const lph::Zone& z) const {
+  // Injective packing of the variable-length code: a sentinel bit above
+  // the level's digits (codes use at most 60 bits, so the sentinel fits).
+  const std::uint64_t packed =
+      z.code | (std::uint64_t{1} << (z.level * zones_.base_bits()));
+  const auto it = key_cache_.find(packed);
+  if (it != key_cache_.end()) return it->second;
+  const Id key = lph::zone_key(zones_, z, rotation_);
+  key_cache_.emplace(packed, key);
+  return key;
+}
+
 Point Subscheme::project(const Point& full) const {
   Point p;
   p.reserve(attrs_.size());

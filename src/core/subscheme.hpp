@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lph/lph.hpp"
@@ -32,6 +33,13 @@ class Subscheme {
   const lph::ZoneSystem& zones() const noexcept { return zones_; }
   Id rotation() const noexcept { return rotation_; }
 
+  /// Rotated Chord key of one of this subscheme's zones, memoized per
+  /// (zone, rotation). Publish climbs ancestor chains and piece
+  /// propagation fans out over children every time a summary moves, so the
+  /// same few thousand zone keys are requested over and over; the cache
+  /// makes the repeats a hash-map hit instead of a fresh LPH computation.
+  Id zone_key(const lph::Zone& z) const;
+
   /// Project a full-space rectangle/point onto this subscheme's dimensions.
   HyperRect project(const HyperRect& full) const;
   Point project(const Point& full) const;
@@ -50,6 +58,7 @@ class Subscheme {
   std::vector<std::size_t> attrs_;
   lph::ZoneSystem zones_;
   Id rotation_;
+  mutable std::unordered_map<std::uint64_t, Id> key_cache_;
 };
 
 /// Options controlling how a scheme is laid out on the overlay.

@@ -9,11 +9,47 @@ namespace hypersub::core {
 
 namespace {
 const HyperRect kEmptyRect{};
+constexpr std::size_t kNoPos = ~std::size_t{0};
+}  // namespace
+
+void ZoneState::set_index_threshold(std::size_t threshold) {
+  index_threshold_ = threshold;
+  if (!indexed_ && subs_.size() >= index_threshold_) build_index();
+  if (indexed_ && subs_.size() < index_threshold_) drop_index();
+}
+
+void ZoneState::build_index() {
+  index_ = SubIndex{};
+  slots_.clear();
+  pos_of_slot_.clear();
+  slots_.reserve(subs_.size());
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const std::uint32_t slot = index_.insert(subs_[i].sub.range());
+    slots_.push_back(slot);
+    if (pos_of_slot_.size() <= slot) pos_of_slot_.resize(slot + 1, kNoPos);
+    pos_of_slot_[slot] = i;
+  }
+  indexed_ = true;
+}
+
+void ZoneState::drop_index() {
+  index_ = SubIndex{};
+  slots_.clear();
+  pos_of_slot_.clear();
+  indexed_ = false;
 }
 
 bool ZoneState::add_subscription(StoredSub s) {
   const HyperRect grown = summary_.hull(s.projected);
   subs_.push_back(std::move(s));
+  if (indexed_) {
+    const std::uint32_t slot = index_.insert(subs_.back().sub.range());
+    slots_.push_back(slot);
+    if (pos_of_slot_.size() <= slot) pos_of_slot_.resize(slot + 1, kNoPos);
+    pos_of_slot_[slot] = subs_.size() - 1;
+  } else if (subs_.size() >= index_threshold_) {
+    build_index();
+  }
   if (grown == summary_) return false;
   summary_ = grown;
   return true;
@@ -24,8 +60,19 @@ std::optional<StoredSub> ZoneState::remove_subscription(const SubId& owner) {
       subs_.begin(), subs_.end(),
       [&owner](const StoredSub& s) { return s.owner == owner; });
   if (it == subs_.end()) return std::nullopt;
+  const std::size_t pos = std::size_t(it - subs_.begin());
   StoredSub out = std::move(*it);
   subs_.erase(it);
+  if (indexed_) {
+    // Once built, the index sticks below the threshold (hysteresis): churn
+    // around the threshold should not oscillate between builds and drops.
+    index_.remove(slots_[pos]);
+    pos_of_slot_[slots_[pos]] = kNoPos;
+    slots_.erase(slots_.begin() + std::ptrdiff_t(pos));
+    for (std::size_t i = pos; i < slots_.size(); ++i) {
+      pos_of_slot_[slots_[i]] = i;
+    }
+  }
   recompute_summary();
   return out;
 }
@@ -51,22 +98,46 @@ void ZoneState::add_migrated_bucket(MigratedBucket b) {
 
 std::vector<StoredSub> ZoneState::extract_subscribers_in_arc(Id lo, Id hi) {
   std::vector<StoredSub> out;
-  auto it = subs_.begin();
-  while (it != subs_.end()) {
-    if (ring::in_closed_open(it->owner.target, lo, hi)) {
-      out.push_back(std::move(*it));
-      it = subs_.erase(it);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (ring::in_closed_open(subs_[i].owner.target, lo, hi)) {
+      if (indexed_) index_.remove(slots_[i]);
+      out.push_back(std::move(subs_[i]));
     } else {
-      ++it;
+      if (kept != i) {
+        subs_[kept] = std::move(subs_[i]);
+        if (indexed_) slots_[kept] = slots_[i];
+      }
+      ++kept;
     }
+  }
+  subs_.resize(kept);
+  if (indexed_) {
+    slots_.resize(kept);
+    std::fill(pos_of_slot_.begin(), pos_of_slot_.end(), kNoPos);
+    for (std::size_t i = 0; i < slots_.size(); ++i) pos_of_slot_[slots_[i]] = i;
   }
   return out;
 }
 
 void ZoneState::match(const Point& full, const Point& projected,
                       std::vector<SubId>& out) const {
-  for (const auto& s : subs_) {
-    if (s.sub.matches(full)) out.push_back(s.owner);
+  if (!indexed_) {
+    for (const auto& s : subs_) {
+      if (s.sub.matches(full)) out.push_back(s.owner);
+    }
+  } else {
+    cand_.clear();
+    index_.candidates(full, cand_);
+    // Candidates arrive in slot order; emit in subs_ order so the indexed
+    // path is bit-for-bit identical to the scan (the parity tests rely on
+    // it, and so does any downstream consumer of delivery order).
+    for (auto& c : cand_) c = std::uint32_t(pos_of_slot_[c]);
+    std::sort(cand_.begin(), cand_.end());
+    for (const std::uint32_t pos : cand_) {
+      const StoredSub& s = subs_[pos];
+      if (s.sub.matches(full)) out.push_back(s.owner);
+    }
   }
   if (parent_piece_ && parent_piece_->first.contains(projected)) {
     out.push_back(SubId{parent_piece_->second, 0, SubIdKind::kZone});

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/hyperrect.hpp"
+#include "core/sub_index.hpp"
 #include "core/subid.hpp"
 #include "lph/zone.hpp"
 #include "pubsub/subscription.hpp"
@@ -62,9 +63,27 @@ struct MigratedBucket {
 /// Repository + summary filter of one content zone.
 class ZoneState {
  public:
-  explicit ZoneState(ZoneAddr addr) : addr_(addr) {}
+  /// Below this many stored subscriptions, match() linear-scans; at or
+  /// above it, a SubIndex is built and maintained incrementally. The sweet
+  /// spot: almost all zones in a distributed run hold a handful of subs
+  /// (index overhead would dominate), while hot rendezvous zones grow into
+  /// the thousands (scan dominates).
+  static constexpr std::size_t kDefaultIndexThreshold = 64;
+
+  explicit ZoneState(ZoneAddr addr,
+                     std::size_t index_threshold = kDefaultIndexThreshold)
+      : addr_(addr), index_threshold_(index_threshold) {}
 
   const ZoneAddr& addr() const noexcept { return addr_; }
+
+  /// Re-tune the fallback threshold. Lowering it below the current sub
+  /// count builds the index; raising it above drops the index (forcing the
+  /// linear scan — the parity tests' lever).
+  void set_index_threshold(std::size_t threshold);
+  std::size_t index_threshold() const noexcept { return index_threshold_; }
+
+  /// True while match() runs through the subscription index.
+  bool index_active() const noexcept { return indexed_; }
 
   /// Register a real subscription. Returns true if the summary filter grew.
   bool add_subscription(StoredSub s);
@@ -112,12 +131,24 @@ class ZoneState {
   bool recompute_summary();
 
  private:
+  void build_index();
+  void drop_index();
+
   ZoneAddr addr_;
   std::vector<StoredSub> subs_;
   std::optional<std::pair<HyperRect, Id>> parent_piece_;  // rect, parent key
   std::vector<MigratedBucket> buckets_;
   HyperRect summary_;  // empty() == no content
   std::vector<HyperRect> child_pieces_;  // lazily sized to the zone base
+
+  // Matching index over subs_' full-space ranges (see sub_index.hpp).
+  // slots_[i] is the index slot of subs_[i]; pos_of_slot_ inverts it.
+  SubIndex index_;
+  bool indexed_ = false;
+  std::size_t index_threshold_;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::size_t> pos_of_slot_;
+  mutable std::vector<std::uint32_t> cand_;  // match() scratch
 };
 
 }  // namespace hypersub::core

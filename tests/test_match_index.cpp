@@ -1,0 +1,258 @@
+// Index/scan parity: the SubIndex-backed ZoneState::match must return
+// exactly what the linear scan returns — same subids, same order — across
+// randomized workloads and through every mutation path (add, remove,
+// arc extraction, bucket/piece installs), plus end-to-end delivery with an
+// aggressive index threshold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "core/sub_index.hpp"
+#include "core/zone_state.hpp"
+#include "net/topology.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+using core::StoredSub;
+using core::SubId;
+using core::SubIdKind;
+using core::SubIndex;
+using core::ZoneAddr;
+using core::ZoneState;
+
+constexpr std::size_t kNever = ~std::size_t{0};
+
+StoredSub make_stored(std::size_t i, const pubsub::Subscription& sub) {
+  // Spread owner ids over the whole ring so random arcs hit some of them.
+  const Id owner = Id(i) * 0x9E3779B97F4A7C15ull + 13;
+  return StoredSub{SubId{owner, std::uint32_t(i), SubIdKind::kSubscriber},
+                   sub, sub.range()};
+}
+
+std::vector<SubId> match_of(const ZoneState& z, const Point& p) {
+  std::vector<SubId> out;
+  z.match(p, p, out);
+  return out;
+}
+
+// -- SubIndex unit properties -------------------------------------------------
+
+TEST(SubIndex, CandidatesAreSupersetOfExactMatches) {
+  workload::WorkloadGenerator gen(workload::table1_spec(), 71);
+  SubIndex idx;
+  std::vector<HyperRect> live;
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 3000; ++i) {
+    const auto r = gen.make_subscription().range();
+    slots.push_back(idx.insert(r));
+    live.push_back(r);
+  }
+  // Remove a third, keeping slot/live aligned.
+  for (std::size_t i = live.size(); i-- > 0;) {
+    if (i % 3 == 0) {
+      idx.remove(slots[i]);
+      slots.erase(slots.begin() + std::ptrdiff_t(i));
+      live.erase(live.begin() + std::ptrdiff_t(i));
+    }
+  }
+  ASSERT_EQ(idx.size(), live.size());
+
+  std::vector<std::uint32_t> cand;
+  for (int e = 0; e < 200; ++e) {
+    const Point p = gen.make_event().point;
+    cand.clear();
+    idx.candidates(p, cand);
+    ASSERT_TRUE(std::is_sorted(cand.begin(), cand.end()));
+    const std::set<std::uint32_t> cset(cand.begin(), cand.end());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].contains(p)) {
+        EXPECT_TRUE(cset.count(slots[i]))
+            << "slot " << slots[i] << " missing for event " << e;
+      }
+    }
+  }
+}
+
+TEST(SubIndex, SlotRecyclingKeepsCapacityBounded) {
+  workload::WorkloadGenerator gen(workload::table1_spec(), 72);
+  SubIndex idx;
+  std::vector<std::uint32_t> slots;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      slots.push_back(idx.insert(gen.make_subscription().range()));
+    }
+    for (int i = 0; i < 100; ++i) {
+      idx.remove(slots.back());
+      slots.pop_back();
+    }
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_LE(idx.slot_capacity(), 100u);
+}
+
+// -- ZoneState parity ---------------------------------------------------------
+
+// Drives an indexed and a scan-only ZoneState through the same mutation
+// sequence and asserts bit-for-bit identical match output throughout.
+TEST(MatchIndexParity, RandomizedMutationSequence) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    workload::WorkloadGenerator gen(workload::table1_spec(), seed);
+    ZoneState indexed(ZoneAddr{}, /*index_threshold=*/0);
+    ZoneState linear(ZoneAddr{}, /*index_threshold=*/kNever);
+
+    std::vector<StoredSub> stored;
+    auto add_batch = [&](std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto s = make_stored(stored.size(), gen.make_subscription());
+        stored.push_back(s);
+        indexed.add_subscription(s);
+        linear.add_subscription(s);
+      }
+    };
+    auto expect_parity = [&](const char* what) {
+      ASSERT_TRUE(indexed.index_active());
+      ASSERT_FALSE(linear.index_active());
+      for (int e = 0; e < 64; ++e) {
+        const Point p = gen.make_event().point;
+        ASSERT_EQ(match_of(indexed, p), match_of(linear, p))
+            << what << " seed " << seed << " event " << e;
+      }
+      EXPECT_EQ(indexed.summary(), linear.summary()) << what;
+    };
+
+    add_batch(800);
+    expect_parity("after adds");
+
+    // Remove a random quarter through the owner-keyed removal path.
+    Rng rng(seed * 7 + 1);
+    std::vector<StoredSub> keep;
+    for (const auto& s : stored) {
+      if (rng.chance(0.25)) {
+        ASSERT_TRUE(indexed.remove_subscription(s.owner).has_value());
+        ASSERT_TRUE(linear.remove_subscription(s.owner).has_value());
+      } else {
+        keep.push_back(s);
+      }
+    }
+    stored = std::move(keep);
+    expect_parity("after removals");
+
+    // Migrate an arc away (the load-balancer path).
+    const Id lo = rng.next_u64();
+    const Id hi = lo + (~Id{0} / 3);  // wrap-aware arc, ~1/3 of the ring
+    const auto out_i = indexed.extract_subscribers_in_arc(lo, hi);
+    const auto out_l = linear.extract_subscribers_in_arc(lo, hi);
+    ASSERT_EQ(out_i.size(), out_l.size());
+    for (std::size_t i = 0; i < out_i.size(); ++i) {
+      EXPECT_EQ(out_i[i].owner, out_l[i].owner);
+    }
+    EXPECT_GT(out_i.size(), 0u);
+    expect_parity("after arc extraction");
+
+    // Keep mutating after the extraction: adds must reuse freed slots.
+    add_batch(400);
+    expect_parity("after post-extraction adds");
+
+    // Piece + bucket entries ride along identically in both modes.
+    const HyperRect piece = stored.front().projected;
+    indexed.set_parent_piece(piece, Id{42});
+    linear.set_parent_piece(piece, Id{42});
+    const core::MigratedBucket bucket{stored.back().projected,
+                                      SubId{Id{7}, 1, SubIdKind::kMigrated}};
+    indexed.add_migrated_bucket(bucket);
+    linear.add_migrated_bucket(bucket);
+    expect_parity("with piece and bucket");
+  }
+}
+
+TEST(MatchIndexParity, ThresholdCrossingAndOverride) {
+  workload::WorkloadGenerator gen(workload::table1_spec(), 5);
+  ZoneState z(ZoneAddr{}, /*index_threshold=*/16);
+  for (std::size_t i = 0; i < 15; ++i) {
+    z.add_subscription(make_stored(i, gen.make_subscription()));
+  }
+  EXPECT_FALSE(z.index_active());
+  z.add_subscription(make_stored(15, gen.make_subscription()));
+  EXPECT_TRUE(z.index_active());
+
+  // Raising the threshold drops back to the scan; lowering rebuilds.
+  const Point p = gen.make_event().point;
+  const auto with_index = match_of(z, p);
+  z.set_index_threshold(kNever);
+  EXPECT_FALSE(z.index_active());
+  EXPECT_EQ(match_of(z, p), with_index);
+  z.set_index_threshold(0);
+  EXPECT_TRUE(z.index_active());
+  EXPECT_EQ(match_of(z, p), with_index);
+}
+
+// -- end-to-end ---------------------------------------------------------------
+
+// Full-system delivery with the index forced on everywhere (threshold 1)
+// must equal brute force over the live subscriptions — the existing
+// delivery-exactness property, now exercising the indexed path.
+TEST(MatchIndexParity, EndToEndDeliveryEqualsBruteForce) {
+  const std::size_t n = 40;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = 9;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  chord::ChordNet::Params cp;
+  cp.seed = 9;
+  chord::ChordNet chord(net, cp);
+  chord.oracle_build();
+
+  core::HyperSubSystem::Config cfg;
+  cfg.match_index_threshold = 1;
+  core::HyperSubSystem sys(chord, cfg);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 99);
+  core::SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = sys.add_scheme(gen.scheme(), opt);
+
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+  std::vector<Owned> live;
+  Rng rng(123);
+  for (int i = 0; i < 300; ++i) {
+    const auto host = net::HostIndex(rng.index(n));
+    const auto sub = gen.make_subscription();
+    live.push_back({host, sys.subscribe(host, scheme, sub), sub});
+  }
+  sim.run();
+
+  for (int e = 0; e < 10; ++e) {
+    const std::size_t before = sys.deliveries().size();
+    auto ev = gen.make_event();
+    sys.publish(net::HostIndex(rng.index(n)), scheme, ev);
+    sim.run();
+    sys.finalize_events();
+
+    std::multiset<std::pair<std::size_t, std::uint32_t>> got, expect;
+    for (std::size_t i = before; i < sys.deliveries().size(); ++i) {
+      got.insert({sys.deliveries()[i].subscriber, sys.deliveries()[i].iid});
+    }
+    for (const auto& o : live) {
+      if (o.sub.matches(ev.point)) expect.insert({o.host, o.iid});
+    }
+    ASSERT_EQ(got, expect) << "event " << e;
+  }
+  EXPECT_TRUE(sys.check_zone_invariants());
+}
+
+}  // namespace
+}  // namespace hypersub
