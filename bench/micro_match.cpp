@@ -157,8 +157,12 @@ SweepRow sweep_point(std::size_t subs) {
   return row;
 }
 
-bool run_sweep(const std::string& json_path) {
-  const std::size_t sizes[] = {1000, 10000, 50000, 100000};
+bool run_sweep(const std::string& json_path, bool quick) {
+  // Quick mode (CI bench-sanity): only the 1000-subs point — enough to
+  // catch an index regression without minutes of sweep time.
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{1000}
+            : std::vector<std::size_t>{1000, 10000, 50000, 100000};
   std::vector<SweepRow> rows;
   std::printf("\nsubs-per-zone sweep (table1 workload):\n");
   std::printf("%10s %14s %14s %12s %9s\n", "subs", "matches/event",
@@ -203,6 +207,7 @@ bool run_sweep(const std::string& json_path) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_match.json";
   bool sweep = true;
+  bool quick = false;
   // Strip our flags before google-benchmark sees the argument list.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -210,6 +215,8 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
       sweep = false;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     } else {
       argv[kept++] = argv[i];
     }
@@ -219,6 +226,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (sweep && !run_sweep(json_path)) return 1;
+  if (sweep && !run_sweep(json_path, quick)) return 1;
   return 0;
 }

@@ -6,7 +6,10 @@
 namespace hypersub::chord {
 
 ChordNet::ChordNet(net::Network& net, const Params& params)
-    : net_(net), params_(params) {
+    : net_(net),
+      params_(params),
+      route_channel_(net, {params.rpc_timeout_ms, params.route_backoff,
+                           params.route_retries, kHeaderBytes}) {
   Rng rng(params.seed);
   const auto ids = random_ids(net.size(), rng);
   nodes_.reserve(net.size());
@@ -174,6 +177,10 @@ void ChordNet::route_step(net::HostIndex at, Id key,
     (*cb)(r);
     return;
   }
+  if (hops >= params_.max_route_hops) {
+    ++route_drops_;
+    return;
+  }
   // Final hop: key lies between us and our successor.
   NodeRef next;
   const NodeRef succ = nd.successor();
@@ -183,12 +190,87 @@ void ChordNet::route_step(net::HostIndex at, Id key,
     next = nd.closest_preceding(key);
     if (!next.valid() || next.id == nd.id()) next = succ;
   }
-  if (!next.valid()) return;  // isolated node: drop
+  if (!next.valid()) {  // isolated node: drop
+    if (params_.reliable_routing) ++route_drops_;
+    return;
+  }
+  if (params_.reliable_routing) {
+    send_route_hop(at, next, key, extra_bytes, hops, issued_at, cb,
+                   overlay::Peer::kInvalidHost);
+    return;
+  }
   const std::uint64_t bytes = kHeaderBytes + kKeyBytes + extra_bytes;
   net_.send(at, next.host, bytes,
             [this, to = next.host, key, extra_bytes, hops, issued_at, cb] {
               route_step(to, key, extra_bytes, hops + 1, issued_at, cb);
             });
+}
+
+void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
+                              std::uint64_t extra_bytes, int hops,
+                              double issued_at,
+                              std::shared_ptr<RouteCallback> cb,
+                              net::HostIndex failed) {
+  const std::uint64_t bytes = kHeaderBytes + kKeyBytes + extra_bytes +
+                              (failed != overlay::Peer::kInvalidHost
+                                   ? kNodeRefBytes
+                                   : 0);
+  route_channel_.send(
+      at, next.host, bytes,
+      [this, at, to = next.host, key, extra_bytes, hops, issued_at, cb,
+       failed] {
+        // Piggybacked failure gossip: the sender detoured around `failed`
+        // to reach us, so we are the heir of its range and the sender is a
+        // predecessor candidate for it.
+        if (failed != overlay::Peer::kInvalidHost) {
+          note_peer_failure(to, failed, at);
+        }
+        route_step(to, key, extra_bytes, hops + 1, issued_at, cb);
+      },
+      [this, at, to = next.host, key, extra_bytes, hops, issued_at, cb] {
+        // All retransmissions expired: the next hop is dead. Drop it from
+        // our routing state and detour through the recomputed hop,
+        // gossiping the failure to it.
+        note_peer_failure(at, to);
+        const NodeRef retry = next_hop(at, key);
+        if (!retry.valid() || retry.host == to) {
+          ++route_drops_;
+          return;
+        }
+        ++route_reroutes_;
+        send_route_hop(at, retry, key, extra_bytes, hops, issued_at, cb, to);
+      });
+}
+
+void ChordNet::note_peer_failure(net::HostIndex at, net::HostIndex failed,
+                                 net::HostIndex via) {
+  if (at == failed) return;
+  ChordNode& nd = *nodes_[at];
+  nd.remove_peer(nodes_[failed]->id());
+  if (via == overlay::Peer::kInvalidHost || via == at) return;
+  // The gossiping peer detoured around our dead predecessor-side neighbor;
+  // adopt it as predecessor candidate under the standard notify guard so
+  // owns() covers the inherited range again.
+  const NodeRef cand = nodes_[via]->self();
+  if (cand.id == nd.id()) return;
+  const NodeRef cur = nd.predecessor();
+  if (!cur.valid() || cur.id == nd.id() ||
+      ring::in_open(cand.id, cur.id, nd.id())) {
+    nd.set_predecessor(cand);
+  }
+}
+
+metrics::ReliabilityCounters ChordNet::route_reliability() const {
+  const net::ReliableChannel::Stats& s = route_channel_.stats();
+  metrics::ReliabilityCounters c;
+  c.messages_sent = s.sent;
+  c.acks = s.acked;
+  c.retries = s.retries;
+  c.expirations = s.expired;
+  c.duplicates_suppressed = s.duplicates_suppressed;
+  c.reroutes = route_reroutes_;
+  c.unmasked_drops = route_drops_;
+  return c;
 }
 
 // ---------------------------------------------------------------------------

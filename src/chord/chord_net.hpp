@@ -23,7 +23,9 @@
 
 #include "chord/chord_node.hpp"
 #include "chord/ring.hpp"
+#include "metrics/reliability_metrics.hpp"
 #include "net/network.hpp"
+#include "net/reliable_channel.hpp"
 #include "overlay/overlay.hpp"
 
 namespace hypersub::chord {
@@ -49,6 +51,19 @@ class ChordNet final : public overlay::Overlay {
     /// as implicit liveness evidence and skip redundant maintenance pings
     /// to peers heard from within one stabilization period.
     bool piggyback_maintenance = false;
+    /// Reliability extension: every lookup hop is acked and retried
+    /// (rpc_timeout_ms deadline, route_backoff growth, route_retries
+    /// retransmissions); on persistent next-hop failure the sender drops
+    /// the peer and reroutes through its backup successors. Off by default
+    /// to keep the base protocol equal to classic Chord.
+    bool reliable_routing = false;
+    int route_retries = 2;        ///< retransmissions per lookup hop
+    double route_backoff = 2.0;   ///< retry deadline multiplier
+    /// Hop TTL for lookups. Plain greedy routing needs O(log n) hops, but
+    /// failure reroutes can detour through nodes with stale predecessor
+    /// knowledge; the TTL turns a potential routing livelock into a
+    /// counted drop.
+    int max_route_hops = 128;
   };
 
   /// Creates one Chord node per network host. Ids are random and unique.
@@ -81,6 +96,13 @@ class ChordNet final : public overlay::Overlay {
   void note_app_contact(net::HostIndex at, Id peer) override {
     note_contact(at, peer);
   }
+
+  /// Drop `failed` from `at`'s routing state (successor list, fingers,
+  /// predecessor); when `via` is valid, adopt it as predecessor candidate
+  /// for the inherited range under the standard notify guard.
+  void note_peer_failure(net::HostIndex at, net::HostIndex failed,
+                         net::HostIndex via =
+                             overlay::Peer::kInvalidHost) override;
 
   /// Replication targets: the first k entries of the successor list.
   std::vector<NodeRef> replica_set(net::HostIndex h,
@@ -151,6 +173,15 @@ class ChordNet final : public overlay::Overlay {
   std::uint64_t pings_sent() const noexcept { return pings_sent_; }
   std::uint64_t pings_saved() const noexcept { return pings_saved_; }
 
+  // -- reliable routing observability ---------------------------------------
+
+  /// Transport + failover counters of the reliable lookup path (all zero
+  /// unless params().reliable_routing).
+  metrics::ReliabilityCounters route_reliability() const;
+  const net::ReliableChannel& route_channel() const noexcept {
+    return route_channel_;
+  }
+
  private:
   void stabilize(net::HostIndex h);
   void fix_next_finger(net::HostIndex h);
@@ -172,9 +203,19 @@ class ChordNet final : public overlay::Overlay {
   void route_step(net::HostIndex at, Id key, std::uint64_t extra_bytes,
                   int hops, double issued_at,
                   std::shared_ptr<RouteCallback> cb);
+  /// One acked lookup hop `at` -> `next`; on ack expiry drops `next` from
+  /// `at`'s state and retries through the recomputed next hop. `failed`
+  /// carries failure gossip for the receiver (invalid host = none).
+  void send_route_hop(net::HostIndex at, NodeRef next, Id key,
+                      std::uint64_t extra_bytes, int hops, double issued_at,
+                      std::shared_ptr<RouteCallback> cb,
+                      net::HostIndex failed);
 
   net::Network& net_;
   Params params_;
+  net::ReliableChannel route_channel_;
+  std::uint64_t route_reroutes_ = 0;  ///< hop failovers taken
+  std::uint64_t route_drops_ = 0;     ///< lookups lost (TTL / no viable hop)
   std::vector<std::unique_ptr<ChordNode>> nodes_;
   std::vector<int> next_finger_;        // per-node fix_fingers cursor
   std::vector<int> next_probe_;         // per-node liveness-probe cursor

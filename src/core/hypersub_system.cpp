@@ -6,7 +6,7 @@
 namespace hypersub::core {
 
 HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
-    : dht_(dht), cfg_(cfg) {
+    : dht_(dht), cfg_(cfg), channel_(dht.network(), cfg.reliable) {
   nodes_.reserve(dht.size());
   for (net::HostIndex h = 0; h < dht.size(); ++h) {
     nodes_.push_back(std::make_unique<HyperSubNode>(
@@ -302,6 +302,15 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
         // Deliver only if this node *is* the subscriber (a successor that
         // merely inherited the id range after a failure drops it).
         if (subid.target == nd.node_id()) {
+          // End-to-end dedupe: a rerouted subtree can re-match the same
+          // subscription through a different path.
+          if (cfg_.reliable_delivery &&
+              !delivered_subs_[ctx->seq]
+                   .emplace(subid.target, subid.iid)
+                   .second) {
+            ++rel_.duplicates_suppressed;
+            break;
+          }
           double lat = 0.0;
           if (t) {
             ++t->matched;
@@ -332,9 +341,18 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   // subid order identical to the old per-bucket insertion order.
   auto& routed = scratch_routed_;
   routed.clear();
+  if (cfg_.reliable_delivery && hops >= cfg_.max_event_hops) {
+    // Hop TTL: reroutes can detour through stale routing state; bound any
+    // livelock with a counted, truncated-flagged drop.
+    note_event_drop(ctx->seq, pending.size());
+    pending.clear();
+  }
   for (const SubId& subid : pending) {
     const overlay::Peer next = dht_.next_hop(host, subid.target);
-    if (!next.valid()) continue;  // isolated node; drop
+    if (!next.valid()) {  // isolated node; drop
+      if (cfg_.reliable_delivery) note_event_drop(ctx->seq, 1);
+      continue;
+    }
     routed.emplace_back(next.host, subid);
   }
   std::stable_sort(routed.begin(), routed.end(),
@@ -345,31 +363,121 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     const net::HostIndex to = routed[i].first;
     std::size_t j = i;
     while (j < routed.size() && routed[j].first == to) ++j;
-    std::vector<SubId> sublist;
-    sublist.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) sublist.push_back(routed[k].second);
+    auto sublist = std::make_shared<std::vector<SubId>>();
+    sublist->reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
     i = j;
     const std::uint64_t bytes =
-        overlay::kHeaderBytes + kEventBytes + kSubIdBytes * sublist.size();
+        overlay::kHeaderBytes + kEventBytes + kSubIdBytes * sublist->size();
     if (t) {
       t->bytes += bytes;
       ++t->outstanding;
     }
-    network().send(host, to, bytes,
-                   [this, to, ctx, sender = dht_.id_of(host),
-                    sublist = std::move(sublist), hops]() mutable {
-                     // §6 piggyback: event traffic doubles as liveness
-                     // evidence for the DHT layer (no-op unless enabled).
-                     dht_.note_app_contact(to, sender);
-                     process_event_message(to, ctx, std::move(sublist),
-                                           hops + 1);
-                   });
+    forward_event(host, to, bytes, ctx, std::move(sublist), hops,
+                  overlay::Peer::kInvalidHost);
   }
 
-  if (t) {
-    assert(t->outstanding > 0);
-    --t->outstanding;
+  // Re-find the tracker: forward_event's reliable path can (on a same-time
+  // expiry) mutate trackers_, invalidating `t`.
+  if (const auto it = trackers_.find(ctx->seq); it != trackers_.end()) {
+    assert(it->second.outstanding > 0);
+    --it->second.outstanding;
     finalize_if_done(ctx->seq);
+  }
+}
+
+void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
+                                   std::uint64_t bytes, const EventCtxPtr& ctx,
+                                   std::shared_ptr<std::vector<SubId>> sublist,
+                                   int hops, net::HostIndex failed) {
+  const Id sender = dht_.id_of(host);
+  if (!cfg_.reliable_delivery) {
+    network().send(host, to, bytes, [this, to, ctx, sender,
+                                     sublist = std::move(sublist), hops] {
+      // §6 piggyback: event traffic doubles as liveness evidence for the
+      // DHT layer (no-op unless enabled).
+      dht_.note_app_contact(to, sender);
+      process_event_message(to, ctx, std::move(*sublist), hops + 1);
+    });
+    return;
+  }
+  channel_.send(
+      host, to, bytes,
+      [this, host, to, ctx, sender, sublist, hops, failed] {
+        // Piggybacked failure gossip: the sender detoured around `failed`
+        // to reach us; drop it from our routing state and treat the sender
+        // as a predecessor candidate for the inherited range.
+        if (failed != overlay::Peer::kInvalidHost) {
+          dht_.note_peer_failure(to, failed, host);
+        }
+        dht_.note_app_contact(to, sender);
+        process_event_message(to, ctx, std::move(*sublist), hops + 1);
+      },
+      [this, host, to, ctx, sublist, hops] {
+        // All retransmissions expired: the next hop is dead. Drop it from
+        // the sender's routing state and reroute the sublist through
+        // recomputed hops; then retire this message's outstanding slot.
+        dht_.note_peer_failure(host, to);
+        reroute_event(host, ctx, *sublist, hops, to);
+        if (const auto it = trackers_.find(ctx->seq);
+            it != trackers_.end()) {
+          assert(it->second.outstanding > 0);
+          --it->second.outstanding;
+          finalize_if_done(ctx->seq);
+        }
+      });
+}
+
+void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
+                                   const std::vector<SubId>& subids, int hops,
+                                   net::HostIndex failed) {
+  // Cold failover path: a local grouping buffer (the scratch vectors may
+  // hold a caller's live state — ack expiries interleave arbitrarily with
+  // event processing).
+  std::vector<std::pair<net::HostIndex, SubId>> routed;
+  routed.reserve(subids.size());
+  for (const SubId& subid : subids) {
+    const overlay::Peer next = dht_.next_hop(host, subid.target);
+    if (!next.valid() || next.host == failed) {
+      // No viable alternative hop: an unmasked drop.
+      note_event_drop(ctx->seq, 1);
+      continue;
+    }
+    routed.emplace_back(next.host, subid);
+  }
+  std::stable_sort(routed.begin(), routed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  const auto tit = trackers_.find(ctx->seq);
+  Tracker* t = tit == trackers_.end() ? nullptr : &tit->second;
+  for (std::size_t i = 0; i < routed.size();) {
+    const net::HostIndex to = routed[i].first;
+    std::size_t j = i;
+    while (j < routed.size() && routed[j].first == to) ++j;
+    auto sublist = std::make_shared<std::vector<SubId>>();
+    sublist->reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
+    i = j;
+    ++rel_.reroutes;
+    const std::uint64_t bytes = overlay::kHeaderBytes + kEventBytes +
+                                kSubIdBytes * sublist->size();
+    if (t) {
+      t->bytes += bytes;
+      ++t->outstanding;
+    }
+    // Same hop count: the detour replaces the failed hop rather than
+    // extending the logical path (the TTL still bounds repeated detours
+    // through the receiver's own forwarding).
+    forward_event(host, to, bytes, ctx, std::move(sublist), hops, failed);
+  }
+}
+
+void HyperSubSystem::note_event_drop(std::uint64_t seq, std::size_t subids) {
+  if (subids == 0) return;
+  rel_.unmasked_drops += subids;
+  if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+    it->second.truncated = true;
   }
 }
 
@@ -386,25 +494,44 @@ void HyperSubSystem::finalize_if_done(std::uint64_t seq) {
   r.max_hops = t.max_hops;
   r.max_latency_ms = t.max_latency;
   r.bandwidth_bytes = t.bytes;
+  r.truncated = t.truncated;
+  if (t.truncated) ++rel_.truncated_events;
   event_metrics_.add(r);
   trackers_.erase(it);
 }
 
 void HyperSubSystem::finalize_events() {
   // Messages dropped at dead nodes leave outstanding counts above zero;
-  // flush whatever remains (their partial costs are still meaningful).
+  // flush whatever remains (their partial costs are still meaningful) and
+  // flag them truncated — part of the tree never completed.
   std::vector<std::uint64_t> seqs;
   seqs.reserve(trackers_.size());
   for (const auto& [seq, t] : trackers_) seqs.push_back(seq);
   for (const std::uint64_t seq : seqs) {
-    trackers_[seq].outstanding = 0;
+    Tracker& t = trackers_[seq];
+    if (t.outstanding > 0) t.truncated = true;
+    t.outstanding = 0;
     finalize_if_done(seq);
   }
+}
+
+metrics::ReliabilityCounters HyperSubSystem::reliability_counters() const {
+  const net::ReliableChannel::Stats& s = channel_.stats();
+  metrics::ReliabilityCounters c = rel_;
+  c.messages_sent += s.sent;
+  c.acks += s.acked;
+  c.retries += s.retries;
+  c.expirations += s.expired;
+  c.duplicates_suppressed += s.duplicates_suppressed;
+  return c;
 }
 
 void HyperSubSystem::reset_metrics() {
   event_metrics_ = metrics::EventMetrics{};
   deliveries_.clear();
+  delivered_subs_.clear();
+  rel_ = metrics::ReliabilityCounters{};
+  channel_.reset_stats();
 }
 
 bool HyperSubSystem::check_zone_invariants() const {
@@ -438,6 +565,51 @@ bool HyperSubSystem::check_zone_invariants() const {
               !(zone.child_piece(c).empty() && expect.empty())) {
             return false;
           }
+        }
+      }
+    }
+  }
+  // Cross-node pass: the piece a parent zone caches for each child must
+  // equal the piece actually installed at the child zone's live owner —
+  // otherwise events filtered by the stale child piece die (or detour)
+  // between the two nodes. Only authoritative state is compared: the
+  // parent's host must still own the parent key, and exactly one live node
+  // may claim the child key (ownership is ambiguous mid-repair).
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    if (!dht_.network().alive(h)) continue;
+    for (const auto& [addr, zone] : nodes_[h]->zones()) {
+      const SchemeRuntime& rt = *schemes_[addr.scheme];
+      const Subscheme& ss = rt.subscheme(addr.subscheme);
+      const lph::ZoneSystem& zsys = ss.zones();
+      if (zsys.is_leaf(addr.zone)) continue;
+      if (!dht_.owns(h, ss.zone_key(addr.zone))) continue;
+      const Id my_key = ss.zone_key(addr.zone);
+      for (int c = 0; c < zsys.base(); ++c) {
+        const lph::Zone child = zsys.child(addr.zone, c);
+        const Id child_key = ss.zone_key(child);
+        net::HostIndex owner = overlay::Peer::kInvalidHost;
+        bool ambiguous = false;
+        for (net::HostIndex o = 0; o < nodes_.size(); ++o) {
+          if (!dht_.network().alive(o) || !dht_.owns(o, child_key)) continue;
+          if (owner != overlay::Peer::kInvalidHost) {
+            ambiguous = true;
+            break;
+          }
+          owner = o;
+        }
+        if (owner == overlay::Peer::kInvalidHost || ambiguous) continue;
+        HyperRect installed;
+        const ZoneAddr child_addr{addr.scheme, addr.subscheme, child};
+        const auto& child_zones = nodes_[owner]->zones();
+        if (const auto it = child_zones.find(child_addr);
+            it != child_zones.end()) {
+          const auto& pp = it->second.parent_piece();
+          if (pp && pp->second == my_key) installed = pp->first;
+        }
+        const HyperRect& cached = zone.child_piece(c);
+        if (!(installed == cached) &&
+            !(installed.empty() && cached.empty())) {
+          return false;
         }
       }
     }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "core/hypersub_node.hpp"
 #include "core/subscheme.hpp"
 #include "metrics/event_metrics.hpp"
+#include "metrics/reliability_metrics.hpp"
+#include "net/reliable_channel.hpp"
 #include "pubsub/event.hpp"
 
 namespace hypersub::core {
@@ -55,6 +58,19 @@ class HyperSubSystem {
     /// subscriptions match through a SubIndex instead of a linear scan;
     /// ~size_t(-1) disables indexing entirely (see ZoneState).
     std::size_t match_index_threshold = ZoneState::kDefaultIndexThreshold;
+    /// Reliability extension: event-delivery messages (and load-balancer
+    /// migrations) ride a ReliableChannel — acked, retried with backoff,
+    /// and rerouted through backup hops when the next hop stays dead.
+    /// Deliveries are deduplicated per (event, subscriber, subscription).
+    /// Off by default = the paper's fire-and-forget behavior.
+    bool reliable_delivery = false;
+    /// Transport knobs of the reliable channel (ack deadline must exceed
+    /// the topology's worst-case RTT).
+    net::ReliableChannel::Config reliable;
+    /// Hop TTL for event messages under reliable delivery. Reroutes can
+    /// detour through nodes with stale routing state; the TTL bounds any
+    /// livelock and converts it into a counted, truncated-flagged drop.
+    int max_event_hops = 128;
   };
 
   /// Build on any DHT substrate (Chord, Pastry, ...).
@@ -105,6 +121,11 @@ class HyperSubSystem {
   }
   metrics::EventMetrics& event_metrics() noexcept { return event_metrics_; }
 
+  /// Transport + failover counters of the reliable delivery path (all zero
+  /// unless config().reliable_delivery).
+  metrics::ReliabilityCounters reliability_counters() const;
+  net::ReliableChannel& reliable_channel() noexcept { return channel_; }
+
   /// Finalize trackers of events whose message trees were cut short (e.g.
   /// by node failures); call after the simulation drains.
   void finalize_events();
@@ -151,6 +172,7 @@ class HyperSubSystem {
     int max_hops = 0;
     double max_latency = 0.0;
     std::uint64_t bytes = 0;
+    bool truncated = false;  ///< part of the delivery tree was lost
   };
 
   // Alg. 3: registration at the surrogate node + piece propagation.
@@ -163,6 +185,23 @@ class HyperSubSystem {
   // Alg. 5: one event message arriving at `host`.
   void process_event_message(net::HostIndex host, const EventCtxPtr& ctx,
                              std::vector<SubId> list, int hops);
+  /// Send one grouped event message `host` -> `to` (fire-and-forget, or
+  /// acked with reroute-on-expiry under reliable delivery). `failed` is a
+  /// failure-gossip hint for the receiver (invalid host = none). Assumes
+  /// the tracker's outstanding count was already incremented for this
+  /// message.
+  void forward_event(net::HostIndex host, net::HostIndex to,
+                     std::uint64_t bytes, const EventCtxPtr& ctx,
+                     std::shared_ptr<std::vector<SubId>> sublist, int hops,
+                     net::HostIndex failed);
+  /// Failover: re-resolve each subid of a message whose next hop died,
+  /// excluding the dead hop, and forward the regrouped remainder. Subids
+  /// with no viable alternative are dropped (counted, event truncated).
+  void reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
+                     const std::vector<SubId>& subids, int hops,
+                     net::HostIndex failed);
+  /// Record one event drop that reliability could not mask.
+  void note_event_drop(std::uint64_t seq, std::size_t subids);
   void finalize_if_done(std::uint64_t seq);
 
   std::uint64_t install_bytes(std::size_t dims) const {
@@ -171,11 +210,19 @@ class HyperSubSystem {
 
   overlay::Overlay& dht_;
   Config cfg_;
+  net::ReliableChannel channel_;  ///< event/migration transport (reliable)
+  metrics::ReliabilityCounters rel_;  ///< layer decisions (reroutes, drops)
   std::vector<std::unique_ptr<HyperSubNode>> nodes_;
   std::vector<std::unique_ptr<SchemeRuntime>> schemes_;
   std::vector<Delivery> deliveries_;
   metrics::EventMetrics event_metrics_;
   std::unordered_map<std::uint64_t, Tracker> trackers_;
+  /// Per-event delivered (subscriber node id, iid) pairs: end-to-end
+  /// duplicate suppression under reliable delivery (retransmitted subtrees
+  /// can re-match the same subscription through a different path). Only
+  /// populated when reliable_delivery; cleared by reset_metrics().
+  std::unordered_map<std::uint64_t, std::set<std::pair<Id, std::uint32_t>>>
+      delivered_subs_;
   std::uint64_t event_seq_ = 0;
   std::size_t total_subs_ = 0;
 

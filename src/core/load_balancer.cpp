@@ -73,10 +73,12 @@ void LoadBalancer::probe_and_balance(net::HostIndex h) {
   auto finalize = [this, h, round] {
     if (round->done) return;
     round->done = true;
-    // Average load over responding neighbors (plus self, to be defensive
-    // against tiny samples).
-    double sum = 0.0;
-    std::size_t n = 0;
+    // Average load over responding neighbors plus self: the probing node
+    // is part of its own neighborhood, and with tiny samples excluding it
+    // understates the average enough to trigger spurious migrations.
+    const std::size_t my_load = sys_.node(h).load();
+    double sum = double(my_load);
+    std::size_t n = 1;
     std::vector<std::pair<std::size_t, overlay::Peer>> responders;
     for (std::size_t i = 0; i < round->targets.size(); ++i) {
       if (round->loads[i] == ~std::size_t{0}) continue;
@@ -84,9 +86,8 @@ void LoadBalancer::probe_and_balance(net::HostIndex h) {
       ++n;
       responders.emplace_back(round->loads[i], round->targets[i]);
     }
-    if (n == 0) return;
+    if (responders.empty()) return;
     const double avg = sum / double(n);
-    const std::size_t my_load = sys_.node(h).load();
     if (double(my_load) <= avg * (1.0 + cfg_.delta)) return;
     if (my_load < cfg_.min_load) return;
     // Acceptors: lightly loaded responders, lightest first, capped at k.
@@ -192,36 +193,69 @@ void LoadBalancer::migrate(net::HostIndex h,
       // Arc [A_i, A_{i+1}); the last acceptor takes [A_k, N).
       const Id lo = acceptors[i].id;
       const Id hi = (i + 1 < k) ? acceptors[i + 1].id : my_id;
-      auto bucket = zone.extract_subscribers_in_arc(lo, hi);
-      if (bucket.empty()) continue;
-      migrated_ += bucket.size();
+      auto extracted = zone.extract_subscribers_in_arc(lo, hi);
+      if (extracted.empty()) continue;
 
       // Summary of what leaves (projected space) — the pointer filter.
       HyperRect summary;
-      for (const auto& s : bucket) summary = summary.hull(s.projected);
+      for (const auto& s : extracted) summary = summary.hull(s.projected);
 
+      // Failure-atomic handoff: the subscriptions count as migrated only
+      // once the acceptor stored them AND the surrogate pointer landed
+      // back at the origin. Both legs ride the reliable channel; if the
+      // acceptor never acks, the extracted bucket is reinstalled locally
+      // so no subscription is ever in neither place.
+      auto bucket =
+          std::make_shared<std::vector<StoredSub>>(std::move(extracted));
+      const std::size_t count = bucket->size();
       const std::uint64_t total_bytes =
-          overlay::kHeaderBytes + sub_bytes(dims) * bucket.size();
+          overlay::kHeaderBytes + sub_bytes(dims) * count;
       const auto acceptor = acceptors[i];
       const ZoneAddr origin_addr = addr;
-      sys_.network().send(
+      sys_.channel_.send(
           h, acceptor.host, total_bytes,
-          [this, h, acceptor, origin_addr, zone_key, summary,
-           bucket = std::move(bucket), dims]() mutable {
+          [this, h, acceptor, origin_addr, zone_key, summary, bucket, count,
+           dims] {
             HyperSubNode& acc = sys_.node(acceptor.host);
             const std::uint32_t token =
-                acc.accept_migration(zone_key, std::move(bucket));
-            // Register the surrogate pointer back at the origin.
-            sys_.network().send(
+                acc.accept_migration(zone_key, std::move(*bucket));
+            // Register the surrogate pointer back at the origin. If the
+            // origin dies before confirming, the bucket stays matchable at
+            // the acceptor but unreachable — counted as failed, not
+            // migrated (the origin's zone state died with it either way).
+            sys_.channel_.send(
                 acceptor.host, h,
                 overlay::kHeaderBytes + kSubIdBytes + 16 * dims,
-                [this, h, acceptor, origin_addr, zone_key, summary, token] {
+                [this, h, acceptor, origin_addr, zone_key, summary, token,
+                 count] {
                   HyperSubNode& origin = sys_.node(h);
                   ZoneState& zs = origin.zone_state(origin_addr, zone_key);
+                  const HyperRect before = zs.summary();
                   zs.add_migrated_bucket(MigratedBucket{
                       summary,
                       SubId{acceptor.id, token, SubIdKind::kMigrated}});
-                });
+                  migrated_ += count;
+                  // An unsubscription during the handoff window may have
+                  // shrunk the summary below the bucket's hull; the
+                  // pointer re-grows it, and ancestors must hear about it
+                  // or events die upstream of this zone.
+                  if (!(zs.summary() == before)) {
+                    sys_.propagate_pieces(h, origin_addr);
+                  }
+                },
+                [this, count] { failed_ += count; });
+          },
+          [this, h, origin_addr, zone_key, bucket, count] {
+            // Acceptor unresponsive: roll back — reinstall the extracted
+            // subscriptions at the origin.
+            HyperSubNode& origin = sys_.node(h);
+            ZoneState& zs = origin.zone_state(origin_addr, zone_key);
+            const HyperRect before = zs.summary();
+            for (auto& s : *bucket) zs.add_subscription(std::move(s));
+            failed_ += count;
+            if (!(zs.summary() == before)) {
+              sys_.propagate_pieces(h, origin_addr);
+            }
           });
     }
   }

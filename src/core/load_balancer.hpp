@@ -44,8 +44,13 @@ class LoadBalancer {
   /// drain. Bench/test convenience — identical logic to the periodic path.
   void run_round();
 
-  /// Total subscriptions migrated so far (observability).
+  /// Total subscriptions migrated so far — counted only once the acceptor
+  /// stored them and the surrogate pointer was confirmed at the origin.
   std::uint64_t migrated_count() const noexcept { return migrated_; }
+
+  /// Subscriptions whose migration handoff failed (acceptor or origin died
+  /// mid-handoff). Rolled back to the origin when it is still alive.
+  std::uint64_t failed_migrations() const noexcept { return failed_; }
 
  private:
   void tick(net::HostIndex h);
@@ -60,6 +65,7 @@ class LoadBalancer {
   std::vector<bool> ticking_;
   bool stopped_ = false;
   std::uint64_t migrated_ = 0;
+  std::uint64_t failed_ = 0;
 };
 
 }  // namespace hypersub::core

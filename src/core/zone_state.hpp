@@ -126,6 +126,12 @@ class ZoneState {
   const std::vector<MigratedBucket>& buckets() const noexcept { return buckets_; }
   bool has_parent_piece() const noexcept { return parent_piece_.has_value(); }
 
+  /// The installed surrogate piece and the parent zone key that registered
+  /// it; nullopt if none (cross-node staleness audits).
+  const std::optional<std::pair<HyperRect, Id>>& parent_piece() const noexcept {
+    return parent_piece_;
+  }
+
   /// Exact recompute of the summary filter from current contents.
   /// Returns true if it changed. (Used after removals.)
   bool recompute_summary();

@@ -20,6 +20,10 @@ struct EventRecord {
   int max_hops = 0;                 ///< max overlay path length of a delivery
   double max_latency_ms = 0.0;      ///< publish -> last delivery
   std::uint64_t bandwidth_bytes = 0;///< all event-message bytes
+  /// Part of the event's delivery tree was cut short (a message dropped
+  /// with no viable reroute, hop TTL exceeded, or force-finalized with
+  /// messages still in flight) — the matched count may undercount.
+  bool truncated = false;
 };
 
 /// Accumulates event records and exposes the CDF views Fig. 2 plots.
@@ -29,6 +33,13 @@ class EventMetrics {
   void reserve(std::size_t n) { records_.reserve(n); }
   std::size_t count() const noexcept { return records_.size(); }
   const std::vector<EventRecord>& records() const noexcept { return records_; }
+
+  /// Events whose delivery trees were cut short (see EventRecord::truncated).
+  std::size_t truncated_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += r.truncated ? 1 : 0;
+    return n;
+  }
 
   Cdf pct_matched_cdf() const;
   Cdf hops_cdf() const;

@@ -1,0 +1,36 @@
+#include "metrics/reliability_metrics.hpp"
+
+#include <cstdio>
+
+namespace hypersub::metrics {
+
+ReliabilityCounters& ReliabilityCounters::operator+=(
+    const ReliabilityCounters& o) {
+  messages_sent += o.messages_sent;
+  acks += o.acks;
+  retries += o.retries;
+  expirations += o.expirations;
+  reroutes += o.reroutes;
+  unmasked_drops += o.unmasked_drops;
+  duplicates_suppressed += o.duplicates_suppressed;
+  truncated_events += o.truncated_events;
+  return *this;
+}
+
+std::string to_string(const ReliabilityCounters& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu acked=%llu retries=%llu expired=%llu "
+                "reroutes=%llu drops=%llu dups=%llu truncated=%llu",
+                static_cast<unsigned long long>(c.messages_sent),
+                static_cast<unsigned long long>(c.acks),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.expirations),
+                static_cast<unsigned long long>(c.reroutes),
+                static_cast<unsigned long long>(c.unmasked_drops),
+                static_cast<unsigned long long>(c.duplicates_suppressed),
+                static_cast<unsigned long long>(c.truncated_events));
+  return buf;
+}
+
+}  // namespace hypersub::metrics

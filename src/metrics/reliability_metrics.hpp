@@ -1,0 +1,31 @@
+#pragma once
+// Observability for the reliability layer (ack/retry/reroute): one flat
+// counter block per subsystem (event delivery, lookup routing), merged from
+// the ReliableChannel's transport stats and the layer's own reroute/drop
+// decisions. The point of these counters is that losses the layer cannot
+// mask are *visible* instead of silently skewing delivery metrics.
+
+#include <cstdint>
+#include <string>
+
+namespace hypersub::metrics {
+
+struct ReliabilityCounters {
+  // Transport (from net::ReliableChannel::Stats).
+  std::uint64_t messages_sent = 0;  ///< logical messages submitted
+  std::uint64_t acks = 0;           ///< confirmed delivered
+  std::uint64_t retries = 0;        ///< retransmissions
+  std::uint64_t expirations = 0;    ///< messages whose retries all expired
+  // Layer decisions.
+  std::uint64_t reroutes = 0;        ///< next-hop failovers taken
+  std::uint64_t unmasked_drops = 0;  ///< payloads dropped with no viable hop
+  std::uint64_t duplicates_suppressed = 0;  ///< redundant deliveries dropped
+  std::uint64_t truncated_events = 0;  ///< events finalized incomplete
+
+  ReliabilityCounters& operator+=(const ReliabilityCounters& o);
+};
+
+/// One-line human-readable rendering for bench/report output.
+std::string to_string(const ReliabilityCounters& c);
+
+}  // namespace hypersub::metrics

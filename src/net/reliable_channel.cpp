@@ -1,0 +1,64 @@
+#include "net/reliable_channel.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace hypersub::net {
+
+void ReliableChannel::send(HostIndex from, HostIndex to, std::uint64_t bytes,
+                           std::function<void()> deliver,
+                           std::function<void()> on_fail) {
+  ++stats_.sent;
+  if (from == to) {
+    ++stats_.acked;
+    net_.send(from, to, bytes, std::move(deliver));
+    return;
+  }
+  auto m = std::make_shared<Message>(Message{from, to, bytes, ++next_id_,
+                                             std::move(deliver),
+                                             std::move(on_fail)});
+  attempt(m, 0);
+}
+
+void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
+                              int attempt_no) {
+  net_.send(m->from, m->to, m->bytes, [this, m] {
+    // Receiver side. Run the handler only for the first copy; every copy
+    // (first or not) triggers an ack so the sender stops retransmitting.
+    if (m->resolved || !delivered_.insert(m->id).second) {
+      ++stats_.duplicates_suppressed;
+    } else {
+      m->deliver();
+    }
+    net_.send(m->to, m->from, cfg_.ack_bytes, [this, m] {
+      if (m->resolved) return;
+      m->resolved = true;
+      ++stats_.acked;
+      delivered_.erase(m->id);
+    });
+  });
+  const double deadline =
+      cfg_.ack_timeout_ms * std::pow(cfg_.backoff, attempt_no);
+  net_.simulator().schedule(deadline, [this, m, attempt_no] {
+    if (m->resolved) return;
+    if (!net_.alive(m->from)) {
+      // Orphaned: the sender died while waiting. Nobody is left to retry
+      // or reroute; resolve silently (running on_fail at a dead host would
+      // resurrect processing there).
+      m->resolved = true;
+      delivered_.erase(m->id);
+      return;
+    }
+    if (attempt_no < cfg_.max_retries) {
+      ++stats_.retries;
+      attempt(m, attempt_no + 1);
+      return;
+    }
+    m->resolved = true;
+    ++stats_.expired;
+    delivered_.erase(m->id);
+    if (m->on_fail) m->on_fail();
+  });
+}
+
+}  // namespace hypersub::net

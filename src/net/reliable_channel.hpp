@@ -1,0 +1,96 @@
+#pragma once
+// Reliable messaging over the raw Network fabric: per-message ack, timeout,
+// bounded retries with exponential backoff, and a reroute hook.
+//
+// Network::send is fire-and-forget — a message to a dead host silently
+// vanishes, and whole delivery subtrees vanish with it. ReliableChannel
+// layers the Scribe/Pastry-style substrate duty on top: every logical
+// message is acked by the receiver; an unacked message is retransmitted up
+// to `max_retries` times with exponentially growing deadlines; when every
+// attempt expires the (still-live) sender's `on_fail` callback runs, so the
+// caller can re-resolve the next hop (successor-list failover) instead of
+// losing the payload.
+//
+// Delivery is exactly-once per logical message: a retransmission that races
+// its predecessor is suppressed by a receiver-side seen-set, and any copy
+// arriving after the message resolved (acked or expired) is ignored. Ack
+// traffic is accounted through Network like every other message, so the
+// bandwidth metrics see the true cost of reliability.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "net/network.hpp"
+
+namespace hypersub::net {
+
+class ReliableChannel {
+ public:
+  struct Config {
+    /// Ack deadline of the first attempt. Must exceed the worst-case RTT
+    /// of the topology or live-but-slow peers get falsely suspected.
+    double ack_timeout_ms = 1500.0;
+    /// Deadline multiplier per retransmission (exponential backoff).
+    double backoff = 2.0;
+    /// Retransmissions after the first attempt; 2 means 3 attempts total.
+    int max_retries = 2;
+    /// Wire size of an ack (header-only message; overlay::kHeaderBytes).
+    std::uint64_t ack_bytes = 20;
+  };
+
+  struct Stats {
+    std::uint64_t sent = 0;     ///< logical messages submitted
+    std::uint64_t acked = 0;    ///< confirmed delivered
+    std::uint64_t retries = 0;  ///< retransmissions
+    std::uint64_t expired = 0;  ///< all attempts exhausted (on_fail fired)
+    std::uint64_t duplicates_suppressed = 0;  ///< redundant copies dropped
+  };
+
+  // Two overloads instead of `Config cfg = {}`: a default argument here
+  // would be parsed before Config's member initializers are complete.
+  explicit ReliableChannel(Network& net) : net_(net) {}
+  ReliableChannel(Network& net, Config cfg) : net_(net), cfg_(cfg) {}
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Send `bytes` from `from` to `to`; `deliver` runs at the destination
+  /// exactly once (retransmissions are deduplicated). If the destination
+  /// stays unresponsive through all retries, `on_fail` runs at the sender —
+  /// the reroute hook — unless the sender itself died meanwhile. `deliver`
+  /// and `on_fail` are mutually exclusive. Self-sends bypass the ack
+  /// machinery (local delivery cannot fail).
+  void send(HostIndex from, HostIndex to, std::uint64_t bytes,
+            std::function<void()> deliver,
+            std::function<void()> on_fail = {});
+
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct Message {
+    HostIndex from;
+    HostIndex to;
+    std::uint64_t bytes;
+    std::uint64_t id;
+    std::function<void()> deliver;
+    std::function<void()> on_fail;
+    bool resolved = false;  ///< acked, expired, or orphaned (sender died)
+  };
+
+  void attempt(const std::shared_ptr<Message>& m, int attempt_no);
+
+  Network& net_;
+  Config cfg_;
+  Stats stats_;
+  std::uint64_t next_id_ = 0;
+  /// Ids delivered but not yet resolved: dedupes retransmissions that race
+  /// their ack. Entries are erased at resolution (the `resolved` flag keeps
+  /// suppressing later copies), so the set stays small.
+  std::unordered_set<std::uint64_t> delivered_;
+};
+
+}  // namespace hypersub::net

@@ -61,6 +61,19 @@ class Overlay {
   /// paper §6). Default: ignored.
   virtual void note_app_contact(net::HostIndex /*at*/, Id /*peer*/) {}
 
+  /// Failure evidence from the reliability layer: `at` learned — from its
+  /// own ack timeout, or gossiped by the peer `via` that observed it —
+  /// that `failed` is unresponsive. Implementations drop `failed` from
+  /// `at`'s routing state so the next next_hop() resolves a backup
+  /// (successor-list failover). When `via` is a valid host, it is the peer
+  /// that rerouted to `at` as the failed node's heir and is therefore a
+  /// predecessor candidate for the inherited key range (Chord notify
+  /// semantics). Default: ignored (best-effort substrates).
+  virtual void note_peer_failure(net::HostIndex /*at*/,
+                                 net::HostIndex /*failed*/,
+                                 net::HostIndex /*via*/ = Peer::kInvalidHost) {
+  }
+
   /// The nodes that inherit `h`'s key range if it fails — the replication
   /// targets for state stored at `h` (Chord: the successor list; Pastry:
   /// the clockwise leaves). At most `k` peers; may return fewer.

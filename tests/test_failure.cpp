@@ -61,9 +61,11 @@ TEST(Failure, EventToDeadSubscriberIsDroppedSilently) {
   s.sys->publish(9, scheme, gen->make_event());
   s.sim->run();
   s.sys->finalize_events();
-  // No delivery, no crash; the event record still exists.
+  // No delivery, no crash; the event record still exists and is flagged
+  // truncated (part of its tree died with the subscriber).
   EXPECT_TRUE(s.sys->deliveries().empty());
   EXPECT_EQ(s.sys->event_metrics().count(), 1u);
+  EXPECT_EQ(s.sys->event_metrics().truncated_count(), 1u);
 }
 
 TEST(Failure, SuccessorInheritsIdRangeButNotDeliveries) {
@@ -124,9 +126,10 @@ TEST(Failure, FinalizeEventsFlushesPartialTrackers) {
   s.sys->publish(1, scheme, gen->make_event());
   s.sim->run();
   // Outstanding counts never hit zero (messages were dropped), so without
-  // the flush no record would exist.
+  // the flush no record would exist; the record is flagged truncated.
   s.sys->finalize_events();
   EXPECT_EQ(s.sys->event_metrics().count(), 1u);
+  EXPECT_EQ(s.sys->event_metrics().truncated_count(), 1u);
   // Flushing twice is harmless.
   s.sys->finalize_events();
   EXPECT_EQ(s.sys->event_metrics().count(), 1u);

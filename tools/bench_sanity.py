@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bench sanity gate: compare a fresh micro_match sweep against the committed
+baseline and fail if the index speedup regressed beyond a tolerance.
+
+Usage:
+    bench_sanity.py BASELINE.json FRESH.json [--point N] [--max-regression R]
+
+The speedup (ns_per_event_scan / ns_per_event_indexed) is the quantity the
+index exists for, and it is far more stable across CI machines than absolute
+nanoseconds — both sides of the ratio move with the machine. A fresh speedup
+below (1 - R) * baseline speedup at the compared point fails the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_point(path, subs):
+    with open(path) as f:
+        doc = json.load(f)
+    for row in doc.get("sweep", []):
+        if row.get("subs_per_zone") == subs:
+            return row
+    sys.exit(f"error: {path} has no sweep point with subs_per_zone={subs}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_match.json")
+    ap.add_argument("fresh", help="freshly produced sweep json")
+    ap.add_argument("--point", type=int, default=1000,
+                    help="subs_per_zone point to compare (default 1000)")
+    ap.add_argument("--max-regression", type=float, default=0.30,
+                    help="allowed fractional speedup loss (default 0.30)")
+    args = ap.parse_args()
+
+    base = load_point(args.baseline, args.point)
+    fresh = load_point(args.fresh, args.point)
+
+    base_speedup = base["ns_per_event_scan"] / base["ns_per_event_indexed"]
+    fresh_speedup = fresh["ns_per_event_scan"] / fresh["ns_per_event_indexed"]
+    floor = (1.0 - args.max_regression) * base_speedup
+
+    print(f"point subs_per_zone={args.point}:")
+    print(f"  baseline speedup {base_speedup:6.2f}x "
+          f"(scan {base['ns_per_event_scan']:.0f} ns, "
+          f"indexed {base['ns_per_event_indexed']:.0f} ns)")
+    print(f"  fresh    speedup {fresh_speedup:6.2f}x "
+          f"(scan {fresh['ns_per_event_scan']:.0f} ns, "
+          f"indexed {fresh['ns_per_event_indexed']:.0f} ns)")
+    print(f"  floor    {floor:6.2f}x "
+          f"(baseline minus {args.max_regression:.0%} tolerance)")
+
+    if fresh_speedup < floor:
+        print("FAIL: index speedup regressed beyond tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
