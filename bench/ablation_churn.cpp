@@ -18,6 +18,7 @@
 
 #include "chord/chord_net.hpp"
 #include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
 #include "net/topology.hpp"
 #include "workload/zipf_workload.hpp"
 
@@ -131,7 +132,7 @@ int main(int argc, char** argv) {
           expected > 0
               ? double(sys.deliveries().size()) / double(expected)
               : 1.0;
-      auto rel = sys.reliability_counters();
+      auto rel = metrics::snapshot(sys).reliability;
       rel += chord.route_reliability();
       std::printf("%-22.0f %-12zu %-10s %-14.3f %-14zu %s\n", mtbf, replicas,
                   reliable ? "yes" : "no", ratio, dead.size(),

@@ -43,9 +43,9 @@ Row run_on(const char* name, overlay::Overlay& dht, std::size_t nodes,
   }
   sim.run();
 
-  core::HyperSubSystem::Config sc;
-  sc.record_deliveries = false;
-  core::HyperSubSystem sys(dht, sc);
+  core::HyperSubSystem sys(dht);
+  core::CountingDeliverySink sink;  // counts only; skip the full log
+  sys.set_delivery_sink(sink);
   workload::WorkloadGenerator gen(workload::table1_spec(), 7);
   core::SchemeOptions opt;
   opt.zone_cfg = {1, 20};

@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
     chord::ChordNet chord(net, cp);
     chord.oracle_build();
 
-    core::HyperSubSystem::Config sc;
-    sc.record_deliveries = false;
-    core::HyperSubSystem sys(chord, sc);
+    core::HyperSubSystem sys(chord);
+    core::CountingDeliverySink sink;  // counts only; skip the full log
+    sys.set_delivery_sink(sink);
     workload::WorkloadGenerator gen(workload::table1_spec(), 11);
     core::SchemeOptions opt;
     opt.zone_cfg = {1, 20};

@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
     sim.run();
 
     // Event delivery on top.
-    core::HyperSubSystem::Config sc;
-    sc.record_deliveries = false;
-    core::HyperSubSystem sys(chord, sc);
+    core::HyperSubSystem sys(chord);
+    core::CountingDeliverySink sink;  // counts only; skip the full log
+    sys.set_delivery_sink(sink);
     workload::WorkloadGenerator gen(workload::table1_spec(), 17);
     core::SchemeOptions opt;
     opt.zone_cfg = {1, 20};

@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
     net::Network net(sim, topo);
     chord::ChordNet chord(net, {});
     chord.oracle_build();
-    core::HyperSubSystem::Config sc;
-    sc.record_deliveries = false;
-    core::HyperSubSystem sys(chord, sc);
+    core::HyperSubSystem sys(chord);
+    core::CountingDeliverySink sink;  // counts only; skip the full log
+    sys.set_delivery_sink(sink);
 
     workload::WorkloadGenerator gen(workload::table1_spec(), 31);
     core::SchemeOptions opt;

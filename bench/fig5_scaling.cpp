@@ -6,6 +6,10 @@
 // Paper shape to reproduce: % matched decreases slightly with size while
 // absolute matches grow; hops/latency/bandwidth grow modestly
 // (logarithmically) — HyperSub scales.
+//
+// Beyond the paper, two extra series run a Zipf-hot feed (fixed event
+// pool, few publishers) with the publish fast lane off and on, plus Fig
+// 5(e) plotting the route-cache hit rate vs size.
 
 #include <iostream>
 
@@ -27,31 +31,56 @@ int main(int argc, char** argv) {
               scale.full ? "full" : "reduced", sizes.front(), sizes.back(),
               events);
 
+  // Four configurations per size: the paper's uniform feed plain and
+  // load-balanced, plus a Zipf-hot feed (fixed event pool, few publishers —
+  // the regime with repeated rendezvous zones) with the publish fast lane
+  // off and on. The cache comparison is within the Zipf feed, so both of
+  // its series see the identical workload.
   std::vector<runner::ExperimentConfig> cfgs;
   for (const std::size_t n : sizes) {
-    for (const bool lb : {false, true}) {
+    for (int mode = 0; mode < 4; ++mode) {
       runner::ExperimentConfig cfg;
       cfg.nodes = n;
       cfg.events = events;
-      cfg.load_balancing = lb;
+      cfg.load_balancing = (mode == 1);
+      if (mode >= 2) {
+        cfg.hot_event_pool = 64;
+        cfg.publishers = 6;
+      }
+      cfg.route_cache = (mode == 3);
+      cfg.batch_forwarding = (mode == 3);
       cfgs.push_back(cfg);
     }
   }
   const auto results = runner::run_experiments_parallel(cfgs);
 
   std::vector<double> xs;
-  std::vector<double> pct, hops_no, hops_lb, lat_no, lat_lb, bw_no, bw_lb;
+  std::vector<double> pct, hops_no, hops_lb, hops_zf, hops_ca, lat_no, lat_lb,
+      lat_zf, lat_ca, bw_no, bw_lb, bw_zf, bw_ca, hit_rate;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const auto& no_lb = results[2 * i];
-    const auto& with_lb = results[2 * i + 1];
+    const auto& no_lb = results[4 * i];
+    const auto& with_lb = results[4 * i + 1];
+    const auto& zipf = results[4 * i + 2];
+    const auto& cached = results[4 * i + 3];
     xs.push_back(double(sizes[i]) / 1000.0);
     pct.push_back(no_lb.avg_pct_matched);
     hops_no.push_back(no_lb.events.hops_cdf().mean());
     hops_lb.push_back(with_lb.events.hops_cdf().mean());
+    hops_zf.push_back(zipf.events.hops_cdf().mean());
+    hops_ca.push_back(cached.events.hops_cdf().mean());
     lat_no.push_back(no_lb.events.latency_cdf().mean());
     lat_lb.push_back(with_lb.events.latency_cdf().mean());
+    lat_zf.push_back(zipf.events.latency_cdf().mean());
+    lat_ca.push_back(cached.events.latency_cdf().mean());
     bw_no.push_back(no_lb.events.bandwidth_kb_cdf().mean());
     bw_lb.push_back(with_lb.events.bandwidth_kb_cdf().mean());
+    bw_zf.push_back(zipf.events.bandwidth_kb_cdf().mean());
+    bw_ca.push_back(cached.events.bandwidth_kb_cdf().mean());
+    const auto& cc = cached.cache;
+    hit_rate.push_back(cc.hits + cc.misses > 0
+                           ? 100.0 * double(cc.hits) /
+                                 double(cc.hits + cc.misses)
+                           : 0.0);
   }
 
   metrics::print_xy_figure(std::cout,
@@ -59,14 +88,22 @@ int main(int argc, char** argv) {
                            "size (x1000)", {"% matched"}, xs, {pct});
   metrics::print_xy_figure(
       std::cout, "Fig 5(b): avg max-hops vs size", "size (x1000)",
-      {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs,
-      {hops_no, hops_lb});
+      {"Base 2,level 20,no LB", "Base 2,level 20,LB", "Zipf feed,no cache",
+       "Zipf feed,cache"},
+      xs, {hops_no, hops_lb, hops_zf, hops_ca});
   metrics::print_xy_figure(
       std::cout, "Fig 5(c): avg max-latency (ms) vs size", "size (x1000)",
-      {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs, {lat_no, lat_lb});
+      {"Base 2,level 20,no LB", "Base 2,level 20,LB", "Zipf feed,no cache",
+       "Zipf feed,cache"},
+      xs, {lat_no, lat_lb, lat_zf, lat_ca});
   metrics::print_xy_figure(
       std::cout, "Fig 5(d): avg bandwidth per event (KB) vs size",
-      "size (x1000)", {"Base 2,level 20,no LB", "Base 2,level 20,LB"}, xs,
-      {bw_no, bw_lb});
+      "size (x1000)",
+      {"Base 2,level 20,no LB", "Base 2,level 20,LB", "Zipf feed,no cache",
+       "Zipf feed,cache"},
+      xs, {bw_no, bw_lb, bw_zf, bw_ca});
+  metrics::print_xy_figure(std::cout,
+                           "Fig 5(e): route-cache hit rate vs size",
+                           "size (x1000)", {"% hits"}, xs, {hit_rate});
   return 0;
 }

@@ -1,0 +1,212 @@
+// Micro-benchmark: the publish fast lane — rendezvous route caching and
+// per-next-hop frame batching.
+//
+// A Zipf-hot event feed (repeated rendezvous zones, bursty publishers)
+// runs twice over an identical network and subscription population: once
+// with the fast lane off (the paper's publish path) and once with the
+// route cache + batching on. We report mean publish hops, packet-header
+// bytes per event, and the cache/batching counters, verify the delivery
+// counts agree, and write machine-readable results to BENCH_route.json
+// (override with --json=PATH) so successive PRs can track the publish-path
+// trajectory. --quick shrinks the run for CI; --full scales it up.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chord/chord_net.hpp"
+#include "common/zipf.hpp"
+#include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+struct Params {
+  std::size_t nodes = 300;
+  std::size_t subs_per_node = 5;
+  std::size_t pool = 64;        ///< distinct hot events (rendezvous zones)
+  std::size_t publishers = 6;  ///< distinct feed nodes (caches are per node)
+  std::size_t warm_rounds = 30;
+  std::size_t rounds = 80;
+  std::size_t burst = 4;  ///< events per publisher per quiescent step
+  double zipf_skew = 0.95;
+};
+
+struct RunResult {
+  double mean_publish_hops = 0.0;
+  double mean_header_bytes = 0.0;
+  double mean_bandwidth_kb = 0.0;
+  std::uint64_t deliveries = 0;
+  metrics::Snapshot snap;
+};
+
+RunResult run_config(const Params& p, bool fast) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = p.nodes;
+  tp.seed = 9;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  chord::ChordNet::Params cp;
+  cp.seed = 9;
+  chord::ChordNet chord(net, cp);
+  chord.oracle_build();
+
+  core::HyperSubSystem::Config sc;
+  sc.route_cache = fast;
+  sc.batch_forwarding = fast;
+  core::HyperSubSystem sys(chord, sc);
+  core::CountingDeliverySink sink;
+  sys.set_delivery_sink(sink);
+
+  workload::WorkloadGenerator gen(workload::table1_spec(), 21);
+  core::SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = sys.add_scheme(gen.scheme(), opt);
+  for (net::HostIndex h = 0; h < p.nodes; ++h) {
+    for (std::size_t k = 0; k < p.subs_per_node; ++k) {
+      sys.subscribe(h, scheme, gen.make_subscription());
+    }
+  }
+  sim.run();
+
+  // Zipf-hot feed: events drawn by rank from a fixed pool (repeated
+  // rendezvous zones), published in bursts from a small publisher set.
+  std::vector<pubsub::Event> pool;
+  for (std::size_t i = 0; i < p.pool; ++i) pool.push_back(gen.make_event());
+  const ZipfSampler zipf(p.pool, p.zipf_skew);
+  Rng rng(33);
+
+  auto round = [&](std::size_t r) {
+    const auto pub = net::HostIndex(rng.index(p.publishers));
+    for (std::size_t b = 0; b < p.burst; ++b) {
+      auto e = pool[zipf.sample(rng) - 1];
+      sys.publish(pub, scheme, std::move(e));
+    }
+    sim.run();
+    (void)r;
+  };
+
+  // Warm-up: populate the caches, then reset every counter (cached routes
+  // stay warm — steady-state measurement, as with any cache bench).
+  for (std::size_t r = 0; r < p.warm_rounds; ++r) round(r);
+  sys.finalize_events();
+  sys.reset_metrics();
+  net.reset_traffic();
+
+  for (std::size_t r = 0; r < p.rounds; ++r) round(r);
+  sys.finalize_events();
+
+  RunResult res;
+  res.snap = metrics::snapshot(sys);
+  res.mean_publish_hops = res.snap.mean_max_hops;
+  res.mean_header_bytes = res.snap.mean_header_bytes;
+  res.mean_bandwidth_kb = res.snap.mean_bandwidth_kb;
+  res.deliveries = sink.count();
+  return res;
+}
+
+bool emit_json(const std::string& path, const Params& p,
+               const RunResult& off, const RunResult& on) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const auto& cc = on.snap.cache;
+  const double hit_rate =
+      cc.hits + cc.misses > 0
+          ? double(cc.hits) / double(cc.hits + cc.misses)
+          : 0.0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_route\",\n");
+  std::fprintf(f, "  \"workload\": \"table1 zipf pool\",\n");
+  std::fprintf(f,
+               "  \"nodes\": %zu, \"subs_per_node\": %zu, \"pool\": %zu, "
+               "\"zipf_skew\": %.2f,\n",
+               p.nodes, p.subs_per_node, p.pool, p.zipf_skew);
+  std::fprintf(f, "  \"events\": %zu, \"burst\": %zu,\n", p.rounds * p.burst,
+               p.burst);
+  std::fprintf(f, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(f, "  \"configs\": [\n");
+  const struct {
+    const char* name;
+    const RunResult* r;
+  } rows[] = {{"cache_off", &off}, {"cache_on", &on}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mean_publish_hops\": %.4f, "
+                 "\"mean_header_bytes\": %.2f, \"mean_bandwidth_kb\": %.4f, "
+                 "\"deliveries\": %llu,\n     \"snapshot\": %s}%s\n",
+                 rows[i].name, rows[i].r->mean_publish_hops,
+                 rows[i].r->mean_header_bytes, rows[i].r->mean_bandwidth_kb,
+                 (unsigned long long)rows[i].r->deliveries,
+                 rows[i].r->snap.to_json().c_str(), i == 0 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_route.json";
+  Params p;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      p.nodes = 150;
+      p.subs_per_node = 4;
+      p.warm_rounds = 15;
+      p.rounds = 40;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      p.nodes = 1000;
+      p.subs_per_node = 10;
+      p.warm_rounds = 60;
+      p.rounds = 200;
+    }
+  }
+
+  std::printf("publish fast lane (%zu nodes, %zu events, pool %zu, "
+              "zipf %.2f)\n",
+              p.nodes, p.rounds * p.burst, p.pool, p.zipf_skew);
+  const RunResult off = run_config(p, false);
+  const RunResult on = run_config(p, true);
+
+  std::printf("%12s %18s %18s %16s %12s\n", "config", "mean publish hops",
+              "header bytes/ev", "bandwidth KB/ev", "deliveries");
+  std::printf("%12s %18.2f %18.1f %16.2f %12llu\n", "cache_off",
+              off.mean_publish_hops, off.mean_header_bytes,
+              off.mean_bandwidth_kb, (unsigned long long)off.deliveries);
+  std::printf("%12s %18.2f %18.1f %16.2f %12llu\n", "cache_on",
+              on.mean_publish_hops, on.mean_header_bytes,
+              on.mean_bandwidth_kb, (unsigned long long)on.deliveries);
+  const auto& cc = on.snap.cache;
+  std::printf("cache: %llu hits / %llu misses, %llu corrections; "
+              "batching: %llu chunks in %llu frames, %llu header bytes "
+              "saved\n",
+              (unsigned long long)cc.hits, (unsigned long long)cc.misses,
+              (unsigned long long)cc.stale_corrections,
+              (unsigned long long)on.snap.batching.chunks,
+              (unsigned long long)on.snap.batching.frames,
+              (unsigned long long)on.snap.batching.header_bytes_saved);
+
+  // The fast lane must not change what gets delivered.
+  if (off.deliveries != on.deliveries) {
+    std::fprintf(stderr,
+                 "FAIL: delivery counts diverge (off=%llu on=%llu)\n",
+                 (unsigned long long)off.deliveries,
+                 (unsigned long long)on.deliveries);
+    return 1;
+  }
+  if (!emit_json(json_path, p, off, on)) return 1;
+  return 0;
+}

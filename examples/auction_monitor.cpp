@@ -38,12 +38,9 @@ int main(int argc, char** argv) {
   opts.zone_cfg = {2, 20};  // base 4
   const auto scheme = hypersub.add_scheme(auctions, opts);
 
-  struct Watch {
-    net::HostIndex bidder;
-    std::uint32_t iid;
-    pubsub::Subscription sub;
-  };
-  std::vector<Watch> watches;
+  // A watch is just the handle subscribe() hands back — everything
+  // unsubscribe needs (scheme, iid, subscriber) travels inside it.
+  std::vector<core::SubscriptionHandle> watches;
   Rng rng(11);
 
   auto add_watch = [&](net::HostIndex bidder) {
@@ -51,8 +48,7 @@ int main(int argc, char** argv) {
     const double cap = rng.uniform(50, 5000);
     const pubsub::Predicate preds[] = {{0, {cat, cat}}, {1, {0.0, cap}}};
     auto sub = pubsub::Subscription::from_predicates(auctions, preds);
-    const auto iid = hypersub.subscribe(bidder, scheme, sub);
-    watches.push_back({bidder, iid, std::move(sub)});
+    watches.push_back(hypersub.subscribe(bidder, scheme, sub));
   };
 
   for (net::HostIndex h = 0; h < nodes; ++h) {
@@ -79,10 +75,10 @@ int main(int argc, char** argv) {
 
   // Winners drop out: unsubscribe a third of the watches.
   std::size_t dropped = 0;
-  std::vector<Watch> remaining;
+  std::vector<core::SubscriptionHandle> remaining;
   for (const auto& w : watches) {
     if (rng.chance(1.0 / 3.0)) {
-      hypersub.unsubscribe(w.bidder, scheme, w.iid, w.sub);
+      hypersub.unsubscribe(w);
       ++dropped;
     } else {
       remaining.push_back(w);

@@ -4,12 +4,14 @@
 //   $ ./examples/quickstart
 //
 // Walks through the whole public API surface: topology → network → Chord →
-// HyperSubSystem → scheme → subscribe/publish → delivery log.
+// HyperSubSystem → scheme → subscription handles → per-publish delivery
+// callbacks → unsubscribe → metrics snapshot.
 
 #include <cstdio>
 
 #include "chord/chord_net.hpp"
 #include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
 #include "net/topology.hpp"
 #include "pubsub/subscription.hpp"
 
@@ -27,8 +29,12 @@ int main() {
   chord::ChordNet chord(network, {});
   chord.oracle_build();
 
-  // 3. The pub/sub service and a stock-quote scheme.
-  core::HyperSubSystem hypersub(chord);
+  // 3. The pub/sub service and a stock-quote scheme. The publish fast
+  //    lane (rendezvous route cache + frame batching) is on by request.
+  core::HyperSubSystem::Config cfg;
+  cfg.route_cache = true;
+  cfg.batch_forwarding = true;
+  core::HyperSubSystem hypersub(chord, cfg);
   pubsub::Scheme quotes("quotes", {
                                       {"price", {0.0, 1000.0}},
                                       {"volume", {0.0, 1e6}},
@@ -38,11 +44,13 @@ int main() {
   const auto scheme = hypersub.add_scheme(quotes, opts);
 
   // 4. Node 7 wants cheap high-volume quotes; node 13 wants a price band.
+  //    subscribe() returns a handle that identifies the subscription.
+  core::SubscriptionHandle cheap_high_volume;
   {
     const pubsub::Predicate preds[] = {{0, {0.0, 150.0}},
                                        {1, {500000.0, 1e6}}};
-    hypersub.subscribe(7, scheme,
-                       pubsub::Subscription::from_predicates(quotes, preds));
+    cheap_high_volume = hypersub.subscribe(
+        7, scheme, pubsub::Subscription::from_predicates(quotes, preds));
   }
   {
     const pubsub::Predicate preds[] = {{0, {100.0, 300.0}}};
@@ -51,27 +59,36 @@ int main() {
   }
   simulator.run();  // let the installations settle
 
-  // 5. Node 42 publishes three quotes.
-  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 750000.0}});  // both
-  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 1000.0}});    // 13
-  hypersub.publish(42, scheme, pubsub::Event{0, {900.0, 750000.0}});  // none
+  // 5. Node 42 publishes three quotes. A per-publish callback sees each
+  //    notification for this event as it lands on a subscriber.
+  auto announce = [](const core::Delivery& d) {
+    std::printf("  event #%llu -> node %zu (sub iid=%u) after %d hops,"
+                " %.1f ms\n",
+                (unsigned long long)d.event_seq, d.subscriber, d.iid, d.hops,
+                d.latency_ms);
+  };
+  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 750000.0}},
+                   announce);  // matches both
+  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 1000.0}},
+                   announce);  // matches node 13 only
+  hypersub.publish(42, scheme, pubsub::Event{0, {900.0, 750000.0}},
+                   announce);  // matches none
   simulator.run();
   hypersub.finalize_events();
 
-  // 6. Inspect what arrived where.
-  std::printf("deliveries (%zu):\n", hypersub.deliveries().size());
-  for (const auto& d : hypersub.deliveries()) {
-    std::printf(
-        "  event #%llu -> node %zu (sub iid=%u) after %d hops, %.1f ms\n",
-        (unsigned long long)d.event_seq, d.subscriber, d.iid, d.hops,
-        d.latency_ms);
-  }
-  for (const auto& r : hypersub.event_metrics().records()) {
-    std::printf(
-        "event #%llu: matched=%zu, max_hops=%d, max_latency=%.1f ms, "
-        "bandwidth=%llu B\n",
-        (unsigned long long)r.seq, r.matched, r.max_hops, r.max_latency_ms,
-        (unsigned long long)r.bandwidth_bytes);
-  }
+  // 6. The handle tears the subscription down again.
+  hypersub.unsubscribe(cheap_high_volume);
+  simulator.run();
+  hypersub.publish(42, scheme, pubsub::Event{0, {120.0, 750000.0}});
+  simulator.run();
+  hypersub.finalize_events();
+
+  // 7. Deliveries also accumulate in the system's delivery sink (the
+  //    default sink keeps a full log), and metrics::snapshot() bundles
+  //    every counter the system tracks.
+  std::printf("delivery log (%zu rows):\n", hypersub.deliveries().size());
+  for (const auto& d : hypersub.deliveries()) announce(d);
+  const auto snap = metrics::snapshot(hypersub);
+  std::printf("snapshot: %s\n", snap.to_json().c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "chord/chord_net.hpp"
 #include "core/hypersub_system.hpp"
 #include "core/load_balancer.hpp"
+#include "metrics/snapshot.hpp"
 #include "net/topology.hpp"
 #include "pubsub/subscription.hpp"
 
@@ -30,9 +31,10 @@ int main(int argc, char** argv) {
   net::Network network(simulator, topo);
   chord::ChordNet chord(network, {});
   chord.oracle_build();
-  core::HyperSubSystem::Config sc;
-  sc.record_deliveries = false;  // we only need counts at this scale
-  core::HyperSubSystem hypersub(chord, sc);
+  core::HyperSubSystem hypersub(chord);
+  // We only need counts at this scale, not the full delivery log.
+  core::CountingDeliverySink deliveries;
+  hypersub.set_delivery_sink(deliveries);
 
   // Ticker scheme: symbol id, price, volume, percent change.
   pubsub::Scheme ticker("ticker", {
@@ -107,16 +109,20 @@ int main(int argc, char** argv) {
   simulator.run();
   hypersub.finalize_events();
 
-  const auto& m = hypersub.event_metrics();
-  std::printf("\npublished %zu quotes:\n", m.count());
+  const metrics::Snapshot snap = metrics::snapshot(hypersub);
+  std::printf("\npublished %zu quotes:\n", snap.events);
+  std::printf("  quote deliveries          : %llu\n",
+              (unsigned long long)deliveries.count());
   std::printf("  avg matched brokers/quote : %.1f\n",
-              m.pct_matched_cdf().mean() / 100.0 *
-                  double(hypersub.total_subscriptions()));
-  std::printf("  avg max-hops              : %.1f\n", m.hops_cdf().mean());
+              snap.avg_pct_matched / 100.0 *
+                  double(snap.total_subscriptions));
+  std::printf("  avg max-hops              : %.1f\n", snap.mean_max_hops);
   std::printf("  avg max-latency           : %.0f ms\n",
-              m.latency_cdf().mean());
+              snap.mean_max_latency_ms);
   std::printf("  avg bandwidth/quote       : %.1f KB\n",
-              m.bandwidth_kb_cdf().mean());
+              snap.mean_bandwidth_kb);
+  std::printf("  broker load (min/mean/max): %zu / %.1f / %zu\n",
+              snap.load_min, snap.load_mean, snap.load_max);
   std::printf("  total feed bandwidth      : %.1f MB\n",
               double(network.total_bytes()) / (1024.0 * 1024.0));
   return 0;

@@ -47,7 +47,7 @@ void ChordNet::liveness_ping(net::HostIndex h, NodeRef peer) {
   });
   net_.simulator().schedule(params_.rpc_timeout_ms, [this, h, peer, done] {
     if (*done || !net_.alive(h)) return;
-    nodes_[h]->remove_peer(peer.id);
+    with_pred_watch(h, [&](ChordNode& nd) { nd.remove_peer(peer.id); });
   });
 }
 
@@ -103,7 +103,9 @@ void ChordNet::oracle_build() {
   for (std::size_t i = 0; i < n; ++i) {
     ChordNode& nd = *nodes_[ring[i].host];
     // Predecessor and successor list straight from ring order.
-    nd.set_predecessor(ring[(i + n - 1) % n]);
+    with_pred_watch(ring[i].host, [&](ChordNode& me) {
+      me.set_predecessor(ring[(i + n - 1) % n]);
+    });
     std::vector<NodeRef> rest;
     for (std::size_t k = 2; k <= params_.succ_list_len && k < n + 1; ++k) {
       rest.push_back(ring[(i + k) % n]);
@@ -245,19 +247,20 @@ void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
 void ChordNet::note_peer_failure(net::HostIndex at, net::HostIndex failed,
                                  net::HostIndex via) {
   if (at == failed) return;
-  ChordNode& nd = *nodes_[at];
-  nd.remove_peer(nodes_[failed]->id());
-  if (via == overlay::Peer::kInvalidHost || via == at) return;
-  // The gossiping peer detoured around our dead predecessor-side neighbor;
-  // adopt it as predecessor candidate under the standard notify guard so
-  // owns() covers the inherited range again.
-  const NodeRef cand = nodes_[via]->self();
-  if (cand.id == nd.id()) return;
-  const NodeRef cur = nd.predecessor();
-  if (!cur.valid() || cur.id == nd.id() ||
-      ring::in_open(cand.id, cur.id, nd.id())) {
-    nd.set_predecessor(cand);
-  }
+  with_pred_watch(at, [&](ChordNode& nd) {
+    nd.remove_peer(nodes_[failed]->id());
+    if (via == overlay::Peer::kInvalidHost || via == at) return;
+    // The gossiping peer detoured around our dead predecessor-side
+    // neighbor; adopt it as predecessor candidate under the standard
+    // notify guard so owns() covers the inherited range again.
+    const NodeRef cand = nodes_[via]->self();
+    if (cand.id == nd.id()) return;
+    const NodeRef cur = nd.predecessor();
+    if (!cur.valid() || cur.id == nd.id() ||
+        ring::in_open(cand.id, cur.id, nd.id())) {
+      nd.set_predecessor(cand);
+    }
+  });
 }
 
 metrics::ReliabilityCounters ChordNet::route_reliability() const {
@@ -352,19 +355,20 @@ void ChordNet::stabilize(net::HostIndex h) {
         // notify(target): "I believe I am your predecessor".
         net_.send(h, target.host, kHeaderBytes + kNodeRefBytes,
                   [this, h, to = target.host] {
-                    ChordNode& peer = *nodes_[to];
-                    const NodeRef cand = nodes_[h]->self();
-                    if (cand.id == peer.id()) return;
-                    const NodeRef cur = peer.predecessor();
-                    if (!cur.valid() || cur.id == peer.id() ||
-                        ring::in_open(cand.id, cur.id, peer.id())) {
-                      peer.set_predecessor(cand);
-                    }
+                    with_pred_watch(to, [&](ChordNode& peer) {
+                      const NodeRef cand = nodes_[h]->self();
+                      if (cand.id == peer.id()) return;
+                      const NodeRef cur = peer.predecessor();
+                      if (!cur.valid() || cur.id == peer.id() ||
+                          ring::in_open(cand.id, cur.id, peer.id())) {
+                        peer.set_predecessor(cand);
+                      }
+                    });
                   });
       },
       [this, h, succ] {
         // Successor unresponsive: drop it and fail over to the next backup.
-        nodes_[h]->remove_peer(succ.id);
+        with_pred_watch(h, [&](ChordNode& me) { me.remove_peer(succ.id); });
       });
 }
 
@@ -432,8 +436,9 @@ void ChordNet::check_predecessor(net::HostIndex h) {
   });
   net_.simulator().schedule(params_.rpc_timeout_ms, [this, h, pred, done] {
     if (*done || !net_.alive(h)) return;
-    ChordNode& me = *nodes_[h];
-    if (me.predecessor() == pred) me.clear_predecessor();
+    with_pred_watch(h, [&](ChordNode& me) {
+      if (me.predecessor() == pred) me.clear_predecessor();
+    });
   });
 }
 
@@ -441,7 +446,7 @@ void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
                     std::function<void()> on_joined) {
   assert(net_.alive(host));
   ChordNode& nd = *nodes_[host];
-  nd.clear_predecessor();
+  with_pred_watch(host, [](ChordNode& me) { me.clear_predecessor(); });
   route(bootstrap, nd.id(), 0,
         [this, host, on_joined = std::move(on_joined)](const RouteResult& r) {
           if (!net_.alive(host)) return;

@@ -189,6 +189,17 @@ class ChordNet final : public overlay::Overlay {
   void probe_finger_liveness(net::HostIndex h);
   void schedule_tick(net::HostIndex h, double delay);
 
+  /// Run `f` against node `h`'s routing state and fire the overlay
+  /// ownership listener if its predecessor — the boundary of the key range
+  /// owns() covers — changed. Every predecessor mutation in ChordNet goes
+  /// through this so route caches above hear about ownership churn.
+  template <typename F>
+  void with_pred_watch(net::HostIndex h, F&& f) {
+    const NodeRef before = nodes_[h]->predecessor();
+    f(*nodes_[h]);
+    if (!(nodes_[h]->predecessor() == before)) notify_ownership_changed(h);
+  }
+
   /// True if `h` heard from `peer` within one stabilization period (only
   /// when piggybacking is enabled).
   bool recently_heard(net::HostIndex h, Id peer) const;

@@ -8,13 +8,29 @@ namespace hypersub::core {
 HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
     : dht_(dht), cfg_(cfg), channel_(dht.network(), cfg.reliable) {
   nodes_.reserve(dht.size());
+  caches_.reserve(dht.size());
   for (net::HostIndex h = 0; h < dht.size(); ++h) {
     nodes_.push_back(std::make_unique<HyperSubNode>(
         h, dht.id_of(h), cfg_.match_index_threshold));
+    caches_.push_back(
+        std::make_unique<RouteCache>(cfg_.route_cache_capacity));
+  }
+  if (cfg_.route_cache) {
+    // Coherence hook: when a node's owned key range moves (stabilization,
+    // failure repair, oracle rebuild), cached resolutions pointing at it
+    // may now land on a non-owner. Stale hits would still self-repair via
+    // forward-and-correct; invalidating eagerly keeps the detour window
+    // small and the hit counters honest.
+    dht_.set_ownership_listener([this](net::HostIndex h) {
+      for (auto& c : caches_) c->invalidate_host(h);
+    });
+    owns_ownership_listener_ = true;
   }
 }
 
-HyperSubSystem::~HyperSubSystem() = default;
+HyperSubSystem::~HyperSubSystem() {
+  if (owns_ownership_listener_) dht_.set_ownership_listener({});
+}
 
 std::uint32_t HyperSubSystem::add_scheme(pubsub::Scheme scheme,
                                          const SchemeOptions& opt) {
@@ -27,9 +43,9 @@ std::uint32_t HyperSubSystem::add_scheme(pubsub::Scheme scheme,
 // Subscription installation (Alg. 2 + Alg. 3)
 // ---------------------------------------------------------------------------
 
-std::uint32_t HyperSubSystem::subscribe(net::HostIndex subscriber,
-                                        std::uint32_t scheme,
-                                        pubsub::Subscription sub) {
+SubscriptionHandle HyperSubSystem::subscribe(net::HostIndex subscriber,
+                                             std::uint32_t scheme,
+                                             pubsub::Subscription sub) {
   assert(scheme < schemes_.size());
   HyperSubNode& me = *nodes_[subscriber];
   const std::uint32_t iid = me.next_iid();
@@ -53,12 +69,23 @@ std::uint32_t HyperSubSystem::subscribe(net::HostIndex subscriber,
                  register_subscription_at(r.owner.host, addr, key,
                                           std::move(stored));
                });
-  return iid;
+  return SubscriptionHandle{scheme, iid, subscriber};
 }
 
-void HyperSubSystem::unsubscribe(net::HostIndex subscriber,
-                                 std::uint32_t scheme, std::uint32_t iid,
-                                 const pubsub::Subscription& sub) {
+void HyperSubSystem::unsubscribe(const SubscriptionHandle& handle) {
+  if (!handle.valid()) return;
+  const HyperSubNode& me = *nodes_[handle.subscriber];
+  const auto it = me.local_subs().find(handle.iid);
+  if (it == me.local_subs().end()) return;  // unknown or already removed
+  // Copy before unsubscribe_impl erases the stored entry out from under
+  // the reference.
+  const pubsub::Subscription sub = it->second;
+  unsubscribe_impl(handle.subscriber, handle.scheme, handle.iid, sub);
+}
+
+void HyperSubSystem::unsubscribe_impl(net::HostIndex subscriber,
+                                      std::uint32_t scheme, std::uint32_t iid,
+                                      const pubsub::Subscription& sub) {
   assert(scheme < schemes_.size());
   HyperSubNode& me = *nodes_[subscriber];
   if (!me.erase_local(iid)) return;
@@ -190,7 +217,8 @@ void HyperSubSystem::propagate_pieces(net::HostIndex host,
 
 std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
                                       std::uint32_t scheme,
-                                      pubsub::Event event) {
+                                      pubsub::Event event,
+                                      DeliveryCallback on_delivery) {
   assert(scheme < schemes_.size());
   const SchemeRuntime& rt = *schemes_[scheme];
   assert(pubsub::valid_event(rt.scheme(), event));
@@ -201,7 +229,9 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
   auto ctx = std::make_shared<EventCtx>();
   ctx->seq = seq;
   ctx->scheme = scheme;
+  ctx->origin = publisher;
   ctx->event = std::move(event);
+  ctx->on_delivery = std::move(on_delivery);
   ctx->projected.reserve(rt.subscheme_count());
   for (std::size_t i = 0; i < rt.subscheme_count(); ++i) {
     ctx->projected.push_back(rt.subscheme(i).project(ctx->event.point));
@@ -211,12 +241,29 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
   t.publish_time = simulator().now();
 
   // Initial subid list: one rendezvous (leaf zone) per subscheme; in
-  // ancestor-probing mode additionally every ancestor zone.
+  // ancestor-probing mode additionally every ancestor zone. With the route
+  // cache on, rendezvous probes whose zone key has a cached owner skip the
+  // greedy route and are handed straight to that owner (fast lane); the
+  // rest ride normal routing from the publisher.
   std::vector<SubId> list;
+  std::vector<std::pair<net::HostIndex, SubId>> direct;
+  ctx->rendezvous.reserve(rt.subscheme_count());
   for (std::uint32_t i = 0; i < rt.subscheme_count(); ++i) {
     const Subscheme& ss = rt.subscheme(i);
     const lph::Zone leaf = ss.zones().locate(ctx->projected[i]);
-    list.push_back(SubId{ss.zone_key(leaf), 0, SubIdKind::kRendezvous});
+    const Id key = ss.zone_key(leaf);
+    const SubId rendezvous{key, 0, SubIdKind::kRendezvous};
+    net::HostIndex cached = overlay::Peer::kInvalidHost;
+    if (cfg_.route_cache) {
+      cached = caches_[publisher]->lookup(key);
+      if (cached == publisher) cached = overlay::Peer::kInvalidHost;
+    }
+    ctx->rendezvous.push_back(RendezvousProbe{key, cached});
+    if (cached != overlay::Peer::kInvalidHost) {
+      direct.emplace_back(cached, rendezvous);
+    } else {
+      list.push_back(rendezvous);
+    }
     if (cfg_.ancestor_probing) {
       lph::Zone z = leaf;
       while (z.level > 0) {
@@ -226,11 +273,30 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
     }
   }
 
-  t.outstanding = 1;
-  simulator().schedule(0.0, [this, publisher, ctx = std::move(ctx),
-                             list = std::move(list)]() mutable {
-    process_event_message(publisher, ctx, std::move(list), 0);
-  });
+  std::stable_sort(direct.begin(), direct.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (std::size_t i = 0; i < direct.size();) {
+    const net::HostIndex to = direct[i].first;
+    std::size_t j = i;
+    while (j < direct.size() && direct[j].first == to) ++j;
+    auto sublist = std::make_shared<std::vector<SubId>>();
+    sublist->reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) sublist->push_back(direct[k].second);
+    i = j;
+    ++t.outstanding;
+    forward_event(publisher, to, ctx, std::move(sublist), 0,
+                  overlay::Peer::kInvalidHost);
+  }
+
+  if (!list.empty()) {
+    ++t.outstanding;
+    simulator().schedule(0.0, [this, publisher, ctx = std::move(ctx),
+                               list = std::move(list)]() mutable {
+      process_event_message(publisher, ctx, std::move(list), 0);
+    });
+  }
   return seq;
 }
 
@@ -269,6 +335,9 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     switch (subid.kind) {
       case SubIdKind::kRendezvous:
       case SubIdKind::kZone: {
+        if (subid.kind == SubIdKind::kRendezvous && cfg_.route_cache) {
+          note_rendezvous_owner(host, ctx, subid.target);
+        }
         if (std::find(matched_keys.begin(), matched_keys.end(),
                       subid.target) != matched_keys.end()) {
           break;
@@ -317,10 +386,9 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
             lat = simulator().now() - t->publish_time;
             t->max_latency = std::max(t->max_latency, lat);
           }
-          if (cfg_.record_deliveries) {
-            deliveries_.push_back(
-                Delivery{ctx->seq, host, subid.iid, hops, lat});
-          }
+          const Delivery d{ctx->seq, host, subid.iid, hops, lat};
+          sink_->on_delivery(d);
+          if (ctx->on_delivery) ctx->on_delivery(d);
         }
         break;
       }
@@ -367,13 +435,8 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     sublist->reserve(j - i);
     for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
     i = j;
-    const std::uint64_t bytes =
-        overlay::kHeaderBytes + kEventBytes + kSubIdBytes * sublist->size();
-    if (t) {
-      t->bytes += bytes;
-      ++t->outstanding;
-    }
-    forward_event(host, to, bytes, ctx, std::move(sublist), hops,
+    if (t) ++t->outstanding;
+    forward_event(host, to, ctx, std::move(sublist), hops,
                   overlay::Peer::kInvalidHost);
   }
 
@@ -387,43 +450,109 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
 }
 
 void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
-                                   std::uint64_t bytes, const EventCtxPtr& ctx,
+                                   const EventCtxPtr& ctx,
                                    std::shared_ptr<std::vector<SubId>> sublist,
                                    int hops, net::HostIndex failed) {
+  if (!cfg_.batch_forwarding) {
+    auto chunks = std::make_shared<std::vector<FrameChunk>>();
+    chunks->push_back(FrameChunk{ctx, std::move(sublist), hops, failed});
+    send_frame(host, to, std::move(chunks));
+    return;
+  }
+  // Batched: queue the chunk and flush once this timestep. The simulator
+  // breaks equal-time ties FIFO, so the flush scheduled at +0 runs after
+  // every already-queued message of this timestep has had its chance to
+  // add chunks for the same hop.
+  auto& queue = batches_[{host, to}];
+  if (queue.empty()) {
+    simulator().schedule(0.0, [this, host, to] { flush_batch(host, to); });
+  }
+  queue.push_back(FrameChunk{ctx, std::move(sublist), hops, failed});
+}
+
+void HyperSubSystem::flush_batch(net::HostIndex host, net::HostIndex to) {
+  const auto it = batches_.find({host, to});
+  if (it == batches_.end() || it->second.empty()) return;
+  auto chunks =
+      std::make_shared<std::vector<FrameChunk>>(std::move(it->second));
+  batches_.erase(it);
+  if (chunks->size() > 1) {
+    batch_.header_bytes_saved +=
+        overlay::kHeaderBytes * (chunks->size() - 1);
+  }
+  send_frame(host, to, std::move(chunks));
+}
+
+void HyperSubSystem::send_frame(
+    net::HostIndex host, net::HostIndex to,
+    std::shared_ptr<std::vector<FrameChunk>> chunks) {
+  // One header per frame; each chunk pays its own event + subid payload.
+  // The header is attributed to the first chunk with a live tracker.
+  std::uint64_t bytes = overlay::kHeaderBytes;
+  bool header_charged = false;
+  for (const FrameChunk& c : *chunks) {
+    const std::uint64_t chunk_bytes =
+        kEventBytes + kSubIdBytes * c.subids->size();
+    bytes += chunk_bytes;
+    if (const auto it = trackers_.find(c.ctx->seq); it != trackers_.end()) {
+      it->second.bytes += chunk_bytes;
+      if (!header_charged) {
+        it->second.bytes += overlay::kHeaderBytes;
+        it->second.header_bytes += overlay::kHeaderBytes;
+        header_charged = true;
+      }
+    }
+  }
+  ++batch_.frames;
+  batch_.chunks += chunks->size();
+
   const Id sender = dht_.id_of(host);
   if (!cfg_.reliable_delivery) {
-    network().send(host, to, bytes, [this, to, ctx, sender,
-                                     sublist = std::move(sublist), hops] {
-      // §6 piggyback: event traffic doubles as liveness evidence for the
-      // DHT layer (no-op unless enabled).
-      dht_.note_app_contact(to, sender);
-      process_event_message(to, ctx, std::move(*sublist), hops + 1);
-    });
+    network().send(host, to, bytes,
+                   [this, to, sender, chunks = std::move(chunks)] {
+                     // §6 piggyback: event traffic doubles as liveness
+                     // evidence for the DHT layer (no-op unless enabled).
+                     dht_.note_app_contact(to, sender);
+                     for (FrameChunk& c : *chunks) {
+                       process_event_message(to, c.ctx,
+                                             std::move(*c.subids),
+                                             c.hops + 1);
+                     }
+                   });
     return;
   }
   channel_.send(
       host, to, bytes,
-      [this, host, to, ctx, sender, sublist, hops, failed] {
-        // Piggybacked failure gossip: the sender detoured around `failed`
-        // to reach us; drop it from our routing state and treat the sender
-        // as a predecessor candidate for the inherited range.
-        if (failed != overlay::Peer::kInvalidHost) {
-          dht_.note_peer_failure(to, failed, host);
+      [this, host, to, sender, chunks] {
+        // Piggybacked failure gossip: the sender detoured around a dead
+        // hop to reach us; drop it from our routing state (and our route
+        // cache) and treat the sender as a predecessor candidate for the
+        // inherited range.
+        for (const FrameChunk& c : *chunks) {
+          if (c.failed == overlay::Peer::kInvalidHost) continue;
+          dht_.note_peer_failure(to, c.failed, host);
+          if (cfg_.route_cache) caches_[to]->invalidate_host(c.failed);
         }
         dht_.note_app_contact(to, sender);
-        process_event_message(to, ctx, std::move(*sublist), hops + 1);
+        for (FrameChunk& c : *chunks) {
+          process_event_message(to, c.ctx, std::move(*c.subids), c.hops + 1);
+        }
       },
-      [this, host, to, ctx, sublist, hops] {
+      [this, host, to, chunks] {
         // All retransmissions expired: the next hop is dead. Drop it from
-        // the sender's routing state and reroute the sublist through
-        // recomputed hops; then retire this message's outstanding slot.
+        // the sender's routing state and route cache, reroute every
+        // chunk's sublist through recomputed hops, then retire each
+        // chunk's outstanding slot.
         dht_.note_peer_failure(host, to);
-        reroute_event(host, ctx, *sublist, hops, to);
-        if (const auto it = trackers_.find(ctx->seq);
-            it != trackers_.end()) {
-          assert(it->second.outstanding > 0);
-          --it->second.outstanding;
-          finalize_if_done(ctx->seq);
+        if (cfg_.route_cache) caches_[host]->invalidate_host(to);
+        for (const FrameChunk& c : *chunks) {
+          reroute_event(host, c.ctx, *c.subids, c.hops, to);
+          if (const auto it = trackers_.find(c.ctx->seq);
+              it != trackers_.end()) {
+            assert(it->second.outstanding > 0);
+            --it->second.outstanding;
+            finalize_if_done(c.ctx->seq);
+          }
         }
       });
 }
@@ -460,17 +589,46 @@ void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
     for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
     i = j;
     ++rel_.reroutes;
-    const std::uint64_t bytes = overlay::kHeaderBytes + kEventBytes +
-                                kSubIdBytes * sublist->size();
-    if (t) {
-      t->bytes += bytes;
-      ++t->outstanding;
-    }
+    if (t) ++t->outstanding;
     // Same hop count: the detour replaces the failed hop rather than
     // extending the logical path (the TTL still bounds repeated detours
     // through the receiver's own forwarding).
-    forward_event(host, to, bytes, ctx, std::move(sublist), hops, failed);
+    forward_event(host, to, ctx, std::move(sublist), hops, failed);
   }
+}
+
+void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
+                                           const EventCtxPtr& ctx, Id key) {
+  if (ctx->origin == overlay::Peer::kInvalidHost) return;
+  for (const RendezvousProbe& rv : ctx->rendezvous) {
+    if (rv.key != key) continue;
+    if (host == ctx->origin) {
+      // The publisher itself owns the rendezvous: a cache-directed probe
+      // that came back here means the entry detoured through a non-owner —
+      // drop it so the next publish resolves locally.
+      if (rv.sent_to != overlay::Peer::kInvalidHost && rv.sent_to != host) {
+        caches_[host]->forget(key);
+      }
+    } else if (rv.sent_to != host) {
+      // Miss (probe rode normal routing) or stale hit (probe was handed to
+      // a former owner, which forwarded it here): tell the publisher who
+      // really owns the key. A small untracked control message — it rides
+      // the network (and its traffic counters) but is not part of the
+      // event's delivery tree.
+      network().send(
+          host, ctx->origin,
+          overlay::kHeaderBytes + overlay::kKeyBytes + overlay::kNodeRefBytes,
+          [this, origin = ctx->origin, key, owner = host] {
+            caches_[origin]->learn(key, owner);
+          });
+    }
+    return;  // duplicate keys across subschemes alias the same owner
+  }
+}
+
+void HyperSubSystem::invalidate_cached_route(Id key) {
+  if (!cfg_.route_cache) return;
+  for (auto& c : caches_) c->forget(key);
 }
 
 void HyperSubSystem::note_event_drop(std::uint64_t seq, std::size_t subids) {
@@ -494,6 +652,7 @@ void HyperSubSystem::finalize_if_done(std::uint64_t seq) {
   r.max_hops = t.max_hops;
   r.max_latency_ms = t.max_latency;
   r.bandwidth_bytes = t.bytes;
+  r.header_bytes = t.header_bytes;
   r.truncated = t.truncated;
   if (t.truncated) ++rel_.truncated_events;
   event_metrics_.add(r);
@@ -528,10 +687,20 @@ metrics::ReliabilityCounters HyperSubSystem::reliability_counters() const {
 
 void HyperSubSystem::reset_metrics() {
   event_metrics_ = metrics::EventMetrics{};
-  deliveries_.clear();
+  sink_->reset();
+  default_sink_.reset();
   delivered_subs_.clear();
   rel_ = metrics::ReliabilityCounters{};
   channel_.reset_stats();
+  batch_ = metrics::BatchCounters{};
+  // Cached routes stay warm across a reset; only their counters restart.
+  for (auto& c : caches_) c->reset_counters();
+}
+
+metrics::RouteCacheCounters HyperSubSystem::route_cache_counters() const {
+  metrics::RouteCacheCounters sum;
+  for (const auto& c : caches_) sum += c->counters();
+  return sum;
 }
 
 bool HyperSubSystem::check_zone_invariants() const {

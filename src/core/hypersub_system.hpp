@@ -6,22 +6,29 @@
 //   publish()    — Alg. 4 (LPH rendezvous per subscheme)
 //   event messages — Alg. 5 (match + split across DHT links, recursively)
 // plus the §4 load-balancing hooks (rotation is in the subscheme layer;
-// dynamic migration is driven by LoadBalancer).
+// dynamic migration is driven by LoadBalancer) and the publish fast lane:
+// per-node rendezvous route caching (RouteCache) and per-next-hop event
+// batching, both off by default = the paper's behavior.
 //
 // The system also owns experiment observability: per-event cost trackers,
-// the delivery log, and per-node loads.
+// the pluggable delivery sink, and per-node loads.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "overlay/overlay.hpp"
+#include "core/delivery_sink.hpp"
 #include "core/hypersub_node.hpp"
+#include "core/route_cache.hpp"
 #include "core/subscheme.hpp"
 #include "metrics/event_metrics.hpp"
+#include "metrics/fastlane_metrics.hpp"
 #include "metrics/reliability_metrics.hpp"
 #include "net/reliable_channel.hpp"
 #include "pubsub/event.hpp"
@@ -30,13 +37,20 @@ namespace hypersub::core {
 
 class LoadBalancer;
 
-/// One completed delivery of an event to a subscriber (observability).
-struct Delivery {
-  std::uint64_t event_seq = 0;
-  net::HostIndex subscriber = 0;
+/// Identifies one installed subscription: returned by subscribe(),
+/// consumed by unsubscribe(). Callers no longer need to retain (and
+/// re-pass bit-identically) the Subscription itself — the subscriber node
+/// keeps the authoritative copy, and the handle is the key to it.
+struct SubscriptionHandle {
+  std::uint32_t scheme = 0;
   std::uint32_t iid = 0;
-  int hops = 0;            ///< overlay hops the event travelled to get here
-  double latency_ms = 0.0; ///< publish -> delivery
+  net::HostIndex subscriber = overlay::Peer::kInvalidHost;
+
+  bool valid() const noexcept {
+    return subscriber != overlay::Peer::kInvalidHost;
+  }
+  friend bool operator==(const SubscriptionHandle&,
+                         const SubscriptionHandle&) = default;
 };
 
 class HyperSubSystem {
@@ -45,9 +59,6 @@ class HyperSubSystem {
     /// Alternative to the paper's summary-filter piece propagation: events
     /// probe every ancestor zone directly (ablation; default off = paper).
     bool ancestor_probing = false;
-    /// Record every delivery in the delivery log (tests; large runs can
-    /// disable and rely on per-event counts only).
-    bool record_deliveries = true;
     /// Robustness extension: replicate every zone registration to this
     /// many of the owner's would-be heirs (overlay replica_set). When the
     /// owner fails and the DHT repairs, the promoted node matches from its
@@ -71,7 +82,22 @@ class HyperSubSystem {
     /// detour through nodes with stale routing state; the TTL bounds any
     /// livelock and converts it into a counted, truncated-flagged drop.
     int max_event_hops = 128;
+    /// Publish fast lane, leg 1: every publisher keeps an LRU RouteCache
+    /// of rendezvous zone key -> owner host and hands events straight to
+    /// cached owners (one hop instead of a full greedy route). Misses and
+    /// stale hits fall back to normal routing; the true owner corrects the
+    /// publisher's cache on arrival. Off by default = paper behavior.
+    bool route_cache = false;
+    std::size_t route_cache_capacity = RouteCache::kDefaultCapacity;
+    /// Publish fast lane, leg 2: event messages sharing (sender, next hop)
+    /// within one simulator timestep coalesce into a single frame paying
+    /// one packet header (cross-event extension of the paper's §3.3
+    /// per-event aggregation). Off by default = paper behavior.
+    bool batch_forwarding = false;
   };
+
+  /// Per-publish observer: fires once per delivery of that event.
+  using DeliveryCallback = std::function<void(const Delivery&)>;
 
   /// Build on any DHT substrate (Chord, Pastry, ...).
   explicit HyperSubSystem(overlay::Overlay& dht)
@@ -100,37 +126,77 @@ class HyperSubSystem {
   // -- subscriber/publisher API -----------------------------------------------
 
   /// Install a subscription for `subscriber` (Alg. 2). Asynchronous: the
-  /// installation completes in simulated time. Returns the internal id.
-  std::uint32_t subscribe(net::HostIndex subscriber, std::uint32_t scheme,
-                          pubsub::Subscription sub);
+  /// installation completes in simulated time. The returned handle is the
+  /// key for unsubscribe().
+  SubscriptionHandle subscribe(net::HostIndex subscriber,
+                               std::uint32_t scheme,
+                               pubsub::Subscription sub);
 
   /// Remove a previously installed subscription (extension; the paper
-  /// leaves unsubscription unspecified).
+  /// leaves unsubscription unspecified). The stored subscription is looked
+  /// up at the subscriber node; an unknown handle is a no-op.
+  void unsubscribe(const SubscriptionHandle& handle);
+
+  /// Old-style unsubscription requiring the caller to re-pass the exact
+  /// Subscription. Silently no-ops on any mismatch — use the handle form.
+  [[deprecated("use unsubscribe(SubscriptionHandle)")]]
   void unsubscribe(net::HostIndex subscriber, std::uint32_t scheme,
-                   std::uint32_t iid, const pubsub::Subscription& sub);
+                   std::uint32_t iid, const pubsub::Subscription& sub) {
+    unsubscribe_impl(subscriber, scheme, iid, sub);
+  }
 
   /// Publish an event (Alg. 4). Asynchronous; returns the event sequence
   /// number used in metrics and the delivery log.
   std::uint64_t publish(net::HostIndex publisher, std::uint32_t scheme,
-                        pubsub::Event event);
+                        pubsub::Event event) {
+    return publish(publisher, scheme, std::move(event), DeliveryCallback{});
+  }
+
+  /// Publish with a per-event observer: `on_delivery` fires (in simulated
+  /// time) for every subscriber this event reaches, in addition to the
+  /// system-wide delivery sink.
+  std::uint64_t publish(net::HostIndex publisher, std::uint32_t scheme,
+                        pubsub::Event event, DeliveryCallback on_delivery);
 
   // -- observability -----------------------------------------------------------
 
+  /// Deliveries recorded by the built-in VectorDeliverySink (empty while a
+  /// custom sink is installed).
   const std::vector<Delivery>& deliveries() const noexcept {
-    return deliveries_;
+    return default_sink_.rows();
   }
+
+  /// Route deliveries into `sink` instead of the built-in vector sink. The
+  /// sink must outlive the system (or the next set_delivery_sink call).
+  void set_delivery_sink(DeliverySink& sink) { sink_ = &sink; }
+  /// Restore the built-in vector sink.
+  void reset_delivery_sink() { sink_ = &default_sink_; }
+
   metrics::EventMetrics& event_metrics() noexcept { return event_metrics_; }
+  const metrics::EventMetrics& event_metrics() const noexcept {
+    return event_metrics_;
+  }
 
   /// Transport + failover counters of the reliable delivery path (all zero
   /// unless config().reliable_delivery).
   metrics::ReliabilityCounters reliability_counters() const;
   net::ReliableChannel& reliable_channel() noexcept { return channel_; }
 
+  /// Publisher-side route cache of host `h` (populated only when
+  /// config().route_cache).
+  RouteCache& route_cache(net::HostIndex h) { return *caches_[h]; }
+  const RouteCache& route_cache(net::HostIndex h) const { return *caches_[h]; }
+  /// System-wide sum of all per-node route-cache counters.
+  metrics::RouteCacheCounters route_cache_counters() const;
+  /// Frame-coalescing counters (all zero unless config().batch_forwarding).
+  metrics::BatchCounters batch_counters() const noexcept { return batch_; }
+
   /// Finalize trackers of events whose message trees were cut short (e.g.
   /// by node failures); call after the simulation drains.
   void finalize_events();
 
-  /// Clear event metrics + delivery log (e.g. after warm-up).
+  /// Clear event metrics, the delivery sink, and fast-lane counters (e.g.
+  /// after warm-up). Cached routes stay warm; only their counters reset.
   void reset_metrics();
 
   /// Current per-node loads (paper's stored-subscription metric).
@@ -156,12 +222,23 @@ class HyperSubSystem {
  private:
   friend class LoadBalancer;
 
+  /// Where a subscheme's rendezvous probe was cache-directed (invalid host
+  /// = it rode normal routing), so the consuming owner can correct the
+  /// publisher's cache.
+  struct RendezvousProbe {
+    Id key = 0;
+    net::HostIndex sent_to = overlay::Peer::kInvalidHost;
+  };
+
   /// Immutable per-event context shared by all messages of one event.
   struct EventCtx {
     std::uint64_t seq;
     std::uint32_t scheme;
+    net::HostIndex origin = overlay::Peer::kInvalidHost;
     pubsub::Event event;
-    std::vector<Point> projected;  // per subscheme
+    std::vector<Point> projected;          // per subscheme
+    std::vector<RendezvousProbe> rendezvous;  // per subscheme
+    DeliveryCallback on_delivery;          // per-publish observer (optional)
   };
   using EventCtxPtr = std::shared_ptr<const EventCtx>;
 
@@ -172,8 +249,20 @@ class HyperSubSystem {
     int max_hops = 0;
     double max_latency = 0.0;
     std::uint64_t bytes = 0;
+    std::uint64_t header_bytes = 0;
     bool truncated = false;  ///< part of the delivery tree was lost
   };
+
+  /// One logical event message riding (alone or batched) in a frame.
+  struct FrameChunk {
+    EventCtxPtr ctx;
+    std::shared_ptr<std::vector<SubId>> subids;
+    int hops = 0;
+    net::HostIndex failed = overlay::Peer::kInvalidHost;
+  };
+
+  void unsubscribe_impl(net::HostIndex subscriber, std::uint32_t scheme,
+                        std::uint32_t iid, const pubsub::Subscription& sub);
 
   // Alg. 3: registration at the surrogate node + piece propagation.
   void register_subscription_at(net::HostIndex owner, const ZoneAddr& addr,
@@ -185,21 +274,36 @@ class HyperSubSystem {
   // Alg. 5: one event message arriving at `host`.
   void process_event_message(net::HostIndex host, const EventCtxPtr& ctx,
                              std::vector<SubId> list, int hops);
-  /// Send one grouped event message `host` -> `to` (fire-and-forget, or
-  /// acked with reroute-on-expiry under reliable delivery). `failed` is a
+  /// Queue one grouped event message `host` -> `to`. Without batching it
+  /// leaves immediately as its own frame; with batching it coalesces with
+  /// every other chunk bound for the same hop this timestep. `failed` is a
   /// failure-gossip hint for the receiver (invalid host = none). Assumes
   /// the tracker's outstanding count was already incremented for this
-  /// message.
+  /// message; byte accounting happens at frame-send time.
   void forward_event(net::HostIndex host, net::HostIndex to,
-                     std::uint64_t bytes, const EventCtxPtr& ctx,
+                     const EventCtxPtr& ctx,
                      std::shared_ptr<std::vector<SubId>> sublist, int hops,
                      net::HostIndex failed);
+  /// Send one frame of chunks `host` -> `to` (fire-and-forget, or acked
+  /// with per-chunk reroute-on-expiry under reliable delivery).
+  void send_frame(net::HostIndex host, net::HostIndex to,
+                  std::shared_ptr<std::vector<FrameChunk>> chunks);
+  /// Flush the batched chunks queued for (host, to), if any.
+  void flush_batch(net::HostIndex host, net::HostIndex to);
   /// Failover: re-resolve each subid of a message whose next hop died,
   /// excluding the dead hop, and forward the regrouped remainder. Subids
   /// with no viable alternative are dropped (counted, event truncated).
   void reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
                      const std::vector<SubId>& subids, int hops,
                      net::HostIndex failed);
+  /// Cache coherence at the rendezvous: `host` consumed the kRendezvous
+  /// subid for `key` — correct the publisher's cache if it was directed
+  /// elsewhere (or learn on a miss).
+  void note_rendezvous_owner(net::HostIndex host, const EventCtxPtr& ctx,
+                             Id key);
+  /// Drop `key` from every node's route cache (the zone behind it changed
+  /// shape, e.g. a migration installed a bucket pointer).
+  void invalidate_cached_route(Id key);
   /// Record one event drop that reliability could not mask.
   void note_event_drop(std::uint64_t seq, std::size_t subids);
   void finalize_if_done(std::uint64_t seq);
@@ -213,10 +317,17 @@ class HyperSubSystem {
   net::ReliableChannel channel_;  ///< event/migration transport (reliable)
   metrics::ReliabilityCounters rel_;  ///< layer decisions (reroutes, drops)
   std::vector<std::unique_ptr<HyperSubNode>> nodes_;
+  std::vector<std::unique_ptr<RouteCache>> caches_;  ///< per publisher host
   std::vector<std::unique_ptr<SchemeRuntime>> schemes_;
-  std::vector<Delivery> deliveries_;
+  VectorDeliverySink default_sink_;
+  DeliverySink* sink_ = &default_sink_;
   metrics::EventMetrics event_metrics_;
+  metrics::BatchCounters batch_;
   std::unordered_map<std::uint64_t, Tracker> trackers_;
+  /// Chunks awaiting this timestep's flush, keyed by (sender, next hop).
+  std::map<std::pair<net::HostIndex, net::HostIndex>,
+           std::vector<FrameChunk>>
+      batches_;
   /// Per-event delivered (subscriber node id, iid) pairs: end-to-end
   /// duplicate suppression under reliable delivery (retransmitted subtrees
   /// can re-match the same subscription through a different path). Only
@@ -225,6 +336,7 @@ class HyperSubSystem {
       delivered_subs_;
   std::uint64_t event_seq_ = 0;
   std::size_t total_subs_ = 0;
+  bool owns_ownership_listener_ = false;
 
   // Event-delivery scratch, reused across process_event_message calls to
   // keep the hot path allocation-free. Safe because the simulation core is

@@ -235,6 +235,11 @@ void LoadBalancer::migrate(net::HostIndex h,
                       summary,
                       SubId{acceptor.id, token, SubIdKind::kMigrated}});
                   migrated_ += count;
+                  // Coherence: the zone's repository changed shape (part
+                  // of it now lives behind a migrated-bucket pointer);
+                  // force the next publish of this key through a full
+                  // resolution so publishers observe the new layout.
+                  sys_.invalidate_cached_route(zone_key);
                   // An unsubscription during the handoff window may have
                   // shrunk the summary below the bucket's hull; the
                   // pointer re-grows it, and ancestors must hear about it

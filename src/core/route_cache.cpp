@@ -1,0 +1,58 @@
+#include "core/route_cache.hpp"
+
+namespace hypersub::core {
+
+net::HostIndex RouteCache::lookup(Id key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return overlay::Peer::kInvalidHost;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->owner;
+}
+
+void RouteCache::learn(Id key, net::HostIndex owner) {
+  if (owner == overlay::Peer::kInvalidHost) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second->owner != owner) {
+      it->second->owner = owner;
+      ++counters_.stale_corrections;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(Entry{key, owner});
+  map_.emplace(key, lru_.begin());
+  ++counters_.insertions;
+}
+
+void RouteCache::forget(Id key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+  ++counters_.invalidations;
+}
+
+void RouteCache::invalidate_host(net::HostIndex host) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->owner == host) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++counters_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace hypersub::core

@@ -1,0 +1,81 @@
+#pragma once
+// RouteCache: a per-node LRU map from rotated rendezvous zone keys to the
+// last observed owner host — the publish-path fast lane. Zipf-skewed
+// workloads publish into the same few hot leaf zones over and over; once a
+// publisher has learned a zone's surrogate it can hand the event straight
+// to it instead of paying a full O(log N) Chord route per publish.
+//
+// The cache is an optimization layer only and is allowed to be wrong:
+//   * miss        -> the publish rides normal greedy routing (and the true
+//                    owner corrects the publisher's cache on arrival);
+//   * stale entry -> the cached host no longer owns the key; it simply
+//                    forwards the subids like any intermediate hop, and the
+//                    true owner's correction repairs the entry;
+//   * dead entry  -> the reliable channel's failure callback (or dead-node
+//                    gossip) invalidates every entry pointing at the host.
+// Coherence hooks (invalidate_host / forget) are driven by HyperSubSystem
+// from the reliability layer and from the overlay's ownership-change
+// notifications; the cache itself is a dumb bounded map.
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "metrics/fastlane_metrics.hpp"
+#include "net/topology.hpp"
+#include "overlay/peer.hpp"
+
+namespace hypersub::core {
+
+class RouteCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit RouteCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Cached owner of `key`, or Peer::kInvalidHost. Counts a hit or a miss
+  /// and refreshes the entry's LRU position on hit.
+  net::HostIndex lookup(Id key);
+
+  /// Record that `owner` consumed the rendezvous for `key`. Overwriting an
+  /// entry that pointed elsewhere counts as a stale correction; inserting
+  /// beyond capacity evicts the least recently used entry.
+  void learn(Id key, net::HostIndex owner);
+
+  /// Drop the entry for `key`, if any (coherence: the zone behind the key
+  /// changed shape, e.g. a load-balancer migration installed a bucket).
+  void forget(Id key);
+
+  /// Drop every entry pointing at `host` (coherence: the host died or its
+  /// owned key range changed during stabilization).
+  void invalidate_host(net::HostIndex host);
+
+  /// Peek without touching LRU order or counters (tests).
+  bool contains(Id key) const { return map_.find(key) != map_.end(); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Counters since construction or the last reset (entries reflects the
+  /// current size, not a rate).
+  metrics::RouteCacheCounters counters() const {
+    metrics::RouteCacheCounters c = counters_;
+    c.entries = map_.size();
+    return c;
+  }
+  void reset_counters() { counters_ = metrics::RouteCacheCounters{}; }
+
+ private:
+  struct Entry {
+    Id key;
+    net::HostIndex owner;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< most recently used at the front
+  std::unordered_map<Id, std::list<Entry>::iterator> map_;
+  metrics::RouteCacheCounters counters_;
+};
+
+}  // namespace hypersub::core

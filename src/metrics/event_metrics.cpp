@@ -30,4 +30,11 @@ Cdf EventMetrics::bandwidth_kb_cdf() const {
   return c;
 }
 
+Cdf EventMetrics::header_bytes_cdf() const {
+  Cdf c;
+  c.reserve(records_.size());
+  for (const auto& r : records_) c.add(double(r.header_bytes));
+  return c;
+}
+
 }  // namespace hypersub::metrics

@@ -20,6 +20,10 @@ struct EventRecord {
   int max_hops = 0;                 ///< max overlay path length of a delivery
   double max_latency_ms = 0.0;      ///< publish -> last delivery
   std::uint64_t bandwidth_bytes = 0;///< all event-message bytes
+  /// Packet-header share of bandwidth_bytes. With per-next-hop batching,
+  /// chunks coalesced into one frame share a single header, so this is
+  /// what the batching fast lane reduces.
+  std::uint64_t header_bytes = 0;
   /// Part of the event's delivery tree was cut short (a message dropped
   /// with no viable reroute, hop TTL exceeded, or force-finalized with
   /// messages still in flight) — the matched count may undercount.
@@ -45,6 +49,7 @@ class EventMetrics {
   Cdf hops_cdf() const;
   Cdf latency_cdf() const;
   Cdf bandwidth_kb_cdf() const;
+  Cdf header_bytes_cdf() const;
 
  private:
   std::vector<EventRecord> records_;

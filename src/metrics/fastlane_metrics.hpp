@@ -1,0 +1,47 @@
+#pragma once
+// Counters of the publish-path fast lane: rendezvous route caching and
+// per-next-hop event batching. Both are observability-only structs — the
+// mechanisms live in core (RouteCache, HyperSubSystem); these blocks are
+// what snapshot()/benches report.
+
+#include <cstdint>
+
+namespace hypersub::metrics {
+
+/// Aggregated RouteCache statistics (per node or summed system-wide).
+struct RouteCacheCounters {
+  std::uint64_t hits = 0;        ///< publishes short-circuited by the cache
+  std::uint64_t misses = 0;      ///< publishes that fell back to full routing
+  std::uint64_t insertions = 0;  ///< fresh key -> owner entries learned
+  std::uint64_t stale_corrections = 0;  ///< entries rewritten by the owner
+  std::uint64_t invalidations = 0;      ///< entries dropped by coherence hooks
+  std::uint64_t evictions = 0;          ///< entries dropped by LRU pressure
+  std::uint64_t entries = 0;            ///< currently cached keys
+
+  RouteCacheCounters& operator+=(const RouteCacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    stale_corrections += o.stale_corrections;
+    invalidations += o.invalidations;
+    evictions += o.evictions;
+    entries += o.entries;
+    return *this;
+  }
+};
+
+/// Per-next-hop event batching statistics (cross-event frame coalescing).
+struct BatchCounters {
+  std::uint64_t frames = 0;  ///< aggregated frames actually sent
+  std::uint64_t chunks = 0;  ///< logical event messages carried by them
+  std::uint64_t header_bytes_saved = 0;  ///< kHeaderBytes * (chunks - frames)
+
+  BatchCounters& operator+=(const BatchCounters& o) {
+    frames += o.frames;
+    chunks += o.chunks;
+    header_bytes_saved += o.header_bytes_saved;
+    return *this;
+  }
+};
+
+}  // namespace hypersub::metrics

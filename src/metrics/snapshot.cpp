@@ -1,0 +1,82 @@
+#include "metrics/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/hypersub_system.hpp"
+
+namespace hypersub::metrics {
+
+Snapshot snapshot(const core::HyperSubSystem& sys) {
+  Snapshot s;
+  const EventMetrics& ev = sys.event_metrics();
+  s.events = ev.count();
+  if (s.events > 0) {
+    s.avg_pct_matched = ev.pct_matched_cdf().mean();
+    s.mean_max_hops = ev.hops_cdf().mean();
+    s.mean_max_latency_ms = ev.latency_cdf().mean();
+    s.mean_bandwidth_kb = ev.bandwidth_kb_cdf().mean();
+    s.mean_header_bytes = ev.header_bytes_cdf().mean();
+  }
+  s.truncated_events = ev.truncated_count();
+  s.reliability = sys.reliability_counters();
+
+  const auto loads = sys.node_loads();
+  if (!loads.empty()) {
+    s.load_min = *std::min_element(loads.begin(), loads.end());
+    s.load_max = *std::max_element(loads.begin(), loads.end());
+    double sum = 0.0;
+    for (const std::size_t l : loads) sum += double(l);
+    s.load_mean = sum / double(loads.size());
+  }
+  s.total_subscriptions = sys.total_subscriptions();
+
+  s.cache = sys.route_cache_counters();
+  s.batching = sys.batch_counters();
+  return s;
+}
+
+std::string Snapshot::to_json() const {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"events\": %zu, \"avg_pct_matched\": %.4f, "
+      "\"mean_max_hops\": %.4f, \"mean_max_latency_ms\": %.3f, "
+      "\"mean_bandwidth_kb\": %.4f, \"mean_header_bytes\": %.2f, "
+      "\"truncated_events\": %zu, "
+      "\"reliability\": {\"messages_sent\": %llu, \"acks\": %llu, "
+      "\"retries\": %llu, \"expirations\": %llu, \"reroutes\": %llu, "
+      "\"unmasked_drops\": %llu, \"duplicates_suppressed\": %llu, "
+      "\"truncated_events\": %llu}, "
+      "\"load\": {\"min\": %zu, \"max\": %zu, \"mean\": %.3f}, "
+      "\"total_subscriptions\": %zu, "
+      "\"route_cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"insertions\": %llu, \"stale_corrections\": %llu, "
+      "\"invalidations\": %llu, \"evictions\": %llu, \"entries\": %llu}, "
+      "\"batching\": {\"frames\": %llu, \"chunks\": %llu, "
+      "\"header_bytes_saved\": %llu}}",
+      events, avg_pct_matched, mean_max_hops, mean_max_latency_ms,
+      mean_bandwidth_kb, mean_header_bytes, truncated_events,
+      static_cast<unsigned long long>(reliability.messages_sent),
+      static_cast<unsigned long long>(reliability.acks),
+      static_cast<unsigned long long>(reliability.retries),
+      static_cast<unsigned long long>(reliability.expirations),
+      static_cast<unsigned long long>(reliability.reroutes),
+      static_cast<unsigned long long>(reliability.unmasked_drops),
+      static_cast<unsigned long long>(reliability.duplicates_suppressed),
+      static_cast<unsigned long long>(reliability.truncated_events),
+      load_min, load_max, load_mean, total_subscriptions,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.insertions),
+      static_cast<unsigned long long>(cache.stale_corrections),
+      static_cast<unsigned long long>(cache.invalidations),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.entries),
+      static_cast<unsigned long long>(batching.frames),
+      static_cast<unsigned long long>(batching.chunks),
+      static_cast<unsigned long long>(batching.header_bytes_saved));
+  return std::string(buf);
+}
+
+}  // namespace hypersub::metrics

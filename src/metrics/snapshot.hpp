@@ -1,0 +1,53 @@
+#pragma once
+// Unified metrics snapshot: one struct carrying everything an experiment
+// wants to report about a HyperSubSystem — event costs, reliability,
+// per-node load, and the publish fast lane (route cache + batching) — with
+// a to_json() the benches emit directly. Replaces the scattered
+// event_metrics()/reliability_counters()/node_loads() call-site plumbing.
+//
+// Declared in metrics but implemented in the core library (snapshot() has
+// to read HyperSubSystem, which itself links against metrics).
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/fastlane_metrics.hpp"
+#include "metrics/reliability_metrics.hpp"
+
+namespace hypersub::core {
+class HyperSubSystem;
+}
+
+namespace hypersub::metrics {
+
+struct Snapshot {
+  // Event costs (means over finalized events).
+  std::size_t events = 0;
+  double avg_pct_matched = 0.0;
+  double mean_max_hops = 0.0;
+  double mean_max_latency_ms = 0.0;
+  double mean_bandwidth_kb = 0.0;
+  double mean_header_bytes = 0.0;
+  std::size_t truncated_events = 0;
+
+  // Reliability layer (all zero unless reliable_delivery).
+  ReliabilityCounters reliability;
+
+  // Stored-subscription load across nodes.
+  std::size_t load_min = 0;
+  std::size_t load_max = 0;
+  double load_mean = 0.0;
+  std::size_t total_subscriptions = 0;
+
+  // Publish fast lane.
+  RouteCacheCounters cache;
+  BatchCounters batching;
+
+  /// Compact single-object JSON rendering (no trailing newline).
+  std::string to_json() const;
+};
+
+/// Collect a snapshot of `sys`'s current metrics.
+Snapshot snapshot(const core::HyperSubSystem& sys);
+
+}  // namespace hypersub::metrics

@@ -79,6 +79,26 @@ class Overlay {
   /// the clockwise leaves). At most `k` peers; may return fewer.
   virtual std::vector<Peer> replica_set(net::HostIndex h,
                                         std::size_t k) const = 0;
+
+  /// Coherence hook for layers that cache key -> owner resolutions (the
+  /// pub/sub route cache): fired with a host whose owned key range just
+  /// changed — its predecessor-side boundary moved during stabilization,
+  /// failure repair, or (re)construction — so cached resolutions pointing
+  /// at it may be stale. Substrates without ownership tracking never fire
+  /// it; cache users then rely on stale-hit self-repair alone.
+  using OwnershipListener = std::function<void(net::HostIndex)>;
+  void set_ownership_listener(OwnershipListener cb) {
+    ownership_listener_ = std::move(cb);
+  }
+
+ protected:
+  /// Implementations call this whenever a node's ownership interval changes.
+  void notify_ownership_changed(net::HostIndex h) {
+    if (ownership_listener_) ownership_listener_(h);
+  }
+
+ private:
+  OwnershipListener ownership_listener_;
 };
 
 }  // namespace hypersub::overlay

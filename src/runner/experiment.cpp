@@ -1,10 +1,12 @@
 #include "runner/experiment.hpp"
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "chord/chord_net.hpp"
+#include "common/zipf.hpp"
 #include "core/hypersub_system.hpp"
 #include "net/topology.hpp"
 #include "workload/zipf_workload.hpp"
@@ -31,8 +33,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // --- pub/sub system --------------------------------------------------------
   core::HyperSubSystem::Config sc;
   sc.ancestor_probing = cfg.ancestor_probing;
-  sc.record_deliveries = cfg.record_deliveries;
+  sc.route_cache = cfg.route_cache;
+  sc.batch_forwarding = cfg.batch_forwarding;
   core::HyperSubSystem sys(chord, sc);
+  // Large runs only need delivery counts, not the full log.
+  core::CountingDeliverySink sink;
+  sys.set_delivery_sink(sink);
 
   workload::WorkloadGenerator gen(cfg.workload, cfg.seed + 2);
   core::SchemeOptions so;
@@ -62,12 +68,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (lb) lb->start();
 
   // --- event phase ------------------------------------------------------------
+  // hot_event_pool > 0 switches the feed from fresh uniform events to a
+  // Zipf-ranked draw over a fixed pool (repeated rendezvous zones — the
+  // regime the publish fast lane targets).
+  std::vector<pubsub::Event> pool;
+  for (std::size_t i = 0; i < cfg.hot_event_pool; ++i) {
+    pool.push_back(gen.make_event());
+  }
+  std::optional<ZipfSampler> zipf;
+  if (!pool.empty()) zipf.emplace(pool.size(), cfg.zipf_skew);
+
   Rng ev_rng(cfg.seed + 3);
   double t = 0.0;
   for (std::size_t i = 0; i < cfg.events; ++i) {
     t += ev_rng.exponential(cfg.mean_interarrival_ms);
-    const net::HostIndex publisher = ev_rng.index(cfg.nodes);
-    pubsub::Event e = gen.make_event();
+    const net::HostIndex publisher =
+        cfg.publishers > 0 ? net::HostIndex(ev_rng.index(cfg.publishers))
+                           : net::HostIndex(ev_rng.index(cfg.nodes));
+    pubsub::Event e = pool.empty() ? gen.make_event()
+                                   : pool[zipf->sample(ev_rng) - 1];
     // `t` is a delay relative to the current (post-stabilization) time; the
     // whole schedule is laid out before run() resumes.
     simulator.schedule(t, [&sys, scheme, publisher, e]() mutable {
@@ -88,7 +107,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.mean_rtt_ms = topo.mean_rtt(20000, cfg.seed + 4);
   r.total_subs = sys.total_subscriptions();
   r.migrated = lb ? lb->migrated_count() : 0;
+  r.deliveries = sink.count();
   r.avg_pct_matched = r.events.pct_matched_cdf().mean();
+  r.cache = sys.route_cache_counters();
+  r.batching = sys.batch_counters();
   return r;
 }
 
@@ -119,6 +141,8 @@ std::string config_label(const ExperimentConfig& cfg) {
   os << "Base " << (1 << cfg.base_bits) << ",level "
      << cfg.code_bits / cfg.base_bits << ','
      << (cfg.load_balancing ? "LB" : "no LB");
+  if (cfg.route_cache) os << ",cache";
+  if (cfg.batch_forwarding) os << ",batch";
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/load_balancer.hpp"
 #include "metrics/event_metrics.hpp"
+#include "metrics/fastlane_metrics.hpp"
 #include "metrics/node_metrics.hpp"
 #include "workload/scheme_factory.hpp"
 
@@ -34,14 +35,19 @@ struct ExperimentConfig {
                                 /*probe_level=*/1, /*max_acceptors=*/4,
                                 /*min_load=*/8, /*reply_timeout_ms=*/1500.0};
   std::size_t lb_warm_rounds = 2;  ///< static pre-adjustment rounds
+  // publish fast lane
+  bool route_cache = false;       ///< rendezvous key -> owner LRU cache
+  bool batch_forwarding = false;  ///< per-next-hop frame coalescing
   // workload
   workload::WorkloadSpec workload = workload::table1_spec();
   std::size_t subs_per_node = 10;
   std::size_t events = 4000;
   double mean_interarrival_ms = 100.0;
+  std::size_t hot_event_pool = 0;  ///< >0: draw events Zipf-ranked from a pool
+  double zipf_skew = 0.95;         ///< rank skew of the hot pool
+  std::size_t publishers = 0;      ///< >0: restrict the feed to this many nodes
   // misc
   std::uint64_t seed = 42;
-  bool record_deliveries = false;
 };
 
 /// Metrics of one run.
@@ -51,7 +57,10 @@ struct ExperimentResult {
   double mean_rtt_ms = 0.0;
   std::size_t total_subs = 0;
   std::uint64_t migrated = 0;
+  std::uint64_t deliveries = 0;
   double avg_pct_matched = 0.0;
+  metrics::RouteCacheCounters cache;  ///< route-cache activity (fast lane)
+  metrics::BatchCounters batching;    ///< frame coalescing (fast lane)
 };
 
 /// Run one experiment to completion.

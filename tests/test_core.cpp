@@ -213,7 +213,9 @@ class ExactnessTest : public ::testing::TestWithParam<ExactnessCase> {};
 
 TEST_P(ExactnessTest, DeliveriesEqualBruteForce) {
   const auto param = GetParam();
-  auto s = make_stack(80, {param.ancestor_probing, true}, 3);
+  HyperSubSystem::Config sc;
+  sc.ancestor_probing = param.ancestor_probing;
+  auto s = make_stack(80, sc, 3);
 
   workload::WorkloadGenerator gen(workload::table1_spec(), 17);
   SchemeOptions opt;
@@ -241,7 +243,7 @@ TEST_P(ExactnessTest, DeliveriesEqualBruteForce) {
     } else {
       sub = gen.make_subscription();
     }
-    const auto iid = s.sys->subscribe(host, scheme, sub);
+    const auto iid = s.sys->subscribe(host, scheme, sub).iid;
     subs.push_back({host, iid, sub});
   }
   s.sim->run();
@@ -285,7 +287,7 @@ INSTANTIATE_TEST_SUITE_P(
         ExactnessCase{1, true, true, false, "base2_probing"},
         ExactnessCase{1, true, false, true, "base2_subschemes"},
         ExactnessCase{2, true, true, true, "base4_probing_subschemes"}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& tinfo) { return std::string(tinfo.param.name); });
 
 TEST(HyperSub, EventMetricsRecorded) {
   auto s = make_stack(40);
@@ -322,7 +324,7 @@ TEST(HyperSub, UnsubscribeStopsDelivery) {
   const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
   // A subscription that matches everything.
   const pubsub::Subscription all(gen.scheme().domain());
-  const auto iid = s.sys->subscribe(5, scheme, all);
+  const auto handle = s.sys->subscribe(5, scheme, all);
   s.sim->run();
 
   s.sys->publish(9, scheme, gen.make_event());
@@ -330,7 +332,7 @@ TEST(HyperSub, UnsubscribeStopsDelivery) {
   s.sys->finalize_events();
   EXPECT_EQ(s.sys->deliveries().size(), 1u);
 
-  s.sys->unsubscribe(5, scheme, iid, all);
+  s.sys->unsubscribe(handle);
   s.sim->run();
   s.sys->publish(9, scheme, gen.make_event());
   s.sim->run();
@@ -407,7 +409,7 @@ TEST(LoadBalancing, MigrationPreservesExactness) {
   for (int i = 0; i < 300; ++i) {
     const auto host = net::HostIndex(rng.index(60));
     const auto sub = gen.make_subscription();
-    const auto iid = s.sys->subscribe(host, scheme, sub);
+    const auto iid = s.sys->subscribe(host, scheme, sub).iid;
     subs.push_back({host, iid, sub});
   }
   s.sim->run();

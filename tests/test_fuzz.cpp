@@ -35,8 +35,12 @@ TEST(Fuzz, IntervalAlgebraAgreesWithPointSampling) {
     EXPECT_EQ(x.covers(y), covers) << x.lo << "," << x.hi << " vs " << y.lo
                                    << "," << y.hi;
     // Sampling can miss a sliver overlap, but never invent one.
-    if (overlaps) EXPECT_TRUE(x.overlaps(y));
-    if (!x.overlaps(y)) EXPECT_FALSE(overlaps);
+    if (overlaps) {
+      EXPECT_TRUE(x.overlaps(y));
+    }
+    if (!x.overlaps(y)) {
+      EXPECT_FALSE(overlaps);
+    }
     // hull contains both; intersect (when valid) is inside both.
     const Interval h = x.hull(y);
     EXPECT_TRUE(h.covers(x));
@@ -70,8 +74,12 @@ TEST(Fuzz, HyperRectAlgebraAgreesWithPointSampling) {
       EXPECT_TRUE(y.contains(p));
       covers = covers && x.contains(p);
     }
-    if (x.covers(y)) EXPECT_TRUE(covers);
-    if (!covers) EXPECT_FALSE(x.covers(y));
+    if (x.covers(y)) {
+      EXPECT_TRUE(covers);
+    }
+    if (!covers) {
+      EXPECT_FALSE(x.covers(y));
+    }
     // hull/intersect relations.
     EXPECT_TRUE(x.hull(y).covers(x));
     EXPECT_TRUE(x.hull(y).covers(y));

@@ -212,7 +212,9 @@ TEST(Integration, RotationSpreadsSchemesAcrossNodes) {
 TEST(Integration, AncestorProbingAgreesWithPieces) {
   std::vector<std::size_t> matched_default, matched_probing;
   for (const bool probing : {false, true}) {
-    auto s = make_stack(40, 21, {probing, true});
+    core::HyperSubSystem::Config sc;
+    sc.ancestor_probing = probing;
+    auto s = make_stack(40, 21, sc);
     s.chord->oracle_build();
     workload::WorkloadGenerator gen(workload::table1_spec(), 23);
     core::SchemeOptions opt;

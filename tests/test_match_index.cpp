@@ -231,7 +231,7 @@ TEST(MatchIndexParity, EndToEndDeliveryEqualsBruteForce) {
   for (int i = 0; i < 300; ++i) {
     const auto host = net::HostIndex(rng.index(n));
     const auto sub = gen.make_subscription();
-    live.push_back({host, sys.subscribe(host, scheme, sub), sub});
+    live.push_back({host, sys.subscribe(host, scheme, sub).iid, sub});
   }
   sim.run();
 

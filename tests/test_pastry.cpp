@@ -198,7 +198,7 @@ TEST(Pastry, HyperSubDeliveryIsExactOverPastry) {
   for (int i = 0; i < 240; ++i) {
     const auto host = net::HostIndex(rng.index(80));
     const auto sub = gen.make_subscription();
-    const auto iid = sys.subscribe(host, scheme, sub);
+    const auto iid = sys.subscribe(host, scheme, sub).iid;
     subs.push_back({host, iid, sub});
   }
   s.sim->run();

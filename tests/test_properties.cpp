@@ -109,8 +109,7 @@ TEST_P(SubstrateProperty, ChurningSubscriptionsStayExact) {
   const auto scheme = sys.add_scheme(gen.scheme(), opt);
 
   struct Owned {
-    net::HostIndex host;
-    std::uint32_t iid;
+    core::SubscriptionHandle handle;
     pubsub::Subscription sub;
   };
   std::vector<Owned> live;
@@ -122,14 +121,13 @@ TEST_P(SubstrateProperty, ChurningSubscriptionsStayExact) {
     for (int i = 0; i < 40; ++i) {
       const auto host = net::HostIndex(rng.index(50));
       const auto sub = gen.make_subscription();
-      const auto iid = sys.subscribe(host, scheme, sub);
-      live.push_back({host, iid, sub});
+      live.push_back({sys.subscribe(host, scheme, sub), sub});
     }
     // Unsubscribe ~25% of live subscriptions.
     std::vector<Owned> keep;
     for (const auto& o : live) {
       if (rng.chance(0.25)) {
-        sys.unsubscribe(o.host, scheme, o.iid, o.sub);
+        sys.unsubscribe(o.handle);
       } else {
         keep.push_back(o);
       }
@@ -148,7 +146,9 @@ TEST_P(SubstrateProperty, ChurningSubscriptionsStayExact) {
       got.insert({sys.deliveries()[i].subscriber, sys.deliveries()[i].iid});
     }
     for (const auto& o : live) {
-      if (o.sub.matches(e.point)) expect.insert({o.host, o.iid});
+      if (o.sub.matches(e.point)) {
+        expect.insert({o.handle.subscriber, o.handle.iid});
+      }
     }
     EXPECT_EQ(got, expect) << kind << " round " << round;
     // Structural invariants hold at quiescence.
@@ -162,8 +162,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Param{"chord", 1}, Param{"chord", 2},
                       Param{"chord", 3}, Param{"pastry", 1},
                       Param{"pastry", 2}, Param{"pastry", 3}),
-    [](const auto& info) {
-      return info.param.first + "_seed" + std::to_string(info.param.second);
+    [](const auto& tinfo) {
+      return tinfo.param.first + "_seed" + std::to_string(tinfo.param.second);
     });
 
 }  // namespace

@@ -167,9 +167,9 @@ TEST(Replication, UnsubscribeReachesReplicas) {
   opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
   const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
   const pubsub::Subscription all(gen.scheme().domain());
-  const auto iid = s.sys->subscribe(4, scheme, all);
+  const auto handle = s.sys->subscribe(4, scheme, all);
   s.sim->run();
-  s.sys->unsubscribe(4, scheme, iid, all);
+  s.sys->unsubscribe(handle);
   s.sim->run();
 
   // Kill the surrogate AFTER the unsubscribe: the replica must not

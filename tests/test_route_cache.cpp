@@ -1,0 +1,457 @@
+// Publish fast-lane tests: RouteCache unit semantics (LRU, counters),
+// cache-directed publishing end to end (repeat publishes hit, stale hits
+// self-repair via forward-and-correct, node death and load-balancer
+// migration invalidate), frame batching, and the correctness bar — the
+// delivery set with caching + batching on is identical to the baseline,
+// against brute force, including under churn with reliable delivery.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "core/load_balancer.hpp"
+#include "core/route_cache.hpp"
+#include "net/topology.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+using core::HyperSubSystem;
+using core::LoadBalancer;
+using core::RouteCache;
+
+constexpr net::HostIndex kInvalid = overlay::Peer::kInvalidHost;
+
+// ---------------------------------------------------------------------------
+// RouteCache unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(RouteCache, MissThenLearnThenHit) {
+  RouteCache c(4);
+  EXPECT_EQ(c.lookup(1), kInvalid);
+  c.learn(1, 10);
+  EXPECT_EQ(c.lookup(1), 10u);
+  const auto ct = c.counters();
+  EXPECT_EQ(ct.misses, 1u);
+  EXPECT_EQ(ct.hits, 1u);
+  EXPECT_EQ(ct.insertions, 1u);
+  EXPECT_EQ(ct.entries, 1u);
+}
+
+TEST(RouteCache, LruEvictsColdestEntry) {
+  RouteCache c(2);
+  c.learn(1, 10);
+  c.learn(2, 20);
+  EXPECT_EQ(c.lookup(1), 10u);  // 1 becomes most recent; 2 is now coldest
+  c.learn(3, 30);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+  const auto ct = c.counters();
+  EXPECT_EQ(ct.evictions, 1u);
+  EXPECT_EQ(ct.entries, 2u);
+}
+
+TEST(RouteCache, LearnOverwriteCountsStaleCorrection) {
+  RouteCache c(4);
+  c.learn(1, 10);
+  c.learn(1, 11);  // new owner: correction
+  EXPECT_EQ(c.counters().stale_corrections, 1u);
+  c.learn(1, 11);  // same owner: not a correction
+  EXPECT_EQ(c.counters().stale_corrections, 1u);
+  EXPECT_EQ(c.lookup(1), 11u);
+  EXPECT_EQ(c.counters().insertions, 1u);
+}
+
+TEST(RouteCache, ForgetAndInvalidateHost) {
+  RouteCache c(8);
+  c.learn(1, 10);
+  c.learn(2, 10);
+  c.learn(3, 30);
+  c.forget(3);
+  c.forget(99);          // absent key: no-op
+  c.invalidate_host(10);  // drops both entries pointing at host 10
+  const auto ct = c.counters();
+  EXPECT_EQ(ct.invalidations, 3u);
+  EXPECT_EQ(ct.entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// System scaffolding
+// ---------------------------------------------------------------------------
+
+struct StackOpts {
+  bool reliable = false;
+  std::size_t replicas = 0;
+  bool cache = false;
+  bool batch = false;
+};
+
+struct Stack {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+  std::unique_ptr<HyperSubSystem> sys;
+};
+
+Stack make_stack(std::size_t n, std::uint64_t seed, StackOpts o = {}) {
+  Stack s;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = n;
+  tp.seed = seed;
+  s.topo = std::make_unique<net::KingLikeTopology>(tp);
+  s.sim = std::make_unique<sim::Simulator>();
+  s.net = std::make_unique<net::Network>(*s.sim, *s.topo);
+  chord::ChordNet::Params cp;
+  cp.seed = seed;
+  cp.reliable_routing = o.reliable;
+  s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
+  s.chord->oracle_build();
+  HyperSubSystem::Config sc;
+  sc.reliable_delivery = o.reliable;
+  sc.replicas = o.replicas;
+  sc.route_cache = o.cache;
+  sc.batch_forwarding = o.batch;
+  s.sys = std::make_unique<HyperSubSystem>(*s.chord, sc);
+  return s;
+}
+
+/// Rotated Chord key of the rendezvous (leaf) zone the event hashes to.
+Id rendezvous_key(const HyperSubSystem& sys, std::uint32_t scheme,
+                  const pubsub::Event& e) {
+  const auto& ss = sys.scheme_runtime(scheme).subscheme(0);
+  const Point proj = ss.project(e.point);
+  return ss.zone_key(ss.zones().locate(proj));
+}
+
+using DeliveryKey = std::tuple<std::uint64_t, std::size_t, std::uint32_t>;
+
+std::multiset<DeliveryKey> delivered(const HyperSubSystem& sys) {
+  std::multiset<DeliveryKey> out;
+  for (const auto& d : sys.deliveries()) {
+    out.insert({d.event_seq, d.subscriber, d.iid});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cache-directed publishing end to end
+// ---------------------------------------------------------------------------
+
+TEST(RouteCacheSystem, RepeatPublishLearnsThenHits) {
+  auto s = make_stack(40, 3, {.cache = true});
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 5);
+  core::SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  s.sys->subscribe(6, scheme, pubsub::Subscription(gen.scheme().domain()));
+  s.sim->run();
+
+  const auto e = gen.make_event();
+  const Id key = rendezvous_key(*s.sys, scheme, e);
+  const auto owner = s.chord->oracle_successor(key).host;
+  const net::HostIndex pub = (owner + 1) % 40;
+
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  // First publish missed, rode normal routing, and the owner's correction
+  // message taught the publisher the route.
+  EXPECT_GE(s.sys->route_cache(pub).counters().misses, 1u);
+  ASSERT_TRUE(s.sys->route_cache(pub).contains(key));
+  EXPECT_EQ(s.sys->route_cache(pub).lookup(key), owner);
+
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  s.sys->finalize_events();
+  EXPECT_GE(s.sys->route_cache(pub).counters().hits, 2u);  // + lookup above
+  // Both events reached the subscriber exactly once; the cache-directed
+  // run never needs more hops than the greedy route.
+  ASSERT_EQ(s.sys->deliveries().size(), 2u);
+  const auto& recs = s.sys->event_metrics().records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_LE(recs[1].max_hops, recs[0].max_hops);
+}
+
+TEST(RouteCacheSystem, StaleHitSelfRepairs) {
+  auto s = make_stack(40, 7, {.cache = true});
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 9);
+  core::SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  s.sys->subscribe(2, scheme, pubsub::Subscription(gen.scheme().domain()));
+  s.sim->run();
+
+  const auto e = gen.make_event();
+  const Id key = rendezvous_key(*s.sys, scheme, e);
+  const auto owner = s.chord->oracle_successor(key).host;
+  const net::HostIndex pub = (owner + 1) % 40;
+  net::HostIndex wrong = (owner + 2) % 40;
+  if (wrong == pub) wrong = (wrong + 1) % 40;
+  ASSERT_NE(wrong, owner);
+
+  // Inject a stale entry: the publisher believes `wrong` owns the key.
+  s.sys->route_cache(pub).learn(key, wrong);
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  s.sys->finalize_events();
+
+  // The mis-directed probe was forwarded by `wrong` to the true owner
+  // (delivery survives), and the owner corrected the publisher's cache.
+  ASSERT_EQ(s.sys->deliveries().size(), 1u);
+  EXPECT_EQ(s.sys->deliveries()[0].subscriber, 2u);
+  EXPECT_GE(s.sys->route_cache(pub).counters().stale_corrections, 1u);
+  EXPECT_EQ(s.sys->route_cache(pub).lookup(key), owner);
+}
+
+TEST(RouteCacheSystem, NodeDeathInvalidatesAndReroutes) {
+  auto s = make_stack(40, 11, {.reliable = true, .replicas = 2,
+                               .cache = true});
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 13);
+  core::SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  const net::HostIndex subscriber = 4;
+  s.sys->subscribe(subscriber, scheme,
+                   pubsub::Subscription(gen.scheme().domain()));
+  s.sim->run();
+
+  const auto e = gen.make_event();
+  const Id key = rendezvous_key(*s.sys, scheme, e);
+  const auto owner = s.chord->oracle_successor(key).host;
+  net::HostIndex pub = (owner + 1) % 40;
+  if (pub == subscriber) pub = (pub + 1) % 40;
+  ASSERT_NE(owner, subscriber);
+  ASSERT_NE(owner, pub);
+
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  ASSERT_EQ(s.sys->route_cache(pub).lookup(key), owner);
+  ASSERT_EQ(s.sys->deliveries().size(), 1u);
+
+  // Kill the cached rendezvous owner. The next cache-directed frame times
+  // out, the failure callback purges the dead host from the publisher's
+  // cache, and the reroute reaches the owner's heir (which matches from
+  // its replicas) — the delivery still happens.
+  s.chord->fail(owner);
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  s.sys->finalize_events();
+
+  ASSERT_EQ(s.sys->deliveries().size(), 2u);
+  EXPECT_EQ(s.sys->deliveries()[1].subscriber, subscriber);
+  EXPECT_GE(s.sys->route_cache(pub).counters().invalidations, 1u);
+  // Whatever the cache holds for the key now, it is not the dead node.
+  if (s.sys->route_cache(pub).contains(key)) {
+    EXPECT_NE(s.sys->route_cache(pub).lookup(key), owner);
+  }
+}
+
+TEST(RouteCacheSystem, MigrationInvalidatesCachedRoute) {
+  auto s = make_stack(30, 17, {.cache = true});
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 19);
+  core::SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+  const auto& sch = s.sys->scheme_runtime(scheme).scheme();
+  const auto& dom = sch.domain();
+
+  // A hot spot: many point subscriptions at the same location all hash to
+  // one leaf zone on one surrogate — exactly what migration targets.
+  const double x = dom.dim(0).lo + 0.3 * dom.dim(0).length();
+  const double y = dom.dim(1).lo + 0.3 * dom.dim(1).length();
+  const pubsub::Predicate hot[] = {{0, {x, x}}, {1, {y, y}}};
+  for (net::HostIndex h = 0; h < 30; ++h) {
+    for (int k = 0; k < 4; ++k) {
+      s.sys->subscribe(h, scheme,
+                       pubsub::Subscription::from_predicates(sch, hot));
+    }
+  }
+  s.sim->run();
+
+  const pubsub::Event e{0, {x, y}};
+  const Id key = rendezvous_key(*s.sys, scheme, e);
+  const auto owner = s.chord->oracle_successor(key).host;
+  const net::HostIndex pub = (owner + 1) % 30;
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  ASSERT_TRUE(s.sys->route_cache(pub).contains(key));
+
+  LoadBalancer::Config lc;
+  lc.delta = 0.05;
+  lc.min_load = 2;
+  LoadBalancer lb(*s.sys, lc);
+  lb.run_round();
+  s.sim->run();
+  ASSERT_GT(lb.migrated_count(), 0u);
+  // The migration changed the zone behind the cached key: every cache
+  // dropped it.
+  EXPECT_FALSE(s.sys->route_cache(pub).contains(key));
+  EXPECT_GE(s.sys->route_cache_counters().invalidations, 1u);
+
+  // The next publish re-learns and still reaches every subscriber (the
+  // surrogate chases the migrated bucket).
+  const std::size_t before = s.sys->deliveries().size();
+  s.sys->publish(pub, scheme, e);
+  s.sim->run();
+  s.sys->finalize_events();
+  EXPECT_EQ(s.sys->deliveries().size() - before, 120u);
+}
+
+// ---------------------------------------------------------------------------
+// The correctness bar: fast lane on == fast lane off == brute force
+// ---------------------------------------------------------------------------
+
+TEST(FastLane, DeliveryParityAndBatchingSavesHeaders) {
+  constexpr std::size_t kHosts = 50;
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+
+  auto run = [&](bool fast) {
+    auto s = make_stack(kHosts, 23, {.cache = fast, .batch = fast});
+    workload::WorkloadGenerator gen(workload::tiny_spec(), 29);
+    core::SchemeOptions opt;
+    opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+    const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+    std::vector<Owned> subs;
+    Rng rng(31);
+    for (int i = 0; i < 250; ++i) {
+      const auto host = net::HostIndex(rng.index(kHosts));
+      const auto sub = gen.make_subscription();
+      subs.push_back({host, s.sys->subscribe(host, scheme, sub).iid, sub});
+    }
+    s.sim->run();
+
+    // A hot event pool from one feed node: repeated rendezvous keys give
+    // the cache something to hit, and several events per quiescent step
+    // give same-next-hop frames something to coalesce.
+    std::vector<pubsub::Event> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(gen.make_event());
+    const net::HostIndex pub = 7;
+    std::vector<pubsub::Event> events;
+    for (int round = 0; round < 12; ++round) {
+      for (int b = 0; b < 4; ++b) {
+        auto e = pool[std::size_t(round * 4 + b) % pool.size()];
+        events.push_back(e);
+        s.sys->publish(pub, scheme, std::move(e));
+      }
+      s.sim->run();
+    }
+    s.sys->finalize_events();
+    return std::make_tuple(std::move(s), std::move(subs),
+                           std::move(events));
+  };
+
+  auto [base, base_subs, base_events] = run(false);
+  auto [fast, fast_subs, fast_events] = run(true);
+
+  // Identical workloads...
+  ASSERT_EQ(base_events.size(), fast_events.size());
+  // ...identical delivery sets...
+  const auto base_set = delivered(*base.sys);
+  EXPECT_EQ(base_set, delivered(*fast.sys));
+  // ...and both equal brute force.
+  std::multiset<DeliveryKey> expected;
+  for (std::size_t i = 0; i < base_events.size(); ++i) {
+    for (const auto& o : base_subs) {
+      if (o.sub.matches(base_events[i].point)) {
+        expected.insert({std::uint64_t(i + 1), o.host, o.iid});
+      }
+    }
+  }
+  EXPECT_EQ(base_set, expected);
+
+  // The fast lane actually engaged: cache hits happened, frames coalesced,
+  // and batching paid fewer packet headers than one-frame-per-message.
+  const auto cc = fast.sys->route_cache_counters();
+  EXPECT_GT(cc.hits, 0u);
+  const auto bc = fast.sys->batch_counters();
+  EXPECT_GT(bc.chunks, bc.frames);
+  EXPECT_GT(bc.header_bytes_saved, 0u);
+  const auto base_bc = base.sys->batch_counters();
+  EXPECT_EQ(base_bc.header_bytes_saved, 0u);
+}
+
+TEST(FastLane, DeliveryParityUnderChurnWithReliability) {
+  constexpr std::size_t kHosts = 40;
+  constexpr std::size_t kSubscriberHosts = 20;  // hosts 0..19 subscribe
+  struct Owned {
+    net::HostIndex host;
+    std::uint32_t iid;
+    pubsub::Subscription sub;
+  };
+
+  auto run = [&](bool fast) {
+    auto s = make_stack(kHosts, 37, {.reliable = true, .replicas = 2,
+                                     .cache = fast, .batch = fast});
+    workload::WorkloadGenerator gen(workload::tiny_spec(), 41);
+    core::SchemeOptions opt;
+    opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+    const auto scheme = s.sys->add_scheme(gen.scheme(), opt);
+    std::vector<Owned> subs;
+    Rng rng(43);
+    for (int i = 0; i < 120; ++i) {
+      const auto host = net::HostIndex(rng.index(kSubscriberHosts));
+      const auto sub = gen.make_subscription();
+      subs.push_back({host, s.sys->subscribe(host, scheme, sub).iid, sub});
+    }
+    s.sim->run();
+
+    // Interleave crashes of non-subscriber nodes with publish bursts; the
+    // ring is never repaired, so cached routes and routing tables keep
+    // pointing at dead hops — reliability has to mask all of it.
+    std::vector<pubsub::Event> events;
+    for (int round = 0; round < 6; ++round) {
+      const auto victim =
+          net::HostIndex(kSubscriberHosts +
+                         rng.index(kHosts - kSubscriberHosts));
+      if (s.net->alive(victim)) s.chord->fail(victim);
+      for (int b = 0; b < 3; ++b) {
+        const auto pub = net::HostIndex(rng.index(kSubscriberHosts));
+        auto e = gen.make_event();
+        events.push_back(e);
+        s.sys->publish(pub, scheme, std::move(e));
+      }
+      s.sim->run();
+    }
+    s.sys->finalize_events();
+    return std::make_tuple(std::move(s), std::move(subs),
+                           std::move(events));
+  };
+
+  auto [base, base_subs, base_events] = run(false);
+  auto [fast, fast_subs, fast_events] = run(true);
+
+  const auto base_set = delivered(*base.sys);
+  const auto fast_set = delivered(*fast.sys);
+  EXPECT_EQ(base_set, fast_set);
+
+  // Brute force over the (always-alive) subscribers.
+  std::multiset<DeliveryKey> expected;
+  for (std::size_t i = 0; i < base_events.size(); ++i) {
+    for (const auto& o : base_subs) {
+      if (o.sub.matches(base_events[i].point)) {
+        expected.insert({std::uint64_t(i + 1), o.host, o.iid});
+      }
+    }
+  }
+  EXPECT_EQ(base_set, expected);
+  EXPECT_EQ(fast_set, expected);
+
+  // No duplicate deliveries despite retries + reroutes + batched frames.
+  std::set<DeliveryKey> unique(fast_set.begin(), fast_set.end());
+  EXPECT_EQ(unique.size(), fast_set.size());
+}
+
+}  // namespace
+}  // namespace hypersub

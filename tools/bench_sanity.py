@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Bench sanity gate: compare a fresh micro_match sweep against the committed
-baseline and fail if the index speedup regressed beyond a tolerance.
+"""Bench sanity gates for the committed BENCH_*.json trajectories.
 
-Usage:
-    bench_sanity.py BASELINE.json FRESH.json [--point N] [--max-regression R]
+Subcommands:
 
-The speedup (ns_per_event_scan / ns_per_event_indexed) is the quantity the
-index exists for, and it is far more stable across CI machines than absolute
-nanoseconds — both sides of the ratio move with the machine. A fresh speedup
-below (1 - R) * baseline speedup at the compared point fails the gate.
+  match BASELINE.json FRESH.json [--point N] [--max-regression R]
+      Compare a fresh micro_match sweep against the committed baseline and
+      fail if the index speedup regressed beyond the tolerance. The speedup
+      (ns_per_event_scan / ns_per_event_indexed) is the quantity the index
+      exists for, and it is far more stable across CI machines than
+      absolute nanoseconds — both sides of the ratio move with the machine.
+
+  route FRESH.json
+      Validate a fresh micro_route run (self-relative — no cross-machine
+      baseline needed): on the Zipf feed the cache-on config must deliver
+      the exact same notification count with strictly fewer mean publish
+      hops and strictly fewer packet-header bytes per event, and the cache
+      must actually be hitting.
 """
 
 import argparse
@@ -16,25 +23,24 @@ import json
 import sys
 
 
-def load_point(path, subs):
+def load_json(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+# ---------------------------------------------------------------------------
+# match: index speedup vs committed baseline
+# ---------------------------------------------------------------------------
+
+def load_point(path, subs):
+    doc = load_json(path)
     for row in doc.get("sweep", []):
         if row.get("subs_per_zone") == subs:
             return row
     sys.exit(f"error: {path} has no sweep point with subs_per_zone={subs}")
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed BENCH_match.json")
-    ap.add_argument("fresh", help="freshly produced sweep json")
-    ap.add_argument("--point", type=int, default=1000,
-                    help="subs_per_zone point to compare (default 1000)")
-    ap.add_argument("--max-regression", type=float, default=0.30,
-                    help="allowed fractional speedup loss (default 0.30)")
-    args = ap.parse_args()
-
+def cmd_match(args):
     base = load_point(args.baseline, args.point)
     fresh = load_point(args.fresh, args.point)
 
@@ -57,6 +63,66 @@ def main():
         return 1
     print("OK")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# route: publish fast lane must help and must not change deliveries
+# ---------------------------------------------------------------------------
+
+def cmd_route(args):
+    doc = load_json(args.fresh)
+    configs = {c["name"]: c for c in doc.get("configs", [])}
+    if "cache_off" not in configs or "cache_on" not in configs:
+        sys.exit(f"error: {args.fresh} lacks cache_off/cache_on configs")
+    off, on = configs["cache_off"], configs["cache_on"]
+
+    print(f"route fast lane ({doc.get('nodes')} nodes, "
+          f"{doc.get('events')} events, zipf {doc.get('zipf_skew')}):")
+    print(f"  mean publish hops : off {off['mean_publish_hops']:.2f} -> "
+          f"on {on['mean_publish_hops']:.2f}")
+    print(f"  header bytes/event: off {off['mean_header_bytes']:.1f} -> "
+          f"on {on['mean_header_bytes']:.1f}")
+    print(f"  deliveries        : off {off['deliveries']} -> "
+          f"on {on['deliveries']}")
+    print(f"  cache hit rate    : {doc.get('cache_hit_rate', 0.0):.1%}")
+
+    failures = []
+    if on["mean_publish_hops"] >= off["mean_publish_hops"]:
+        failures.append("cache-on mean publish hops not below cache-off")
+    if on["mean_header_bytes"] >= off["mean_header_bytes"]:
+        failures.append("batched header bytes/event not below cache-off")
+    if on["deliveries"] != off["deliveries"]:
+        failures.append("delivery counts diverge between configs")
+    if doc.get("cache_hit_rate", 0.0) <= 0.0:
+        failures.append("route cache never hit")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    m = sub.add_parser("match", help="index speedup vs committed baseline")
+    m.add_argument("baseline", help="committed BENCH_match.json")
+    m.add_argument("fresh", help="freshly produced sweep json")
+    m.add_argument("--point", type=int, default=1000,
+                   help="subs_per_zone point to compare (default 1000)")
+    m.add_argument("--max-regression", type=float, default=0.30,
+                   help="allowed fractional speedup loss (default 0.30)")
+    m.set_defaults(fn=cmd_match)
+
+    r = sub.add_parser("route", help="publish fast-lane self-check")
+    r.add_argument("fresh", help="freshly produced BENCH_route.json")
+    r.set_defaults(fn=cmd_route)
+
+    args = ap.parse_args()
+    return args.fn(args)
 
 
 if __name__ == "__main__":
