@@ -6,14 +6,49 @@
 // Paper shape to reproduce: the (b)(c)(d) curves track (a); larger base
 // beats smaller base on hops/latency/bandwidth; LB costs a little on each.
 
+// With --trace=PREFIX the base-2/no-LB run additionally records full event
+// traces and writes PREFIX.jsonl (for tools/trace_report.py) and
+// PREFIX.perfetto.json (load in ui.perfetto.dev), then prints the same
+// distributions re-derived from the span log — the CDFs of (b)(c) and the
+// per-node fan-out, reconstructed from causal trees instead of counters.
+
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "metrics/report.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+void print_trace_tables(const hypersub::trace::TraceSummary& s) {
+  using hypersub::trace::Histogram;
+  const auto row = [](const char* name, const Histogram& h) {
+    std::printf("  %-14s %8zu %10.1f %10.1f %10.1f %10.1f %10.1f\n", name,
+                h.count(), h.mean(), h.quantile(0.50), h.quantile(0.95),
+                h.quantile(0.99), h.max());
+  };
+  std::printf("Trace-derived distributions (%zu event traces, %zu complete, "
+              "%zu deliveries, %zu retries, %zu reroutes, %zu drops):\n",
+              s.event_traces, s.complete_traces, s.deliveries, s.retries,
+              s.reroutes, s.drops);
+  std::printf("  %-14s %8s %10s %10s %10s %10s %10s\n", "metric", "n",
+              "mean", "p50", "p95", "p99", "max");
+  row("latency_ms", s.latency_ms);
+  row("hops", s.hops);
+  row("fanout", s.fanout);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hypersub;
   const auto scale = bench::parse_scale(argc, argv);
+  std::string trace_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_prefix = argv[i] + 8;
+  }
   bench::print_scale_banner(scale, "fig2");
 
   std::vector<runner::ExperimentConfig> cfgs;
@@ -25,6 +60,8 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  trace::Tracer tracer;
+  if (!trace_prefix.empty()) cfgs[0].tracer = &tracer;
   const auto results = runner::run_experiments_parallel(cfgs);
 
   // Fig 2(a): % matched subscriptions (config-independent; use config 0).
@@ -77,5 +114,19 @@ int main(int argc, char** argv) {
               results[1].events.bandwidth_kb_cdf().mean(),
               results[2].events.bandwidth_kb_cdf().mean(),
               results[3].events.bandwidth_kb_cdf().mean());
+
+  if (!trace_prefix.empty()) {
+    const std::string jsonl = trace_prefix + ".jsonl";
+    const std::string perfetto = trace_prefix + ".perfetto.json";
+    if (!trace::write_jsonl_file(tracer, jsonl) ||
+        !trace::write_perfetto_file(tracer, perfetto)) {
+      std::fprintf(stderr, "FAIL: cannot write trace files %s / %s\n",
+                   jsonl.c_str(), perfetto.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu spans) and %s\n", jsonl.c_str(),
+                tracer.span_count(), perfetto.c_str());
+    print_trace_tables(trace::summarize(tracer));
+  }
   return 0;
 }

@@ -162,20 +162,34 @@ NodeRef ChordNet::next_hop(net::HostIndex h, Id key) const {
 void ChordNet::route(net::HostIndex from, Id key, std::uint64_t extra_bytes,
                      RouteCallback cb) {
   auto shared_cb = std::make_shared<RouteCallback>(std::move(cb));
+  // Tracing: adopt the caller's parked context, if any (cleared by the
+  // read, so an untraced route never inherits a stale one).
+  trace::TraceCtx tctx;
+  if (auto* tr = trace::maybe(tracer_)) tctx = tr->take_ambient();
   route_step(from, key, extra_bytes, 0, net_.simulator().now(),
-             std::move(shared_cb));
+             std::move(shared_cb), tctx);
 }
 
 void ChordNet::route_step(net::HostIndex at, Id key,
                           std::uint64_t extra_bytes, int hops,
                           double issued_at,
-                          std::shared_ptr<RouteCallback> cb) {
+                          std::shared_ptr<RouteCallback> cb,
+                          trace::TraceCtx tctx) {
   ChordNode& nd = *nodes_[at];
   if (nd.owns(key)) {
     RouteResult r;
     r.owner = nd.self();
     r.hops = hops;
     r.latency_ms = net_.simulator().now() - issued_at;
+    // Park the arrival context so the route callback (which runs
+    // synchronously here) can parent its own spans under the last hop;
+    // clear it afterwards in case the callback is not trace-aware.
+    if (auto* tr = trace::maybe(tracer_); tr && tctx.active()) {
+      tr->set_ambient(tctx);
+      (*cb)(r);
+      tr->take_ambient();
+      return;
+    }
     (*cb)(r);
     return;
   }
@@ -196,15 +210,31 @@ void ChordNet::route_step(net::HostIndex at, Id key,
     if (params_.reliable_routing) ++route_drops_;
     return;
   }
+  // One route-hop span per forwarded lookup message: opened at the sender,
+  // closed on arrival. The chain of hop spans is the lookup's causal path.
+  trace::SpanId hop_span = trace::kNoSpan;
+  if (auto* tr = trace::maybe(tracer_); tr && tctx.active()) {
+    hop_span = tr->begin(tctx.trace, tctx.parent, trace::SpanKind::kRouteHop,
+                         at, net_.simulator().now(),
+                         std::uint64_t(hops + 1), std::uint64_t(next.host));
+    // Span cap hit: the rest of this trace is lost anyway; deactivate so
+    // downstream end() calls cannot close an unrelated older span.
+    if (hop_span != trace::kNoSpan) tctx.parent = hop_span;
+    else tctx = trace::TraceCtx{};
+  }
   if (params_.reliable_routing) {
     send_route_hop(at, next, key, extra_bytes, hops, issued_at, cb,
-                   overlay::Peer::kInvalidHost);
+                   overlay::Peer::kInvalidHost, tctx);
     return;
   }
   const std::uint64_t bytes = kHeaderBytes + kKeyBytes + extra_bytes;
   net_.send(at, next.host, bytes,
-            [this, to = next.host, key, extra_bytes, hops, issued_at, cb] {
-              route_step(to, key, extra_bytes, hops + 1, issued_at, cb);
+            [this, to = next.host, key, extra_bytes, hops, issued_at, cb,
+             tctx, hop_span] {
+              if (auto* tr = trace::maybe(tracer_)) {
+                tr->end(hop_span, net_.simulator().now());
+              }
+              route_step(to, key, extra_bytes, hops + 1, issued_at, cb, tctx);
             });
 }
 
@@ -212,7 +242,7 @@ void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
                               std::uint64_t extra_bytes, int hops,
                               double issued_at,
                               std::shared_ptr<RouteCallback> cb,
-                              net::HostIndex failed) {
+                              net::HostIndex failed, trace::TraceCtx tctx) {
   const std::uint64_t bytes = kHeaderBytes + kKeyBytes + extra_bytes +
                               (failed != overlay::Peer::kInvalidHost
                                    ? kNodeRefBytes
@@ -220,16 +250,20 @@ void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
   route_channel_.send(
       at, next.host, bytes,
       [this, at, to = next.host, key, extra_bytes, hops, issued_at, cb,
-       failed] {
+       failed, tctx] {
         // Piggybacked failure gossip: the sender detoured around `failed`
         // to reach us, so we are the heir of its range and the sender is a
         // predecessor candidate for it.
         if (failed != overlay::Peer::kInvalidHost) {
           note_peer_failure(to, failed, at);
         }
-        route_step(to, key, extra_bytes, hops + 1, issued_at, cb);
+        if (auto* tr = trace::maybe(tracer_)) {
+          tr->end(tctx.parent, net_.simulator().now());
+        }
+        route_step(to, key, extra_bytes, hops + 1, issued_at, cb, tctx);
       },
-      [this, at, to = next.host, key, extra_bytes, hops, issued_at, cb] {
+      [this, at, to = next.host, key, extra_bytes, hops, issued_at, cb,
+       tctx]() mutable {
         // All retransmissions expired: the next hop is dead. Drop it from
         // our routing state and detour through the recomputed hop,
         // gossiping the failure to it.
@@ -240,8 +274,21 @@ void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
           return;
         }
         ++route_reroutes_;
-        send_route_hop(at, retry, key, extra_bytes, hops, issued_at, cb, to);
-      });
+        // The detour is a fresh hop span under the expired one (the
+        // channel already recorded the expire span there).
+        if (auto* tr = trace::maybe(tracer_); tr && tctx.active()) {
+          const double now = net_.simulator().now();
+          tr->end(tctx.parent, now);
+          const trace::SpanId detour = tr->begin(
+              tctx.trace, tctx.parent, trace::SpanKind::kReroute, at, now,
+              std::uint64_t(hops + 1), std::uint64_t(retry.host));
+          if (detour != trace::kNoSpan) tctx.parent = detour;
+          else tctx = trace::TraceCtx{};
+        }
+        send_route_hop(at, retry, key, extra_bytes, hops, issued_at, cb, to,
+                       tctx);
+      },
+      tctx);
 }
 
 void ChordNet::note_peer_failure(net::HostIndex at, net::HostIndex failed,

@@ -182,6 +182,16 @@ class ChordNet final : public overlay::Overlay {
     return route_channel_;
   }
 
+  // -- tracing ---------------------------------------------------------------
+
+  /// Record per-hop route spans (and the route channel's retry/expire
+  /// spans) into `t` for lookups whose caller parked an ambient trace
+  /// context on the tracer. nullptr detaches.
+  void set_tracer(trace::Tracer* t) override {
+    tracer_ = t;
+    route_channel_.set_tracer(t);
+  }
+
  private:
   void stabilize(net::HostIndex h);
   void fix_next_finger(net::HostIndex h);
@@ -213,18 +223,19 @@ class ChordNet final : public overlay::Overlay {
 
   void route_step(net::HostIndex at, Id key, std::uint64_t extra_bytes,
                   int hops, double issued_at,
-                  std::shared_ptr<RouteCallback> cb);
+                  std::shared_ptr<RouteCallback> cb, trace::TraceCtx tctx);
   /// One acked lookup hop `at` -> `next`; on ack expiry drops `next` from
   /// `at`'s state and retries through the recomputed next hop. `failed`
   /// carries failure gossip for the receiver (invalid host = none).
   void send_route_hop(net::HostIndex at, NodeRef next, Id key,
                       std::uint64_t extra_bytes, int hops, double issued_at,
                       std::shared_ptr<RouteCallback> cb,
-                      net::HostIndex failed);
+                      net::HostIndex failed, trace::TraceCtx tctx);
 
   net::Network& net_;
   Params params_;
   net::ReliableChannel route_channel_;
+  trace::Tracer* tracer_ = nullptr;  ///< lookup-hop span recording
   std::uint64_t route_reroutes_ = 0;  ///< hop failovers taken
   std::uint64_t route_drops_ = 0;     ///< lookups lost (TTL / no viable hop)
   std::vector<std::unique_ptr<ChordNode>> nodes_;

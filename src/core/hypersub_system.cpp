@@ -62,13 +62,42 @@ SubscriptionHandle HyperSubSystem::subscribe(net::HostIndex subscriber,
   StoredSub stored{SubId{me.node_id(), iid, SubIdKind::kSubscriber},
                    std::move(sub), projected};
 
+  // Tracing: one trace per sampled installation — an install root span at
+  // the subscriber, route-hop spans recorded by the substrate, and a
+  // register span at the surrogate (chained under the last hop via the
+  // ambient context the substrate parks around the owner callback).
+  trace::SpanId install_span = trace::kNoSpan;
+  if (auto* tr = trace::maybe(tracer_)) {
+    const trace::TraceId tid = tr->start_trace(cfg_.trace_sample_rate);
+    if (tid != trace::kNoTrace) {
+      install_span =
+          tr->begin(tid, trace::kNoSpan, trace::SpanKind::kInstall,
+                    subscriber, simulator().now(), scheme, iid);
+      tr->set_ambient(trace::TraceCtx{tid, install_span});
+    }
+  }
   const std::size_t dims = ss.attributes().size();
   dht_.route(subscriber, lph.key, install_bytes(dims),
-               [this, addr, key = lph.key, stored = std::move(stored)](
+               [this, addr, key = lph.key, install_span,
+                stored = std::move(stored)](
                    const overlay::Overlay::RouteResult& r) mutable {
+                 if (auto* tr = trace::maybe(tracer_)) {
+                   const trace::TraceCtx at = tr->take_ambient();
+                   if (at.active()) {
+                     const double now = simulator().now();
+                     tr->point(at.trace, at.parent,
+                               trace::SpanKind::kRegister, r.owner.host, now,
+                               std::uint64_t(r.hops));
+                     tr->end(install_span, now);
+                   }
+                 }
                  register_subscription_at(r.owner.host, addr, key,
                                           std::move(stored));
                });
+  // A substrate that ignores set_tracer never consumes the parked context;
+  // clear it so the next route cannot adopt it. (If the install message is
+  // dropped en route, the install span stays open — a recorded lost edge.)
+  if (auto* tr = trace::maybe(tracer_)) tr->take_ambient();
   return SubscriptionHandle{scheme, iid, subscriber};
 }
 
@@ -237,8 +266,20 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
     ctx->projected.push_back(rt.subscheme(i).project(ctx->event.point));
   }
 
+  // Tracing: one trace per sampled publish; the publish span is the root
+  // of the event's causal tree and closes when the tracker finalizes.
+  if (auto* tr = trace::maybe(tracer_)) {
+    ctx->trace = tr->start_trace(cfg_.trace_sample_rate);
+    if (ctx->trace != trace::kNoTrace) {
+      ctx->root = tr->begin(ctx->trace, trace::kNoSpan,
+                            trace::SpanKind::kPublish, publisher,
+                            simulator().now(), seq, scheme);
+    }
+  }
+
   Tracker& t = trackers_[seq];
   t.publish_time = simulator().now();
+  t.root = ctx->root;
 
   // Initial subid list: one rendezvous (leaf zone) per subscheme; in
   // ancestor-probing mode additionally every ancestor zone. With the route
@@ -260,6 +301,11 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
     }
     ctx->rendezvous.push_back(RendezvousProbe{key, cached});
     if (cached != overlay::Peer::kInvalidHost) {
+      if (auto* tr = trace::maybe(tracer_);
+          tr && ctx->trace != trace::kNoTrace) {
+        tr->point(ctx->trace, ctx->root, trace::SpanKind::kCacheHit,
+                  publisher, simulator().now(), std::uint64_t(cached));
+      }
       direct.emplace_back(cached, rendezvous);
     } else {
       list.push_back(rendezvous);
@@ -287,14 +333,14 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
     i = j;
     ++t.outstanding;
     forward_event(publisher, to, ctx, std::move(sublist), 0,
-                  overlay::Peer::kInvalidHost);
+                  overlay::Peer::kInvalidHost, ctx->root);
   }
 
   if (!list.empty()) {
     ++t.outstanding;
     simulator().schedule(0.0, [this, publisher, ctx = std::move(ctx),
                                list = std::move(list)]() mutable {
-      process_event_message(publisher, ctx, std::move(list), 0);
+      process_event_message(publisher, ctx, std::move(list), 0, ctx->root);
     });
   }
   return seq;
@@ -303,13 +349,24 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
 void HyperSubSystem::process_event_message(net::HostIndex host,
                                            const EventCtxPtr& ctx,
                                            std::vector<SubId> list,
-                                           int hops) {
+                                           int hops, trace::SpanId via) {
   HyperSubNode& nd = *nodes_[host];
   // The tracker may already have been force-finalized (finalize_events()
   // during churn runs); keep delivering, just stop accounting.
   const auto tit = trackers_.find(ctx->seq);
   Tracker* t = tit == trackers_.end() ? nullptr : &tit->second;
   if (t) t->max_hops = std::max(t->max_hops, hops);
+
+  // One match span per processed message; everything this node records
+  // (deliveries, drops, cache corrections, outgoing forwards) chains under
+  // it, and it chains under the message that brought the event here.
+  trace::SpanId match_span = trace::kNoSpan;
+  if (auto* tr = trace::maybe(tracer_);
+      tr && ctx->trace != trace::kNoTrace) {
+    match_span = tr->begin(ctx->trace, via, trace::SpanKind::kMatch, host,
+                           simulator().now(), std::uint64_t(hops),
+                           list.size());
+  }
 
   // Phase 1 (Alg. 5 lines 3-23): consume subids targeting this node; their
   // matches go back on the worklist because a freshly matched target (a
@@ -336,7 +393,7 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
       case SubIdKind::kRendezvous:
       case SubIdKind::kZone: {
         if (subid.kind == SubIdKind::kRendezvous && cfg_.route_cache) {
-          note_rendezvous_owner(host, ctx, subid.target);
+          note_rendezvous_owner(host, ctx, subid.target, match_span);
         }
         if (std::find(matched_keys.begin(), matched_keys.end(),
                       subid.target) != matched_keys.end()) {
@@ -387,6 +444,12 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
             t->max_latency = std::max(t->max_latency, lat);
           }
           const Delivery d{ctx->seq, host, subid.iid, hops, lat};
+          if (auto* tr = trace::maybe(tracer_);
+              tr && ctx->trace != trace::kNoTrace) {
+            tr->point(ctx->trace, match_span, trace::SpanKind::kDeliver,
+                      host, simulator().now(), subid.iid,
+                      std::uint64_t(hops));
+          }
           sink_->on_delivery(d);
           if (ctx->on_delivery) ctx->on_delivery(d);
         }
@@ -412,13 +475,25 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   if (cfg_.reliable_delivery && hops >= cfg_.max_event_hops) {
     // Hop TTL: reroutes can detour through stale routing state; bound any
     // livelock with a counted, truncated-flagged drop.
+    if (auto* tr = trace::maybe(tracer_);
+        tr && ctx->trace != trace::kNoTrace && !pending.empty()) {
+      tr->point(ctx->trace, match_span, trace::SpanKind::kDrop, host,
+                simulator().now(), pending.size());
+    }
     note_event_drop(ctx->seq, pending.size());
     pending.clear();
   }
   for (const SubId& subid : pending) {
     const overlay::Peer next = dht_.next_hop(host, subid.target);
     if (!next.valid()) {  // isolated node; drop
-      if (cfg_.reliable_delivery) note_event_drop(ctx->seq, 1);
+      if (cfg_.reliable_delivery) {
+        if (auto* tr = trace::maybe(tracer_);
+            tr && ctx->trace != trace::kNoTrace) {
+          tr->point(ctx->trace, match_span, trace::SpanKind::kDrop, host,
+                    simulator().now(), 1);
+        }
+        note_event_drop(ctx->seq, 1);
+      }
       continue;
     }
     routed.emplace_back(next.host, subid);
@@ -437,7 +512,10 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     i = j;
     if (t) ++t->outstanding;
     forward_event(host, to, ctx, std::move(sublist), hops,
-                  overlay::Peer::kInvalidHost);
+                  overlay::Peer::kInvalidHost, match_span);
+  }
+  if (auto* tr = trace::maybe(tracer_)) {
+    tr->end(match_span, simulator().now());
   }
 
   // Re-find the tracker: forward_event's reliable path can (on a same-time
@@ -452,10 +530,20 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
 void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
                                    const EventCtxPtr& ctx,
                                    std::shared_ptr<std::vector<SubId>> sublist,
-                                   int hops, net::HostIndex failed) {
+                                   int hops, net::HostIndex failed,
+                                   trace::SpanId parent) {
+  // The forward span covers the message's time on the wire: opened here at
+  // the sender, closed when the receiver takes delivery (or at ack expiry
+  // when the hop is dead). It travels with the chunk through batching.
+  trace::SpanId fwd = trace::kNoSpan;
+  if (auto* tr = trace::maybe(tracer_);
+      tr && ctx->trace != trace::kNoTrace) {
+    fwd = tr->begin(ctx->trace, parent, trace::SpanKind::kForward, host,
+                    simulator().now(), std::uint64_t(to), sublist->size());
+  }
   if (!cfg_.batch_forwarding) {
     auto chunks = std::make_shared<std::vector<FrameChunk>>();
-    chunks->push_back(FrameChunk{ctx, std::move(sublist), hops, failed});
+    chunks->push_back(FrameChunk{ctx, std::move(sublist), hops, failed, fwd});
     send_frame(host, to, std::move(chunks));
     return;
   }
@@ -467,7 +555,7 @@ void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
   if (queue.empty()) {
     simulator().schedule(0.0, [this, host, to] { flush_batch(host, to); });
   }
-  queue.push_back(FrameChunk{ctx, std::move(sublist), hops, failed});
+  queue.push_back(FrameChunk{ctx, std::move(sublist), hops, failed, fwd});
 }
 
 void HyperSubSystem::flush_batch(net::HostIndex host, net::HostIndex to) {
@@ -513,13 +601,31 @@ void HyperSubSystem::send_frame(
                      // §6 piggyback: event traffic doubles as liveness
                      // evidence for the DHT layer (no-op unless enabled).
                      dht_.note_app_contact(to, sender);
+                     if (auto* tr = trace::maybe(tracer_)) {
+                       const double now = simulator().now();
+                       for (const FrameChunk& c : *chunks) {
+                         tr->end(c.fwd_span, now);
+                       }
+                     }
                      for (FrameChunk& c : *chunks) {
                        process_event_message(to, c.ctx,
                                              std::move(*c.subids),
-                                             c.hops + 1);
+                                             c.hops + 1, c.fwd_span);
                      }
                    });
     return;
+  }
+  // The channel's retry/expire spans attach under the first traced chunk's
+  // forward span (one ack per frame; attributing its retransmissions to
+  // one chunk of the frame keeps the export honest enough).
+  trace::TraceCtx tctx;
+  if (trace::maybe(tracer_)) {
+    for (const FrameChunk& c : *chunks) {
+      if (c.ctx->trace != trace::kNoTrace && c.fwd_span != trace::kNoSpan) {
+        tctx = trace::TraceCtx{c.ctx->trace, c.fwd_span};
+        break;
+      }
+    }
   }
   channel_.send(
       host, to, bytes,
@@ -534,19 +640,30 @@ void HyperSubSystem::send_frame(
           if (cfg_.route_cache) caches_[to]->invalidate_host(c.failed);
         }
         dht_.note_app_contact(to, sender);
+        if (auto* tr = trace::maybe(tracer_)) {
+          const double now = simulator().now();
+          for (const FrameChunk& c : *chunks) tr->end(c.fwd_span, now);
+        }
         for (FrameChunk& c : *chunks) {
-          process_event_message(to, c.ctx, std::move(*c.subids), c.hops + 1);
+          process_event_message(to, c.ctx, std::move(*c.subids), c.hops + 1,
+                                c.fwd_span);
         }
       },
       [this, host, to, chunks] {
         // All retransmissions expired: the next hop is dead. Drop it from
         // the sender's routing state and route cache, reroute every
         // chunk's sublist through recomputed hops, then retire each
-        // chunk's outstanding slot.
+        // chunk's outstanding slot. Forward spans close here — the hop
+        // they describe is over, even though it failed; the reroute's new
+        // forward spans chain under them.
         dht_.note_peer_failure(host, to);
         if (cfg_.route_cache) caches_[host]->invalidate_host(to);
+        if (auto* tr = trace::maybe(tracer_)) {
+          const double now = simulator().now();
+          for (const FrameChunk& c : *chunks) tr->end(c.fwd_span, now);
+        }
         for (const FrameChunk& c : *chunks) {
-          reroute_event(host, c.ctx, *c.subids, c.hops, to);
+          reroute_event(host, c.ctx, *c.subids, c.hops, to, c.fwd_span);
           if (const auto it = trackers_.find(c.ctx->seq);
               it != trackers_.end()) {
             assert(it->second.outstanding > 0);
@@ -554,21 +671,29 @@ void HyperSubSystem::send_frame(
             finalize_if_done(c.ctx->seq);
           }
         }
-      });
+      },
+      tctx);
 }
 
 void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
                                    const std::vector<SubId>& subids, int hops,
-                                   net::HostIndex failed) {
+                                   net::HostIndex failed,
+                                   trace::SpanId parent) {
   // Cold failover path: a local grouping buffer (the scratch vectors may
   // hold a caller's live state — ack expiries interleave arbitrarily with
   // event processing).
+  auto* tr = trace::maybe(tracer_);
+  const bool traced = tr != nullptr && ctx->trace != trace::kNoTrace;
   std::vector<std::pair<net::HostIndex, SubId>> routed;
   routed.reserve(subids.size());
   for (const SubId& subid : subids) {
     const overlay::Peer next = dht_.next_hop(host, subid.target);
     if (!next.valid() || next.host == failed) {
       // No viable alternative hop: an unmasked drop.
+      if (traced) {
+        tr->point(ctx->trace, parent, trace::SpanKind::kDrop, host,
+                  simulator().now(), 1, std::uint64_t(failed));
+      }
       note_event_drop(ctx->seq, 1);
       continue;
     }
@@ -590,15 +715,21 @@ void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
     i = j;
     ++rel_.reroutes;
     if (t) ++t->outstanding;
+    if (traced) {
+      tr->point(ctx->trace, parent, trace::SpanKind::kReroute, host,
+                simulator().now(), std::uint64_t(to),
+                std::uint64_t(failed));
+    }
     // Same hop count: the detour replaces the failed hop rather than
     // extending the logical path (the TTL still bounds repeated detours
     // through the receiver's own forwarding).
-    forward_event(host, to, ctx, std::move(sublist), hops, failed);
+    forward_event(host, to, ctx, std::move(sublist), hops, failed, parent);
   }
 }
 
 void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
-                                           const EventCtxPtr& ctx, Id key) {
+                                           const EventCtxPtr& ctx, Id key,
+                                           trace::SpanId parent) {
   if (ctx->origin == overlay::Peer::kInvalidHost) return;
   for (const RendezvousProbe& rv : ctx->rendezvous) {
     if (rv.key != key) continue;
@@ -607,6 +738,11 @@ void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
       // that came back here means the entry detoured through a non-owner —
       // drop it so the next publish resolves locally.
       if (rv.sent_to != overlay::Peer::kInvalidHost && rv.sent_to != host) {
+        if (auto* tr = trace::maybe(tracer_);
+            tr && ctx->trace != trace::kNoTrace) {
+          tr->point(ctx->trace, parent, trace::SpanKind::kCacheCorrect,
+                    host, simulator().now(), std::uint64_t(ctx->origin));
+        }
         caches_[host]->forget(key);
       }
     } else if (rv.sent_to != host) {
@@ -615,6 +751,11 @@ void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
       // really owns the key. A small untracked control message — it rides
       // the network (and its traffic counters) but is not part of the
       // event's delivery tree.
+      if (auto* tr = trace::maybe(tracer_);
+          tr && ctx->trace != trace::kNoTrace) {
+        tr->point(ctx->trace, parent, trace::SpanKind::kCacheCorrect, host,
+                  simulator().now(), std::uint64_t(ctx->origin));
+      }
       network().send(
           host, ctx->origin,
           overlay::kHeaderBytes + overlay::kKeyBytes + overlay::kNodeRefBytes,
@@ -643,6 +784,9 @@ void HyperSubSystem::finalize_if_done(std::uint64_t seq) {
   const auto it = trackers_.find(seq);
   if (it == trackers_.end() || it->second.outstanding != 0) return;
   const Tracker& t = it->second;
+  if (auto* tr = trace::maybe(tracer_)) {
+    tr->end(t.root, simulator().now());
+  }
   metrics::EventRecord r;
   r.seq = seq;
   r.matched = t.matched;

@@ -32,6 +32,7 @@
 #include "metrics/reliability_metrics.hpp"
 #include "net/reliable_channel.hpp"
 #include "pubsub/event.hpp"
+#include "trace/tracer.hpp"
 
 namespace hypersub::core {
 
@@ -94,6 +95,11 @@ class HyperSubSystem {
     /// one packet header (cross-event extension of the paper's §3.3
     /// per-event aggregation). Off by default = paper behavior.
     bool batch_forwarding = false;
+    /// Fraction of publishes/installs recorded when a tracer is attached
+    /// (set_tracer). Sampling is a deterministic hash of the trace id, so
+    /// the same seed + rate always keeps the same traces. Irrelevant (and
+    /// costless) while no tracer is attached.
+    double trace_sample_rate = 1.0;
   };
 
   /// Per-publish observer: fires once per delivery of that event.
@@ -136,14 +142,6 @@ class HyperSubSystem {
   /// leaves unsubscription unspecified). The stored subscription is looked
   /// up at the subscriber node; an unknown handle is a no-op.
   void unsubscribe(const SubscriptionHandle& handle);
-
-  /// Old-style unsubscription requiring the caller to re-pass the exact
-  /// Subscription. Silently no-ops on any mismatch — use the handle form.
-  [[deprecated("use unsubscribe(SubscriptionHandle)")]]
-  void unsubscribe(net::HostIndex subscriber, std::uint32_t scheme,
-                   std::uint32_t iid, const pubsub::Subscription& sub) {
-    unsubscribe_impl(subscriber, scheme, iid, sub);
-  }
 
   /// Publish an event (Alg. 4). Asynchronous; returns the event sequence
   /// number used in metrics and the delivery log.
@@ -190,6 +188,20 @@ class HyperSubSystem {
   metrics::RouteCacheCounters route_cache_counters() const;
   /// Frame-coalescing counters (all zero unless config().batch_forwarding).
   metrics::BatchCounters batch_counters() const noexcept { return batch_; }
+
+  /// Attach (or detach, with nullptr) a span recorder. Wires the whole
+  /// stack: the pub/sub core, the reliable event channel, and the DHT
+  /// substrate all record into the same tracer, so one event's causal tree
+  /// spans every layer. Config::trace_sample_rate decides which trees are
+  /// kept. The tracer is not owned and must outlive the system (or be
+  /// detached first).
+  void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
+    channel_.set_tracer(t);
+    dht_.set_tracer(t);
+  }
+  /// The attached tracer (nullptr when detached or compiled out).
+  trace::Tracer* tracer() const noexcept { return trace::maybe(tracer_); }
 
   /// Finalize trackers of events whose message trees were cut short (e.g.
   /// by node failures); call after the simulation drains.
@@ -239,6 +251,8 @@ class HyperSubSystem {
     std::vector<Point> projected;          // per subscheme
     std::vector<RendezvousProbe> rendezvous;  // per subscheme
     DeliveryCallback on_delivery;          // per-publish observer (optional)
+    trace::TraceId trace = trace::kNoTrace;  ///< kNoTrace = not sampled
+    trace::SpanId root = trace::kNoSpan;     ///< the publish span
   };
   using EventCtxPtr = std::shared_ptr<const EventCtx>;
 
@@ -251,6 +265,7 @@ class HyperSubSystem {
     std::uint64_t bytes = 0;
     std::uint64_t header_bytes = 0;
     bool truncated = false;  ///< part of the delivery tree was lost
+    trace::SpanId root = trace::kNoSpan;  ///< publish span, closed on finalize
   };
 
   /// One logical event message riding (alone or batched) in a frame.
@@ -259,6 +274,9 @@ class HyperSubSystem {
     std::shared_ptr<std::vector<SubId>> subids;
     int hops = 0;
     net::HostIndex failed = overlay::Peer::kInvalidHost;
+    /// Forward span opened at the sender; closed on arrival (or at ack
+    /// expiry), and the parent of everything the receiver records.
+    trace::SpanId fwd_span = trace::kNoSpan;
   };
 
   void unsubscribe_impl(net::HostIndex subscriber, std::uint32_t scheme,
@@ -271,9 +289,12 @@ class HyperSubSystem {
                          Id rotated_key, HyperRect piece, Id parent_key);
   void propagate_pieces(net::HostIndex host, const ZoneAddr& addr);
 
-  // Alg. 5: one event message arriving at `host`.
+  // Alg. 5: one event message arriving at `host`. `via` is the span that
+  // carried the message here (the incoming forward span, or the publish
+  // root for origin-local processing) — the parent of the match span.
   void process_event_message(net::HostIndex host, const EventCtxPtr& ctx,
-                             std::vector<SubId> list, int hops);
+                             std::vector<SubId> list, int hops,
+                             trace::SpanId via = trace::kNoSpan);
   /// Queue one grouped event message `host` -> `to`. Without batching it
   /// leaves immediately as its own frame; with batching it coalesces with
   /// every other chunk bound for the same hop this timestep. `failed` is a
@@ -283,7 +304,8 @@ class HyperSubSystem {
   void forward_event(net::HostIndex host, net::HostIndex to,
                      const EventCtxPtr& ctx,
                      std::shared_ptr<std::vector<SubId>> sublist, int hops,
-                     net::HostIndex failed);
+                     net::HostIndex failed,
+                     trace::SpanId parent = trace::kNoSpan);
   /// Send one frame of chunks `host` -> `to` (fire-and-forget, or acked
   /// with per-chunk reroute-on-expiry under reliable delivery).
   void send_frame(net::HostIndex host, net::HostIndex to,
@@ -295,12 +317,13 @@ class HyperSubSystem {
   /// with no viable alternative are dropped (counted, event truncated).
   void reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
                      const std::vector<SubId>& subids, int hops,
-                     net::HostIndex failed);
+                     net::HostIndex failed,
+                     trace::SpanId parent = trace::kNoSpan);
   /// Cache coherence at the rendezvous: `host` consumed the kRendezvous
   /// subid for `key` — correct the publisher's cache if it was directed
   /// elsewhere (or learn on a miss).
   void note_rendezvous_owner(net::HostIndex host, const EventCtxPtr& ctx,
-                             Id key);
+                             Id key, trace::SpanId parent = trace::kNoSpan);
   /// Drop `key` from every node's route cache (the zone behind it changed
   /// shape, e.g. a migration installed a bucket pointer).
   void invalidate_cached_route(Id key);
@@ -314,6 +337,7 @@ class HyperSubSystem {
 
   overlay::Overlay& dht_;
   Config cfg_;
+  trace::Tracer* tracer_ = nullptr;  ///< span recorder (see set_tracer)
   net::ReliableChannel channel_;  ///< event/migration transport (reliable)
   metrics::ReliabilityCounters rel_;  ///< layer decisions (reroutes, drops)
   std::vector<std::unique_ptr<HyperSubNode>> nodes_;

@@ -212,10 +212,25 @@ void LoadBalancer::migrate(net::HostIndex h,
           overlay::kHeaderBytes + sub_bytes(dims) * count;
       const auto acceptor = acceptors[i];
       const ZoneAddr origin_addr = addr;
+      // Tracing: one trace per bucket handoff. The migrate span opens at
+      // the donor and closes only when the surrogate pointer is confirmed
+      // back home (or the handoff rolls back); both reliable legs hang
+      // their retry/expire spans under it.
+      trace::TraceId mtrace = trace::kNoTrace;
+      trace::SpanId mspan = trace::kNoSpan;
+      if (auto* tr = sys_.tracer()) {
+        mtrace = tr->start_trace(sys_.config().trace_sample_rate);
+        if (mtrace != trace::kNoTrace) {
+          mspan = tr->begin(mtrace, trace::kNoSpan,
+                            trace::SpanKind::kMigrate, h,
+                            sys_.simulator().now(), count,
+                            std::uint64_t(acceptor.host));
+        }
+      }
       sys_.channel_.send(
           h, acceptor.host, total_bytes,
           [this, h, acceptor, origin_addr, zone_key, summary, bucket, count,
-           dims] {
+           dims, mtrace, mspan] {
             HyperSubNode& acc = sys_.node(acceptor.host);
             const std::uint32_t token =
                 acc.accept_migration(zone_key, std::move(*bucket));
@@ -227,7 +242,10 @@ void LoadBalancer::migrate(net::HostIndex h,
                 acceptor.host, h,
                 overlay::kHeaderBytes + kSubIdBytes + 16 * dims,
                 [this, h, acceptor, origin_addr, zone_key, summary, token,
-                 count] {
+                 count, mspan] {
+                  if (auto* tr = sys_.tracer()) {
+                    tr->end(mspan, sys_.simulator().now());
+                  }
                   HyperSubNode& origin = sys_.node(h);
                   ZoneState& zs = origin.zone_state(origin_addr, zone_key);
                   const HyperRect before = zs.summary();
@@ -248,11 +266,17 @@ void LoadBalancer::migrate(net::HostIndex h,
                     sys_.propagate_pieces(h, origin_addr);
                   }
                 },
-                [this, count] { failed_ += count; });
+                [this, count] { failed_ += count; },
+                trace::TraceCtx{mtrace, mspan});
           },
-          [this, h, origin_addr, zone_key, bucket, count] {
+          [this, h, origin_addr, zone_key, bucket, count, mtrace, mspan] {
             // Acceptor unresponsive: roll back — reinstall the extracted
             // subscriptions at the origin.
+            if (auto* tr = sys_.tracer()) {
+              tr->point(mtrace, mspan, trace::SpanKind::kDrop, h,
+                        sys_.simulator().now(), count);
+              tr->end(mspan, sys_.simulator().now());
+            }
             HyperSubNode& origin = sys_.node(h);
             ZoneState& zs = origin.zone_state(origin_addr, zone_key);
             const HyperRect before = zs.summary();
@@ -261,7 +285,8 @@ void LoadBalancer::migrate(net::HostIndex h,
             if (!(zs.summary() == before)) {
               sys_.propagate_pieces(h, origin_addr);
             }
-          });
+          },
+          trace::TraceCtx{mtrace, mspan});
     }
   }
 }

@@ -7,7 +7,8 @@ namespace hypersub::net {
 
 void ReliableChannel::send(HostIndex from, HostIndex to, std::uint64_t bytes,
                            std::function<void()> deliver,
-                           std::function<void()> on_fail) {
+                           std::function<void()> on_fail,
+                           trace::TraceCtx tctx) {
   ++stats_.sent;
   if (from == to) {
     ++stats_.acked;
@@ -16,7 +17,7 @@ void ReliableChannel::send(HostIndex from, HostIndex to, std::uint64_t bytes,
   }
   auto m = std::make_shared<Message>(Message{from, to, bytes, ++next_id_,
                                              std::move(deliver),
-                                             std::move(on_fail)});
+                                             std::move(on_fail), tctx});
   attempt(m, 0);
 }
 
@@ -51,12 +52,21 @@ void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
     }
     if (attempt_no < cfg_.max_retries) {
       ++stats_.retries;
+      if (auto* tr = trace::maybe(tracer_); tr && m->tctx.active()) {
+        tr->point(m->tctx.trace, m->tctx.parent, trace::SpanKind::kRetry,
+                  m->from, net_.simulator().now(),
+                  std::uint64_t(attempt_no + 1));
+      }
       attempt(m, attempt_no + 1);
       return;
     }
     m->resolved = true;
     ++stats_.expired;
     delivered_.erase(m->id);
+    if (auto* tr = trace::maybe(tracer_); tr && m->tctx.active()) {
+      tr->point(m->tctx.trace, m->tctx.parent, trace::SpanKind::kExpire,
+                m->from, net_.simulator().now(), std::uint64_t(m->to));
+    }
     if (m->on_fail) m->on_fail();
   });
 }

@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "net/network.hpp"
+#include "trace/tracer.hpp"
 
 namespace hypersub::net {
 
@@ -61,10 +62,17 @@ class ReliableChannel {
   /// stays unresponsive through all retries, `on_fail` runs at the sender —
   /// the reroute hook — unless the sender itself died meanwhile. `deliver`
   /// and `on_fail` are mutually exclusive. Self-sends bypass the ack
-  /// machinery (local delivery cannot fail).
+  /// machinery (local delivery cannot fail). `tctx`, when active and a
+  /// tracer is attached, causes retransmissions and final expiry to be
+  /// recorded as retry/expire spans under the caller's span.
   void send(HostIndex from, HostIndex to, std::uint64_t bytes,
             std::function<void()> deliver,
-            std::function<void()> on_fail = {});
+            std::function<void()> on_fail = {},
+            trace::TraceCtx tctx = {});
+
+  /// Attach (or detach, with nullptr) the tracer retry/expire spans are
+  /// recorded into. Not owned; must outlive the channel or be detached.
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
 
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
@@ -78,6 +86,7 @@ class ReliableChannel {
     std::uint64_t id;
     std::function<void()> deliver;
     std::function<void()> on_fail;
+    trace::TraceCtx tctx;
     bool resolved = false;  ///< acked, expired, or orphaned (sender died)
   };
 
@@ -86,6 +95,7 @@ class ReliableChannel {
   Network& net_;
   Config cfg_;
   Stats stats_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_id_ = 0;
   /// Ids delivered but not yet resolved: dedupes retransmissions that race
   /// their ack. Entries are erased at resolution (the `resolved` flag keeps

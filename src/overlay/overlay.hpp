@@ -20,6 +20,10 @@
 #include "net/network.hpp"
 #include "overlay/peer.hpp"
 
+namespace hypersub::trace {
+class Tracer;
+}
+
 namespace hypersub::overlay {
 
 class Overlay {
@@ -90,6 +94,12 @@ class Overlay {
   void set_ownership_listener(OwnershipListener cb) {
     ownership_listener_ = std::move(cb);
   }
+
+  /// Observability hook: substrates that implement it record per-hop
+  /// route spans into `t` for routes whose caller parked an ambient trace
+  /// context on the tracer (see trace::Tracer::set_ambient). Default:
+  /// ignored (substrates are free to stay uninstrumented).
+  virtual void set_tracer(trace::Tracer* /*t*/) {}
 
  protected:
   /// Implementations call this whenever a node's ownership interval changes.

@@ -35,7 +35,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sc.ancestor_probing = cfg.ancestor_probing;
   sc.route_cache = cfg.route_cache;
   sc.batch_forwarding = cfg.batch_forwarding;
+  sc.trace_sample_rate = cfg.trace_sample_rate;
   core::HyperSubSystem sys(chord, sc);
+  if (cfg.tracer) sys.set_tracer(cfg.tracer);
   // Large runs only need delivery counts, not the full log.
   core::CountingDeliverySink sink;
   sys.set_delivery_sink(sink);
@@ -62,9 +64,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (std::size_t r = 0; r < cfg.lb_warm_rounds; ++r) lb->run_round();
   }
 
-  // Measurement starts after stabilization, as in the paper.
+  // Measurement starts after stabilization, as in the paper. Warm-up spans
+  // (the install storm) are dropped with the other warm-up metrics so the
+  // span budget is spent on the measured event phase.
   network.reset_traffic();
   sys.reset_metrics();
+  if (cfg.tracer) cfg.tracer->reset();
   if (lb) lb->start();
 
   // --- event phase ------------------------------------------------------------

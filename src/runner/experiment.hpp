@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/load_balancer.hpp"
+#include "trace/tracer.hpp"
 #include "metrics/event_metrics.hpp"
 #include "metrics/fastlane_metrics.hpp"
 #include "metrics/node_metrics.hpp"
@@ -46,6 +47,9 @@ struct ExperimentConfig {
   std::size_t hot_event_pool = 0;  ///< >0: draw events Zipf-ranked from a pool
   double zipf_skew = 0.95;         ///< rank skew of the hot pool
   std::size_t publishers = 0;      ///< >0: restrict the feed to this many nodes
+  // tracing (observability; off unless a tracer is supplied)
+  trace::Tracer* tracer = nullptr;   ///< span recorder for the whole stack
+  double trace_sample_rate = 1.0;    ///< fraction of publishes/installs kept
   // misc
   std::uint64_t seed = 42;
 };

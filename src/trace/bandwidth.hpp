@@ -1,0 +1,109 @@
+#pragma once
+// Per-node bandwidth time series sampled on the virtual clock.
+//
+// Network keeps cumulative per-host byte counters; this sampler snapshots
+// them every `period_ms` of virtual time and stores the per-period deltas,
+// turning the end-of-run totals into a time series ("what did node 17's
+// traffic look like during the churn burst"). One flat row per tick keeps
+// memory proportional to ticks * hosts; callers choose the period to fit.
+//
+// Header-only on purpose: the trace library proper sits *below* hypersub_net
+// in the link order (the reliable channel records retry spans), so this
+// helper — the one trace component that drives a Network — stays inline and
+// links with whatever binary includes it.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hypersub::trace {
+
+class BandwidthSampler {
+ public:
+  struct Tick {
+    double t_ms = 0.0;
+    /// Per-host bytes (in + out) during the period ending at t_ms.
+    std::vector<std::uint64_t> bytes;
+  };
+
+  /// The network is not owned and must outlive the sampler.
+  BandwidthSampler(net::Network& net, double period_ms)
+      : net_(net), period_ms_(period_ms) {}
+
+  /// Begin sampling from the current virtual time. The sampler re-arms
+  /// itself until stop(); a stopped sampler leaves no pending events once
+  /// its final queued tick fires.
+  void start() {
+    running_ = true;
+    last_.assign(net_.size(), 0);
+    for (net::HostIndex h = 0; h < net_.size(); ++h) {
+      const auto& t = net_.traffic(h);
+      last_[h] = t.bytes_in + t.bytes_out;
+    }
+    arm();
+  }
+  void stop() noexcept { running_ = false; }
+
+  const std::vector<Tick>& ticks() const noexcept { return ticks_; }
+  double period_ms() const noexcept { return period_ms_; }
+
+  /// Compact JSON: {"period_ms": P, "hosts": H, "ticks": [{"t": T,
+  /// "bytes": [...]}, ...]}.
+  std::string to_json() const {
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"period_ms\": %.3f, \"hosts\": %zu,",
+                  period_ms_, net_.size());
+    out += buf;
+    out += " \"ticks\": [";
+    for (std::size_t i = 0; i < ticks_.size(); ++i) {
+      if (i > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "{\"t\": %.3f, \"bytes\": [",
+                    ticks_[i].t_ms);
+      out += buf;
+      for (std::size_t h = 0; h < ticks_[i].bytes.size(); ++h) {
+        if (h > 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      (unsigned long long)ticks_[i].bytes[h]);
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  void arm() {
+    net_.simulator().schedule(period_ms_, [this] {
+      if (!running_) return;
+      sample();
+      arm();
+    });
+  }
+
+  void sample() {
+    Tick tick;
+    tick.t_ms = net_.simulator().now();
+    tick.bytes.resize(net_.size());
+    for (net::HostIndex h = 0; h < net_.size(); ++h) {
+      const auto& t = net_.traffic(h);
+      const std::uint64_t cum = t.bytes_in + t.bytes_out;
+      tick.bytes[h] = cum - last_[h];
+      last_[h] = cum;
+    }
+    ticks_.push_back(std::move(tick));
+  }
+
+  net::Network& net_;
+  double period_ms_;
+  bool running_ = false;
+  std::vector<std::uint64_t> last_;  ///< cumulative counters at last tick
+  std::vector<Tick> ticks_;
+};
+
+}  // namespace hypersub::trace

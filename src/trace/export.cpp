@@ -1,0 +1,174 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace hypersub::trace {
+
+std::size_t write_jsonl(const Tracer& tracer, std::ostream& os) {
+  char buf[256];
+  for (const Span& s : tracer.spans()) {
+    int n;
+    if (s.open()) {
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"kind\": \"%s\", \"node\": %zu, \"start_ms\": %.6f, "
+          "\"end_ms\": null, \"a\": %llu, \"b\": %llu}\n",
+          (unsigned long long)s.trace, s.id, s.parent, to_string(s.kind),
+          std::size_t(s.node), s.start_ms, (unsigned long long)s.a,
+          (unsigned long long)s.b);
+    } else {
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"kind\": \"%s\", \"node\": %zu, \"start_ms\": %.6f, "
+          "\"end_ms\": %.6f, \"a\": %llu, \"b\": %llu}\n",
+          (unsigned long long)s.trace, s.id, s.parent, to_string(s.kind),
+          std::size_t(s.node), s.start_ms, s.end_ms, (unsigned long long)s.a,
+          (unsigned long long)s.b);
+    }
+    os.write(buf, n);
+  }
+  return tracer.span_count();
+}
+
+std::size_t write_perfetto(const Tracer& tracer, std::ostream& os) {
+  char buf[320];
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  std::size_t events = 0;
+  auto emit = [&](const char* json, int n) {
+    if (events > 0) os << ",";
+    os << "\n";
+    os.write(json, n);
+    ++events;
+  };
+  // One named track per node that appears in the log.
+  std::vector<net::HostIndex> nodes;
+  for (const Span& s : tracer.spans()) {
+    bool seen = false;
+    for (const net::HostIndex h : nodes) seen = seen || h == s.node;
+    if (!seen) nodes.push_back(s.node);
+  }
+  for (const net::HostIndex h : nodes) {
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"tid\": %zu, \"args\": {\"name\": \"node %zu\"}}",
+        std::size_t(h), std::size_t(h));
+    emit(buf, n);
+  }
+  for (const Span& s : tracer.spans()) {
+    int n;
+    if (s.open()) {
+      // A span that never completed renders as an instant marker on its
+      // node's track (a lost edge has no extent).
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\": \"%s (lost)\", \"cat\": \"hypersub\", \"ph\": \"i\", "
+          "\"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %zu, "
+          "\"args\": {\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"a\": %llu, \"b\": %llu}}",
+          to_string(s.kind), s.start_ms * 1000.0, std::size_t(s.node),
+          (unsigned long long)s.trace, s.id, s.parent,
+          (unsigned long long)s.a, (unsigned long long)s.b);
+    } else {
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\": \"%s\", \"cat\": \"hypersub\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %zu, "
+          "\"args\": {\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"a\": %llu, \"b\": %llu}}",
+          to_string(s.kind), s.start_ms * 1000.0, s.duration_ms() * 1000.0,
+          std::size_t(s.node), (unsigned long long)s.trace, s.id, s.parent,
+          (unsigned long long)s.a, (unsigned long long)s.b);
+    }
+    emit(buf, n);
+  }
+  os << "\n]}\n";
+  return events;
+}
+
+bool write_jsonl_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_jsonl(tracer, f);
+  return bool(f);
+}
+
+bool write_perfetto_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_perfetto(tracer, f);
+  return bool(f);
+}
+
+TraceSummary summarize(const Tracer& tracer) {
+  TraceSummary sum;
+  const auto& spans = tracer.spans();
+
+  // Index: span id -> position, and per-trace root (publish span).
+  std::unordered_map<SpanId, std::size_t> at;
+  at.reserve(spans.size());
+  std::unordered_map<TraceId, std::size_t> root;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    at.emplace(spans[i].id, i);
+    if (spans[i].kind == SpanKind::kPublish) root.emplace(spans[i].trace, i);
+  }
+  sum.event_traces = root.size();
+
+  std::unordered_map<SpanId, std::uint64_t> forward_children;
+  std::unordered_map<TraceId, bool> lossless;
+  std::unordered_map<TraceId, bool> delivered;
+  for (const auto& [trace, i] : root) {
+    (void)i;
+    lossless[trace] = true;
+    delivered[trace] = false;
+  }
+
+  for (const Span& s : spans) {
+    switch (s.kind) {
+      case SpanKind::kDeliver: {
+        ++sum.deliveries;
+        const auto r = root.find(s.trace);
+        if (r != root.end()) {
+          sum.latency_ms.add(s.start_ms - spans[r->second].start_ms);
+          delivered[s.trace] = true;
+        }
+        sum.hops.add(double(s.b));
+        break;
+      }
+      case SpanKind::kForward:
+        if (const auto p = at.find(s.parent); p != at.end() &&
+            spans[p->second].kind == SpanKind::kMatch) {
+          ++forward_children[s.parent];
+        }
+        if (s.open()) lossless[s.trace] = false;
+        break;
+      case SpanKind::kRetry: ++sum.retries; break;
+      case SpanKind::kReroute: ++sum.reroutes; break;
+      case SpanKind::kDrop:
+        ++sum.drops;
+        lossless[s.trace] = false;
+        break;
+      case SpanKind::kMatch:
+        // Ensure zero-fanout match passes still contribute a sample.
+        forward_children.try_emplace(s.id, 0);
+        break;
+      default: break;
+    }
+  }
+  for (const auto& [span, n] : forward_children) {
+    (void)span;
+    sum.fanout.add(double(n));
+  }
+  for (const auto& [trace, ok] : lossless) {
+    if (ok && delivered[trace]) ++sum.complete_traces;
+  }
+  return sum;
+}
+
+}  // namespace hypersub::trace

@@ -1,0 +1,51 @@
+#pragma once
+// Exporters and offline analysis over a Tracer's span log.
+//
+//   * write_jsonl    — one span object per line; the exchange format
+//                      tools/trace_report.py consumes.
+//   * write_perfetto — Chrome/Perfetto trace_event JSON (load the file in
+//                      ui.perfetto.dev): one process, one track (tid) per
+//                      node, virtual-time timestamps (ms -> us), complete
+//                      "X" events for closed spans and instant "i" events
+//                      for spans that never completed (lost messages).
+//   * summarize      — per-trace roll-up into log2 histograms: end-to-end
+//                      delivery latency, delivery hops, per-match fan-out —
+//                      the distributions the paper's Fig. 2 plots, derived
+//                      from spans instead of bespoke counters.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/histogram.hpp"
+#include "trace/tracer.hpp"
+
+namespace hypersub::trace {
+
+/// One span per line as a flat JSON object. Returns spans written.
+std::size_t write_jsonl(const Tracer& tracer, std::ostream& os);
+
+/// Chrome trace_event JSON (Perfetto-compatible). Returns events written.
+std::size_t write_perfetto(const Tracer& tracer, std::ostream& os);
+
+/// Convenience: open `path` and write; returns false on I/O failure.
+bool write_jsonl_file(const Tracer& tracer, const std::string& path);
+bool write_perfetto_file(const Tracer& tracer, const std::string& path);
+
+/// Distribution roll-up over every event trace in the log.
+struct TraceSummary {
+  std::size_t event_traces = 0;     ///< traces rooted at a publish span
+  std::size_t complete_traces = 0;  ///< ... with >=1 delivery and no open
+                                    ///< forward edges (nothing lost)
+  std::size_t deliveries = 0;       ///< deliver spans across all traces
+  std::size_t retries = 0;          ///< retry spans (reliable channel)
+  std::size_t reroutes = 0;         ///< reroute spans (failover resends)
+  std::size_t drops = 0;            ///< drop spans (unmasked losses)
+  Histogram latency_ms;             ///< publish -> each delivery
+  Histogram hops;                   ///< per delivery
+  Histogram fanout;                 ///< children per match span
+};
+
+TraceSummary summarize(const Tracer& tracer);
+
+}  // namespace hypersub::trace

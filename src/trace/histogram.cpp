@@ -1,0 +1,57 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypersub::trace {
+
+namespace {
+
+std::size_t bucket_of(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  const auto u = std::uint64_t(std::min(v, 0x1.0p63));
+  // Bit width of u: bucket b covers [2^(b-1), 2^b).
+  std::size_t b = 0;
+  for (std::uint64_t x = u; x != 0; x >>= 1) ++b;
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::add(double v) {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  max_ = count_ == 1 ? v : std::max(max_, v);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank, 1-based: ceil(q * n), at least 1.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper edge of the bucket, clamped to the observed max so q=1
+      // reports the true maximum.
+      const double edge = b == 0 ? 1.0 : std::ldexp(1.0, int(b));
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+  if (o.count_ > 0) {
+    max_ = count_ == 0 ? o.max_ : std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  return *this;
+}
+
+}  // namespace hypersub::trace

@@ -1,0 +1,47 @@
+#pragma once
+// Fixed-bucket log2 histograms for the telemetry layer.
+//
+// The tail is what matters in dissemination latency/hops/fan-out (the
+// paper's Figs. 2-5 are all distributions), so the histogram keeps 64
+// power-of-two buckets — constant memory regardless of run length — and
+// answers nearest-rank percentile queries (p50/p95/p99/max) from the
+// bucket counts. Bucket b holds samples in [2^(b-1), 2^b) (bucket 0 holds
+// everything below 1), so relative error of a quantile is at most 2x —
+// plenty for tail *shape*, which is what the report tables show. The exact
+// max is tracked separately.
+
+#include <cstddef>
+#include <cstdint>
+#include <array>
+
+namespace hypersub::trace {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(double v);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / double(count_) : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Nearest-rank quantile estimate, q in [0,1]: the upper edge of the
+  /// bucket holding the rank'th sample (the max for q -> 1).
+  double quantile(double q) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  Histogram& operator+=(const Histogram& o);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hypersub::trace

@@ -1,0 +1,135 @@
+#pragma once
+// Tracer: the recording half of the tracing subsystem.
+//
+// Design constraints (ISSUE 4):
+//   * ~zero cost when disabled — instrumented classes hold a raw
+//     `trace::Tracer*` that is nullptr by default; every instrumentation
+//     site is guarded by one pointer test. Defining HYPERSUB_TRACING=0 at
+//     compile time turns that test into a compile-time constant false and
+//     the instrumentation folds away entirely (the null tracer "compiles
+//     out").
+//   * deterministic — trace ids come from a plain counter and the sampling
+//     decision is a pure hash of the id, so two runs with the same seed
+//     and config produce byte-identical span logs.
+//   * bounded — spans append to a flat vector capped at max_spans; beyond
+//     the cap new traces are not started (dropped_traces counts them) so a
+//     long churn run cannot OOM the harness.
+//
+// The tracer is shared by every layer of one system instance (pub/sub
+// core, reliable channel, Chord routing, load balancer). The simulation
+// core is single-threaded, so no locking.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/span.hpp"
+
+namespace hypersub::trace {
+
+// Compile-time master switch. Build with -DHYPERSUB_TRACING=0 to compile
+// the instrumentation out of every guarded call site.
+#ifndef HYPERSUB_TRACING
+#define HYPERSUB_TRACING 1
+#endif
+inline constexpr bool kCompiledIn = HYPERSUB_TRACING != 0;
+
+class Tracer;
+
+/// Guarded accessor used by instrumented classes: returns the attached
+/// tracer, or a compile-time nullptr when tracing is compiled out (the
+/// branch and everything behind it fold away).
+inline Tracer* maybe(Tracer* t) noexcept;
+
+class Tracer {
+ public:
+  struct Config {
+    /// Hard cap on recorded spans (memory bound for long runs).
+    std::size_t max_spans = std::size_t{1} << 22;
+  };
+
+  Tracer() = default;
+  explicit Tracer(Config cfg) : cfg_(cfg) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // -- trace lifecycle -------------------------------------------------------
+
+  /// Allocate the next trace id and decide whether to record it:
+  /// returns the id if sampled, kNoTrace otherwise. The id counter
+  /// advances either way, so changing the sample rate never renumbers the
+  /// traces that are kept (stable ids across rates, byte-stable across
+  /// runs). `sample_rate` in [0,1] is typically Config::trace_sample_rate
+  /// of the system being traced.
+  TraceId start_trace(double sample_rate);
+
+  /// The deterministic sampling predicate (exposed for tests): a splitmix
+  /// hash of the id measured against the rate.
+  static bool sampled(TraceId id, double sample_rate) noexcept;
+
+  // -- span recording --------------------------------------------------------
+
+  /// Open a span; returns its id (kNoSpan if the trace is not recorded or
+  /// the span cap is hit — always safe to pass back in as a parent).
+  SpanId begin(TraceId trace, SpanId parent, SpanKind kind,
+               net::HostIndex node, double start_ms, std::uint64_t a = 0,
+               std::uint64_t b = 0);
+
+  /// Close a span opened by begin(). kNoSpan is ignored.
+  void end(SpanId id, double end_ms);
+
+  /// Record an instantaneous span (start == end).
+  SpanId point(TraceId trace, SpanId parent, SpanKind kind,
+               net::HostIndex node, double at_ms, std::uint64_t a = 0,
+               std::uint64_t b = 0) {
+    const SpanId id = begin(trace, parent, kind, node, at_ms, a, b);
+    end(id, at_ms);
+    return id;
+  }
+
+  // -- introspection ---------------------------------------------------------
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::size_t span_count() const noexcept { return spans_.size(); }
+  /// Traces allocated so far (sampled or not).
+  std::uint64_t traces_started() const noexcept { return next_trace_; }
+  /// Spans refused because the max_spans cap was reached.
+  std::uint64_t dropped_spans() const noexcept { return dropped_; }
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Drop all recorded spans (e.g. after warm-up). Trace/span id counters
+  /// keep advancing — ids stay unique across a reset.
+  void reset() {
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+  // -- ambient context -------------------------------------------------------
+  // The overlay's route() API predates tracing and cannot carry a trace
+  // context parameter without breaking every substrate. Instead the caller
+  // parks the context here immediately before the route() call and the
+  // substrate reads it synchronously (the simulation core is
+  // single-threaded, so nothing can interleave). Cleared by the reader.
+
+  void set_ambient(TraceCtx ctx) noexcept { ambient_ = ctx; }
+  TraceCtx take_ambient() noexcept {
+    const TraceCtx c = ambient_;
+    ambient_ = TraceCtx{};
+    return c;
+  }
+
+ private:
+  Config cfg_;
+  std::vector<Span> spans_;
+  std::uint64_t next_trace_ = 0;
+  std::uint32_t next_span_ = 0;
+  std::uint64_t dropped_ = 0;
+  TraceCtx ambient_;
+};
+
+inline Tracer* maybe(Tracer* t) noexcept {
+  if constexpr (!kCompiledIn) return nullptr;
+  return t;
+}
+
+}  // namespace hypersub::trace

@@ -1,0 +1,163 @@
+// Determinism regression: two runs with the same seed and configuration
+// must be bit-identical — the same metrics snapshot JSON and the same span
+// log, span for span. The simulator's FIFO tie-break, the counter-based
+// trace ids, and the hash-based sampling decision are all designed for
+// this; any wall-clock, pointer-order, or container-order leak into the
+// simulation breaks it and shows up here.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "core/load_balancer.hpp"
+#include "metrics/snapshot.hpp"
+#include "net/topology.hpp"
+#include "trace/tracer.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+struct RunOutput {
+  std::string metrics_json;
+  std::vector<trace::Span> spans;
+  std::uint64_t traces_started = 0;
+  std::size_t deliveries = 0;
+};
+
+struct RunOpts {
+  bool reliable = false;
+  std::size_t replicas = 0;
+  bool cache = false;
+  bool batch = false;
+  bool churn = false;
+  bool load_balance = false;
+  double sample_rate = 1.0;
+};
+
+/// One full simulated run: build, subscribe, (optionally churn), publish,
+/// finalize; returns everything an identical twin must reproduce exactly.
+RunOutput run_once(RunOpts o) {
+  constexpr std::size_t kHosts = 40;
+  net::KingLikeTopology::Params tp;
+  tp.hosts = kHosts;
+  tp.seed = 13;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  chord::ChordNet::Params cp;
+  cp.seed = 13;
+  cp.reliable_routing = o.reliable;
+  chord::ChordNet chord(net, cp);
+  chord.oracle_build();
+  core::HyperSubSystem::Config sc;
+  sc.reliable_delivery = o.reliable;
+  sc.replicas = o.replicas;
+  sc.route_cache = o.cache;
+  sc.batch_forwarding = o.batch;
+  sc.trace_sample_rate = o.sample_rate;
+  core::HyperSubSystem sys(chord, sc);
+  trace::Tracer tracer;
+  sys.set_tracer(&tracer);
+
+  workload::WorkloadGenerator gen(workload::tiny_spec(), 17);
+  core::SchemeOptions opt;
+  opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
+  const auto scheme = sys.add_scheme(gen.scheme(), opt);
+  Rng rng(19);
+  for (int i = 0; i < 120; ++i) {
+    sys.subscribe(net::HostIndex(rng.index(kHosts)), scheme,
+                  gen.make_subscription());
+  }
+  sim.run();
+
+  if (o.load_balance) {
+    core::LoadBalancer::Config lc;
+    lc.delta = 0.1;
+    core::LoadBalancer lb(sys, lc);
+    lb.run_round();
+    sim.run();
+  }
+  if (o.churn) {
+    for (net::HostIndex k = 0; k < kHosts; k += 4) chord.fail(k);
+  }
+
+  for (int i = 0; i < 40; ++i) {
+    net::HostIndex pub = net::HostIndex(rng.index(kHosts));
+    while (!net.alive(pub)) pub = (pub + 1) % kHosts;
+    sys.publish(pub, scheme, gen.make_event());
+  }
+  sim.run();
+  sys.finalize_events();
+
+  RunOutput out;
+  out.metrics_json = metrics::snapshot(sys).to_json();
+  out.spans = tracer.spans();
+  out.traces_started = tracer.traces_started();
+  out.deliveries = sys.deliveries().size();
+  return out;
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  // Byte-identical metrics JSON: every counter, mean, and histogram the
+  // snapshot carries.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  // Identical span logs: same count, same ids, same order, same
+  // timestamps, same payloads (Span has defaulted operator==).
+  EXPECT_EQ(a.traces_started, b.traces_started);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    ASSERT_EQ(a.spans[i], b.spans[i]) << "span log diverges at index " << i;
+  }
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(Determinism, BaselineRunIsReproducible) {
+  expect_identical(run_once({}), run_once({}));
+}
+
+TEST(Determinism, FastLaneRunIsReproducible) {
+  const RunOpts o{.cache = true, .batch = true, .load_balance = true};
+  expect_identical(run_once(o), run_once(o));
+}
+
+TEST(Determinism, ChurnWithReliabilityIsReproducible) {
+  const RunOpts o{.reliable = true, .replicas = 2, .churn = true};
+  expect_identical(run_once(o), run_once(o));
+}
+
+TEST(Determinism, SampledTracingIsReproducibleAndStableAcrossRates) {
+  const RunOpts half{.sample_rate = 0.5};
+  const auto a = run_once(half);
+  const auto b = run_once(half);
+  expect_identical(a, b);
+  ASSERT_GT(a.spans.size(), 0u);
+
+  // Changing only the sample rate never renumbers traces: the rate-0.5
+  // span log is exactly the full log filtered to the sampled trace ids.
+  const auto full = run_once({.sample_rate = 1.0});
+  EXPECT_EQ(full.traces_started, a.traces_started);
+  std::vector<trace::Span> filtered;
+  for (const auto& s : full.spans) {
+    if (trace::Tracer::sampled(s.trace, 0.5)) filtered.push_back(s);
+  }
+  ASSERT_EQ(filtered.size(), a.spans.size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    // Same trees, same timestamps, same payloads; only the span ids shift
+    // (they are allocated per recorded span).
+    EXPECT_EQ(filtered[i].trace, a.spans[i].trace);
+    EXPECT_EQ(filtered[i].kind, a.spans[i].kind);
+    EXPECT_EQ(filtered[i].node, a.spans[i].node);
+    EXPECT_DOUBLE_EQ(filtered[i].start_ms, a.spans[i].start_ms);
+    EXPECT_DOUBLE_EQ(filtered[i].end_ms, a.spans[i].end_ms);
+    EXPECT_EQ(filtered[i].a, a.spans[i].a);
+    EXPECT_EQ(filtered[i].b, a.spans[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace hypersub

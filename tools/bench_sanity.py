@@ -16,6 +16,13 @@ Subcommands:
       the exact same notification count with strictly fewer mean publish
       hops and strictly fewer packet-header bytes per event, and the cache
       must actually be hitting.
+
+  trace FRESH.json [--max-overhead F]
+      Validate the tracing-overhead contract from the same micro_route
+      json (self-relative — both sides of the comparison ran interleaved
+      in one process): keeping a tracer attached at sample rate 0 must
+      cost at most F (default 2%) over running with no tracer at all, and
+      the sampled run must have produced complete causal trees.
 """
 
 import argparse
@@ -104,6 +111,43 @@ def cmd_route(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# trace: the observability layer must be ~free when disabled, and useful
+# when sampled
+# ---------------------------------------------------------------------------
+
+def cmd_trace(args):
+    doc = load_json(args.fresh)
+    tr = doc.get("trace")
+    if not tr:
+        sys.exit(f"error: {args.fresh} has no \"trace\" section "
+                 f"(rerun bench/micro_route)")
+
+    overhead = tr["overhead"]
+    print(f"trace overhead (medians of interleaved in-process reps):")
+    print(f"  no tracer        : {tr['base_ns_per_event']:.0f} ns/event")
+    print(f"  attached, rate 0 : {tr['attached_ns_per_event']:.0f} ns/event")
+    print(f"  overhead         : {overhead:+.2%} (max {args.max_overhead:.0%})")
+    print(f"  sampled rate 0.25: {tr['sampled_spans']} spans, "
+          f"{tr['complete_traces']}/{tr['event_traces']} traces complete")
+
+    failures = []
+    if overhead > args.max_overhead:
+        failures.append(f"disabled-tracer overhead {overhead:.2%} exceeds "
+                        f"{args.max_overhead:.0%}")
+    if tr["complete_traces"] <= 0:
+        failures.append("sampled tracing produced no complete causal trees")
+    if tr["sampled_spans"] <= 0:
+        failures.append("sampled tracing recorded no spans")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -120,6 +164,13 @@ def main():
     r = sub.add_parser("route", help="publish fast-lane self-check")
     r.add_argument("fresh", help="freshly produced BENCH_route.json")
     r.set_defaults(fn=cmd_route)
+
+    t = sub.add_parser("trace", help="tracing overhead + usefulness gate")
+    t.add_argument("fresh", help="freshly produced BENCH_route.json")
+    t.add_argument("--max-overhead", type=float, default=0.02,
+                   help="allowed fractional cost of an attached-but-idle "
+                        "tracer (default 0.02)")
+    t.set_defaults(fn=cmd_trace)
 
     args = ap.parse_args()
     return args.fn(args)
