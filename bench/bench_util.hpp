@@ -6,6 +6,7 @@
 // the paper's exact scale (1740 nodes, 20 000 events, 1k-6k networks).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -18,6 +19,12 @@ struct Scale {
   std::size_t nodes = 600;
   std::size_t events = 1200;
   std::size_t subs_per_node = 10;
+  /// --threads=N: run each simulation on N engine worker threads (sharded
+  /// parallel execution; results are byte-identical to sequential). A
+  /// value > 1 implies a nonzero lookahead — the window width the engine
+  /// parallelizes within.
+  unsigned sim_threads = 1;
+  double lookahead_ms = 0.0;
 };
 
 inline Scale parse_scale(int argc, char** argv) {
@@ -27,6 +34,11 @@ inline Scale parse_scale(int argc, char** argv) {
       s.full = true;
       s.nodes = 1740;
       s.events = 20000;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      s.sim_threads = unsigned(std::atoi(argv[i] + 10));
+      if (s.sim_threads > 1 && s.lookahead_ms == 0.0) s.lookahead_ms = 5.0;
+    } else if (std::strncmp(argv[i], "--lookahead=", 12) == 0) {
+      s.lookahead_ms = std::atof(argv[i] + 12);
     }
   }
   return s;
@@ -37,6 +49,8 @@ inline runner::ExperimentConfig base_config(const Scale& s) {
   cfg.nodes = s.nodes;
   cfg.events = s.events;
   cfg.subs_per_node = s.subs_per_node;
+  cfg.sim_threads = s.sim_threads;
+  cfg.lookahead_ms = s.lookahead_ms;
   return cfg;
 }
 

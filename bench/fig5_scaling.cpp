@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
       runner::ExperimentConfig cfg;
       cfg.nodes = n;
       cfg.events = events;
+      cfg.sim_threads = scale.sim_threads;
+      cfg.lookahead_ms = scale.lookahead_ms;
       cfg.load_balancing = (mode == 1);
       if (mode >= 2) {
         cfg.hot_event_pool = 64;

@@ -194,7 +194,7 @@ void ChordNet::route_step(net::HostIndex at, Id key,
     return;
   }
   if (hops >= params_.max_route_hops) {
-    ++route_drops_;
+    net_.simulator().defer_ordered([this] { ++route_drops_; });
     return;
   }
   // Final hop: key lies between us and our successor.
@@ -207,7 +207,9 @@ void ChordNet::route_step(net::HostIndex at, Id key,
     if (!next.valid() || next.id == nd.id()) next = succ;
   }
   if (!next.valid()) {  // isolated node: drop
-    if (params_.reliable_routing) ++route_drops_;
+    if (params_.reliable_routing) {
+      net_.simulator().defer_ordered([this] { ++route_drops_; });
+    }
     return;
   }
   // One route-hop span per forwarded lookup message: opened at the sender,
@@ -270,10 +272,10 @@ void ChordNet::send_route_hop(net::HostIndex at, NodeRef next, Id key,
         note_peer_failure(at, to);
         const NodeRef retry = next_hop(at, key);
         if (!retry.valid() || retry.host == to) {
-          ++route_drops_;
+          net_.simulator().defer_ordered([this] { ++route_drops_; });
           return;
         }
-        ++route_reroutes_;
+        net_.simulator().defer_ordered([this] { ++route_reroutes_; });
         // The detour is a fresh hop span under the expired one (the
         // channel already recorded the expire span there).
         if (auto* tr = trace::maybe(tracer_); tr && tctx.active()) {
@@ -346,12 +348,15 @@ void ChordNet::get_state(
       ok(pred, slist);
     });
   });
-  net_.simulator().schedule(params_.rpc_timeout_ms,
-                            [done, fail = std::move(fail)] {
-                              if (*done) return;
-                              *done = true;
-                              if (fail) fail();
-                            });
+  // The timeout runs on the requester's shard: both `done` and the fail
+  // path mutate `from`-side state, and the reply handler that races this
+  // timer also runs there.
+  net_.simulator().schedule_on(from, params_.rpc_timeout_ms,
+                               [done, fail = std::move(fail)] {
+                                 if (*done) return;
+                                 *done = true;
+                                 if (fail) fail();
+                               });
 }
 
 void ChordNet::start_maintenance() {
@@ -365,7 +370,10 @@ void ChordNet::start_maintenance() {
 
 void ChordNet::schedule_tick(net::HostIndex h, double delay) {
   maintaining_[h] = true;
-  net_.simulator().schedule(delay, [this, h] {
+  // Maintenance ticks are pinned to the exclusive (no-shard) context: one
+  // tick touches many nodes' state (probes, shared ping counters), so the
+  // parallel engine runs it alone between windows.
+  net_.simulator().schedule_on(sim::kNoShard, delay, [this, h] {
     if (maintenance_stopped_ || !net_.alive(h)) {
       maintaining_[h] = false;
       return;
@@ -425,10 +433,15 @@ void ChordNet::fix_next_finger(net::HostIndex h) {
   next_finger_[h] = (i + 1) % kIdBits;
   const Id start = ring::finger_start(nd.id(), i);
   route(h, start, 0, [this, h, i, start](const RouteResult& r) {
+    // This callback runs at the key's owner, not at h; every write to h's
+    // finger table is shipped back to h's shard (a remote apply delayed by
+    // the lookahead, which is zero in sequential mode).
     if (!net_.alive(h)) return;
-    ChordNode& me = *nodes_[h];
     if (!params_.pns) {
-      me.set_finger(i, r.owner);
+      net_.simulator().schedule_on(
+          h, net_.simulator().lookahead(), [this, h, i, owner = r.owner] {
+            if (net_.alive(h)) nodes_[h]->set_finger(i, owner);
+          });
       return;
     }
     // PNS refinement: fetch the owner's successor list and keep the
@@ -496,11 +509,16 @@ void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
   with_pred_watch(host, [](ChordNode& me) { me.clear_predecessor(); });
   route(bootstrap, nd.id(), 0,
         [this, host, on_joined = std::move(on_joined)](const RouteResult& r) {
-          if (!net_.alive(host)) return;
-          ChordNode& me = *nodes_[host];
-          me.set_successor(r.owner);
-          if (!maintaining_[host]) schedule_tick(host, 0.0);
-          if (on_joined) on_joined();
+          // Runs at the owner; apply the join result on the joiner's shard.
+          net_.simulator().schedule_on(
+              host, net_.simulator().lookahead(),
+              [this, host, owner = r.owner,
+               on_joined = std::move(on_joined)] {
+                if (!net_.alive(host)) return;
+                nodes_[host]->set_successor(owner);
+                if (!maintaining_[host]) schedule_tick(host, 0.0);
+                if (on_joined) on_joined();
+              });
         });
 }
 

@@ -15,14 +15,20 @@ HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
     caches_.push_back(
         std::make_unique<RouteCache>(cfg_.route_cache_capacity));
   }
+  batches_.resize(dht.size());
+  delivered_subs_.resize(dht.size());
   if (cfg_.route_cache) {
     // Coherence hook: when a node's owned key range moves (stabilization,
     // failure repair, oracle rebuild), cached resolutions pointing at it
     // may now land on a non-owner. Stale hits would still self-repair via
     // forward-and-correct; invalidating eagerly keeps the detour window
-    // small and the hit counters honest.
+    // small and the hit counters honest. The listener can fire on any
+    // shard; route caches are global structures, so the sweep is deferred
+    // to the barrier (inline in sequential mode).
     dht_.set_ownership_listener([this](net::HostIndex h) {
-      for (auto& c : caches_) c->invalidate_host(h);
+      simulator().defer_ordered([this, h] {
+        for (auto& c : caches_) c->invalidate_host(h);
+      });
     });
     owns_ownership_listener_ = true;
   }
@@ -249,6 +255,10 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
                                       pubsub::Event event,
                                       DeliveryCallback on_delivery) {
   assert(scheme < schemes_.size());
+  // publish() is a driver-facing entry point: it allocates the global
+  // event sequence number and the tracker, so it must run in the main
+  // (exclusive) context, never inside a sharded event handler.
+  assert(!simulator().in_worker_context());
   const SchemeRuntime& rt = *schemes_[scheme];
   assert(pubsub::valid_event(rt.scheme(), event));
 
@@ -338,8 +348,12 @@ std::uint64_t HyperSubSystem::publish(net::HostIndex publisher,
 
   if (!list.empty()) {
     ++t.outstanding;
-    simulator().schedule(0.0, [this, publisher, ctx = std::move(ctx),
-                               list = std::move(list)]() mutable {
+    // The publisher-local pass runs on the publisher's shard, like every
+    // other event message (process_event_message touches that node's
+    // zones, scratch, and forwarding queues).
+    simulator().schedule_on(publisher, 0.0,
+                            [this, publisher, ctx = std::move(ctx),
+                             list = std::move(list)]() mutable {
       process_event_message(publisher, ctx, std::move(list), 0, ctx->root);
     });
   }
@@ -351,11 +365,17 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
                                            std::vector<SubId> list,
                                            int hops, trace::SpanId via) {
   HyperSubNode& nd = *nodes_[host];
-  // The tracker may already have been force-finalized (finalize_events()
-  // during churn runs); keep delivering, just stop accounting.
-  const auto tit = trackers_.find(ctx->seq);
-  Tracker* t = tit == trackers_.end() ? nullptr : &tit->second;
-  if (t) t->max_hops = std::max(t->max_hops, hops);
+  // Tracker accounting is deferred: trackers_ is a system-global map, so
+  // worker-context touches are applied at the window barrier in
+  // deterministic order (inline in sequential mode). Each closure re-finds
+  // the tracker — it may already have been force-finalized
+  // (finalize_events() during churn runs); keep delivering, just stop
+  // accounting.
+  simulator().defer_ordered([this, seq = ctx->seq, hops] {
+    if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+      it->second.max_hops = std::max(it->second.max_hops, hops);
+    }
+  });
 
   // One match span per processed message; everything this node records
   // (deliveries, drops, cache corrections, outgoing forwards) chains under
@@ -374,13 +394,14 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   // very node. `pending` and `matched_keys` are system-held scratch — the
   // delivery path allocates nothing per message beyond the outgoing
   // per-neighbor sublists, which the send closures must own anyway.
-  std::vector<SubId>& pending = scratch_pending_;
+  Scratch& scratch = scratch_[simulator().worker_slot()];
+  std::vector<SubId>& pending = scratch.pending;
   pending.clear();
   // One zone key can alias a whole rightmost zone chain, and a chain's
   // parent pointer may target the same key the rendezvous already did —
   // process each key at most once per message. The handful of keys per
   // message makes a linear find over a flat vector cheaper than hashing.
-  std::vector<Id>& matched_keys = scratch_keys_;
+  std::vector<Id>& matched_keys = scratch.keys;
   matched_keys.clear();
   std::size_t cursor = 0;
   while (cursor < list.size()) {
@@ -400,7 +421,7 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
           break;
         }
         matched_keys.push_back(subid.target);
-        auto& zlist = scratch_zones_;
+        auto& zlist = scratch.zones;
         zlist.clear();
         nd.append_zones_by_key(subid.target, zlist);
         for (ZoneState* zs : zlist) {
@@ -429,36 +450,48 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
         // merely inherited the id range after a failure drops it).
         if (subid.target == nd.node_id()) {
           // End-to-end dedupe: a rerouted subtree can re-match the same
-          // subscription through a different path.
+          // subscription through a different path. The seen-set is
+          // per-subscriber-host, so it lives on this shard.
           if (cfg_.reliable_delivery &&
-              !delivered_subs_[ctx->seq]
+              !delivered_subs_[host][ctx->seq]
                    .emplace(subid.target, subid.iid)
                    .second) {
-            ++rel_.duplicates_suppressed;
+            simulator().defer_ordered(
+                [this] { ++rel_.duplicates_suppressed; });
             break;
           }
-          double lat = 0.0;
-          if (t) {
-            ++t->matched;
-            lat = simulator().now() - t->publish_time;
-            t->max_latency = std::max(t->max_latency, lat);
-          }
-          const Delivery d{ctx->seq, host, subid.iid, hops, lat};
           if (auto* tr = trace::maybe(tracer_);
               tr && ctx->trace != trace::kNoTrace) {
             tr->point(ctx->trace, match_span, trace::SpanKind::kDeliver,
                       host, simulator().now(), subid.iid,
                       std::uint64_t(hops));
           }
-          sink_->on_delivery(d);
-          if (ctx->on_delivery) ctx->on_delivery(d);
+          // The delivery record needs the tracker (latency base, matched
+          // count) and feeds system-global state (sink, metrics), so the
+          // whole tail is deferred; its closure sees the tracker in the
+          // same state a sequential run would at this point. NOTE: the
+          // per-publish on_delivery observer consequently must not
+          // schedule events (it runs inside a barrier in parallel mode).
+          simulator().defer_ordered([this, ctx, host, iid = subid.iid, hops,
+                                     now = simulator().now()] {
+            double lat = 0.0;
+            if (const auto it = trackers_.find(ctx->seq);
+                it != trackers_.end()) {
+              ++it->second.matched;
+              lat = now - it->second.publish_time;
+              it->second.max_latency = std::max(it->second.max_latency, lat);
+            }
+            const Delivery d{ctx->seq, host, iid, hops, lat};
+            sink_->on_delivery(d);
+            if (ctx->on_delivery) ctx->on_delivery(d);
+          });
         }
         break;
       }
       case SubIdKind::kMigrated: {
         if (subid.target == nd.node_id()) {
           if (const MigratedRepo* repo = nd.find_migrated(subid.iid)) {
-            repo->match(ctx->event.point, list, scratch_cand_);
+            repo->match(ctx->event.point, list, scratch.cand);
           }
         }
         break;
@@ -470,7 +503,7 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
   // links; all subids sharing a next hop ride in one message. Grouping by
   // a stable sort over a flat (next hop, subid) vector keeps each group's
   // subid order identical to the old per-bucket insertion order.
-  auto& routed = scratch_routed_;
+  auto& routed = scratch.routed;
   routed.clear();
   if (cfg_.reliable_delivery && hops >= cfg_.max_event_hops) {
     // Hop TTL: reroutes can detour through stale routing state; bound any
@@ -510,7 +543,11 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     sublist->reserve(j - i);
     for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
     i = j;
-    if (t) ++t->outstanding;
+    simulator().defer_ordered([this, seq = ctx->seq] {
+      if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+        ++it->second.outstanding;
+      }
+    });
     forward_event(host, to, ctx, std::move(sublist), hops,
                   overlay::Peer::kInvalidHost, match_span);
   }
@@ -518,13 +555,16 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     tr->end(match_span, simulator().now());
   }
 
-  // Re-find the tracker: forward_event's reliable path can (on a same-time
-  // expiry) mutate trackers_, invalidating `t`.
-  if (const auto it = trackers_.find(ctx->seq); it != trackers_.end()) {
-    assert(it->second.outstanding > 0);
-    --it->second.outstanding;
-    finalize_if_done(ctx->seq);
-  }
+  // Retire this hop's outstanding slot. Deferred like every other tracker
+  // touch; the closures above/below apply in this textual order, so the
+  // count never dips below the increments already folded in.
+  simulator().defer_ordered([this, seq = ctx->seq] {
+    if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+      assert(it->second.outstanding > 0);
+      --it->second.outstanding;
+      finalize_if_done(seq);
+    }
+  });
 }
 
 void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
@@ -551,22 +591,25 @@ void HyperSubSystem::forward_event(net::HostIndex host, net::HostIndex to,
   // breaks equal-time ties FIFO, so the flush scheduled at +0 runs after
   // every already-queued message of this timestep has had its chance to
   // add chunks for the same hop.
-  auto& queue = batches_[{host, to}];
+  auto& queue = batches_[host][to];
   if (queue.empty()) {
+    // Inherits the current (sender's) shard, like every queued chunk.
     simulator().schedule(0.0, [this, host, to] { flush_batch(host, to); });
   }
   queue.push_back(FrameChunk{ctx, std::move(sublist), hops, failed, fwd});
 }
 
 void HyperSubSystem::flush_batch(net::HostIndex host, net::HostIndex to) {
-  const auto it = batches_.find({host, to});
-  if (it == batches_.end() || it->second.empty()) return;
+  auto& mine = batches_[host];
+  const auto it = mine.find(to);
+  if (it == mine.end() || it->second.empty()) return;
   auto chunks =
       std::make_shared<std::vector<FrameChunk>>(std::move(it->second));
-  batches_.erase(it);
+  mine.erase(it);
   if (chunks->size() > 1) {
-    batch_.header_bytes_saved +=
-        overlay::kHeaderBytes * (chunks->size() - 1);
+    simulator().defer_ordered([this, n = chunks->size()] {
+      batch_.header_bytes_saved += overlay::kHeaderBytes * (n - 1);
+    });
   }
   send_frame(host, to, std::move(chunks));
 }
@@ -575,24 +618,34 @@ void HyperSubSystem::send_frame(
     net::HostIndex host, net::HostIndex to,
     std::shared_ptr<std::vector<FrameChunk>> chunks) {
   // One header per frame; each chunk pays its own event + subid payload.
-  // The header is attributed to the first chunk with a live tracker.
+  // The header is attributed to the first chunk with a live tracker. The
+  // frame size is needed synchronously (it goes on the wire); the tracker
+  // and batch-counter attribution is deferred, with the per-chunk sizes
+  // snapshotted now — the receiver consumes the sublists later.
   std::uint64_t bytes = overlay::kHeaderBytes;
-  bool header_charged = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sizes;
+  sizes.reserve(chunks->size());
   for (const FrameChunk& c : *chunks) {
     const std::uint64_t chunk_bytes =
         kEventBytes + kSubIdBytes * c.subids->size();
     bytes += chunk_bytes;
-    if (const auto it = trackers_.find(c.ctx->seq); it != trackers_.end()) {
-      it->second.bytes += chunk_bytes;
-      if (!header_charged) {
-        it->second.bytes += overlay::kHeaderBytes;
-        it->second.header_bytes += overlay::kHeaderBytes;
-        header_charged = true;
+    sizes.emplace_back(c.ctx->seq, chunk_bytes);
+  }
+  simulator().defer_ordered([this, sizes = std::move(sizes)] {
+    bool header_charged = false;
+    for (const auto& [seq, chunk_bytes] : sizes) {
+      if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+        it->second.bytes += chunk_bytes;
+        if (!header_charged) {
+          it->second.bytes += overlay::kHeaderBytes;
+          it->second.header_bytes += overlay::kHeaderBytes;
+          header_charged = true;
+        }
       }
     }
-  }
-  ++batch_.frames;
-  batch_.chunks += chunks->size();
+    ++batch_.frames;
+    batch_.chunks += sizes.size();
+  });
 
   const Id sender = dht_.id_of(host);
   if (!cfg_.reliable_delivery) {
@@ -637,7 +690,13 @@ void HyperSubSystem::send_frame(
         for (const FrameChunk& c : *chunks) {
           if (c.failed == overlay::Peer::kInvalidHost) continue;
           dht_.note_peer_failure(to, c.failed, host);
-          if (cfg_.route_cache) caches_[to]->invalidate_host(c.failed);
+          if (cfg_.route_cache) {
+            // Caches are read on the (exclusive) publish path; mutations
+            // from shard contexts go through the deferred stream.
+            simulator().defer_ordered([this, to, failed = c.failed] {
+              caches_[to]->invalidate_host(failed);
+            });
+          }
         }
         dht_.note_app_contact(to, sender);
         if (auto* tr = trace::maybe(tracer_)) {
@@ -657,19 +716,25 @@ void HyperSubSystem::send_frame(
         // they describe is over, even though it failed; the reroute's new
         // forward spans chain under them.
         dht_.note_peer_failure(host, to);
-        if (cfg_.route_cache) caches_[host]->invalidate_host(to);
+        if (cfg_.route_cache) {
+          simulator().defer_ordered(
+              [this, host, to] { caches_[host]->invalidate_host(to); });
+        }
         if (auto* tr = trace::maybe(tracer_)) {
           const double now = simulator().now();
           for (const FrameChunk& c : *chunks) tr->end(c.fwd_span, now);
         }
         for (const FrameChunk& c : *chunks) {
           reroute_event(host, c.ctx, *c.subids, c.hops, to, c.fwd_span);
-          if (const auto it = trackers_.find(c.ctx->seq);
-              it != trackers_.end()) {
-            assert(it->second.outstanding > 0);
-            --it->second.outstanding;
-            finalize_if_done(c.ctx->seq);
-          }
+          // reroute_event defers its outstanding increments first, so this
+          // decrement folds in after them — the count stays positive.
+          simulator().defer_ordered([this, seq = c.ctx->seq] {
+            if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+              assert(it->second.outstanding > 0);
+              --it->second.outstanding;
+              finalize_if_done(seq);
+            }
+          });
         }
       },
       tctx);
@@ -703,8 +768,6 @@ void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
                    [](const auto& a, const auto& b) {
                      return a.first < b.first;
                    });
-  const auto tit = trackers_.find(ctx->seq);
-  Tracker* t = tit == trackers_.end() ? nullptr : &tit->second;
   for (std::size_t i = 0; i < routed.size();) {
     const net::HostIndex to = routed[i].first;
     std::size_t j = i;
@@ -713,8 +776,12 @@ void HyperSubSystem::reroute_event(net::HostIndex host, const EventCtxPtr& ctx,
     sublist->reserve(j - i);
     for (std::size_t k = i; k < j; ++k) sublist->push_back(routed[k].second);
     i = j;
-    ++rel_.reroutes;
-    if (t) ++t->outstanding;
+    simulator().defer_ordered([this, seq = ctx->seq] {
+      ++rel_.reroutes;
+      if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+        ++it->second.outstanding;
+      }
+    });
     if (traced) {
       tr->point(ctx->trace, parent, trace::SpanKind::kReroute, host,
                 simulator().now(), std::uint64_t(to),
@@ -743,7 +810,8 @@ void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
           tr->point(ctx->trace, parent, trace::SpanKind::kCacheCorrect,
                     host, simulator().now(), std::uint64_t(ctx->origin));
         }
-        caches_[host]->forget(key);
+        simulator().defer_ordered(
+            [this, host, key] { caches_[host]->forget(key); });
       }
     } else if (rv.sent_to != host) {
       // Miss (probe rode normal routing) or stale hit (probe was handed to
@@ -760,7 +828,11 @@ void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
           host, ctx->origin,
           overlay::kHeaderBytes + overlay::kKeyBytes + overlay::kNodeRefBytes,
           [this, origin = ctx->origin, key, owner = host] {
-            caches_[origin]->learn(key, owner);
+            // Runs on the origin's shard; the cache write joins the
+            // deferred stream like every other cache mutation.
+            simulator().defer_ordered([this, origin, key, owner] {
+              caches_[origin]->learn(key, owner);
+            });
           });
     }
     return;  // duplicate keys across subschemes alias the same owner
@@ -769,15 +841,23 @@ void HyperSubSystem::note_rendezvous_owner(net::HostIndex host,
 
 void HyperSubSystem::invalidate_cached_route(Id key) {
   if (!cfg_.route_cache) return;
-  for (auto& c : caches_) c->forget(key);
+  // Callers include shard-context paths (migration replies); the sweep over
+  // every host's cache is global state, so it rides the deferred stream.
+  simulator().defer_ordered([this, key] {
+    for (auto& c : caches_) c->forget(key);
+  });
 }
 
 void HyperSubSystem::note_event_drop(std::uint64_t seq, std::size_t subids) {
   if (subids == 0) return;
-  rel_.unmasked_drops += subids;
-  if (const auto it = trackers_.find(seq); it != trackers_.end()) {
-    it->second.truncated = true;
-  }
+  // Global counters + tracker flag; deferred so shard-context drops fold in
+  // at the barrier in the sequential order.
+  simulator().defer_ordered([this, seq, subids] {
+    rel_.unmasked_drops += subids;
+    if (const auto it = trackers_.find(seq); it != trackers_.end()) {
+      it->second.truncated = true;
+    }
+  });
 }
 
 void HyperSubSystem::finalize_if_done(std::uint64_t seq) {
@@ -833,7 +913,7 @@ void HyperSubSystem::reset_metrics() {
   event_metrics_ = metrics::EventMetrics{};
   sink_->reset();
   default_sink_.reset();
-  delivered_subs_.clear();
+  for (auto& m : delivered_subs_) m.clear();
   rel_ = metrics::ReliabilityCounters{};
   channel_.reset_stats();
   batch_ = metrics::BatchCounters{};

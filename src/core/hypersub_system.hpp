@@ -13,6 +13,7 @@
 // The system also owns experiment observability: per-event cost trackers,
 // the pluggable delivery sink, and per-node loads.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -197,6 +198,10 @@ class HyperSubSystem {
   /// detached first).
   void set_tracer(trace::Tracer* t) {
     tracer_ = t;
+    // Bind the tracer to this simulation so span ids are minted per shard
+    // (identical across thread counts) and log appends from worker
+    // contexts are deferred to window barriers.
+    if (auto* tr = trace::maybe(t)) tr->bind(&simulator(), dht_.size());
     channel_.set_tracer(t);
     dht_.set_tracer(t);
   }
@@ -347,30 +352,41 @@ class HyperSubSystem {
   DeliverySink* sink_ = &default_sink_;
   metrics::EventMetrics event_metrics_;
   metrics::BatchCounters batch_;
+  /// Per-event cost accounting. The map itself (and every Tracker inside)
+  /// is mutated only from the main context: worker-side touches ride
+  /// Simulator::defer_ordered closures applied in deterministic order at
+  /// the window barrier (which run inline — hence unchanged — in
+  /// sequential mode).
   std::unordered_map<std::uint64_t, Tracker> trackers_;
-  /// Chunks awaiting this timestep's flush, keyed by (sender, next hop).
-  std::map<std::pair<net::HostIndex, net::HostIndex>,
-           std::vector<FrameChunk>>
-      batches_;
-  /// Per-event delivered (subscriber node id, iid) pairs: end-to-end
-  /// duplicate suppression under reliable delivery (retransmitted subtrees
-  /// can re-match the same subscription through a different path). Only
-  /// populated when reliable_delivery; cleared by reset_metrics().
-  std::unordered_map<std::uint64_t, std::set<std::pair<Id, std::uint32_t>>>
+  /// Chunks awaiting this timestep's flush, keyed per sender (so each
+  /// entry is touched only on the sender's shard) by next hop.
+  std::vector<std::map<net::HostIndex, std::vector<FrameChunk>>> batches_;
+  /// Per-host, per-event delivered (subscriber node id, iid) pairs:
+  /// end-to-end duplicate suppression under reliable delivery
+  /// (retransmitted subtrees can re-match the same subscription through a
+  /// different path). Split per subscriber host so each set is touched
+  /// only on that host's shard. Only populated when reliable_delivery;
+  /// cleared by reset_metrics().
+  std::vector<
+      std::unordered_map<std::uint64_t, std::set<std::pair<Id, std::uint32_t>>>>
       delivered_subs_;
   std::uint64_t event_seq_ = 0;
   std::size_t total_subs_ = 0;
   bool owns_ownership_listener_ = false;
 
   // Event-delivery scratch, reused across process_event_message calls to
-  // keep the hot path allocation-free. Safe because the simulation core is
-  // single-threaded and every network send/schedule is asynchronous — no
-  // reentrant call can observe a half-used buffer.
-  std::vector<SubId> scratch_pending_;
-  std::vector<Id> scratch_keys_;
-  std::vector<std::pair<net::HostIndex, SubId>> scratch_routed_;
-  std::vector<std::uint32_t> scratch_cand_;
-  std::vector<ZoneState*> scratch_zones_;
+  // keep the hot path allocation-free, one set per worker slot (slot 0 is
+  // the sequential/main context). No reentrant call can observe a half-used
+  // buffer: every network send/schedule is asynchronous, and two messages
+  // processed concurrently live on different worker slots.
+  struct Scratch {
+    std::vector<SubId> pending;
+    std::vector<Id> keys;
+    std::vector<std::pair<net::HostIndex, SubId>> routed;
+    std::vector<std::uint32_t> cand;
+    std::vector<ZoneState*> zones;
+  };
+  std::array<Scratch, sim::Simulator::kMaxWorkers + 1> scratch_;
 };
 
 }  // namespace hypersub::core

@@ -252,7 +252,10 @@ void LoadBalancer::migrate(net::HostIndex h,
                   zs.add_migrated_bucket(MigratedBucket{
                       summary,
                       SubId{acceptor.id, token, SubIdKind::kMigrated}});
-                  migrated_ += count;
+                  // Balancer-global counter mutated from h's shard: joins
+                  // the deferred stream (inline in sequential mode).
+                  sys_.simulator().defer_ordered(
+                      [this, count] { migrated_ += count; });
                   // Coherence: the zone's repository changed shape (part
                   // of it now lives behind a migrated-bucket pointer);
                   // force the next publish of this key through a full
@@ -266,7 +269,10 @@ void LoadBalancer::migrate(net::HostIndex h,
                     sys_.propagate_pieces(h, origin_addr);
                   }
                 },
-                [this, count] { failed_ += count; },
+                [this, count] {
+                  sys_.simulator().defer_ordered(
+                      [this, count] { failed_ += count; });
+                },
                 trace::TraceCtx{mtrace, mspan});
           },
           [this, h, origin_addr, zone_key, bucket, count, mtrace, mspan] {
@@ -281,7 +287,8 @@ void LoadBalancer::migrate(net::HostIndex h,
             ZoneState& zs = origin.zone_state(origin_addr, zone_key);
             const HyperRect before = zs.summary();
             for (auto& s : *bucket) zs.add_subscription(std::move(s));
-            failed_ += count;
+            sys_.simulator().defer_ordered(
+                [this, count] { failed_ += count; });
             if (!(zs.summary() == before)) {
               sys_.propagate_pieces(h, origin_addr);
             }

@@ -9,6 +9,8 @@
 // rendezvous zone per subscheme.
 
 #include <cstddef>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,7 +60,15 @@ class Subscheme {
   std::vector<std::size_t> attrs_;
   lph::ZoneSystem zones_;
   Id rotation_;
-  mutable std::unordered_map<std::uint64_t, Id> key_cache_;
+  /// Memo of zone -> rotated key. The value is a pure function of the
+  /// zone, so which thread inserts it is irrelevant to determinism, but
+  /// the map itself is shared by every shard (parallel engine) — guarded
+  /// by a reader/writer lock, behind a pointer so Subscheme stays movable.
+  struct KeyCache {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, Id> map;
+  };
+  std::unique_ptr<KeyCache> key_cache_ = std::make_unique<KeyCache>();
 };
 
 /// Options controlling how a scheme is laid out on the overlay.

@@ -9,7 +9,58 @@ Network::Network(sim::Simulator& sim, const Topology& topo)
     : sim_(sim),
       topo_(topo),
       traffic_(topo.size()),
-      alive_(topo.size(), true) {}
+      alive_(topo.size(), true) {
+  sim_.add_merge_hook([this] { fold_deltas(); });
+}
+
+void Network::account_send(HostIndex from, HostIndex to, std::uint64_t bytes) {
+  if (sim_.in_worker_context()) {
+    SlotDelta& d = deltas_[sim_.worker_slot()];
+    HostTraffic out;
+    out.bytes_out = bytes;
+    out.msgs_out = 1;
+    HostTraffic in;
+    in.bytes_in = bytes;
+    in.msgs_in = 1;
+    d.items.emplace_back(from, out);
+    d.items.emplace_back(to, in);
+    ++d.total_messages;
+    d.total_bytes += bytes;
+    return;
+  }
+  traffic_[from].bytes_out += bytes;
+  traffic_[from].msgs_out += 1;
+  traffic_[to].bytes_in += bytes;
+  traffic_[to].msgs_in += 1;
+  ++total_messages_;
+  total_bytes_ += bytes;
+}
+
+void Network::account_drop() {
+  if (sim_.in_worker_context()) {
+    ++deltas_[sim_.worker_slot()].dropped;
+  } else {
+    ++dropped_;
+  }
+}
+
+void Network::fold_deltas() {
+  for (SlotDelta& d : deltas_) {
+    for (const auto& [h, t] : d.items) {
+      traffic_[h].bytes_in += t.bytes_in;
+      traffic_[h].bytes_out += t.bytes_out;
+      traffic_[h].msgs_in += t.msgs_in;
+      traffic_[h].msgs_out += t.msgs_out;
+    }
+    d.items.clear();
+    total_messages_ += d.total_messages;
+    total_bytes_ += d.total_bytes;
+    dropped_ += d.dropped;
+    d.total_messages = 0;
+    d.total_bytes = 0;
+    d.dropped = 0;
+  }
+}
 
 void Network::send(HostIndex from, HostIndex to, std::uint64_t bytes,
                    std::function<void()> handler) {
@@ -19,20 +70,24 @@ void Network::send(HostIndex from, HostIndex to, std::uint64_t bytes,
     return;
   }
   if (!alive_[to] || !alive_[from]) {
-    ++dropped_;
+    account_drop();
     return;
   }
-  traffic_[from].bytes_out += bytes;
-  traffic_[from].msgs_out += 1;
-  traffic_[to].bytes_in += bytes;
-  traffic_[to].msgs_in += 1;
-  ++total_messages_;
-  total_bytes_ += bytes;
-  const double delay = topo_.latency(from, to);
+  account_send(from, to, bytes);
+  // The destination's shard executes the delivery (the handler touches the
+  // receiver's state). Conservative mode additionally clamps the delay to
+  // the lookahead so cross-shard messages never land inside the sending
+  // window — with a lookahead at or below the minimum link latency this
+  // changes nothing at all.
+  double delay = topo_.latency(from, to);
+  if (delay < sim_.lookahead()) delay = sim_.lookahead();
   // Re-check liveness at delivery time: the destination may die in flight.
-  sim_.schedule(delay, [this, to, h = std::move(handler)]() mutable {
-    if (alive_[to]) h();
-    else ++dropped_;
+  sim_.schedule_on(to, delay, [this, to, h = std::move(handler)]() mutable {
+    if (alive_[to]) {
+      h();
+    } else {
+      account_drop();
+    }
   });
 }
 

@@ -6,9 +6,19 @@
 // node) fall out of one accounting point. Latency of a message equals the
 // topology's one-way delay between the two hosts; host-local processing is
 // treated as free, matching the paper's packet-level model.
+//
+// Parallel-engine integration: delivery handlers are scheduled on the
+// destination host's shard (the handler touches the receiver's state), the
+// one-way delay is clamped to the simulator's conservative lookahead (so a
+// message sent inside a window can never land inside the same window on
+// another shard), and traffic counters written from worker contexts
+// accumulate into per-worker deltas folded at each window barrier — the
+// sums are commutative, so totals are byte-identical to a sequential run.
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -35,7 +45,8 @@ class Network {
   sim::Simulator& simulator() noexcept { return sim_; }
   const Topology& topology() const noexcept { return topo_; }
 
-  /// Deliver `handler` at the destination after the one-way latency.
+  /// Deliver `handler` at the destination after the one-way latency
+  /// (clamped to the simulator's lookahead), on the destination's shard.
   /// Accounts `bytes` against both endpoints. Messages to self are delivered
   /// after `local_delay_ms` (default 0) without traffic accounting.
   /// Messages to dead hosts are dropped (counted in dropped()).
@@ -57,6 +68,19 @@ class Network {
   std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  /// Counter increments made by one worker during one window; folded into
+  /// the real counters at the window barrier (merge hook).
+  struct SlotDelta {
+    std::vector<std::pair<HostIndex, HostTraffic>> items;
+    std::uint64_t total_messages = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  void account_send(HostIndex from, HostIndex to, std::uint64_t bytes);
+  void account_drop();
+  void fold_deltas();
+
   sim::Simulator& sim_;
   const Topology& topo_;
   std::vector<HostTraffic> traffic_;
@@ -64,6 +88,7 @@ class Network {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t dropped_ = 0;
+  std::array<SlotDelta, sim::Simulator::kMaxWorkers + 1> deltas_;
 };
 
 }  // namespace hypersub::net

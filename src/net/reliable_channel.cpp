@@ -5,17 +5,35 @@
 
 namespace hypersub::net {
 
+ReliableChannel::Stats ReliableChannel::stats() const noexcept {
+  Stats s;
+  for (const Stats& h : per_host_) {
+    s.sent += h.sent;
+    s.acked += h.acked;
+    s.retries += h.retries;
+    s.expired += h.expired;
+    s.duplicates_suppressed += h.duplicates_suppressed;
+  }
+  return s;
+}
+
+void ReliableChannel::reset_stats() {
+  for (Stats& h : per_host_) h = Stats{};
+}
+
 void ReliableChannel::send(HostIndex from, HostIndex to, std::uint64_t bytes,
                            std::function<void()> deliver,
                            std::function<void()> on_fail,
                            trace::TraceCtx tctx) {
-  ++stats_.sent;
+  ++per_host_[from].sent;
   if (from == to) {
-    ++stats_.acked;
+    ++per_host_[from].acked;
     net_.send(from, to, bytes, std::move(deliver));
     return;
   }
-  auto m = std::make_shared<Message>(Message{from, to, bytes, ++next_id_,
+  const std::uint64_t id =
+      (std::uint64_t(from + 1) << 40) | ++send_ctr_[from];
+  auto m = std::make_shared<Message>(Message{from, to, bytes, id,
                                              std::move(deliver),
                                              std::move(on_fail), tctx});
   attempt(m, 0);
@@ -24,22 +42,28 @@ void ReliableChannel::send(HostIndex from, HostIndex to, std::uint64_t bytes,
 void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
                               int attempt_no) {
   net_.send(m->from, m->to, m->bytes, [this, m] {
-    // Receiver side. Run the handler only for the first copy; every copy
-    // (first or not) triggers an ack so the sender stops retransmitting.
-    if (m->resolved || !delivered_.insert(m->id).second) {
-      ++stats_.duplicates_suppressed;
+    // Receiver side (runs on the receiver's shard). Run the handler only
+    // for the first copy; every copy triggers an ack so the sender stops
+    // retransmitting. The insert-only seen-set suppresses later copies, and
+    // final expiry poisons it (below) so a copy arriving after the sender
+    // gave up — and rerouted the payload — is suppressed too, without the
+    // receiver ever reading sender-shard state.
+    if (!delivered_[m->to].insert(m->id).second) {
+      ++per_host_[m->to].duplicates_suppressed;
     } else {
       m->deliver();
     }
     net_.send(m->to, m->from, cfg_.ack_bytes, [this, m] {
+      // Sender's shard.
       if (m->resolved) return;
       m->resolved = true;
-      ++stats_.acked;
-      delivered_.erase(m->id);
+      ++per_host_[m->from].acked;
     });
   });
   const double deadline =
       cfg_.ack_timeout_ms * std::pow(cfg_.backoff, attempt_no);
+  // The timer inherits the current shard — attempt() always runs in the
+  // sender's context (send() at the sender, or a previous timer here).
   net_.simulator().schedule(deadline, [this, m, attempt_no] {
     if (m->resolved) return;
     if (!net_.alive(m->from)) {
@@ -47,11 +71,10 @@ void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
       // or reroute; resolve silently (running on_fail at a dead host would
       // resurrect processing there).
       m->resolved = true;
-      delivered_.erase(m->id);
       return;
     }
     if (attempt_no < cfg_.max_retries) {
-      ++stats_.retries;
+      ++per_host_[m->from].retries;
       if (auto* tr = trace::maybe(tracer_); tr && m->tctx.active()) {
         tr->point(m->tctx.trace, m->tctx.parent, trace::SpanKind::kRetry,
                   m->from, net_.simulator().now(),
@@ -61,8 +84,15 @@ void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
       return;
     }
     m->resolved = true;
-    ++stats_.expired;
-    delivered_.erase(m->id);
+    ++per_host_[m->from].expired;
+    // At-most-once across the reroute: the sender is about to resend the
+    // payload through another hop, so a late-arriving copy of THIS message
+    // must not also be processed. Poison the receiver's seen-set through a
+    // cross-shard hand-off — it is scheduled identically in both modes
+    // (lookahead is 0 sequentially), so runs stay byte-identical.
+    net_.simulator().schedule_on(
+        m->to, net_.simulator().lookahead(),
+        [this, m] { delivered_[m->to].insert(m->id); });
     if (auto* tr = trace::maybe(tracer_); tr && m->tctx.active()) {
       tr->point(m->tctx.trace, m->tctx.parent, trace::SpanKind::kExpire,
                 m->from, net_.simulator().now(), std::uint64_t(m->to));

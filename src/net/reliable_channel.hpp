@@ -12,15 +12,22 @@
 // losing the payload.
 //
 // Delivery is exactly-once per logical message: a retransmission that races
-// its predecessor is suppressed by a receiver-side seen-set, and any copy
-// arriving after the message resolved (acked or expired) is ignored. Ack
-// traffic is accounted through Network like every other message, so the
-// bandwidth metrics see the true cost of reliability.
+// its predecessor is suppressed by a receiver-side seen-set. Ack traffic is
+// accounted through Network like every other message, so the bandwidth
+// metrics see the true cost of reliability.
+//
+// Parallel-engine integration: message ids are minted from per-sender
+// counters (globally unique without coordination, identical across thread
+// counts), the seen-sets are per-receiver and insert-only (each touched
+// only on its host's shard), the sender-side state (`resolved`, timers,
+// retry/expire accounting) stays on the sender's shard via the simulator's
+// shard-inheriting timers, and Stats are kept per host and summed on read.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "net/network.hpp"
 #include "trace/tracer.hpp"
@@ -51,8 +58,17 @@ class ReliableChannel {
 
   // Two overloads instead of `Config cfg = {}`: a default argument here
   // would be parsed before Config's member initializers are complete.
-  explicit ReliableChannel(Network& net) : net_(net) {}
-  ReliableChannel(Network& net, Config cfg) : net_(net), cfg_(cfg) {}
+  explicit ReliableChannel(Network& net)
+      : net_(net),
+        per_host_(net.size()),
+        send_ctr_(net.size(), 0),
+        delivered_(net.size()) {}
+  ReliableChannel(Network& net, Config cfg)
+      : net_(net),
+        cfg_(cfg),
+        per_host_(net.size()),
+        send_ctr_(net.size(), 0),
+        delivered_(net.size()) {}
 
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
@@ -74,8 +90,12 @@ class ReliableChannel {
   /// recorded into. Not owned; must outlive the channel or be detached.
   void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
 
-  const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  /// Aggregate counters, summed over all hosts at call time.
+  Stats stats() const noexcept;
+  /// Per-host counters: sent/acked/retries/expired belong to the sender,
+  /// duplicates_suppressed to the receiver.
+  const Stats& host_stats(HostIndex h) const { return per_host_[h]; }
+  void reset_stats();
   const Config& config() const noexcept { return cfg_; }
 
  private:
@@ -87,20 +107,28 @@ class ReliableChannel {
     std::function<void()> deliver;
     std::function<void()> on_fail;
     trace::TraceCtx tctx;
-    bool resolved = false;  ///< acked, expired, or orphaned (sender died)
+    /// Acked, expired, or orphaned (sender died). Read and written only on
+    /// the sender's shard: the ack handler and every timeout timer run
+    /// there (Network routes acks to the sender; timers inherit the shard
+    /// of the event that armed them).
+    bool resolved = false;
   };
 
   void attempt(const std::shared_ptr<Message>& m, int attempt_no);
 
   Network& net_;
   Config cfg_;
-  Stats stats_;
+  /// Indexed by host; each entry is written only from that host's shard.
+  std::vector<Stats> per_host_;
   trace::Tracer* tracer_ = nullptr;
-  std::uint64_t next_id_ = 0;
-  /// Ids delivered but not yet resolved: dedupes retransmissions that race
-  /// their ack. Entries are erased at resolution (the `resolved` flag keeps
-  /// suppressing later copies), so the set stays small.
-  std::unordered_set<std::uint64_t> delivered_;
+  /// Per-sender id counters; ids are (sender+1) << 40 | counter, so they
+  /// are globally unique and identical across thread counts (each counter
+  /// advances in the sender's deterministic event order).
+  std::vector<std::uint64_t> send_ctr_;
+  /// Per-receiver ids already delivered: dedupes retransmissions. Insert-
+  /// only — ids are globally unique, so entries never need erasing, and the
+  /// set is touched only on the receiver's shard.
+  std::vector<std::unordered_set<std::uint64_t>> delivered_;
 };
 
 }  // namespace hypersub::net

@@ -22,6 +22,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   net::KingLikeTopology topo(tp);
 
   sim::Simulator simulator;
+  // Lookahead is set before any message flows: it clamps the minimum
+  // network latency in BOTH modes, so a parallel run compares byte-for-byte
+  // against a sequential run with the same lookahead.
+  simulator.set_threads(cfg.sim_threads);
+  simulator.set_lookahead(cfg.lookahead_ms);
   net::Network network(simulator, topo);
 
   chord::ChordNet::Params cp;

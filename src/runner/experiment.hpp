@@ -50,6 +50,9 @@ struct ExperimentConfig {
   // tracing (observability; off unless a tracer is supplied)
   trace::Tracer* tracer = nullptr;   ///< span recorder for the whole stack
   double trace_sample_rate = 1.0;    ///< fraction of publishes/installs kept
+  // parallel engine (defaults = sequential, zero-lookahead: seed behavior)
+  unsigned sim_threads = 1;    ///< worker threads; >1 enables sharded runs
+  double lookahead_ms = 0.0;   ///< min network latency = safe window width
   // misc
   std::uint64_t seed = 42;
 };

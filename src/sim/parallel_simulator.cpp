@@ -1,0 +1,324 @@
+#include "sim/parallel_simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hypersub::sim {
+
+namespace detail {
+
+namespace {
+thread_local WorkerTls* g_worker_tls = nullptr;
+}  // namespace
+
+WorkerTls* worker_tls() noexcept { return g_worker_tls; }
+void set_worker_tls(WorkerTls* t) noexcept { g_worker_tls = t; }
+
+bool exec_before(const ExecRec* a, const ExecRec* b) noexcept {
+  if (a == b) return false;
+  if (a->when != b->when) return a->when < b->when;
+  // Everything that entered the window with a global seq precedes
+  // everything scheduled during the window at the same timestamp (the
+  // sequential run would have assigned the latter larger seqs).
+  if (a->pre != b->pre) return a->pre;
+  if (a->pre) return a->seq < b->seq;
+  return sched_before({a->parent, a->idx}, {b->parent, b->idx});
+}
+
+namespace {
+
+/// Min-heap comparator for the live staged heap: (when, worker-local
+/// stamp). Within one worker, stamp order equals sequential scheduling
+/// order restricted to that worker, so this pops staged events exactly in
+/// sequential-restricted order.
+struct StagedLater {
+  bool operator()(const Staged& a, const Staged& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.stamp > b.stamp;
+  }
+};
+
+}  // namespace
+}  // namespace detail
+
+ParallelEngine::ParallelEngine(Simulator& sim, unsigned workers)
+    : sim_(sim), nworkers_(workers == 0 ? 1 : workers) {
+  workers_.reserve(nworkers_);
+  for (unsigned i = 0; i < nworkers_; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  // Redistribute the sequential queue into per-worker heaps.
+  while (!sim_.queue_.empty()) {
+    Simulator::Entry e =
+        std::move(const_cast<Simulator::Entry&>(sim_.queue_.top()));
+    sim_.queue_.pop();
+    push_pre(std::move(e));
+  }
+  threads_.reserve(nworkers_);
+  for (unsigned i = 0; i < nworkers_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelEngine::push_pre(Simulator::Entry e) {
+  if (e.shard == kNoShard) {
+    exclusive_.push(std::move(e));
+  } else {
+    worker_for(e.shard).heap.push(std::move(e));
+  }
+}
+
+bool ParallelEngine::peek_min(Time& when, std::uint64_t& seq,
+                              bool& exclusive) const {
+  bool found = false;
+  const auto consider = [&](const Simulator::Entry& e, bool ex) {
+    if (!found || e.when < when || (e.when == when && e.seq < seq)) {
+      found = true;
+      when = e.when;
+      seq = e.seq;
+      exclusive = ex;
+    }
+  };
+  for (const auto& wp : workers_) {
+    if (!wp->heap.empty()) consider(wp->heap.top(), false);
+  }
+  if (!exclusive_.empty()) consider(exclusive_.top(), true);
+  return found;
+}
+
+std::uint64_t ParallelEngine::run(Time until, bool bounded) {
+  std::uint64_t executed = 0;
+  for (;;) {
+    Time w = 0.0;
+    std::uint64_t s = 0;
+    bool excl = false;
+    if (!peek_min(w, s, excl)) break;
+    if (bounded && w > until) break;
+
+    if (excl) {
+      // Exclusive events run alone on the main thread, between windows;
+      // their schedules go straight into the heaps with global seqs.
+      Simulator::Entry e =
+          std::move(const_cast<Simulator::Entry&>(exclusive_.top()));
+      exclusive_.pop();
+      sim_.now_ = e.when;
+      sim_.current_shard_ = kNoShard;
+      ++sim_.executed_;
+      ++executed;
+      e.action();
+      sim_.current_shard_ = kNoShard;
+      continue;
+    }
+
+    // Window [w, bound): capped by the lookahead horizon, the next
+    // exclusive event's position, and (when bounded) the inclusive
+    // run_until position.
+    detail::Bound b{w + sim_.lookahead_, UINT64_MAX, true};
+    if (!exclusive_.empty()) {
+      const Simulator::Entry& t = exclusive_.top();
+      b = detail::Bound::min(b, {t.when, t.seq, true});
+    }
+    if (bounded) b = detail::Bound::min(b, {until, UINT64_MAX, false});
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      bound_ = b;
+      running_ = nworkers_;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] { return running_ == 0; });
+    }
+    executed += barrier_merge();
+  }
+  return executed;
+}
+
+void ParallelEngine::worker_main(unsigned index) {
+  detail::WorkerTls tls;
+  tls.sim = &sim_;
+  tls.engine = this;
+  tls.slot = index + 1;
+  detail::set_worker_tls(&tls);
+  std::uint64_t seen = 0;
+  for (;;) {
+    detail::Bound b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return quit_ || epoch_ != seen; });
+      if (quit_) break;
+      seen = epoch_;
+      b = bound_;
+    }
+    tls.bound = b;
+    run_window(index, b);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last = --running_ == 0;
+    }
+    if (last) cv_done_.notify_one();
+  }
+  detail::set_worker_tls(nullptr);
+}
+
+void ParallelEngine::run_window(unsigned index, detail::Bound bound) {
+  WorkerState& w = *workers_[index];
+  detail::WorkerTls& tls = *detail::worker_tls();
+  for (;;) {
+    const bool have_pre =
+        !w.heap.empty() &&
+        bound.admits_pre(w.heap.top().when, w.heap.top().seq);
+    const bool have_staged =
+        !w.staged.empty() && bound.admits_staged(w.staged.front().when);
+    bool take_staged;
+    if (have_pre && have_staged) {
+      // Tie on `when` goes to the pre-existing entry: its global seq
+      // precedes anything scheduled during this window.
+      take_staged = w.staged.front().when < w.heap.top().when;
+    } else if (have_pre) {
+      take_staged = false;
+    } else if (have_staged) {
+      take_staged = true;
+    } else {
+      break;
+    }
+
+    detail::ExecRec& rec = w.arena.emplace_back();
+    Task action;
+    if (take_staged) {
+      std::pop_heap(w.staged.begin(), w.staged.end(), detail::StagedLater{});
+      detail::Staged s = std::move(w.staged.back());
+      w.staged.pop_back();
+      rec.when = s.when;
+      rec.pre = false;
+      rec.parent = s.key.parent;
+      rec.idx = s.key.idx;
+      rec.shard = s.shard;
+      action = std::move(s.action);
+    } else {
+      Simulator::Entry e =
+          std::move(const_cast<Simulator::Entry&>(w.heap.top()));
+      w.heap.pop();
+      rec.when = e.when;
+      rec.pre = true;
+      rec.seq = e.seq;
+      rec.shard = e.shard;
+      action = std::move(e.action);
+    }
+    tls.shard = rec.shard;
+    tls.now = rec.when;
+    tls.rec = &rec;
+    ++w.executed;
+    w.max_when = std::max(w.max_when, rec.when);
+    action();
+  }
+  tls.rec = nullptr;
+  tls.shard = kNoShard;
+}
+
+void ParallelEngine::worker_stage(detail::WorkerTls& tls, Time when,
+                                  Shard shard, Task action) {
+  WorkerState& w = *workers_[tls.slot - 1];
+  detail::ExecRec* rec = tls.rec;
+  assert(rec != nullptr);
+  detail::Staged s{when, shard, {rec, rec->calls++}, 0, std::move(action)};
+  if (shard == tls.shard) {
+    s.stamp = ++w.stamp;
+    w.staged.push_back(std::move(s));
+    std::push_heap(w.staged.begin(), w.staged.end(), detail::StagedLater{});
+  } else {
+    // Conservative safety: a cross-shard handoff must land at or after
+    // the window end, or another shard could miss it mid-window. Delays
+    // >= lookahead always satisfy this (Network clamps link latencies).
+    assert(when >= tls.bound.when &&
+           "cross-shard schedule lands inside the window (delay < lookahead)");
+    w.outbox.push_back(std::move(s));
+  }
+}
+
+void ParallelEngine::worker_defer(detail::WorkerTls& tls, Task fn) {
+  WorkerState& w = *workers_[tls.slot - 1];
+  detail::ExecRec* rec = tls.rec;
+  assert(rec != nullptr);
+  w.defers.push_back(detail::Deferred{{rec, rec->calls++}, std::move(fn)});
+}
+
+std::uint64_t ParallelEngine::barrier_merge() {
+  std::vector<detail::Staged> staged;
+  std::vector<detail::Deferred> defers;
+  std::uint64_t n = 0;
+  Time maxw = sim_.now_;
+  for (auto& wp : workers_) {
+    WorkerState& w = *wp;
+    n += w.executed;
+    w.executed = 0;
+    maxw = std::max(maxw, w.max_when);
+    for (auto& s : w.staged) staged.push_back(std::move(s));
+    w.staged.clear();
+    for (auto& s : w.outbox) staged.push_back(std::move(s));
+    w.outbox.clear();
+    for (auto& d : w.defers) defers.push_back(std::move(d));
+    w.defers.clear();
+    w.stamp = 0;
+  }
+  sim_.executed_ += n;
+  sim_.now_ = maxw;
+
+  // (a) Give window-survivors their global seqs in exactly the order the
+  // sequential run would have made the schedule() calls.
+  std::sort(staged.begin(), staged.end(),
+            [](const detail::Staged& a, const detail::Staged& b) {
+              return detail::sched_before(a.key, b.key);
+            });
+  for (auto& s : staged) {
+    push_pre(Simulator::Entry{s.when, sim_.seq_++, s.shard,
+                              std::move(s.action)});
+  }
+
+  // (b) Apply deferred side effects in sequential order, each under its
+  // originating event's (time, shard) context.
+  std::sort(defers.begin(), defers.end(),
+            [](const detail::Deferred& a, const detail::Deferred& b) {
+              return detail::sched_before(a.key, b.key);
+            });
+  sim_.in_defer_apply_ = true;
+  for (auto& d : defers) {
+    sim_.now_ = d.key.parent->when;
+    sim_.current_shard_ = d.key.parent->shard;
+    d.fn();
+  }
+  sim_.in_defer_apply_ = false;
+  sim_.current_shard_ = kNoShard;
+  sim_.now_ = maxw;
+
+  // (c) Fold per-worker commutative counter deltas.
+  sim_.run_merge_hooks();
+
+  for (auto& wp : workers_) wp->arena.clear();
+  return n;
+}
+
+void ParallelEngine::drain_to_queue() {
+  const auto move_all = [&](Simulator::Queue& q) {
+    while (!q.empty()) {
+      sim_.queue_.push(std::move(const_cast<Simulator::Entry&>(q.top())));
+      q.pop();
+    }
+  };
+  move_all(exclusive_);
+  for (auto& wp : workers_) move_all(wp->heap);
+}
+
+}  // namespace hypersub::sim

@@ -15,19 +15,21 @@ std::size_t write_jsonl(const Tracer& tracer, std::ostream& os) {
     if (s.open()) {
       n = std::snprintf(
           buf, sizeof(buf),
-          "{\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "{\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
           "\"kind\": \"%s\", \"node\": %zu, \"start_ms\": %.6f, "
           "\"end_ms\": null, \"a\": %llu, \"b\": %llu}\n",
-          (unsigned long long)s.trace, s.id, s.parent, to_string(s.kind),
+          (unsigned long long)s.trace, (unsigned long long)s.id,
+          (unsigned long long)s.parent, to_string(s.kind),
           std::size_t(s.node), s.start_ms, (unsigned long long)s.a,
           (unsigned long long)s.b);
     } else {
       n = std::snprintf(
           buf, sizeof(buf),
-          "{\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "{\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
           "\"kind\": \"%s\", \"node\": %zu, \"start_ms\": %.6f, "
           "\"end_ms\": %.6f, \"a\": %llu, \"b\": %llu}\n",
-          (unsigned long long)s.trace, s.id, s.parent, to_string(s.kind),
+          (unsigned long long)s.trace, (unsigned long long)s.id,
+          (unsigned long long)s.parent, to_string(s.kind),
           std::size_t(s.node), s.start_ms, s.end_ms, (unsigned long long)s.a,
           (unsigned long long)s.b);
     }
@@ -70,20 +72,22 @@ std::size_t write_perfetto(const Tracer& tracer, std::ostream& os) {
           buf, sizeof(buf),
           "{\"name\": \"%s (lost)\", \"cat\": \"hypersub\", \"ph\": \"i\", "
           "\"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %zu, "
-          "\"args\": {\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"args\": {\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
           "\"a\": %llu, \"b\": %llu}}",
           to_string(s.kind), s.start_ms * 1000.0, std::size_t(s.node),
-          (unsigned long long)s.trace, s.id, s.parent,
+          (unsigned long long)s.trace, (unsigned long long)s.id,
+          (unsigned long long)s.parent,
           (unsigned long long)s.a, (unsigned long long)s.b);
     } else {
       n = std::snprintf(
           buf, sizeof(buf),
           "{\"name\": \"%s\", \"cat\": \"hypersub\", \"ph\": \"X\", "
           "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %zu, "
-          "\"args\": {\"trace\": %llu, \"span\": %u, \"parent\": %u, "
+          "\"args\": {\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
           "\"a\": %llu, \"b\": %llu}}",
           to_string(s.kind), s.start_ms * 1000.0, s.duration_ms() * 1000.0,
-          std::size_t(s.node), (unsigned long long)s.trace, s.id, s.parent,
+          std::size_t(s.node), (unsigned long long)s.trace, (unsigned long long)s.id,
+          (unsigned long long)s.parent,
           (unsigned long long)s.a, (unsigned long long)s.b);
     }
     emit(buf, n);

@@ -8,21 +8,33 @@
 //     compile time turns that test into a compile-time constant false and
 //     the instrumentation folds away entirely (the null tracer "compiles
 //     out").
-//   * deterministic — trace ids come from a plain counter and the sampling
-//     decision is a pure hash of the id, so two runs with the same seed
-//     and config produce byte-identical span logs.
+//   * deterministic — trace/span ids come from per-execution-context
+//     counters (the context is the shard of the event doing the recording,
+//     or 0 for main-context work and unbound tracers) encoded into the id's
+//     high bits, and the sampling decision is a pure hash of the id. A
+//     sequential run and a parallel run therefore mint identical ids, and
+//     two runs with the same seed and config produce byte-identical span
+//     logs.
 //   * bounded — spans append to a flat vector capped at max_spans; beyond
-//     the cap new traces are not started (dropped_traces counts them) so a
-//     long churn run cannot OOM the harness.
+//     the cap new spans are refused (dropped_spans counts them) so a long
+//     churn run cannot OOM the harness.
 //
 // The tracer is shared by every layer of one system instance (pub/sub
-// core, reliable channel, Chord routing, load balancer). The simulation
-// core is single-threaded, so no locking.
+// core, reliable channel, Chord routing, load balancer). Under the parallel
+// engine, id allocation is per-context (no two workers share a context's
+// counters) and span-log mutation is deferred to the window barrier via
+// Simulator::defer_ordered, so the log order matches sequential execution.
 
+#include <atomic>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/span.hpp"
+
+namespace hypersub::sim {
+class Simulator;
+}
 
 namespace hypersub::trace {
 
@@ -43,7 +55,10 @@ inline Tracer* maybe(Tracer* t) noexcept;
 class Tracer {
  public:
   struct Config {
-    /// Hard cap on recorded spans (memory bound for long runs).
+    /// Hard cap on recorded spans (memory bound for long runs). Note: under
+    /// the parallel engine, which spans are refused when the cap is hit
+    /// mid-window is the one thing that is not byte-stable; size max_spans
+    /// above the workload so the cap never engages in comparisons.
     std::size_t max_spans = std::size_t{1} << 22;
   };
 
@@ -53,14 +68,21 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// Attach this tracer to a simulator so ids are minted per execution
+  /// context and span-log mutations from worker contexts are deferred to
+  /// the window barrier. `max_shards` is the number of shards (hosts) the
+  /// simulation uses. Unbound tracers record directly with context 0.
+  void bind(sim::Simulator* sim, std::size_t max_shards);
+
   // -- trace lifecycle -------------------------------------------------------
 
-  /// Allocate the next trace id and decide whether to record it:
-  /// returns the id if sampled, kNoTrace otherwise. The id counter
-  /// advances either way, so changing the sample rate never renumbers the
-  /// traces that are kept (stable ids across rates, byte-stable across
-  /// runs). `sample_rate` in [0,1] is typically Config::trace_sample_rate
-  /// of the system being traced.
+  /// Allocate the next trace id in the current execution context and decide
+  /// whether to record it: returns the id if sampled, kNoTrace otherwise.
+  /// The context's counter advances either way, so changing the sample rate
+  /// never renumbers the traces that are kept (stable ids across rates,
+  /// byte-stable across runs and across thread counts). `sample_rate` in
+  /// [0,1] is typically Config::trace_sample_rate of the system being
+  /// traced.
   TraceId start_trace(double sample_rate);
 
   /// The deterministic sampling predicate (exposed for tests): a splitmix
@@ -91,40 +113,48 @@ class Tracer {
 
   const std::vector<Span>& spans() const noexcept { return spans_; }
   std::size_t span_count() const noexcept { return spans_.size(); }
-  /// Traces allocated so far (sampled or not).
-  std::uint64_t traces_started() const noexcept { return next_trace_; }
+  /// Traces allocated so far (sampled or not), across all contexts.
+  std::uint64_t traces_started() const noexcept;
   /// Spans refused because the max_spans cap was reached.
-  std::uint64_t dropped_spans() const noexcept { return dropped_; }
+  std::uint64_t dropped_spans() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   const Config& config() const noexcept { return cfg_; }
 
   /// Drop all recorded spans (e.g. after warm-up). Trace/span id counters
   /// keep advancing — ids stay unique across a reset.
   void reset() {
     spans_.clear();
-    dropped_ = 0;
+    index_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
   }
 
   // -- ambient context -------------------------------------------------------
   // The overlay's route() API predates tracing and cannot carry a trace
   // context parameter without breaking every substrate. Instead the caller
   // parks the context here immediately before the route() call and the
-  // substrate reads it synchronously (the simulation core is
-  // single-threaded, so nothing can interleave). Cleared by the reader.
+  // substrate reads it synchronously (nothing can interleave within one
+  // event execution, and the slot is thread-local so parallel workers do
+  // not share it). Cleared by the reader.
 
-  void set_ambient(TraceCtx ctx) noexcept { ambient_ = ctx; }
-  TraceCtx take_ambient() noexcept {
-    const TraceCtx c = ambient_;
-    ambient_ = TraceCtx{};
-    return c;
-  }
+  static void set_ambient(TraceCtx ctx) noexcept;
+  static TraceCtx take_ambient() noexcept;
 
  private:
+  /// 0 for main-context / exclusive / unbound recording, shard+1 for
+  /// events executing on a shard. Identical in sequential and parallel
+  /// runs because both track the executing event's shard.
+  std::size_t context_index() const noexcept;
+  void append(const Span& s);
+  void set_end(SpanId id, double end_ms);
+
   Config cfg_;
   std::vector<Span> spans_;
-  std::uint64_t next_trace_ = 0;
-  std::uint32_t next_span_ = 0;
-  std::uint64_t dropped_ = 0;
-  TraceCtx ambient_;
+  std::unordered_map<SpanId, std::size_t> index_;  ///< span id -> spans_ slot
+  sim::Simulator* sim_ = nullptr;
+  std::vector<std::uint64_t> trace_ctr_{0};  ///< per-context trace counters
+  std::vector<std::uint64_t> span_ctr_{0};   ///< per-context span counters
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 inline Tracer* maybe(Tracer* t) noexcept {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 
 namespace hypersub::sim {
 namespace {
@@ -109,6 +111,217 @@ TEST(Simulator, LongChainDeterministic) {
   s.run();
   EXPECT_EQ(count, 10000);
   EXPECT_NEAR(s.now(), 1000.0, 1e-6);
+}
+
+// --- edge cases ---------------------------------------------------------
+
+TEST(Simulator, RunUntilIncludesEqualTimeTies) {
+  // run_until's boundary is inclusive, and equal-time events at the
+  // boundary keep their FIFO order — including one scheduled *at* the
+  // boundary by a boundary event itself.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(2.0, [&] {
+    order.push_back(1);
+    s.schedule(0.0, [&] { order.push_back(3); });
+  });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(2.0000001, [&] { order.push_back(4); });
+  const auto n = s.run_until(2.0);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+TEST(Simulator, MaxEventsPauseAndResume) {
+  // Pausing on the event budget must not lose queued events, reorder the
+  // remainder, or disturb the clock; resuming picks up exactly where the
+  // budget ran out.
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    s.schedule(double(i), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(s.run(2), 2u);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+  EXPECT_EQ(s.pending(), 4u);
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_DOUBLE_EQ(s.now(), 4.0);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.executed(), 6u);
+}
+
+TEST(Simulator, FifoTiebreakAcrossScheduleAndScheduleAt) {
+  // schedule(delay) and schedule_at(when) landing on the same timestamp
+  // share one submission order — the tie-break is global, not per-API.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(3.0, [&] { order.push_back(0); });
+  s.schedule_at(3.0, [&] { order.push_back(1); });
+  s.schedule(3.0, [&] { order.push_back(2); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, NegativeDelayKeepsFifoWithExistingEvents) {
+  // A clamped negative delay behaves exactly like delay 0: it queues
+  // behind events already pending at the current time.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(5.0, [&] {
+    order.push_back(1);
+    s.schedule(-2.0, [&] { order.push_back(3); });
+  });
+  s.schedule(5.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --- parallel engine ----------------------------------------------------
+
+TEST(SimulatorParallel, ShardedRunMatchesSequentialOrder) {
+  // The same cross-shard workload executed sequentially and with a worker
+  // pool must produce the same observable mutation order. Observations go
+  // through defer_ordered, the engine's mechanism for totally-ordered side
+  // effects.
+  const auto run_one = [](unsigned threads) {
+    Simulator s;
+    s.set_threads(threads);
+    s.set_lookahead(2.0);
+    std::vector<std::pair<Shard, double>> log;
+    for (Shard sh = 0; sh < 8; ++sh) {
+      s.schedule_on(sh, double(sh % 3), [&s, &log, sh] {
+        EXPECT_EQ(s.current_shard(), sh);
+        s.defer_ordered([&s, &log, sh] { log.emplace_back(sh, s.now()); });
+        // Ping a neighbor shard; cross-shard sends respect the lookahead.
+        s.schedule_on((sh + 1) % 8, s.lookahead(), [&s, &log] {
+          s.defer_ordered(
+              [&s, &log] { log.emplace_back(s.current_shard(), s.now()); });
+        });
+      });
+    }
+    s.run();
+    return log;
+  };
+  const auto seq = run_one(1);
+  EXPECT_EQ(seq.size(), 16u);
+  EXPECT_EQ(run_one(4), seq);
+}
+
+TEST(SimulatorParallel, ContextInheritanceAndWorkerSlots) {
+  Simulator s;
+  s.set_threads(4);
+  s.set_lookahead(1.0);
+  bool checked_shard = false, checked_main = false;
+  s.schedule_on(3, 0.0, [&] {
+    EXPECT_TRUE(s.in_worker_context());
+    EXPECT_EQ(s.current_shard(), Shard{3});
+    EXPECT_GE(s.worker_slot(), 1u);
+    // A plain schedule() from a shard context inherits the shard.
+    s.schedule(0.5, [&] {
+      EXPECT_EQ(s.current_shard(), Shard{3});
+      checked_shard = true;
+    });
+  });
+  // Exclusive events (main-context schedules) run alone between windows.
+  s.schedule(0.25, [&] {
+    EXPECT_FALSE(s.in_worker_context());
+    EXPECT_EQ(s.current_shard(), kNoShard);
+    EXPECT_EQ(s.worker_slot(), 0u);
+    checked_main = true;
+  });
+  s.run();
+  EXPECT_TRUE(checked_shard);
+  EXPECT_TRUE(checked_main);
+}
+
+TEST(SimulatorParallel, ExclusivePinnedEventSeesAllPriorMutations) {
+  // schedule_on(kNoShard, ...) pins an event exclusive: every shard event
+  // before it has executed and merged when it runs (maintenance-tick
+  // pattern).
+  Simulator s;
+  s.set_threads(4);
+  s.set_lookahead(1.0);
+  int done = 0;
+  for (Shard sh = 0; sh < 16; ++sh) {
+    s.schedule_on(sh, 1.0, [&s, &done] {
+      s.defer_ordered([&done] { ++done; });
+    });
+  }
+  bool saw_all = false;
+  s.schedule_on(kNoShard, 5.0, [&] {
+    EXPECT_FALSE(s.in_worker_context());
+    saw_all = done == 16;
+  });
+  s.run();
+  EXPECT_TRUE(saw_all);
+}
+
+TEST(SimulatorParallel, RunUntilStopsAtBoundary) {
+  Simulator s;
+  s.set_threads(2);
+  s.set_lookahead(1.0);
+  int ran = 0;
+  s.schedule_on(0, 1.0, [&s, &ran] { s.defer_ordered([&ran] { ++ran; }); });
+  s.schedule_on(1, 3.0, [&s, &ran] { s.defer_ordered([&ran] { ++ran; }); });
+  EXPECT_EQ(s.run_until(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorParallel, DeferOrderedRunsInlineSequentially) {
+  Simulator s;  // threads=1: defer_ordered must apply immediately
+  int x = 0;
+  s.schedule(1.0, [&] {
+    s.defer_ordered([&] { x = 1; });
+    EXPECT_EQ(x, 1);
+  });
+  s.run();
+  EXPECT_EQ(x, 1);
+}
+
+// --- Task (SBO callable) ------------------------------------------------
+
+TEST(Task, SmallCapturesStayInline) {
+  struct Small {
+    void* a;
+    std::uint64_t b[4];
+    void operator()() {}
+  };
+  static_assert(sizeof(Small) <= Task::kInlineSize);
+  EXPECT_TRUE(Task::fits_inline<Small>());
+}
+
+TEST(Task, LargeCapturesSpillToHeapAndStillRun) {
+  std::uint64_t big[16] = {};
+  big[15] = 7;
+  int out = 0;
+  auto fn = [big, &out] { out = int(big[15]); };
+  EXPECT_FALSE(Task::fits_inline<decltype(fn)>());
+  Task t(fn);
+  std::move(t)();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Task, MoveTransfersOwnershipExactlyOnce) {
+  // A move-only capture proves the stored callable is relocated, not
+  // copied, and destroyed exactly once.
+  auto p = std::make_unique<int>(41);
+  int out = 0;
+  Task a([p = std::move(p), &out] { out = ++*p; });
+  EXPECT_TRUE(bool(a));
+  Task b(std::move(a));
+  EXPECT_FALSE(bool(a));
+  Task c;
+  c = std::move(b);
+  EXPECT_FALSE(bool(b));
+  c();
+  EXPECT_EQ(out, 42);
 }
 
 }  // namespace

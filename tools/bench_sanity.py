@@ -17,6 +17,16 @@ Subcommands:
       hops and strictly fewer packet-header bytes per event, and the cache
       must actually be hitting.
 
+  sim FRESH.json [--floor T:S ...]
+      Validate a fresh micro_sim run (self-relative): every thread count
+      must have produced the byte-identical snapshot hash (the parallel
+      engine's determinism contract — always enforced), the Task SBO
+      store+invoke must not be slower than std::function, and — only when
+      the host actually has at least as many cores as the thread count —
+      the parallel events/sec must clear the speedup floor over the
+      sequential run (defaults 2:1.3 4:2.0 8:3.0). On a 1-2 core CI box
+      the floors are skipped; determinism is not.
+
   trace FRESH.json [--max-overhead F]
       Validate the tracing-overhead contract from the same micro_route
       json (self-relative — both sides of the comparison ran interleaved
@@ -148,6 +158,81 @@ def cmd_trace(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# sim: parallel engine determinism (always) + speedup floors (cores permitting)
+# ---------------------------------------------------------------------------
+
+def parse_floors(specs):
+    floors = {}
+    for spec in specs:
+        threads, _, factor = spec.partition(":")
+        floors[int(threads)] = float(factor)
+    return floors
+
+
+def cmd_sim(args):
+    doc = load_json(args.fresh)
+    runs = {r["threads"]: r for r in doc.get("runs", [])}
+    if 1 not in runs:
+        sys.exit(f"error: {args.fresh} has no sequential (threads=1) run")
+    cores = doc.get("hardware_concurrency", 0)
+    floors = parse_floors(args.floor)
+    seq = runs[1]
+
+    print(f"sim engine ({doc.get('nodes')} nodes, {doc.get('events')} "
+          f"events, lookahead {doc.get('lookahead_ms')} ms, "
+          f"{cores} cores):")
+
+    failures = []
+
+    # Determinism: byte-identical output regardless of thread count.
+    hashes = {t: r["snapshot_hash"] for t, r in sorted(runs.items())}
+    for t, h in hashes.items():
+        marker = "" if h == seq["snapshot_hash"] else "  <-- DIVERGES"
+        print(f"  threads={t}: hash {h}{marker}")
+    if not doc.get("deterministic", False) or \
+            any(h != seq["snapshot_hash"] for h in hashes.values()):
+        failures.append("parallel run is not byte-identical to sequential")
+
+    # Task SBO: inlining the dominant capture shape must beat the
+    # heap-allocating std::function path.
+    sbo = doc.get("task_sbo", {})
+    if sbo:
+        print(f"  task SBO: {sbo['ns_per_op_task']:.1f} ns vs "
+              f"std::function {sbo['ns_per_op_function']:.1f} ns "
+              f"({sbo.get('speedup', 0.0):.2f}x), "
+              f"engine {sbo.get('engine_ns_per_event', 0.0):.0f} ns/event")
+        if not sbo.get("capture_fits_inline", False):
+            failures.append("dominant capture shape no longer fits inline")
+        if sbo["ns_per_op_task"] > sbo["ns_per_op_function"]:
+            failures.append("Task store+invoke slower than std::function")
+    else:
+        failures.append("json lacks task_sbo section (rerun bench/micro_sim)")
+
+    # Speedup floors: only meaningful when the host has the cores.
+    for threads, floor in sorted(floors.items()):
+        if threads not in runs:
+            continue
+        speedup = runs[threads]["events_per_sec"] / seq["events_per_sec"]
+        if cores >= threads:
+            verdict = "ok" if speedup >= floor else "FAIL"
+            print(f"  threads={threads}: {speedup:.2f}x "
+                  f"(floor {floor:.1f}x) {verdict}")
+            if speedup < floor:
+                failures.append(f"threads={threads} speedup {speedup:.2f}x "
+                                f"below floor {floor:.1f}x")
+        else:
+            print(f"  threads={threads}: {speedup:.2f}x "
+                  f"(floor skipped: host has {cores} cores)")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -164,6 +249,15 @@ def main():
     r = sub.add_parser("route", help="publish fast-lane self-check")
     r.add_argument("fresh", help="freshly produced BENCH_route.json")
     r.set_defaults(fn=cmd_route)
+
+    s = sub.add_parser("sim", help="parallel engine determinism + speedup")
+    s.add_argument("fresh", help="freshly produced BENCH_sim.json")
+    s.add_argument("--floor", action="append",
+                   default=["2:1.3", "4:2.0", "8:3.0"],
+                   help="THREADS:SPEEDUP floor, repeatable "
+                        "(defaults 2:1.3 4:2.0 8:3.0; enforced only when "
+                        "the host has >= THREADS cores)")
+    s.set_defaults(fn=cmd_sim)
 
     t = sub.add_parser("trace", help="tracing overhead + usefulness gate")
     t.add_argument("fresh", help="freshly produced BENCH_route.json")
