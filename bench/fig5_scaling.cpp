@@ -20,16 +20,23 @@ int main(int argc, char** argv) {
   using namespace hypersub;
   const auto scale = bench::parse_scale(argc, argv);
   // Network sizes (paper's Table 2 uses 1k..6k; reduced mode scales down).
+  // --nodes=N collapses the sweep to that single size; combined with
+  // --subs-per-node=K (and --fast-setup for big products) it turns fig5
+  // into a custom scale point — see README "Scaling runs".
   std::vector<std::size_t> sizes;
-  if (scale.full) {
+  if (scale.nodes_set) {
+    sizes = {scale.nodes};
+  } else if (scale.full) {
     sizes = {1000, 2000, 3000, 4000, 5000, 6000};
   } else {
     sizes = {200, 400, 600, 800, 1000, 1200};
   }
   const std::size_t events = scale.full ? 4000 : 600;
-  std::printf("[fig5] %s scale: sizes %zu..%zu, %zu events each\n\n",
+  std::printf("[fig5] %s scale: sizes %zu..%zu, %zu subs/node, "
+              "%zu events each%s\n\n",
               scale.full ? "full" : "reduced", sizes.front(), sizes.back(),
-              events);
+              scale.subs_per_node, events,
+              scale.fast_setup ? ", fast setup" : "");
 
   // Four configurations per size: the paper's uniform feed plain and
   // load-balanced, plus a Zipf-hot feed (fixed event pool, few publishers —
@@ -39,11 +46,9 @@ int main(int argc, char** argv) {
   std::vector<runner::ExperimentConfig> cfgs;
   for (const std::size_t n : sizes) {
     for (int mode = 0; mode < 4; ++mode) {
-      runner::ExperimentConfig cfg;
+      runner::ExperimentConfig cfg = bench::base_config(scale);
       cfg.nodes = n;
       cfg.events = events;
-      cfg.sim_threads = scale.sim_threads;
-      cfg.lookahead_ms = scale.lookahead_ms;
       cfg.load_balancing = (mode == 1);
       if (mode >= 2) {
         cfg.hot_event_pool = 64;

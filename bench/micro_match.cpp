@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/zone_state.hpp"
 #include "workload/zipf_workload.hpp"
 
@@ -182,6 +183,7 @@ bool run_sweep(const std::string& json_path, bool quick) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"micro_match\",\n");
+  hypersub::bench::write_host_json(f);
   std::fprintf(f, "  \"workload\": \"table1\",\n");
   std::fprintf(f, "  \"index_threshold\": %zu,\n",
                core::ZoneState::kDefaultIndexThreshold);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "chord/chord_net.hpp"
 #include "common/zipf.hpp"
 #include "core/hypersub_system.hpp"
@@ -248,6 +249,7 @@ bool emit_json(const std::string& path, const Params& p,
           : 0.0;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"micro_route\",\n");
+  hypersub::bench::write_host_json(f);
   std::fprintf(f, "  \"workload\": \"table1 zipf pool\",\n");
   std::fprintf(f,
                "  \"nodes\": %zu, \"subs_per_node\": %zu, \"pool\": %zu, "

@@ -1,0 +1,321 @@
+// Micro-benchmark: scale-out — how far one box can push the setup path
+// (overlay construction + subscription installation) and what the steady
+// state costs once it is up.
+//
+// Sweeps (nodes, subs_per_node) points up to 1M subscriptions / 10k nodes
+// (--full) and writes BENCH_scale.json (override with --json=PATH): per
+// point the setup wall-clock, the process peak RSS, and the measured-phase
+// engine events/sec, plus a snapshot hash so successive PRs can see any
+// behavioral drift. --quick runs only the 100k-subscription point (the CI
+// smoke + the point the sanity gate compares against the committed
+// pre-arena baseline in BENCH_scale_baseline.json).
+//
+// The default path is the scale-out stack: oracle bulk installation
+// (HyperSubSystem::bulk_subscribe), streamed per-event metrics, and the
+// counting delivery sink. --legacy runs the simulated per-subscription
+// install cascade instead (the pre-arena setup path; the committed
+// baseline was produced this way). Both draw the workload in the same
+// order from the same seeds, so zone contents are equivalent.
+//
+// Points run smallest-first because peak RSS is a process-wide high-water
+// mark: each point's reported peak is "after this point", so only the
+// largest point's value is a true per-point peak. The gated quick run has
+// exactly one point for this reason.
+//
+// --check-determinism re-runs the gated 100k point twice — sequential and
+// threads=2, both under the adaptive lookahead floor and work-stealing
+// windows — and fails (exit 1) unless the metrics snapshot JSON and the
+// sampled span logs are byte-identical. It runs after the measured sweep
+// so it cannot disturb the recorded per-point peak RSS.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
+#include "net/topology.hpp"
+#include "trace/tracer.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+using namespace hypersub;
+using Clock = std::chrono::steady_clock;
+
+double secs_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+std::uint64_t fnv1a(const std::string& s,
+                    std::uint64_t h = 1469598103934665603ull) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct PointResult {
+  std::size_t nodes = 0;
+  std::size_t subs_per_node = 0;
+  std::size_t subs = 0;
+  unsigned threads = 1;
+  bool legacy = false;
+  double setup_seconds = 0.0;
+  std::size_t peak_rss_bytes = 0;
+  std::uint64_t executed = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t snapshot_hash = 0;
+  std::string snapshot_json;  // kept only for the determinism check
+};
+
+struct RunOpts {
+  std::size_t events = 2000;
+  double mean_interarrival_ms = 0.5;
+  double lookahead_ms = 5.0;
+  unsigned threads = 1;
+  unsigned setup_threads = 1;
+  bool legacy = false;     ///< simulated install cascade (pre-arena path)
+  bool adaptive = false;   ///< lookahead floor from min live link latency
+  trace::Tracer* tracer = nullptr;
+  double trace_sample_rate = 1.0;
+};
+
+PointResult run_point(std::size_t nodes, std::size_t subs_per_node,
+                      const RunOpts& o) {
+  const auto t0 = Clock::now();
+  net::KingLikeTopology::Params tp;
+  tp.hosts = nodes;
+  tp.seed = 11;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  sim.set_threads(o.threads);
+  sim.set_lookahead(o.lookahead_ms);
+  net::Network net(sim, topo);
+  if (o.adaptive) net.enable_adaptive_lookahead();
+  chord::ChordNet::Params cp;
+  cp.seed = 11;
+  chord::ChordNet chord(net, cp);
+  chord.oracle_build(o.setup_threads);
+  core::HyperSubSystem::Config sc;
+  sc.stream_event_metrics = !o.legacy;  // big runs never materialize records
+  sc.trace_sample_rate = o.trace_sample_rate;
+  core::HyperSubSystem sys(chord, sc);
+  core::CountingDeliverySink sink;
+  sys.set_delivery_sink(sink);
+  if (o.tracer) sys.set_tracer(o.tracer);
+
+  workload::WorkloadGenerator gen(workload::table1_spec(), 23);
+  core::SchemeOptions so;
+  so.zone_cfg = lph::ZoneSystem::Config{1, 20};
+  const auto scheme = sys.add_scheme(gen.scheme(), so);
+  if (o.legacy) {
+    for (net::HostIndex h = 0; h < nodes; ++h) {
+      for (std::size_t k = 0; k < subs_per_node; ++k) {
+        sys.subscribe(h, scheme, gen.make_subscription());
+      }
+    }
+  } else {
+    // Same draw order as the legacy loop — zone contents are equivalent,
+    // installed directly through the oracle instead of an install storm.
+    std::vector<core::HyperSubSystem::BulkSub> batch;
+    batch.reserve(nodes * subs_per_node);
+    for (net::HostIndex h = 0; h < nodes; ++h) {
+      for (std::size_t k = 0; k < subs_per_node; ++k) {
+        batch.push_back({h, gen.make_subscription()});
+      }
+    }
+    sys.bulk_subscribe(scheme, std::move(batch), o.setup_threads);
+  }
+  sim.run();  // drain the install traffic: setup ends here
+  const auto t1 = Clock::now();
+  sys.reset_metrics();
+  if (o.tracer) o.tracer->reset();
+
+  Rng rng(29);
+  double t = 0.0;
+  for (std::size_t i = 0; i < o.events; ++i) {
+    t += rng.exponential(o.mean_interarrival_ms);
+    const auto pub = net::HostIndex(rng.index(nodes));
+    sim.schedule_at(t, [&sys, pub, scheme, ev = gen.make_event()] {
+      sys.publish(pub, scheme, ev);
+    });
+  }
+  const std::uint64_t before = sim.executed();
+  const auto t2 = Clock::now();
+  sim.run();
+  const auto t3 = Clock::now();
+  sys.finalize_events();
+
+  PointResult r;
+  r.nodes = nodes;
+  r.subs_per_node = subs_per_node;
+  r.subs = nodes * subs_per_node;
+  r.threads = o.threads;
+  r.legacy = o.legacy;
+  r.setup_seconds = secs_between(t0, t1);
+  r.peak_rss_bytes = bench::peak_rss_bytes();
+  r.executed = sim.executed() - before;
+  r.events_per_sec = double(r.executed) / secs_between(t2, t3);
+  r.deliveries = sink.count();
+  r.snapshot_json = metrics::snapshot(sys).to_json();
+  r.snapshot_hash = fnv1a(std::to_string(sink.count()),
+                          fnv1a(r.snapshot_json));
+  return r;
+}
+
+void print_point(const char* tag, const PointResult& r) {
+  std::printf(
+      "[micro_scale] %s %zu nodes x %zu subs (%zu total, threads=%u, %s): "
+      "setup %.2f s, peak RSS %.1f MiB, %.0f events/sec, "
+      "%llu deliveries, hash %016llx\n",
+      tag, r.nodes, r.subs_per_node, r.subs, r.threads,
+      r.legacy ? "legacy" : "fast", r.setup_seconds,
+      double(r.peak_rss_bytes) / (1024.0 * 1024.0), r.events_per_sec,
+      (unsigned long long)r.deliveries, (unsigned long long)r.snapshot_hash);
+}
+
+/// The scale-point leg of the parallel-determinism suite: the gated 100k
+/// point, sequential vs threads=2, adaptive lookahead + work-stealing,
+/// byte-compared on the metrics snapshot JSON and the sampled span log.
+bool check_determinism_at_scale(std::size_t events) {
+  std::printf("[micro_scale] determinism check @ 100k subs"
+              " (adaptive lookahead, threads 1 vs 2)...\n");
+  RunOpts o;
+  o.events = events;
+  o.lookahead_ms = 0.0;  // the adaptive floor is what admits parallelism
+  o.adaptive = true;
+  o.trace_sample_rate = 0.05;
+  trace::Tracer seq_tracer, par_tracer;
+  o.threads = 1;
+  o.tracer = &seq_tracer;
+  const PointResult seq = run_point(2000, 50, o);
+  o.threads = 2;
+  o.tracer = &par_tracer;
+  const PointResult par = run_point(2000, 50, o);
+
+  bool ok = true;
+  if (seq.snapshot_json != par.snapshot_json) {
+    std::fprintf(stderr,
+                 "[micro_scale] FAIL: snapshot JSON diverges"
+                 " (hash %016llx vs %016llx)\n",
+                 (unsigned long long)seq.snapshot_hash,
+                 (unsigned long long)par.snapshot_hash);
+    ok = false;
+  }
+  if (seq.deliveries != par.deliveries) {
+    std::fprintf(stderr, "[micro_scale] FAIL: deliveries %llu vs %llu\n",
+                 (unsigned long long)seq.deliveries,
+                 (unsigned long long)par.deliveries);
+    ok = false;
+  }
+  const auto& a = seq_tracer.spans();
+  const auto& b = par_tracer.spans();
+  if (a.size() != b.size()) {
+    std::fprintf(stderr, "[micro_scale] FAIL: span count %zu vs %zu\n",
+                 a.size(), b.size());
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) {
+        std::fprintf(stderr,
+                     "[micro_scale] FAIL: span log diverges at index %zu\n",
+                     i);
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    std::printf("[micro_scale] determinism check passed:"
+                " %zu spans, %llu deliveries, hash %016llx\n",
+                a.size(), (unsigned long long)seq.deliveries,
+                (unsigned long long)seq.snapshot_hash);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct Point {
+    std::size_t nodes, subs_per_node;
+  };
+  std::vector<Point> points{{600, 10}, {2000, 50}};
+  RunOpts opts;
+  std::string json_path = "BENCH_scale.json";
+  bool quick = false;
+  bool check_determinism = false;
+  std::size_t nodes_override = 0, spn_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      points = {{2000, 50}};  // the gated 100k-subscription point
+      opts.events = 1000;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      points = {{600, 10}, {2000, 50}, {10000, 100}};
+    } else if (std::strcmp(argv[i], "--legacy") == 0) {
+      opts.legacy = true;
+    } else if (std::strcmp(argv[i], "--check-determinism") == 0) {
+      check_determinism = true;
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes_override = std::size_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--subs-per-node=", 16) == 0) {
+      spn_override = std::size_t(std::atoll(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      opts.events = std::size_t(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--setup-threads=", 16) == 0) {
+      opts.setup_threads = unsigned(std::atoi(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  if (nodes_override || spn_override) {
+    points = {{nodes_override ? nodes_override : 2000,
+               spn_override ? spn_override : 50}};
+  }
+
+  std::vector<PointResult> results;
+  for (const auto& pt : points) {
+    results.push_back(run_point(pt.nodes, pt.subs_per_node, opts));
+    print_point("point", results.back());
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f, "{\n \"bench\": \"micro_scale\",\n");
+  hypersub::bench::write_host_json(f);
+  std::fprintf(f, " \"quick\": %s,\n \"events\": %zu,\n \"mode\": \"%s\",\n",
+               quick ? "true" : "false", opts.events,
+               opts.legacy ? "legacy" : "fast");
+  std::fprintf(f, " \"points\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PointResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"nodes\": %zu, \"subs_per_node\": %zu, \"subs\": %zu, "
+                 "\"threads\": %u, \"setup_seconds\": %.3f, "
+                 "\"peak_rss_bytes\": %zu, \"events_per_sec\": %.0f, "
+                 "\"deliveries\": %llu, \"snapshot_hash\": \"%016llx\"}%s\n",
+                 r.nodes, r.subs_per_node, r.subs, r.threads, r.setup_seconds,
+                 r.peak_rss_bytes, r.events_per_sec,
+                 (unsigned long long)r.deliveries,
+                 (unsigned long long)r.snapshot_hash,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, " ]\n}\n");
+  std::fclose(f);
+  std::printf("[micro_scale] wrote %s\n", json_path.c_str());
+
+  if (check_determinism && !check_determinism_at_scale(opts.events)) return 1;
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "chord/chord_net.hpp"
 #include "core/hypersub_system.hpp"
 #include "metrics/snapshot.hpp"
@@ -225,8 +226,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n \"bench\": \"micro_sim\",\n");
-  std::fprintf(f, " \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  hypersub::bench::write_host_json(f);
   std::fprintf(f, " \"nodes\": %zu,\n \"events\": %zu,\n", p.nodes, p.events);
   std::fprintf(f, " \"lookahead_ms\": %.3f,\n", p.lookahead_ms);
   std::fprintf(f,

@@ -1,7 +1,9 @@
 #include "chord/chord_net.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <thread>
 
 namespace hypersub::chord {
 
@@ -89,57 +91,94 @@ NodeRef ChordNet::oracle_successor(Id key) const {
   return ring[successor_index(ids, key)];
 }
 
-void ChordNet::oracle_build() {
+void ChordNet::oracle_build(unsigned threads) {
   const auto ring = oracle_ring();
   const std::size_t n = ring.size();
   assert(n >= 1);
-  // Position of each live node in the sorted ring.
-  std::unordered_map<Id, std::size_t> pos;
-  for (std::size_t i = 0; i < n; ++i) pos[ring[i].id] = i;
   std::vector<Id> ids;
   ids.reserve(n);
   for (const auto& r : ring) ids.push_back(r.id);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    ChordNode& nd = *nodes_[ring[i].host];
-    // Predecessor and successor list straight from ring order.
-    with_pred_watch(ring[i].host, [&](ChordNode& me) {
-      me.set_predecessor(ring[(i + n - 1) % n]);
-    });
+  // Compute phase: the whole routing state of every node is a pure function
+  // of the sorted ring and the (immutable) topology, so it shards cleanly
+  // over contiguous ring ranges. The PNS latency scans — n * 64 *
+  // pns_candidates latency() calls — are what makes construction expensive
+  // at scale; they all happen here.
+  struct Built {
+    NodeRef pred;
+    NodeRef succ;
     std::vector<NodeRef> rest;
-    for (std::size_t k = 2; k <= params_.succ_list_len && k < n + 1; ++k) {
-      rest.push_back(ring[(i + k) % n]);
-    }
-    nd.adopt_successor_list(ring[(i + 1) % n], rest);
-    // Fingers with optional PNS: candidates are the first pns_candidates
-    // nodes clockwise from the finger start that stay within
-    // [start, next_start); pick the closest by network latency.
-    for (int f = 0; f < kIdBits; ++f) {
-      const Id start = ring::finger_start(nd.id(), f);
-      const Id next_start = ring::finger_start(nd.id(), (f + 1) % kIdBits);
-      const std::size_t first = successor_index(ids, start);
-      NodeRef chosen = ring[first];
-      if (params_.pns) {
-        double best = net_.topology().latency(nd.host(), chosen.host);
-        std::size_t idx = first;
-        for (std::size_t c = 1; c < params_.pns_candidates; ++c) {
-          idx = (idx + 1) % n;
-          const NodeRef& cand = ring[idx];
-          // Stop once candidates leave the finger's interval (for f == 63
-          // the interval is the half ring back to the node itself).
-          const bool in_range =
-              f == kIdBits - 1
-                  ? ring::in_closed_open(cand.id, start, nd.id())
-                  : ring::in_closed_open(cand.id, start, next_start);
-          if (!in_range) break;
-          const double lat = net_.topology().latency(nd.host(), cand.host);
-          if (lat < best) {
-            best = lat;
-            chosen = cand;
+    std::array<NodeRef, kIdBits> fingers{};
+  };
+  std::vector<Built> built(n);
+  const auto compute = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const ChordNode& nd = *nodes_[ring[i].host];
+      Built& b = built[i];
+      // Predecessor and successor list straight from ring order.
+      b.pred = ring[(i + n - 1) % n];
+      b.succ = ring[(i + 1) % n];
+      for (std::size_t k = 2; k <= params_.succ_list_len && k < n + 1; ++k) {
+        b.rest.push_back(ring[(i + k) % n]);
+      }
+      // Fingers with optional PNS: candidates are the first pns_candidates
+      // nodes clockwise from the finger start that stay within
+      // [start, next_start); pick the closest by network latency.
+      for (int f = 0; f < kIdBits; ++f) {
+        const Id start = ring::finger_start(nd.id(), f);
+        const Id next_start = ring::finger_start(nd.id(), (f + 1) % kIdBits);
+        const std::size_t first = successor_index(ids, start);
+        NodeRef chosen = ring[first];
+        if (params_.pns) {
+          double best = net_.topology().latency(nd.host(), chosen.host);
+          std::size_t idx = first;
+          for (std::size_t c = 1; c < params_.pns_candidates; ++c) {
+            idx = (idx + 1) % n;
+            const NodeRef& cand = ring[idx];
+            // Stop once candidates leave the finger's interval (for f == 63
+            // the interval is the half ring back to the node itself).
+            const bool in_range =
+                f == kIdBits - 1
+                    ? ring::in_closed_open(cand.id, start, nd.id())
+                    : ring::in_closed_open(cand.id, start, next_start);
+            if (!in_range) break;
+            const double lat = net_.topology().latency(nd.host(), cand.host);
+            if (lat < best) {
+              best = lat;
+              chosen = cand;
+            }
           }
         }
+        b.fingers[std::size_t(f)] = chosen;
       }
-      nd.set_finger(f, chosen);
+    }
+  };
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, threads), n);
+  if (workers <= 1) {
+    compute(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(
+          [&compute, lo = n * w / workers, hi = n * (w + 1) / workers] {
+            compute(lo, hi);
+          });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // Apply phase: sequential in ring order, so ownership notifications (and
+  // any listener side effects) fire in a thread-count-independent order.
+  for (std::size_t i = 0; i < n; ++i) {
+    ChordNode& nd = *nodes_[ring[i].host];
+    Built& b = built[i];
+    with_pred_watch(ring[i].host,
+                    [&](ChordNode& me) { me.set_predecessor(b.pred); });
+    nd.adopt_successor_list(b.succ, std::move(b.rest));
+    for (int f = 0; f < kIdBits; ++f) {
+      nd.set_finger(f, b.fingers[std::size_t(f)]);
     }
   }
 }
@@ -435,11 +474,11 @@ void ChordNet::fix_next_finger(net::HostIndex h) {
   route(h, start, 0, [this, h, i, start](const RouteResult& r) {
     // This callback runs at the key's owner, not at h; every write to h's
     // finger table is shipped back to h's shard (a remote apply delayed by
-    // the lookahead, which is zero in sequential mode).
+    // the effective lookahead, identical in both modes).
     if (!net_.alive(h)) return;
     if (!params_.pns) {
       net_.simulator().schedule_on(
-          h, net_.simulator().lookahead(), [this, h, i, owner = r.owner] {
+          h, net_.simulator().effective_lookahead(), [this, h, i, owner = r.owner] {
             if (net_.alive(h)) nodes_[h]->set_finger(i, owner);
           });
       return;
@@ -511,7 +550,7 @@ void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
         [this, host, on_joined = std::move(on_joined)](const RouteResult& r) {
           // Runs at the owner; apply the join result on the joiner's shard.
           net_.simulator().schedule_on(
-              host, net_.simulator().lookahead(),
+              host, net_.simulator().effective_lookahead(),
               [this, host, owner = r.owner,
                on_joined = std::move(on_joined)] {
                 if (!net_.alive(host)) return;

@@ -115,7 +115,12 @@ class ChordNet final : public overlay::Overlay {
 
   /// Fill predecessor/successor lists/fingers for every node from the global
   /// membership; applies PNS if params().pns. O(n * 64 * pns_candidates).
-  void oracle_build();
+  /// With threads > 1 the routing-state computation (dominated by the PNS
+  /// latency scans) is sharded over contiguous ring ranges; the computed
+  /// state is applied sequentially in ring order, so the result — including
+  /// the order ownership notifications fire in — is independent of the
+  /// thread count.
+  void oracle_build(unsigned threads = 1);
 
   /// Ground truth: the live node that owns `key` (its successor). Used by
   /// tests and by metrics, never by the protocol paths.
@@ -123,6 +128,12 @@ class ChordNet final : public overlay::Overlay {
 
   /// Ground-truth ring order (ascending ids) of live nodes.
   std::vector<NodeRef> oracle_ring() const;
+
+  /// Chord's oracle owner table IS the sorted ring: owner(key) =
+  /// successor(key) = first id >= key, wrapping.
+  std::vector<NodeRef> oracle_owner_table() const override {
+    return oracle_ring();
+  }
 
   // -- lookup ---------------------------------------------------------------
 

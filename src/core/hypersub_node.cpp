@@ -33,17 +33,48 @@ auto zones_for_key(ZoneMap& zones, const KeyMap& by_key, Id rotated_key) {
 void MigratedRepo::match(const Point& p, std::vector<SubId>& out,
                          std::vector<std::uint32_t>& scratch) const {
   if (!indexed) {
-    for (const auto& s : subs) {
-      if (s.sub.matches(p)) out.push_back(s.owner);
+    const std::uint32_t n = std::uint32_t(subs.size());
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (subs.full_contains(r, p)) out.push_back(subs.owner(r));
     }
     return;
   }
   scratch.clear();
   index.candidates(p, scratch);
   for (const std::uint32_t slot : scratch) {
-    const StoredSub& s = subs[slot];
-    if (s.sub.matches(p)) out.push_back(s.owner);
+    if (subs.full_contains(slot, p)) out.push_back(subs.owner(slot));
   }
+}
+
+void HyperSubNode::record_local(std::uint32_t iid,
+                                const pubsub::Subscription& sub) {
+  if (local_entries_.size() < iid) local_entries_.resize(iid);
+  LocalEntry& e = local_entries_[iid - 1];
+  assert(!e.live);
+  const auto& dims = sub.range().dims();
+  e.off = std::uint32_t(local_pool_.size());
+  e.dims = std::uint16_t(dims.size());
+  e.live = true;
+  local_pool_.insert(local_pool_.end(), dims.begin(), dims.end());
+  ++local_live_;
+}
+
+bool HyperSubNode::erase_local(std::uint32_t iid) {
+  if (iid == 0 || iid > local_entries_.size()) return false;
+  LocalEntry& e = local_entries_[iid - 1];
+  if (!e.live) return false;
+  e.live = false;
+  --local_live_;
+  return true;
+}
+
+std::optional<pubsub::Subscription> HyperSubNode::local_sub(
+    std::uint32_t iid) const {
+  if (iid == 0 || iid > local_entries_.size()) return std::nullopt;
+  const LocalEntry& e = local_entries_[iid - 1];
+  if (!e.live) return std::nullopt;
+  return pubsub::Subscription(HyperRect(std::vector<Interval>(
+      local_pool_.begin() + e.off, local_pool_.begin() + e.off + e.dims)));
 }
 
 ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
@@ -91,10 +122,12 @@ void HyperSubNode::append_replica_zones_by_key(Id rotated_key,
 std::uint32_t HyperSubNode::accept_migration(Id origin_zone_key,
                                              std::vector<StoredSub> subs) {
   const std::uint32_t token = ++token_counter_;
-  MigratedRepo repo{origin_zone_key, std::move(subs), SubIndex{}, false};
-  if (repo.subs.size() >= index_threshold_) {
-    for (const auto& s : repo.subs) repo.index.insert(s.sub.range());
-    repo.indexed = true;
+  MigratedRepo repo;
+  repo.origin_zone_key = origin_zone_key;
+  repo.indexed = subs.size() >= index_threshold_;
+  for (const auto& s : subs) {
+    repo.subs.add(s);  // append-never: refs are the dense acceptance order
+    if (repo.indexed) repo.index.insert(s.sub.range());
   }
   migrated_in_.emplace(token, std::move(repo));
   return token;

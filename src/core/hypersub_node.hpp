@@ -4,6 +4,7 @@
 // overloaded peers.
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -13,15 +14,17 @@
 namespace hypersub::core {
 
 /// Subscriptions accepted from an overloaded peer, keyed by bucket token.
-/// Large buckets carry a matching index (slots == positions in `subs`;
-/// the repo is append-never after acceptance, so no slot bookkeeping).
+/// Large buckets carry a matching index (index slots == arena refs == the
+/// dense 0..n-1 acceptance order; the repo is append-never after
+/// acceptance, so no slot bookkeeping).
 struct MigratedRepo {
-  Id origin_zone_key = 0;        ///< zone the subs were extracted from
-  std::vector<StoredSub> subs;   ///< full entries, exact matching
-  SubIndex index;                ///< over subs' full-space ranges
+  Id origin_zone_key = 0;  ///< zone the subs were extracted from
+  SubArena subs;           ///< full entries (SoA), exact matching
+  SubIndex index;          ///< over subs' full-space ranges
   bool indexed = false;
 
-  /// Append the owners of the subs matching `p` (exact), in `subs` order.
+  /// Append the owners of the subs matching `p` (exact), in acceptance
+  /// order.
   void match(const Point& p, std::vector<SubId>& out,
              std::vector<std::uint32_t>& scratch) const;
 };
@@ -39,15 +42,16 @@ class HyperSubNode {
   // -- subscriber side -----------------------------------------------------
 
   /// Allocate the next internal id for a subscription owned by this node.
+  /// Iids are dense (1..n), which is what lets the subscriber-side store
+  /// index by iid instead of hashing.
   std::uint32_t next_iid() { return ++iid_counter_; }
-  void record_local(std::uint32_t iid, pubsub::Subscription sub) {
-    local_subs_.emplace(iid, std::move(sub));
-  }
-  bool erase_local(std::uint32_t iid) { return local_subs_.erase(iid) > 0; }
-  const std::unordered_map<std::uint32_t, pubsub::Subscription>& local_subs()
-      const noexcept {
-    return local_subs_;
-  }
+  void record_local(std::uint32_t iid, const pubsub::Subscription& sub);
+  bool erase_local(std::uint32_t iid);
+
+  /// The full-space range recorded for `iid`; nullopt if unknown or
+  /// erased. Materializes a copy — the unsubscribe path only.
+  std::optional<pubsub::Subscription> local_sub(std::uint32_t iid) const;
+  std::size_t local_sub_count() const noexcept { return local_live_; }
 
   // -- surrogate side (hosted zones) ----------------------------------------
 
@@ -115,12 +119,24 @@ class HyperSubNode {
   std::size_t stored_entries() const;
 
  private:
+  // Subscriber-side SoA store: entry iid-1 holds the range's offset into
+  // one shared interval pool (iids are dense, so no hashing); erase marks
+  // the entry dead and leaves the pool space behind (unsubscribe churn is
+  // negligible next to the per-map-node overhead this replaces).
+  struct LocalEntry {
+    std::uint32_t off = 0;
+    std::uint16_t dims = 0;
+    bool live = false;
+  };
+
   net::HostIndex host_;
   Id node_id_;
   std::size_t index_threshold_;
   std::uint32_t iid_counter_ = 0;
   std::uint32_t token_counter_ = 0;
-  std::unordered_map<std::uint32_t, pubsub::Subscription> local_subs_;
+  std::vector<LocalEntry> local_entries_;  // index = iid - 1
+  std::vector<Interval> local_pool_;
+  std::size_t local_live_ = 0;
   std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> zones_;
   std::unordered_map<Id, std::vector<ZoneAddr>> zones_by_key_;
   std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> replica_zones_;

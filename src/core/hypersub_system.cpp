@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <set>
+#include <thread>
 
 namespace hypersub::core {
 
@@ -17,6 +20,7 @@ HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
   }
   batches_.resize(dht.size());
   delivered_subs_.resize(dht.size());
+  event_metrics_.set_streaming(cfg_.stream_event_metrics);
   if (cfg_.route_cache) {
     // Coherence hook: when a node's owned key range moves (stabilization,
     // failure repair, oracle rebuild), cached resolutions pointing at it
@@ -110,12 +114,9 @@ SubscriptionHandle HyperSubSystem::subscribe(net::HostIndex subscriber,
 void HyperSubSystem::unsubscribe(const SubscriptionHandle& handle) {
   if (!handle.valid()) return;
   const HyperSubNode& me = *nodes_[handle.subscriber];
-  const auto it = me.local_subs().find(handle.iid);
-  if (it == me.local_subs().end()) return;  // unknown or already removed
-  // Copy before unsubscribe_impl erases the stored entry out from under
-  // the reference.
-  const pubsub::Subscription sub = it->second;
-  unsubscribe_impl(handle.subscriber, handle.scheme, handle.iid, sub);
+  const auto sub = me.local_sub(handle.iid);
+  if (!sub) return;  // unknown or already removed
+  unsubscribe_impl(handle.subscriber, handle.scheme, handle.iid, *sub);
 }
 
 void HyperSubSystem::unsubscribe_impl(net::HostIndex subscriber,
@@ -162,6 +163,222 @@ void HyperSubSystem::unsubscribe_impl(net::HostIndex subscriber,
                    propagate_pieces(r.owner.host, addr);
                  }
                });
+}
+
+namespace {
+
+/// Owner of `key` in an oracle owner table with successor geometry: the
+/// first id >= key, wrapping to the front (same contract as
+/// Overlay::oracle_owner_table / chord::successor_index).
+std::size_t bulk_owner_index(const std::vector<Id>& sorted_ids, Id key) {
+  const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), key);
+  return it == sorted_ids.end() ? 0 : std::size_t(it - sorted_ids.begin());
+}
+
+/// Run `body(lo, hi)` over a partition of [0, hosts) into up to `threads`
+/// contiguous ranges. Each worker owns a disjoint host range, so per-host
+/// state needs no synchronization and the combined result is independent
+/// of the thread count.
+template <typename F>
+void for_host_ranges(unsigned threads, std::size_t hosts, F&& body) {
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, threads), hosts);
+  if (workers <= 1) {
+    body(std::size_t{0}, hosts);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&body, lo = hosts * w / workers,
+                       hi = hosts * (w + 1) / workers] { body(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
+    std::uint32_t scheme, std::vector<BulkSub> subs, unsigned threads) {
+  assert(scheme < schemes_.size());
+  std::vector<SubscriptionHandle> handles(subs.size());
+  const auto ring = dht_.oracle_owner_table();
+  if (ring.empty()) {
+    // No global knowledge — routed installs (caller drains the simulator).
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      handles[i] =
+          subscribe(subs[i].subscriber, scheme, std::move(subs[i].sub));
+    }
+    return handles;
+  }
+  std::vector<Id> ring_ids;
+  ring_ids.reserve(ring.size());
+  for (const auto& peer : ring) ring_ids.push_back(peer.id);
+
+  const SchemeRuntime& rt = *schemes_[scheme];
+  struct Planned {
+    std::uint32_t iid = 0;
+    std::uint32_t ssi = 0;
+    net::HostIndex owner = 0;
+    Id key = 0;
+    lph::Zone zone;
+    HyperRect projected;
+  };
+  std::vector<Planned> plan(subs.size());
+
+  // Phase A — subscriber-side bookkeeping + zone planning, sharded by
+  // subscriber host: iid allocation and the local store are per-host
+  // state, and everything else read here (scheme runtime, LPH, zone-key
+  // memoization) is immutable or internally synchronized. Each host's
+  // subscriptions are planned in batch order, so iids match what a
+  // sequential subscribe() loop would assign.
+  for_host_ranges(threads, nodes_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const net::HostIndex sh = subs[i].subscriber;
+      if (sh < lo || sh >= hi) continue;
+      HyperSubNode& me = *nodes_[sh];
+      Planned& p = plan[i];
+      p.iid = me.next_iid();
+      me.record_local(p.iid, subs[i].sub);
+      p.ssi = std::uint32_t(rt.choose_subscheme(subs[i].sub));
+      const Subscheme& ss = rt.subscheme(p.ssi);
+      p.projected = ss.project(subs[i].sub.range());
+      const auto lph =
+          lph::hash_subscription(ss.zones(), p.projected, ss.rotation());
+      p.zone = lph.zone;
+      p.key = lph.key;
+      p.owner = ring[bulk_owner_index(ring_ids, p.key)].host;
+    }
+  });
+  total_subs_ += subs.size();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    handles[i] = SubscriptionHandle{scheme, plan[i].iid, subs[i].subscriber};
+  }
+
+  // Phase B — replica copies first (mirrors register_subscription_at,
+  // which copies to the heirs before the primary insert), sharded by
+  // replica host; then the primary installs, sharded by owner host. Within
+  // one host everything lands in batch order.
+  if (cfg_.replicas > 0) {
+    for_host_ranges(
+        threads, nodes_.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = 0; i < subs.size(); ++i) {
+            const Planned& p = plan[i];
+            for (const auto& peer :
+                 dht_.replica_set(p.owner, cfg_.replicas)) {
+              if (peer.host < lo || peer.host >= hi) continue;
+              const ZoneAddr addr{scheme, p.ssi, p.zone};
+              nodes_[peer.host]
+                  ->replica_zone_state(addr, p.key)
+                  .add_subscription(StoredSub{
+                      SubId{nodes_[subs[i].subscriber]->node_id(), p.iid,
+                            SubIdKind::kSubscriber},
+                      subs[i].sub, p.projected});
+            }
+          }
+        });
+  }
+  for_host_ranges(threads, nodes_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      Planned& p = plan[i];
+      if (p.owner < lo || p.owner >= hi) continue;
+      const ZoneAddr addr{scheme, p.ssi, p.zone};
+      nodes_[p.owner]->zone_state(addr, p.key).add_subscription(
+          StoredSub{SubId{nodes_[subs[i].subscriber]->node_id(), p.iid,
+                          SubIdKind::kSubscriber},
+                    std::move(subs[i].sub), std::move(p.projected)});
+    }
+  });
+
+  // Phase C — one sequential top-down piece fixpoint per subscheme
+  // (skipped under ancestor probing, exactly like the routed path). A
+  // summary piece only flows parent -> child, and a zone's outgoing pieces
+  // depend on its parent piece, so processing pending zones by ascending
+  // level reaches the same fixpoint the drained install cascade converges
+  // to: piece(child) = final summary(parent) ∩ extent(child).
+  //
+  // This loop visits every zone the cascade saturates (the whole tree when
+  // summaries hull up to the domain), so its constants matter: the work
+  // queue is one plain vector per level, deduped by sort+unique at batch
+  // start; zone keys are computed directly (lph::zone_key) and carried in
+  // the queue entries rather than going through the Subscheme's memoized
+  // key cache, which would grow by one mutex-guarded map entry per zone.
+  if (!cfg_.ancestor_probing) {
+    struct PendingZone {
+      std::uint32_t ssi = 0;
+      Id code = 0;
+      Id key = 0;  // rotated zone key (a pure function of ssi + zone)
+    };
+    int max_level = 0;
+    for (std::uint32_t ssi = 0; ssi < rt.subscheme_count(); ++ssi) {
+      max_level = std::max(max_level, rt.subscheme(ssi).zones().max_level());
+    }
+    std::vector<std::vector<PendingZone>> pending(std::size_t(max_level) + 1);
+    for (const Planned& p : plan) {
+      pending[std::size_t(p.zone.level)].push_back({p.ssi, p.zone.code, p.key});
+    }
+    // The cascade only appends below the current level; the planning and
+    // input buffers are dead weight from here on, so release them before
+    // the tree-sized allocation wave defines peak RSS.
+    plan = {};
+    subs = {};
+    for (int level = 0; level <= max_level; ++level) {
+      auto& batch = pending[std::size_t(level)];
+      std::sort(batch.begin(), batch.end(),
+                [](const PendingZone& a, const PendingZone& b) {
+                  return a.ssi != b.ssi ? a.ssi < b.ssi : a.code < b.code;
+                });
+      batch.erase(std::unique(batch.begin(), batch.end(),
+                              [](const PendingZone& a, const PendingZone& b) {
+                                return a.ssi == b.ssi && a.code == b.code;
+                              }),
+                  batch.end());
+      for (const PendingZone& pz : batch) {
+        const Subscheme& ss = rt.subscheme(pz.ssi);
+        const lph::ZoneSystem& zsys = ss.zones();
+        const lph::Zone zone{pz.code, level};
+        if (zsys.is_leaf(zone)) continue;
+        const net::HostIndex host =
+            ring[bulk_owner_index(ring_ids, pz.key)].host;
+        const ZoneAddr addr{scheme, pz.ssi, zone};
+        HyperSubNode& nd = *nodes_[host];
+        const auto zit = nd.zones().find(addr);
+        if (zit == nd.zones().end()) continue;
+        ZoneState& zs = zit->second;
+        const HyperRect summary = zs.summary();
+        for (int digit = 0; digit < zsys.base(); ++digit) {
+          const lph::Zone child = zsys.child(zone, digit);
+          HyperRect piece;
+          if (!summary.empty()) {
+            const HyperRect ext = zsys.extent(child);
+            if (summary.overlaps(ext)) piece = summary.intersect(ext);
+          }
+          if (piece == zs.child_piece(digit)) continue;
+          zs.set_child_piece(digit, piece);
+          const ZoneAddr child_addr{scheme, pz.ssi, child};
+          const Id child_key = lph::zone_key(zsys, child, ss.rotation());
+          const net::HostIndex child_host =
+              ring[bulk_owner_index(ring_ids, child_key)].host;
+          if (cfg_.replicas > 0) {
+            for (const auto& peer :
+                 dht_.replica_set(child_host, cfg_.replicas)) {
+              nodes_[peer.host]
+                  ->replica_zone_state(child_addr, child_key)
+                  .set_parent_piece(piece, pz.key);
+            }
+          }
+          ZoneState& czs =
+              nodes_[child_host]->zone_state(child_addr, child_key);
+          if (czs.set_parent_piece(std::move(piece), pz.key)) {
+            pending[std::size_t(child.level)].push_back(
+                {pz.ssi, child.code, child_key});
+          }
+        }
+      }
+      batch = {};  // processed — free before the next level's wave
+    }
+  }
+  return handles;
 }
 
 void HyperSubSystem::register_subscription_at(net::HostIndex owner,
@@ -911,6 +1128,7 @@ metrics::ReliabilityCounters HyperSubSystem::reliability_counters() const {
 
 void HyperSubSystem::reset_metrics() {
   event_metrics_ = metrics::EventMetrics{};
+  event_metrics_.set_streaming(cfg_.stream_event_metrics);
   sink_->reset();
   default_sink_.reset();
   for (auto& m : delivered_subs_) m.clear();
@@ -940,10 +1158,7 @@ bool HyperSubSystem::check_zone_invariants() const {
         if (!extent.covers(s.projected)) return false;
       }
       // Summary is the exact hull of contents.
-      ZoneState copy = zone;
-      const HyperRect before = copy.summary();
-      copy.recompute_summary();
-      if (!(copy.summary() == before)) return false;
+      if (!(zone.exact_summary() == zone.summary())) return false;
       // Cached child pieces are exactly summary ∩ child extent.
       if (!zsys.is_leaf(addr.zone)) {
         for (int c = 0; c < zsys.base(); ++c) {

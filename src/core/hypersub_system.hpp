@@ -101,6 +101,11 @@ class HyperSubSystem {
     /// the same seed + rate always keeps the same traces. Irrelevant (and
     /// costless) while no tracer is attached.
     double trace_sample_rate = 1.0;
+    /// Fold per-event cost records into running sums instead of storing
+    /// them (metrics::EventMetrics streaming mode) — O(1) metrics memory
+    /// for million-event runs. CDF views come back empty; the snapshot
+    /// means are unchanged. Survives reset_metrics().
+    bool stream_event_metrics = false;
   };
 
   /// Per-publish observer: fires once per delivery of that event.
@@ -143,6 +148,31 @@ class HyperSubSystem {
   /// leaves unsubscription unspecified). The stored subscription is looked
   /// up at the subscriber node; an unknown handle is a no-op.
   void unsubscribe(const SubscriptionHandle& handle);
+
+  /// One entry of a bulk installation batch.
+  struct BulkSub {
+    net::HostIndex subscriber = 0;
+    pubsub::Subscription sub;
+  };
+
+  /// Bulk (oracle) installation: installs `subs` directly into their
+  /// owners' zone repositories — no simulated routing traffic, no per-sub
+  /// install messages — then runs one deterministic top-down summary-piece
+  /// fixpoint, reproducing the zone state a fully drained subscribe()
+  /// cascade would reach (up to per-zone insertion order, which follows
+  /// batch order here and message-arrival order there). This is the
+  /// "after system stabilization" setup path for million-subscription
+  /// runs. Returns handles in input order.
+  ///
+  /// `threads` shards the subscriber-side bookkeeping and the owner-side
+  /// installs over disjoint host ranges; the result is independent of the
+  /// thread count. Requires a substrate with global knowledge
+  /// (Overlay::oracle_owner_table); substrates without it fall back to
+  /// per-subscription routed installs, which the caller must drain with
+  /// simulator().run() as usual.
+  std::vector<SubscriptionHandle> bulk_subscribe(std::uint32_t scheme,
+                                                 std::vector<BulkSub> subs,
+                                                 unsigned threads = 1);
 
   /// Publish an event (Alg. 4). Asynchronous; returns the event sequence
   /// number used in metrics and the delivery log.

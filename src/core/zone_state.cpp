@@ -9,68 +9,90 @@ namespace hypersub::core {
 
 namespace {
 const HyperRect kEmptyRect{};
+const std::vector<MigratedBucket> kNoBuckets{};
 constexpr std::size_t kNoPos = ~std::size_t{0};
 }  // namespace
 
+ZoneState::SubStore& ZoneState::store() {
+  if (!store_) store_ = std::make_unique<SubStore>();
+  return *store_;
+}
+
+const std::vector<MigratedBucket>& ZoneState::buckets() const noexcept {
+  return store_ ? store_->buckets : kNoBuckets;
+}
+
 void ZoneState::set_index_threshold(std::size_t threshold) {
   index_threshold_ = threshold;
-  if (!indexed_ && subs_.size() >= index_threshold_) build_index();
-  if (indexed_ && subs_.size() < index_threshold_) drop_index();
+  // A piece-only zone holds zero subscriptions; materialize its store only
+  // if the new threshold indexes the empty set (threshold 0).
+  if (!store_ && threshold > 0) return;
+  SubStore& st = store();
+  if (!st.indexed && st.order.size() >= index_threshold_) build_index();
+  if (st.indexed && st.order.size() < index_threshold_) drop_index();
 }
 
 void ZoneState::build_index() {
-  index_ = SubIndex{};
-  slots_.clear();
-  pos_of_slot_.clear();
-  slots_.reserve(subs_.size());
-  for (std::size_t i = 0; i < subs_.size(); ++i) {
-    const std::uint32_t slot = index_.insert(subs_[i].sub.range());
-    slots_.push_back(slot);
-    if (pos_of_slot_.size() <= slot) pos_of_slot_.resize(slot + 1, kNoPos);
-    pos_of_slot_[slot] = i;
+  SubStore& st = store();
+  st.index = SubIndex{};
+  st.slots.clear();
+  st.pos_of_slot.clear();
+  st.slots.reserve(st.order.size());
+  for (std::size_t i = 0; i < st.order.size(); ++i) {
+    const std::uint32_t slot = st.index.insert(st.arena.full_rect(st.order[i]));
+    st.slots.push_back(slot);
+    if (st.pos_of_slot.size() <= slot) st.pos_of_slot.resize(slot + 1, kNoPos);
+    st.pos_of_slot[slot] = i;
   }
-  indexed_ = true;
+  st.indexed = true;
 }
 
 void ZoneState::drop_index() {
-  index_ = SubIndex{};
-  slots_.clear();
-  pos_of_slot_.clear();
-  indexed_ = false;
+  SubStore& st = store();
+  st.index = SubIndex{};
+  st.slots.clear();
+  st.pos_of_slot.clear();
+  st.indexed = false;
 }
 
 bool ZoneState::add_subscription(StoredSub s) {
+  SubStore& st = store();
   const HyperRect grown = summary_.hull(s.projected);
-  subs_.push_back(std::move(s));
-  if (indexed_) {
-    const std::uint32_t slot = index_.insert(subs_.back().sub.range());
-    slots_.push_back(slot);
-    if (pos_of_slot_.size() <= slot) pos_of_slot_.resize(slot + 1, kNoPos);
-    pos_of_slot_[slot] = subs_.size() - 1;
-  } else if (subs_.size() >= index_threshold_) {
-    build_index();
+  if (st.indexed) {
+    const std::uint32_t slot = st.index.insert(s.sub.range());
+    st.slots.push_back(slot);
+    if (st.pos_of_slot.size() <= slot) st.pos_of_slot.resize(slot + 1, kNoPos);
+    st.pos_of_slot[slot] = st.order.size();
   }
+  st.order.push_back(st.arena.add(s));
+  if (!st.indexed && st.order.size() >= index_threshold_) build_index();
   if (grown == summary_) return false;
   summary_ = grown;
   return true;
 }
 
 std::optional<StoredSub> ZoneState::remove_subscription(const SubId& owner) {
-  const auto it = std::find_if(
-      subs_.begin(), subs_.end(),
-      [&owner](const StoredSub& s) { return s.owner == owner; });
-  if (it == subs_.end()) return std::nullopt;
-  const std::size_t pos = std::size_t(it - subs_.begin());
-  StoredSub out = std::move(*it);
-  subs_.erase(it);
-  if (indexed_) {
+  if (!store_) return std::nullopt;
+  SubStore& st = *store_;
+  std::size_t pos = st.order.size();
+  for (std::size_t i = 0; i < st.order.size(); ++i) {
+    if (st.arena.owner(st.order[i]) == owner) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == st.order.size()) return std::nullopt;
+  StoredSub out = st.arena.materialize(st.order[pos]);
+  st.arena.remove(st.order[pos]);
+  st.order.erase(st.order.begin() + std::ptrdiff_t(pos));
+  if (st.indexed) {
     // Once built, the index sticks below the threshold (hysteresis): churn
     // around the threshold should not oscillate between builds and drops.
-    index_.remove(slots_[pos]);
-    pos_of_slot_[slots_[pos]] = kNoPos;
-    slots_.erase(slots_.begin() + std::ptrdiff_t(pos));
-    for (std::size_t i = pos; i < slots_.size(); ++i) {
-      pos_of_slot_[slots_[i]] = i;
+    st.index.remove(st.slots[pos]);
+    st.pos_of_slot[st.slots[pos]] = kNoPos;
+    st.slots.erase(st.slots.begin() + std::ptrdiff_t(pos));
+    for (std::size_t i = pos; i < st.slots.size(); ++i) {
+      st.pos_of_slot[st.slots[i]] = i;
     }
   }
   recompute_summary();
@@ -90,61 +112,86 @@ bool ZoneState::set_parent_piece(HyperRect rect, Id parent_key) {
 }
 
 void ZoneState::add_migrated_bucket(MigratedBucket b) {
-  buckets_.push_back(std::move(b));
+  SubStore& st = store();
+  st.buckets.push_back(std::move(b));
   // Migrated subs were already part of the summary before migration; the
   // bucket hull cannot grow it, but hull anyway for safety.
-  summary_ = summary_.hull(buckets_.back().summary);
+  summary_ = summary_.hull(st.buckets.back().summary);
 }
 
 std::vector<StoredSub> ZoneState::extract_subscribers_in_arc(Id lo, Id hi) {
+  if (!store_) return {};
+  SubStore& st = *store_;
   std::vector<StoredSub> out;
   std::size_t kept = 0;
-  for (std::size_t i = 0; i < subs_.size(); ++i) {
-    if (ring::in_closed_open(subs_[i].owner.target, lo, hi)) {
-      if (indexed_) index_.remove(slots_[i]);
-      out.push_back(std::move(subs_[i]));
+  for (std::size_t i = 0; i < st.order.size(); ++i) {
+    if (ring::in_closed_open(st.arena.owner(st.order[i]).target, lo, hi)) {
+      if (st.indexed) st.index.remove(st.slots[i]);
+      out.push_back(st.arena.materialize(st.order[i]));
+      st.arena.remove(st.order[i]);
     } else {
       if (kept != i) {
-        subs_[kept] = std::move(subs_[i]);
-        if (indexed_) slots_[kept] = slots_[i];
+        st.order[kept] = st.order[i];
+        if (st.indexed) st.slots[kept] = st.slots[i];
       }
       ++kept;
     }
   }
-  subs_.resize(kept);
-  if (indexed_) {
-    slots_.resize(kept);
-    std::fill(pos_of_slot_.begin(), pos_of_slot_.end(), kNoPos);
-    for (std::size_t i = 0; i < slots_.size(); ++i) pos_of_slot_[slots_[i]] = i;
+  st.order.resize(kept);
+  if (st.indexed) {
+    st.slots.resize(kept);
+    std::fill(st.pos_of_slot.begin(), st.pos_of_slot.end(), kNoPos);
+    for (std::size_t i = 0; i < st.slots.size(); ++i) {
+      st.pos_of_slot[st.slots[i]] = i;
+    }
   }
   return out;
 }
 
 void ZoneState::match(const Point& full, const Point& projected,
                       std::vector<SubId>& out) const {
-  if (!indexed_) {
-    for (const auto& s : subs_) {
-      if (s.sub.matches(full)) out.push_back(s.owner);
-    }
-  } else {
-    cand_.clear();
-    index_.candidates(full, cand_);
-    // Candidates arrive in slot order; emit in subs_ order so the indexed
-    // path is bit-for-bit identical to the scan (the parity tests rely on
-    // it, and so does any downstream consumer of delivery order).
-    for (auto& c : cand_) c = std::uint32_t(pos_of_slot_[c]);
-    std::sort(cand_.begin(), cand_.end());
-    for (const std::uint32_t pos : cand_) {
-      const StoredSub& s = subs_[pos];
-      if (s.sub.matches(full)) out.push_back(s.owner);
+  if (store_) {
+    SubStore& st = *store_;
+    if (!st.indexed) {
+      for (const SubArena::Ref ref : st.order) {
+        if (st.arena.full_contains(ref, full)) {
+          out.push_back(st.arena.owner(ref));
+        }
+      }
+    } else {
+      st.cand.clear();
+      st.index.candidates(full, st.cand);
+      // Candidates arrive in slot order; emit in insertion order so the
+      // indexed path is bit-for-bit identical to the scan (the parity tests
+      // rely on it, and so does any downstream consumer of delivery order).
+      for (auto& c : st.cand) c = std::uint32_t(st.pos_of_slot[c]);
+      std::sort(st.cand.begin(), st.cand.end());
+      for (const std::uint32_t pos : st.cand) {
+        const SubArena::Ref ref = st.order[pos];
+        if (st.arena.full_contains(ref, full)) {
+          out.push_back(st.arena.owner(ref));
+        }
+      }
     }
   }
   if (parent_piece_ && parent_piece_->first.contains(projected)) {
     out.push_back(SubId{parent_piece_->second, 0, SubIdKind::kZone});
   }
-  for (const auto& b : buckets_) {
-    if (b.summary.contains(projected)) out.push_back(b.pointer);
+  if (store_) {
+    for (const auto& b : store_->buckets) {
+      if (b.summary.contains(projected)) out.push_back(b.pointer);
+    }
   }
+}
+
+std::vector<StoredSub> ZoneState::subscriptions() const {
+  if (!store_) return {};
+  std::vector<StoredSub> out;
+  out.reserve(store_->order.size());
+  for (const SubArena::Ref ref : store_->order) {
+    out.push_back(store_->arena.materialize(ref));
+  }
+  return out;
 }
 
 const HyperRect& ZoneState::child_piece(int digit) const {
@@ -159,11 +206,35 @@ void ZoneState::set_child_piece(int digit, HyperRect piece) {
   child_pieces_[std::size_t(digit)] = std::move(piece);
 }
 
+HyperRect ZoneState::exact_summary() const {
+  // Fold hulls dimension-wise over the arena's projected pool — no
+  // per-subscription HyperRect temporaries (this runs after every removal).
+  std::vector<Interval> acc;
+  bool have = false;
+  const auto fold = [&](std::span<const Interval> d) {
+    if (d.empty()) return;
+    if (!have) {
+      acc.assign(d.begin(), d.end());
+      have = true;
+      return;
+    }
+    assert(acc.size() == d.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = acc[i].hull(d[i]);
+  };
+  if (store_) {
+    for (const SubArena::Ref ref : store_->order) {
+      fold(store_->arena.projected(ref));
+    }
+  }
+  if (parent_piece_) fold(parent_piece_->first.dims());
+  if (store_) {
+    for (const auto& b : store_->buckets) fold(b.summary.dims());
+  }
+  return have ? HyperRect(std::move(acc)) : HyperRect{};
+}
+
 bool ZoneState::recompute_summary() {
-  HyperRect fresh;
-  for (const auto& s : subs_) fresh = fresh.hull(s.projected);
-  if (parent_piece_) fresh = fresh.hull(parent_piece_->first);
-  for (const auto& b : buckets_) fresh = fresh.hull(b.summary);
+  HyperRect fresh = exact_summary();
   if (fresh == summary_) return false;
   summary_ = std::move(fresh);
   return true;

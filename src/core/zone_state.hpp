@@ -14,13 +14,20 @@
 // Geometry is in the owning subscheme's projected space; real
 // subscriptions also carry their full-space hyper-cuboid so final matching
 // is exact.
+//
+// Subscriptions live in an arena (core::SubArena): SoA interval pools
+// behind stable 32-bit refs, so the per-event scan streams contiguous
+// memory. `order_` keeps the refs in insertion order — match() emits
+// subids in exactly that order, which is the behavior contract the
+// old vector<StoredSub> layout established (tests/test_match_index.cpp).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/hyperrect.hpp"
+#include "core/sub_arena.hpp"
 #include "core/sub_index.hpp"
 #include "core/subid.hpp"
 #include "lph/zone.hpp"
@@ -37,21 +44,28 @@ struct ZoneAddr {
   friend bool operator==(const ZoneAddr&, const ZoneAddr&) = default;
 };
 
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+inline std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Mixes all three fields through splitmix64. The previous hash xor'ed two
+/// std::hash<uint64_t> values (identity on libstdc++), so sibling zones —
+/// equal level, codes differing in low bits — collided structurally into
+/// neighboring buckets and popular-prefix codes stacked up; see
+/// tests/test_core.cpp ZoneAddrHashQuality for the measured max-bucket-load
+/// difference.
 struct ZoneAddrHash {
   std::size_t operator()(const ZoneAddr& a) const noexcept {
-    std::size_t h = std::hash<std::uint64_t>{}(a.zone.code);
-    h ^= std::hash<std::uint64_t>{}(
-        (std::uint64_t(a.scheme) << 40) ^ (std::uint64_t(a.subscheme) << 20) ^
-        std::uint64_t(a.zone.level));
-    return h;
+    std::uint64_t h = splitmix64(a.zone.code);
+    h = splitmix64(h ^ ((std::uint64_t(a.scheme) << 32) |
+                        std::uint64_t(a.subscheme)));
+    h = splitmix64(h ^ std::uint64_t(std::uint32_t(a.zone.level)));
+    return std::size_t(h);
   }
-};
-
-/// A real subscription stored at its covering zone.
-struct StoredSub {
-  SubId owner;                   ///< kSubscriber: subscriber node id + iid
-  pubsub::Subscription sub;      ///< full-space range (exact matching)
-  HyperRect projected;           ///< range projected onto the subscheme
 };
 
 /// Pointer to subscriptions migrated away by load balancing.
@@ -83,7 +97,7 @@ class ZoneState {
   std::size_t index_threshold() const noexcept { return index_threshold_; }
 
   /// True while match() runs through the subscription index.
-  bool index_active() const noexcept { return indexed_; }
+  bool index_active() const noexcept { return store_ && store_->indexed; }
 
   /// Register a real subscription. Returns true if the summary filter grew.
   bool add_subscription(StoredSub s);
@@ -119,11 +133,18 @@ class ZoneState {
 
   /// Load contribution of this zone: stored entries of any kind.
   std::size_t entry_count() const noexcept {
-    return subs_.size() + (parent_piece_ ? 1 : 0) + buckets_.size();
+    return subscription_count() + (parent_piece_ ? 1 : 0) +
+           (store_ ? store_->buckets.size() : 0);
   }
-  std::size_t subscription_count() const noexcept { return subs_.size(); }
-  const std::vector<StoredSub>& subscriptions() const noexcept { return subs_; }
-  const std::vector<MigratedBucket>& buckets() const noexcept { return buckets_; }
+  std::size_t subscription_count() const noexcept {
+    return store_ ? store_->order.size() : 0;
+  }
+
+  /// Materialized copies of the stored subscriptions, in insertion order.
+  /// Audit/test convenience — O(n) allocations; the arena is the storage.
+  std::vector<StoredSub> subscriptions() const;
+
+  const std::vector<MigratedBucket>& buckets() const noexcept;
   bool has_parent_piece() const noexcept { return parent_piece_.has_value(); }
 
   /// The installed surrogate piece and the parent zone key that registered
@@ -136,25 +157,41 @@ class ZoneState {
   /// Returns true if it changed. (Used after removals.)
   bool recompute_summary();
 
+  /// The exact hull of current contents, freshly folded without touching
+  /// the maintained summary (invariant audits).
+  HyperRect exact_summary() const;
+
  private:
+  // Subscription storage + matching index, boxed behind one pointer and
+  // allocated on first use. The vast majority of zones in a large run are
+  // structural: they exist only to carry a summary piece down the tree and
+  // never store a subscription or bucket. Keeping the arena/index
+  // machinery out-of-line cuts the per-zone footprint of those piece-only
+  // zones to the address, the piece, the summary and the child-piece
+  // cache — the dominant RSS term at saturation scale.
+  //
+  // `slots[i]` is the index slot of `order[i]`; `pos_of_slot` inverts it.
+  struct SubStore {
+    SubArena arena;                     // SoA storage of stored subs
+    std::vector<SubArena::Ref> order;   // live refs, insertion order
+    std::vector<MigratedBucket> buckets;
+    SubIndex index;
+    bool indexed = false;
+    std::vector<std::uint32_t> slots;
+    std::vector<std::size_t> pos_of_slot;
+    std::vector<std::uint32_t> cand;  // match() scratch
+  };
+
+  SubStore& store();  // find-or-create
   void build_index();
   void drop_index();
 
   ZoneAddr addr_;
-  std::vector<StoredSub> subs_;
+  std::unique_ptr<SubStore> store_;  // null until a sub/bucket arrives
   std::optional<std::pair<HyperRect, Id>> parent_piece_;  // rect, parent key
-  std::vector<MigratedBucket> buckets_;
   HyperRect summary_;  // empty() == no content
   std::vector<HyperRect> child_pieces_;  // lazily sized to the zone base
-
-  // Matching index over subs_' full-space ranges (see sub_index.hpp).
-  // slots_[i] is the index slot of subs_[i]; pos_of_slot_ inverts it.
-  SubIndex index_;
-  bool indexed_ = false;
   std::size_t index_threshold_;
-  std::vector<std::uint32_t> slots_;
-  std::vector<std::size_t> pos_of_slot_;
-  mutable std::vector<std::uint32_t> cand_;  // match() scratch
 };
 
 }  // namespace hypersub::core

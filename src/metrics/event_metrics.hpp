@@ -31,18 +31,51 @@ struct EventRecord {
 };
 
 /// Accumulates event records and exposes the CDF views Fig. 2 plots.
+///
+/// Streaming mode (set_streaming(true)) folds each record into running
+/// sums instead of storing it, so a million-event run costs O(1) memory.
+/// The mean accessors work in both modes and produce bit-identical values
+/// (the fold adds in the same order the per-record Cdf sums would); the
+/// CDF views require stored records and come back empty when streaming.
 class EventMetrics {
  public:
-  void add(const EventRecord& r) { records_.push_back(r); }
-  void reserve(std::size_t n) { records_.reserve(n); }
-  std::size_t count() const noexcept { return records_.size(); }
+  void add(const EventRecord& r) {
+    ++n_;
+    sum_pct_matched_ += r.pct_matched;
+    sum_hops_ += double(r.max_hops);
+    sum_latency_ms_ += r.max_latency_ms;
+    sum_bandwidth_kb_ += double(r.bandwidth_bytes) / 1024.0;
+    sum_header_bytes_ += double(r.header_bytes);
+    truncated_ += r.truncated ? 1 : 0;
+    if (!streaming_) records_.push_back(r);
+  }
+  void reserve(std::size_t n) {
+    if (!streaming_) records_.reserve(n);
+  }
+  void set_streaming(bool on) { streaming_ = on; }
+  bool streaming() const noexcept { return streaming_; }
+
+  std::size_t count() const noexcept { return n_; }
   const std::vector<EventRecord>& records() const noexcept { return records_; }
 
   /// Events whose delivery trees were cut short (see EventRecord::truncated).
-  std::size_t truncated_count() const noexcept {
-    std::size_t n = 0;
-    for (const auto& r : records_) n += r.truncated ? 1 : 0;
-    return n;
+  std::size_t truncated_count() const noexcept { return truncated_; }
+
+  // Mode-agnostic means over all added records.
+  double mean_pct_matched() const noexcept {
+    return n_ ? sum_pct_matched_ / double(n_) : 0.0;
+  }
+  double mean_max_hops() const noexcept {
+    return n_ ? sum_hops_ / double(n_) : 0.0;
+  }
+  double mean_max_latency_ms() const noexcept {
+    return n_ ? sum_latency_ms_ / double(n_) : 0.0;
+  }
+  double mean_bandwidth_kb() const noexcept {
+    return n_ ? sum_bandwidth_kb_ / double(n_) : 0.0;
+  }
+  double mean_header_bytes() const noexcept {
+    return n_ ? sum_header_bytes_ / double(n_) : 0.0;
   }
 
   Cdf pct_matched_cdf() const;
@@ -53,6 +86,14 @@ class EventMetrics {
 
  private:
   std::vector<EventRecord> records_;
+  bool streaming_ = false;
+  std::size_t n_ = 0;
+  std::size_t truncated_ = 0;
+  double sum_pct_matched_ = 0.0;
+  double sum_hops_ = 0.0;
+  double sum_latency_ms_ = 0.0;
+  double sum_bandwidth_kb_ = 0.0;
+  double sum_header_bytes_ = 0.0;
 };
 
 }  // namespace hypersub::metrics

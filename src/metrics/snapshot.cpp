@@ -12,11 +12,13 @@ Snapshot snapshot(const core::HyperSubSystem& sys) {
   const EventMetrics& ev = sys.event_metrics();
   s.events = ev.count();
   if (s.events > 0) {
-    s.avg_pct_matched = ev.pct_matched_cdf().mean();
-    s.mean_max_hops = ev.hops_cdf().mean();
-    s.mean_max_latency_ms = ev.latency_cdf().mean();
-    s.mean_bandwidth_kb = ev.bandwidth_kb_cdf().mean();
-    s.mean_header_bytes = ev.header_bytes_cdf().mean();
+    // Mode-agnostic accessors: identical to the per-record Cdf means, and
+    // also valid when the metrics run in streaming (record-free) mode.
+    s.avg_pct_matched = ev.mean_pct_matched();
+    s.mean_max_hops = ev.mean_max_hops();
+    s.mean_max_latency_ms = ev.mean_max_latency_ms();
+    s.mean_bandwidth_kb = ev.mean_bandwidth_kb();
+    s.mean_header_bytes = ev.mean_header_bytes();
   }
   s.truncated_events = ev.truncated_count();
   s.reliability = sys.reliability_counters();

@@ -80,7 +80,7 @@ void Network::send(HostIndex from, HostIndex to, std::uint64_t bytes,
   // window — with a lookahead at or below the minimum link latency this
   // changes nothing at all.
   double delay = topo_.latency(from, to);
-  if (delay < sim_.lookahead()) delay = sim_.lookahead();
+  if (delay < sim_.effective_lookahead()) delay = sim_.effective_lookahead();
   // Re-check liveness at delivery time: the destination may die in flight.
   sim_.schedule_on(to, delay, [this, to, h = std::move(handler)]() mutable {
     if (alive_[to]) {
@@ -94,11 +94,23 @@ void Network::send(HostIndex from, HostIndex to, std::uint64_t bytes,
 void Network::kill(HostIndex h) {
   assert(h < alive_.size());
   alive_[h] = false;
+  refresh_lookahead_floor();
 }
 
 void Network::revive(HostIndex h) {
   assert(h < alive_.size());
   alive_[h] = true;
+  refresh_lookahead_floor();
+}
+
+void Network::enable_adaptive_lookahead() {
+  adaptive_lookahead_ = true;
+  refresh_lookahead_floor();
+}
+
+void Network::refresh_lookahead_floor() {
+  if (!adaptive_lookahead_) return;
+  sim_.set_lookahead_floor(topo_.min_latency_bound(alive_));
 }
 
 void Network::reset_traffic() {

@@ -59,6 +59,16 @@ class Network {
   void revive(HostIndex h);
   bool alive(HostIndex h) const { return alive_[h]; }
 
+  /// Derive the simulator's lookahead floor from the minimum outstanding
+  /// link latency (Topology::min_latency_bound over live hosts) and keep it
+  /// current across kill()/revive(). Because no live link delivers below
+  /// the floor, the delay clamp never fires and behavior is unchanged —
+  /// the parallel engine just gets the widest window that is still
+  /// conservative. Call before run(); membership changes re-derive the
+  /// floor from exclusive context, preserving byte-identical determinism.
+  void enable_adaptive_lookahead();
+  bool adaptive_lookahead() const noexcept { return adaptive_lookahead_; }
+
   const HostTraffic& traffic(HostIndex h) const { return traffic_[h]; }
   /// Zero all traffic counters (e.g., after warm-up/stabilization).
   void reset_traffic();
@@ -80,6 +90,7 @@ class Network {
   void account_send(HostIndex from, HostIndex to, std::uint64_t bytes);
   void account_drop();
   void fold_deltas();
+  void refresh_lookahead_floor();
 
   sim::Simulator& sim_;
   const Topology& topo_;
@@ -88,6 +99,7 @@ class Network {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t dropped_ = 0;
+  bool adaptive_lookahead_ = false;
   std::array<SlotDelta, sim::Simulator::kMaxWorkers + 1> deltas_;
 };
 

@@ -89,9 +89,9 @@ void ReliableChannel::attempt(const std::shared_ptr<Message>& m,
     // payload through another hop, so a late-arriving copy of THIS message
     // must not also be processed. Poison the receiver's seen-set through a
     // cross-shard hand-off — it is scheduled identically in both modes
-    // (lookahead is 0 sequentially), so runs stay byte-identical.
+    // (same effective lookahead), so runs stay byte-identical.
     net_.simulator().schedule_on(
-        m->to, net_.simulator().lookahead(),
+        m->to, net_.simulator().effective_lookahead(),
         [this, m] { delivered_[m->to].insert(m->id); });
     if (auto* tr = trace::maybe(tracer_); tr && m->tctx.active()) {
       tr->point(m->tctx.trace, m->tctx.parent, trace::SpanKind::kExpire,

@@ -84,6 +84,13 @@ class Overlay {
   virtual std::vector<Peer> replica_set(net::HostIndex h,
                                         std::size_t k) const = 0;
 
+  /// Ground-truth key→owner table for bulk (oracle) state installation:
+  /// the live nodes in ascending id order, such that the owner of `key` is
+  /// the first entry with id >= key (wrapping to the front). Substrates
+  /// without global knowledge — or with different ownership geometry —
+  /// return empty, and bulk callers fall back to routed installs.
+  virtual std::vector<Peer> oracle_owner_table() const { return {}; }
+
   /// Coherence hook for layers that cache key -> owner resolutions (the
   /// pub/sub route cache): fired with a host whose owned key range just
   /// changed — its predecessor-side boundary moved during stabilization,

@@ -53,6 +53,23 @@ struct ExperimentConfig {
   // parallel engine (defaults = sequential, zero-lookahead: seed behavior)
   unsigned sim_threads = 1;    ///< worker threads; >1 enables sharded runs
   double lookahead_ms = 0.0;   ///< min network latency = safe window width
+  /// Derive each window's width from the minimum outstanding link latency
+  /// instead of the fixed lookahead_ms floor (identical event order in
+  /// sequential and parallel modes; see sim::Simulator).
+  bool adaptive_lookahead = false;
+  // setup fast path (million-subscription scale-out)
+  /// Install subscriptions through HyperSubSystem::bulk_subscribe (direct
+  /// oracle installation + one piece fixpoint) instead of simulating the
+  /// per-subscription install cascade. Zone contents are equivalent;
+  /// per-zone insertion order follows batch order instead of
+  /// message-arrival order.
+  bool fast_setup = false;
+  /// Worker threads for oracle overlay construction and bulk installation
+  /// (results are independent of this count).
+  unsigned setup_threads = 1;
+  /// Fold per-event metrics into running sums instead of storing records
+  /// (O(1) metrics memory; CDF views of the result come back empty).
+  bool stream_metrics = false;
   // misc
   std::uint64_t seed = 42;
 };

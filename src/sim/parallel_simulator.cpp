@@ -69,11 +69,19 @@ ParallelEngine::~ParallelEngine() {
   for (auto& t : threads_) t.join();
 }
 
+ParallelEngine::ShardState& ParallelEngine::shard_state(Shard shard) {
+  if (shards_.size() <= shard) {
+    shards_.resize(std::size_t(shard) + 1);
+  }
+  if (!shards_[shard]) shards_[shard] = std::make_unique<ShardState>();
+  return *shards_[shard];
+}
+
 void ParallelEngine::push_pre(Simulator::Entry e) {
   if (e.shard == kNoShard) {
     exclusive_.push(std::move(e));
   } else {
-    worker_for(e.shard).heap.push(std::move(e));
+    shard_state(e.shard).heap.push(std::move(e));
   }
 }
 
@@ -88,8 +96,8 @@ bool ParallelEngine::peek_min(Time& when, std::uint64_t& seq,
       exclusive = ex;
     }
   };
-  for (const auto& wp : workers_) {
-    if (!wp->heap.empty()) consider(wp->heap.top(), false);
+  for (const auto& sp : shards_) {
+    if (sp && !sp->heap.empty()) consider(sp->heap.top(), false);
   }
   if (!exclusive_.empty()) consider(exclusive_.top(), true);
   return found;
@@ -119,18 +127,36 @@ std::uint64_t ParallelEngine::run(Time until, bool bounded) {
       continue;
     }
 
-    // Window [w, bound): capped by the lookahead horizon, the next
-    // exclusive event's position, and (when bounded) the inclusive
+    // Window [w, bound): capped by the effective-lookahead horizon, the
+    // next exclusive event's position, and (when bounded) the inclusive
     // run_until position.
-    detail::Bound b{w + sim_.lookahead_, UINT64_MAX, true};
+    detail::Bound b{w + sim_.effective_lookahead(), UINT64_MAX, true};
     if (!exclusive_.empty()) {
       const Simulator::Entry& t = exclusive_.top();
       b = detail::Bound::min(b, {t.when, t.seq, true});
     }
     if (bounded) b = detail::Bound::min(b, {until, UINT64_MAX, false});
 
+    // Claimable shards this window, biggest backlog first (shard id breaks
+    // ties deterministically): an LPT-style order so the heaviest shard
+    // starts immediately and the tail self-levels across workers.
+    ready_.clear();
+    for (Shard sh = 0; sh < shards_.size(); ++sh) {
+      ShardState* sp = shards_[sh].get();
+      if (sp && !sp->heap.empty() &&
+          b.admits_pre(sp->heap.top().when, sp->heap.top().seq)) {
+        ready_.push_back(sh);
+      }
+    }
+    std::sort(ready_.begin(), ready_.end(), [&](Shard a, Shard c) {
+      const std::size_t la = shards_[a]->heap.size();
+      const std::size_t lc = shards_[c]->heap.size();
+      return la != lc ? la > lc : a < c;
+    });
+
     {
       std::lock_guard<std::mutex> lk(mu_);
+      cursor_.store(0, std::memory_order_relaxed);
       bound_ = b;
       running_ = nworkers_;
       ++epoch_;
@@ -176,17 +202,32 @@ void ParallelEngine::worker_main(unsigned index) {
 void ParallelEngine::run_window(unsigned index, detail::Bound bound) {
   WorkerState& w = *workers_[index];
   detail::WorkerTls& tls = *detail::worker_tls();
+  // Claim shards off the window's ready list until it runs dry. A claimed
+  // shard is drained completely: once its admissible work is done it can
+  // gain no more this window (same-shard staging is handled inside the
+  // drain; cross-shard handoffs land at or after the bound).
+  for (;;) {
+    const std::size_t k = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (k >= ready_.size()) break;
+    drain_shard(*shards_[ready_[k]], w, tls, bound);
+  }
+  tls.rec = nullptr;
+  tls.shard = kNoShard;
+}
+
+void ParallelEngine::drain_shard(ShardState& s, WorkerState& w,
+                                 detail::WorkerTls& tls, detail::Bound bound) {
   for (;;) {
     const bool have_pre =
-        !w.heap.empty() &&
-        bound.admits_pre(w.heap.top().when, w.heap.top().seq);
+        !s.heap.empty() &&
+        bound.admits_pre(s.heap.top().when, s.heap.top().seq);
     const bool have_staged =
-        !w.staged.empty() && bound.admits_staged(w.staged.front().when);
+        !s.staged.empty() && bound.admits_staged(s.staged.front().when);
     bool take_staged;
     if (have_pre && have_staged) {
       // Tie on `when` goes to the pre-existing entry: its global seq
       // precedes anything scheduled during this window.
-      take_staged = w.staged.front().when < w.heap.top().when;
+      take_staged = s.staged.front().when < s.heap.top().when;
     } else if (have_pre) {
       take_staged = false;
     } else if (have_staged) {
@@ -198,19 +239,19 @@ void ParallelEngine::run_window(unsigned index, detail::Bound bound) {
     detail::ExecRec& rec = w.arena.emplace_back();
     Task action;
     if (take_staged) {
-      std::pop_heap(w.staged.begin(), w.staged.end(), detail::StagedLater{});
-      detail::Staged s = std::move(w.staged.back());
-      w.staged.pop_back();
-      rec.when = s.when;
+      std::pop_heap(s.staged.begin(), s.staged.end(), detail::StagedLater{});
+      detail::Staged st = std::move(s.staged.back());
+      s.staged.pop_back();
+      rec.when = st.when;
       rec.pre = false;
-      rec.parent = s.key.parent;
-      rec.idx = s.key.idx;
-      rec.shard = s.shard;
-      action = std::move(s.action);
+      rec.parent = st.key.parent;
+      rec.idx = st.key.idx;
+      rec.shard = st.shard;
+      action = std::move(st.action);
     } else {
       Simulator::Entry e =
-          std::move(const_cast<Simulator::Entry&>(w.heap.top()));
-      w.heap.pop();
+          std::move(const_cast<Simulator::Entry&>(s.heap.top()));
+      s.heap.pop();
       rec.when = e.when;
       rec.pre = true;
       rec.seq = e.seq;
@@ -224,8 +265,6 @@ void ParallelEngine::run_window(unsigned index, detail::Bound bound) {
     w.max_when = std::max(w.max_when, rec.when);
     action();
   }
-  tls.rec = nullptr;
-  tls.shard = kNoShard;
 }
 
 void ParallelEngine::worker_stage(detail::WorkerTls& tls, Time when,
@@ -235,9 +274,12 @@ void ParallelEngine::worker_stage(detail::WorkerTls& tls, Time when,
   assert(rec != nullptr);
   detail::Staged s{when, shard, {rec, rec->calls++}, 0, std::move(action)};
   if (shard == tls.shard) {
-    s.stamp = ++w.stamp;
-    w.staged.push_back(std::move(s));
-    std::push_heap(w.staged.begin(), w.staged.end(), detail::StagedLater{});
+    // Same-shard: straight into the shard's live heap — this worker owns
+    // the shard for the rest of the window, so no synchronization needed.
+    ShardState& ss = *shards_[shard];
+    s.stamp = ++ss.stamp;
+    ss.staged.push_back(std::move(s));
+    std::push_heap(ss.staged.begin(), ss.staged.end(), detail::StagedLater{});
   } else {
     // Conservative safety: a cross-shard handoff must land at or after
     // the window end, or another shard could miss it mid-window. Delays
@@ -260,18 +302,21 @@ std::uint64_t ParallelEngine::barrier_merge() {
   std::vector<detail::Deferred> defers;
   std::uint64_t n = 0;
   Time maxw = sim_.now_;
+  for (auto& sp : shards_) {
+    if (!sp) continue;
+    for (auto& s : sp->staged) staged.push_back(std::move(s));
+    sp->staged.clear();
+    sp->stamp = 0;
+  }
   for (auto& wp : workers_) {
     WorkerState& w = *wp;
     n += w.executed;
     w.executed = 0;
     maxw = std::max(maxw, w.max_when);
-    for (auto& s : w.staged) staged.push_back(std::move(s));
-    w.staged.clear();
     for (auto& s : w.outbox) staged.push_back(std::move(s));
     w.outbox.clear();
     for (auto& d : w.defers) defers.push_back(std::move(d));
     w.defers.clear();
-    w.stamp = 0;
   }
   sim_.executed_ += n;
   sim_.now_ = maxw;
@@ -318,7 +363,9 @@ void ParallelEngine::drain_to_queue() {
     }
   };
   move_all(exclusive_);
-  for (auto& wp : workers_) move_all(wp->heap);
+  for (auto& sp : shards_) {
+    if (sp) move_all(sp->heap);
+  }
 }
 
 }  // namespace hypersub::sim

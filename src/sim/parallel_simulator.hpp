@@ -6,16 +6,21 @@
 // Model (classic conservative DES, specialized to this codebase):
 //
 //   * Every event carries a shard tag (the host whose state its callback
-//     touches; kNoShard = exclusive). Shard s is pinned to worker
-//     s % threads, so one shard's events never run concurrently with each
-//     other and per-host state needs no locks.
+//     touches; kNoShard = exclusive). Each shard keeps its own event heap;
+//     within a window a shard is claimed whole by exactly one worker
+//     (work-stealing off a per-window ready list), so one shard's events
+//     never run concurrently with each other and per-host state needs no
+//     locks — while load imbalance between shards self-levels instead of
+//     stalling on a fixed shard-to-worker pinning.
 //   * Execution proceeds in windows. A window starts at the globally
 //     earliest pending event time t0 and ends at the position
-//       min( (t0 + lookahead),  next exclusive event,  run_until bound ).
-//     Within the window each worker drains its own heap in (when,
-//     pre-existing-first, scheduling-order) order — provably the
-//     sequential execution order restricted to that worker (see DESIGN.md
-//     for the induction).
+//       min( (t0 + effective lookahead),  next exclusive event,
+//            run_until bound ).
+//     The effective lookahead is max(configured lookahead, adaptive floor)
+//     — see Simulator::set_lookahead_floor. Within the window the claiming
+//     worker drains the shard's heap in (when, pre-existing-first,
+//     scheduling-order) order — provably the sequential execution order
+//     restricted to that shard (see DESIGN.md for the induction).
 //   * Cross-shard handoffs (network sends, explicit schedule_on) are
 //     delayed by >= lookahead, so nothing scheduled inside a window can
 //     land inside the same window on another shard: each worker's inputs
@@ -31,6 +36,7 @@
 //     exactly, which is all downstream code can observe: a parallel run
 //     is byte-identical to the sequential run at the same lookahead.
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -164,30 +170,48 @@ class ParallelEngine {
   void worker_defer(detail::WorkerTls& tls, Task fn);
 
  private:
+  // One shard's event state. A shard is claimed *whole* by exactly one
+  // worker per window (work-stealing at window granularity): workers pull
+  // shard indices off the window's ready list through an atomic cursor, so
+  // a shard's events still never run concurrently with each other and
+  // per-host state needs no locks — but a slow shard no longer idles every
+  // worker it isn't pinned to.
+  struct ShardState {
+    Simulator::Queue heap;               // pre-sequenced entries
+    std::vector<detail::Staged> staged;  // live same-shard heap (by when,stamp)
+    std::uint64_t stamp = 0;             // scheduling order within the shard
+  };
+
+  /// Per-worker scratch: staging that is merged (and globally re-sorted)
+  /// at the barrier, so which worker produced it cannot matter.
   struct WorkerState {
-    Simulator::Queue heap;                 // pre-sequenced entries
-    std::vector<detail::Staged> staged;    // live same-shard heap (by when,stamp)
-    std::vector<detail::Staged> outbox;    // cross-shard / future handoffs
+    std::vector<detail::Staged> outbox;  // cross-shard / future handoffs
     std::vector<detail::Deferred> defers;
     std::deque<detail::ExecRec> arena;
-    std::uint64_t stamp = 0;
     std::uint64_t executed = 0;
     Time max_when = 0.0;
   };
 
   void worker_main(unsigned index);
   void run_window(unsigned index, detail::Bound bound);
+  void drain_shard(ShardState& s, WorkerState& w, detail::WorkerTls& tls,
+                   detail::Bound bound);
   std::uint64_t barrier_merge();
   bool peek_min(Time& when, std::uint64_t& seq, bool& exclusive) const;
 
-  WorkerState& worker_for(Shard shard) noexcept {
-    return *workers_[shard % nworkers_];
-  }
+  ShardState& shard_state(Shard shard);
 
   Simulator& sim_;
   unsigned nworkers_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::unique_ptr<ShardState>> shards_;  // index = shard id
   Simulator::Queue exclusive_;  // kNoShard entries
+
+  // Per-window shard claim list: built by the main thread (largest heap
+  // first, shard id as the deterministic tiebreak), consumed by workers
+  // via fetch_add. Published before epoch_ under mu_.
+  std::vector<Shard> ready_;
+  std::atomic<std::size_t> cursor_{0};
 
   // window hand-off: main publishes bound_/epoch_, workers run, last one
   // signals done. The mutex also carries the happens-before edges that

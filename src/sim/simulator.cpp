@@ -91,7 +91,7 @@ void Simulator::pop_and_run() {
 }
 
 std::uint64_t Simulator::run(std::uint64_t max_events) {
-  if (threads_ > 1 && lookahead_ > 0.0 && max_events == UINT64_MAX) {
+  if (threads_ > 1 && effective_lookahead() > 0.0 && max_events == UINT64_MAX) {
     return run_parallel(0.0, /*bounded=*/false);
   }
   std::uint64_t n = 0;
@@ -104,7 +104,7 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 
 std::uint64_t Simulator::run_until(Time until) {
   std::uint64_t n = 0;
-  if (threads_ > 1 && lookahead_ > 0.0) {
+  if (threads_ > 1 && effective_lookahead() > 0.0) {
     n = run_parallel(until, /*bounded=*/true);
   } else {
     while (!queue_.empty() && queue_.top().when <= until) {

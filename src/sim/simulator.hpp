@@ -110,6 +110,24 @@ class Simulator {
   void set_lookahead(Time l) { lookahead_ = l < 0.0 ? 0.0 : l; }
   Time lookahead() const noexcept { return lookahead_; }
 
+  /// Adaptive lower bound on the lookahead, derived by the network layer
+  /// from the minimum outstanding link latency (net::Network's adaptive
+  /// mode re-derives it on every membership change). Window width and all
+  /// cross-shard delay clamps use effective_lookahead(), so a wider floor
+  /// means wider windows without any behavioral difference: no link can
+  /// deliver below the floor anyway. May only change from an exclusive or
+  /// main-thread context (never mid-window), which keeps parallel runs
+  /// byte-identical to sequential ones at the same floor.
+  void set_lookahead_floor(Time f) {
+    lookahead_floor_ = f < 0.0 ? 0.0 : f;
+  }
+  Time lookahead_floor() const noexcept { return lookahead_floor_; }
+
+  /// The lookahead actually in force: max(lookahead, floor).
+  Time effective_lookahead() const noexcept {
+    return lookahead_ > lookahead_floor_ ? lookahead_ : lookahead_floor_;
+  }
+
   /// Shard of the currently executing event (kNoShard outside events and
   /// in exclusive events). Identical in sequential and parallel runs.
   Shard current_shard() const noexcept;
@@ -179,6 +197,7 @@ class Simulator {
   bool in_defer_apply_ = false;
   unsigned threads_ = 1;
   Time lookahead_ = 0.0;
+  Time lookahead_floor_ = 0.0;
   std::vector<std::function<void()>> merge_hooks_;
   std::unique_ptr<ParallelEngine> engine_;  // live only during parallel runs
 };

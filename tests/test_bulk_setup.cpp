@@ -1,0 +1,246 @@
+// Bulk (oracle) setup parity: HyperSubSystem::bulk_subscribe must leave
+// the system in the same state a fully drained subscribe() cascade
+// reaches — same handles, same loads, same zone summaries and parent
+// pieces, same subscription sets, same deliveries for the same events —
+// and its result must be independent of the setup thread count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chord/chord_net.hpp"
+#include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
+#include "net/topology.hpp"
+#include "pastry/pastry_net.hpp"
+#include "workload/scheme_factory.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace hypersub {
+namespace {
+
+using core::HyperSubSystem;
+using core::SubscriptionHandle;
+
+constexpr std::size_t kHosts = 48;
+constexpr std::size_t kSubs = 400;
+constexpr std::uint64_t kSeed = 7;
+
+struct Stack {
+  net::KingLikeTopology topo;
+  sim::Simulator sim;
+  net::Network net;
+  chord::ChordNet chord;
+  HyperSubSystem sys;
+  std::uint32_t scheme;
+
+  static net::KingLikeTopology::Params topo_params() {
+    net::KingLikeTopology::Params tp;
+    tp.hosts = kHosts;
+    tp.seed = kSeed;
+    return tp;
+  }
+  static chord::ChordNet::Params chord_params() {
+    chord::ChordNet::Params cp;
+    cp.seed = kSeed;
+    return cp;
+  }
+
+  explicit Stack(HyperSubSystem::Config cfg = {})
+      : topo(topo_params()),
+        net(sim, topo),
+        chord(net, chord_params()),
+        sys((chord.oracle_build(), chord), cfg) {
+    workload::WorkloadGenerator gen(workload::table1_spec(), kSeed + 1);
+    core::SchemeOptions opt;
+    opt.zone_cfg = {1, 20};
+    scheme = sys.add_scheme(gen.scheme(), opt);
+  }
+};
+
+std::vector<HyperSubSystem::BulkSub> make_batch() {
+  workload::WorkloadGenerator gen(workload::table1_spec(), kSeed + 1);
+  (void)gen.scheme();  // keep the generator aligned with Stack's draw order
+  Rng rng(kSeed + 2);
+  std::vector<HyperSubSystem::BulkSub> batch;
+  for (std::size_t i = 0; i < kSubs; ++i) {
+    batch.push_back(
+        {net::HostIndex(rng.index(kHosts)), gen.make_subscription()});
+  }
+  return batch;
+}
+
+std::vector<SubscriptionHandle> install_simulated(Stack& s) {
+  std::vector<SubscriptionHandle> handles;
+  for (auto& b : make_batch()) {
+    handles.push_back(s.sys.subscribe(b.subscriber, s.scheme, b.sub));
+  }
+  s.sim.run();
+  return handles;
+}
+
+/// Canonical rendering of every zone's durable content — owner host, zone
+/// address, summary, parent piece, and the (order-insensitive) set of
+/// stored subscriptions — for whole-system equality checks.
+std::string zone_fingerprint(const HyperSubSystem& sys) {
+  std::map<std::string, std::string> rows;  // sorted, order-insensitive
+  for (net::HostIndex h = 0; h < kHosts; ++h) {
+    for (const auto& [addr, z] : sys.node(h).zones()) {
+      std::string key = std::to_string(h) + "/" + std::to_string(addr.scheme) +
+                        "." + std::to_string(addr.subscheme) + "." +
+                        std::to_string(addr.zone.code) + "@" +
+                        std::to_string(addr.zone.level);
+      std::string row;
+      const auto rect = [](const HyperRect& r) {
+        std::string s = "[";
+        for (const auto& iv : r.dims()) {
+          s += std::to_string(iv.lo) + ":" + std::to_string(iv.hi) + ",";
+        }
+        return s + "]";
+      };
+      row += "summary=" + rect(z.summary());
+      if (z.parent_piece()) {
+        row += " piece=" + rect(z.parent_piece()->first) + "/" +
+               std::to_string(z.parent_piece()->second);
+      }
+      std::multiset<std::string> subs;
+      for (const auto& s : z.subscriptions()) {
+        subs.insert(std::to_string(s.owner.target) + "#" +
+                    std::to_string(s.owner.iid));
+      }
+      row += " subs={";
+      for (const auto& s : subs) row += s + ",";
+      row += "}";
+      rows[std::move(key)] = std::move(row);
+    }
+  }
+  std::string out;
+  for (const auto& [k, v] : rows) out += k + " " + v + "\n";
+  return out;
+}
+
+std::multiset<std::pair<std::size_t, std::uint32_t>> deliver_events(
+    Stack& s, int events) {
+  workload::WorkloadGenerator gen(workload::table1_spec(), kSeed + 3);
+  std::multiset<std::pair<std::size_t, std::uint32_t>> got;
+  Rng rng(kSeed + 4);
+  for (int e = 0; e < events; ++e) {
+    s.sys.publish(net::HostIndex(rng.index(kHosts)), s.scheme,
+                  gen.make_event());
+  }
+  s.sim.run();
+  s.sys.finalize_events();
+  for (const auto& d : s.sys.deliveries()) {
+    got.insert({d.subscriber, d.iid});
+  }
+  return got;
+}
+
+TEST(BulkSetup, MatchesSimulatedInstallState) {
+  Stack simulated;
+  const auto sim_handles = install_simulated(simulated);
+
+  Stack bulk;
+  const auto bulk_handles = bulk.sys.bulk_subscribe(bulk.scheme, make_batch());
+
+  EXPECT_EQ(sim_handles, bulk_handles);
+  EXPECT_EQ(simulated.sys.total_subscriptions(),
+            bulk.sys.total_subscriptions());
+  EXPECT_EQ(simulated.sys.node_loads(), bulk.sys.node_loads());
+  EXPECT_EQ(simulated.sys.node_stored_entries(),
+            bulk.sys.node_stored_entries());
+  EXPECT_EQ(zone_fingerprint(simulated.sys), zone_fingerprint(bulk.sys));
+  EXPECT_TRUE(bulk.sys.check_zone_invariants());
+
+  // Same events reach the same subscribers through both setups.
+  EXPECT_EQ(deliver_events(simulated, 20), deliver_events(bulk, 20));
+}
+
+TEST(BulkSetup, ThreadCountInvariant) {
+  Stack one;
+  Stack four;
+  const auto h1 = one.sys.bulk_subscribe(one.scheme, make_batch(), 1);
+  const auto h4 = four.sys.bulk_subscribe(four.scheme, make_batch(), 4);
+  EXPECT_EQ(h1, h4);
+  EXPECT_EQ(one.sys.node_loads(), four.sys.node_loads());
+  EXPECT_EQ(zone_fingerprint(one.sys), zone_fingerprint(four.sys));
+
+  // Byte-identical behavior downstream: the same event feed produces the
+  // same delivery log in the same order and the same metrics snapshot.
+  deliver_events(one, 20);
+  deliver_events(four, 20);
+  ASSERT_EQ(one.sys.deliveries().size(), four.sys.deliveries().size());
+  for (std::size_t i = 0; i < one.sys.deliveries().size(); ++i) {
+    const auto& a = one.sys.deliveries()[i];
+    const auto& b = four.sys.deliveries()[i];
+    EXPECT_EQ(a.subscriber, b.subscriber) << "row " << i;
+    EXPECT_EQ(a.iid, b.iid) << "row " << i;
+    EXPECT_EQ(a.event_seq, b.event_seq) << "row " << i;
+  }
+  EXPECT_EQ(metrics::snapshot(one.sys).to_json(),
+            metrics::snapshot(four.sys).to_json());
+}
+
+TEST(BulkSetup, ReplicasMirrored) {
+  HyperSubSystem::Config cfg;
+  cfg.replicas = 2;
+  Stack simulated(cfg);
+  install_simulated(simulated);
+
+  Stack bulk(cfg);
+  bulk.sys.bulk_subscribe(bulk.scheme, make_batch(), 3);
+
+  for (net::HostIndex h = 0; h < kHosts; ++h) {
+    EXPECT_EQ(simulated.sys.node(h).replica_zone_count(),
+              bulk.sys.node(h).replica_zone_count())
+        << "host " << h;
+  }
+  EXPECT_EQ(simulated.sys.node_loads(), bulk.sys.node_loads());
+}
+
+TEST(BulkSetup, UnsubscribeAfterBulkInstall) {
+  Stack s;
+  auto handles = s.sys.bulk_subscribe(s.scheme, make_batch());
+  const std::size_t before = s.sys.total_subscriptions();
+  for (std::size_t i = 0; i < handles.size(); i += 4) {
+    s.sys.unsubscribe(handles[i]);
+  }
+  s.sim.run();
+  EXPECT_EQ(s.sys.total_subscriptions(), before - (handles.size() + 3) / 4);
+  EXPECT_TRUE(s.sys.check_zone_invariants());
+}
+
+TEST(BulkSetup, FallsBackToRoutedInstallsWithoutOracleTable) {
+  net::KingLikeTopology::Params tp;
+  tp.hosts = 24;
+  tp.seed = 3;
+  net::KingLikeTopology topo(tp);
+  sim::Simulator sim;
+  net::Network net(sim, topo);
+  pastry::PastryNet::Params pp;
+  pp.seed = 3;
+  pastry::PastryNet pastry(net, pp);
+  pastry.oracle_build();
+  ASSERT_TRUE(pastry.oracle_owner_table().empty());
+
+  HyperSubSystem sys(pastry);
+  workload::WorkloadGenerator gen(workload::table1_spec(), 5);
+  core::SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  const auto scheme = sys.add_scheme(gen.scheme(), opt);
+  std::vector<HyperSubSystem::BulkSub> batch;
+  for (std::size_t i = 0; i < 60; ++i) {
+    batch.push_back({net::HostIndex(i % 24), gen.make_subscription()});
+  }
+  const auto handles = sys.bulk_subscribe(scheme, std::move(batch));
+  sim.run();  // fallback goes through routed installs
+  EXPECT_EQ(handles.size(), 60u);
+  EXPECT_EQ(sys.total_subscriptions(), 60u);
+  EXPECT_TRUE(sys.check_zone_invariants());
+}
+
+}  // namespace
+}  // namespace hypersub

@@ -43,6 +43,11 @@ struct RunOpts {
   // against.
   unsigned threads = 1;
   double lookahead = 0.0;
+  // Derive the lookahead floor from the topology's minimum live link
+  // latency (Network::enable_adaptive_lookahead). Must be set on the
+  // sequential reference too: the floor also delays cross-shard control
+  // handoffs, so it is part of the compared configuration.
+  bool adaptive = false;
 };
 
 /// One full simulated run: build, subscribe, (optionally churn), publish,
@@ -57,6 +62,10 @@ RunOutput run_once(RunOpts o) {
   sim.set_threads(o.threads);
   sim.set_lookahead(o.lookahead);
   net::Network net(sim, topo);
+  if (o.adaptive) {
+    net.enable_adaptive_lookahead();
+    EXPECT_GT(sim.lookahead_floor(), 0.0);
+  }
   chord::ChordNet::Params cp;
   cp.seed = 13;
   cp.reliable_routing = o.reliable;
@@ -202,6 +211,43 @@ TEST(ParallelDeterminism, ChurnWithReliabilityMatchesSequential) {
 
 TEST(ParallelDeterminism, SampledTracingMatchesSequential) {
   expect_parallel_matches_sequential({.sample_rate = 0.5});
+}
+
+TEST(ParallelDeterminism, AdaptiveLookaheadMatchesSequential) {
+  // No explicit lookahead at all: the adaptive floor (minimum live link
+  // latency) is what admits parallel execution, and work-stealing windows
+  // under it must still match the sequential run byte for byte.
+  RunOpts o{};
+  o.adaptive = true;
+  const RunOutput seq = run_once(o);
+  for (const unsigned threads : kThreadCounts) {
+    o.threads = threads;
+    expect_identical(seq, run_once(o));
+  }
+}
+
+TEST(ParallelDeterminism, AdaptiveLookaheadUnderChurnMatchesSequential) {
+  // Node failures shrink the live set; kill() re-derives the floor between
+  // windows. The re-derivation itself must be thread-count independent.
+  RunOpts o{.reliable = true, .replicas = 2, .churn = true};
+  o.adaptive = true;
+  const RunOutput seq = run_once(o);
+  for (const unsigned threads : kThreadCounts) {
+    o.threads = threads;
+    expect_identical(seq, run_once(o));
+  }
+}
+
+TEST(ParallelDeterminism, AdaptiveFloorStacksWithExplicitLookahead) {
+  // effective = max(lookahead, floor): an explicit lookahead below the
+  // floor changes nothing relative to the floor alone.
+  RunOpts o{};
+  o.adaptive = true;
+  o.lookahead = 1e-6;
+  o.threads = 4;
+  RunOpts floor_only{};
+  floor_only.adaptive = true;
+  expect_identical(run_once(floor_only), run_once(o));
 }
 
 TEST(ParallelDeterminism, LookaheadZeroFallsBackToSequential) {

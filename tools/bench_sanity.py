@@ -17,6 +17,17 @@ Subcommands:
       hops and strictly fewer packet-header bytes per event, and the cache
       must actually be hitting.
 
+  scale BASELINE.json FRESH.json [--point SUBS] [--min-setup-speedup X]
+        [--min-rss-reduction F] [--max-rss-gib G]
+      Compare a fresh micro_scale run against the committed pre-arena
+      baseline (bench/BENCH_scale_baseline.json) at the gated
+      100k-subscription point: the arena/bulk-setup path must have cut
+      setup wall-clock by at least the speedup factor and peak RSS by at
+      least the reduction fraction, and the fresh peak RSS must stay
+      under an absolute ceiling (the CI smoke budget). Both runs measure
+      the same workload seeds on the same host class, so the ratios are
+      stable where absolute seconds are not.
+
   sim FRESH.json [--floor T:S ...]
       Validate a fresh micro_sim run (self-relative): every thread count
       must have produced the byte-identical snapshot hash (the parallel
@@ -159,6 +170,66 @@ def cmd_trace(args):
 
 
 # ---------------------------------------------------------------------------
+# scale: setup fast path + arena storage vs the committed pre-arena baseline
+# ---------------------------------------------------------------------------
+
+def load_scale_point(path, subs):
+    doc = load_json(path)
+    for row in doc.get("points", []):
+        if row.get("subs") == subs:
+            return doc, row
+    sys.exit(f"error: {path} has no point with subs={subs}")
+
+
+def cmd_scale(args):
+    base_doc, base = load_scale_point(args.baseline, args.point)
+    fresh_doc, fresh = load_scale_point(args.fresh, args.point)
+
+    speedup = base["setup_seconds"] / fresh["setup_seconds"]
+    rss_reduction = 1.0 - fresh["peak_rss_bytes"] / base["peak_rss_bytes"]
+    ceiling_bytes = int(args.max_rss_gib * (1 << 30))
+    gib = 1.0 / (1 << 30)
+
+    print(f"scale point subs={args.point} "
+          f"({fresh['nodes']} nodes x {fresh['subs_per_node']} subs/node, "
+          f"mode {fresh_doc.get('mode', '?')}):")
+    print(f"  setup   : baseline {base['setup_seconds']:.2f} s -> "
+          f"fresh {fresh['setup_seconds']:.2f} s "
+          f"({speedup:.2f}x, floor {args.min_setup_speedup:.1f}x)")
+    print(f"  peak RSS: baseline {base['peak_rss_bytes'] * gib:.2f} GiB -> "
+          f"fresh {fresh['peak_rss_bytes'] * gib:.2f} GiB "
+          f"(-{rss_reduction:.1%}, floor {args.min_rss_reduction:.0%}, "
+          f"ceiling {args.max_rss_gib:.1f} GiB)")
+    print(f"  steady  : {fresh['events_per_sec']:.0f} events/sec, "
+          f"{fresh['deliveries']} deliveries, "
+          f"hash {fresh['snapshot_hash']}")
+
+    failures = []
+    if speedup < args.min_setup_speedup:
+        failures.append(f"setup speedup {speedup:.2f}x below "
+                        f"{args.min_setup_speedup:.1f}x floor")
+    if rss_reduction < args.min_rss_reduction:
+        failures.append(f"peak-RSS reduction {rss_reduction:.1%} below "
+                        f"{args.min_rss_reduction:.0%} floor")
+    if fresh["peak_rss_bytes"] > ceiling_bytes:
+        failures.append(f"peak RSS {fresh['peak_rss_bytes'] * gib:.2f} GiB "
+                        f"exceeds {args.max_rss_gib:.1f} GiB ceiling")
+    # Delivery parity only means something when both runs published the
+    # same event schedule (the full sweep uses more events than --quick).
+    if fresh_doc.get("events") == base_doc.get("events") and \
+            fresh["deliveries"] != base["deliveries"]:
+        failures.append("delivery count diverges from baseline "
+                        "(setup fast path changed behavior)")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # sim: parallel engine determinism (always) + speedup floors (cores permitting)
 # ---------------------------------------------------------------------------
 
@@ -175,7 +246,8 @@ def cmd_sim(args):
     runs = {r["threads"]: r for r in doc.get("runs", [])}
     if 1 not in runs:
         sys.exit(f"error: {args.fresh} has no sequential (threads=1) run")
-    cores = doc.get("hardware_concurrency", 0)
+    cores = doc.get("host", {}).get("cores",
+                                    doc.get("hardware_concurrency", 0))
     floors = parse_floors(args.floor)
     seq = runs[1]
 
@@ -249,6 +321,24 @@ def main():
     r = sub.add_parser("route", help="publish fast-lane self-check")
     r.add_argument("fresh", help="freshly produced BENCH_route.json")
     r.set_defaults(fn=cmd_route)
+
+    sc = sub.add_parser("scale",
+                        help="setup fast path vs committed pre-arena baseline")
+    sc.add_argument("baseline", help="committed BENCH_scale_baseline.json")
+    sc.add_argument("fresh", help="freshly produced BENCH_scale.json")
+    sc.add_argument("--point", type=int, default=100000,
+                    help="total-subscription point to compare "
+                         "(default 100000)")
+    sc.add_argument("--min-setup-speedup", type=float, default=3.0,
+                    help="required setup wall-clock speedup over the "
+                         "baseline (default 3.0)")
+    sc.add_argument("--min-rss-reduction", type=float, default=0.30,
+                    help="required fractional peak-RSS reduction "
+                         "(default 0.30)")
+    sc.add_argument("--max-rss-gib", type=float, default=1.5,
+                    help="absolute fresh peak-RSS ceiling in GiB "
+                         "(default 1.5)")
+    sc.set_defaults(fn=cmd_scale)
 
     s = sub.add_parser("sim", help="parallel engine determinism + speedup")
     s.add_argument("fresh", help="freshly produced BENCH_sim.json")
