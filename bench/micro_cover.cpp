@@ -1,0 +1,376 @@
+// Micro-benchmark: covering-based subscription aggregation.
+//
+// A dup-heavy interest workload (most subscriptions are Zipf-ranked draws
+// from a small pool of base interests, verbatim or shrunk — the regime
+// where covering/subsumption detection pays) and a Zipf-hot event feed
+// run twice over an identical network: once with cover_aggregation off
+// (every subscription registered upward) and once with it on (contained
+// subscriptions quenched at their zone, matched subid lists compressed
+// with the grouped wire encoding). We report the registration reduction
+// (quenched / stored), the subid transport bytes per event (the payload
+// the grouped encoding compresses; the total frame bandwidth is dominated
+// by per-edge event copies, which parity leaves untouched), and verify
+// the delivery sets are identical via an order-independent delivery hash.
+// Machine-readable results go to BENCH_cover.json (--json=PATH) for the
+// bench_sanity cover gate. --quick shrinks the run for CI; --full scales
+// it up.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chord/chord_net.hpp"
+#include "common/zipf.hpp"
+#include "core/hypersub_system.hpp"
+#include "metrics/snapshot.hpp"
+#include "net/topology.hpp"
+#include "workload/zipf_workload.hpp"
+
+namespace {
+
+using namespace hypersub;
+
+struct Params {
+  std::size_t nodes = 300;
+  std::size_t subs_per_node = 16;
+  std::size_t interest_pool = 24;  ///< distinct base interests
+  double interest_skew = 1.0;      ///< Zipf rank skew of interest draws
+  double dup_frac = 0.6;           ///< pool sub verbatim
+  double shrink_frac = 0.2;        ///< pool sub shrunk (guaranteed contained)
+  std::size_t event_pool = 64;     ///< distinct hot events
+  double hot_topic_frac = 0.7;     ///< events placed inside a popular interest
+  double zipf_skew = 0.95;         ///< rank skew of the event feed
+  std::size_t publishers = 6;
+  std::size_t warm_rounds = 20;
+  std::size_t rounds = 80;
+  std::size_t burst = 4;
+};
+
+/// Order-independent delivery identity: a commutative (wrapping-sum)
+/// accumulation of one avalanche hash per delivery. Cover expansion emits
+/// coverees after their representative instead of in global insertion
+/// order, so only the multiset — not the sequence — is comparable.
+class HashingDeliverySink final : public core::DeliverySink {
+ public:
+  void on_delivery(const core::Delivery& d) override {
+    sum_ += core::splitmix64(core::splitmix64(d.event_seq) ^
+                             core::splitmix64((std::uint64_t(d.subscriber)
+                                               << 32) |
+                                              d.iid));
+    ++count_;
+  }
+  void reset() override { sum_ = 0, count_ = 0; }
+  std::uint64_t hash() const noexcept { return sum_; }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+HyperRect shrink(const HyperRect& r, double f) {
+  std::vector<Interval> d;
+  for (const auto& iv : r.dims()) {
+    d.push_back({iv.lo + f * iv.length(), iv.hi - f * iv.length()});
+  }
+  return HyperRect(std::move(d));
+}
+
+struct RunResult {
+  double mean_bandwidth_kb = 0.0;
+  double mean_publish_hops = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t delivery_hash = 0;
+  double wall_ns_per_event = 0.0;
+  metrics::CoverCounters cover;
+  metrics::Snapshot snap;
+};
+
+struct BenchRun {
+  std::unique_ptr<net::KingLikeTopology> topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<chord::ChordNet> chord;
+  std::unique_ptr<core::HyperSubSystem> sys;
+  HashingDeliverySink sink;
+  std::vector<pubsub::Event> pool;
+  std::unique_ptr<ZipfSampler> zipf;
+  Rng rng{33};
+  std::uint32_t scheme = 0;
+  std::size_t publishers = 0;
+  std::size_t burst = 0;
+
+  void round() {
+    const auto pub = net::HostIndex(rng.index(publishers));
+    for (std::size_t b = 0; b < burst; ++b) {
+      auto e = pool[zipf->sample(rng) - 1];
+      sys->publish(pub, scheme, std::move(e));
+    }
+    sim->run();
+  }
+};
+
+std::unique_ptr<BenchRun> make_bench(const Params& p, bool cover) {
+  auto b = std::make_unique<BenchRun>();
+  net::KingLikeTopology::Params tp;
+  tp.hosts = p.nodes;
+  tp.seed = 9;
+  b->topo = std::make_unique<net::KingLikeTopology>(tp);
+  b->sim = std::make_unique<sim::Simulator>();
+  b->net = std::make_unique<net::Network>(*b->sim, *b->topo);
+  chord::ChordNet::Params cp;
+  cp.seed = 9;
+  b->chord = std::make_unique<chord::ChordNet>(*b->net, cp);
+  b->chord->oracle_build();
+
+  core::HyperSubSystem::Config sc;
+  sc.cover_aggregation = cover;
+  b->sys = std::make_unique<core::HyperSubSystem>(*b->chord, sc);
+  b->sys->set_delivery_sink(b->sink);
+
+  workload::WorkloadGenerator gen(workload::table1_spec(), 21);
+  core::SchemeOptions opt;
+  opt.zone_cfg = {1, 20};
+  b->scheme = b->sys->add_scheme(gen.scheme(), opt);
+
+  // The interest pool: a few dozen base subscriptions most installs are
+  // drawn from (popularity Zipf-ranked). Verbatim duplicates and shrunk
+  // copies land in the base interest's zone and are quenchable there; the
+  // remainder are fresh one-off interests. The draw sequence is seeded
+  // identically for both configs, so the populations match sub for sub.
+  std::vector<pubsub::Subscription> interests;
+  for (std::size_t i = 0; i < p.interest_pool; ++i) {
+    interests.push_back(gen.make_subscription());
+  }
+  ZipfSampler isub(p.interest_pool, p.interest_skew);
+  Rng srng(57);
+  for (net::HostIndex h = 0; h < p.nodes; ++h) {
+    for (std::size_t k = 0; k < p.subs_per_node; ++k) {
+      const auto& base = interests[isub.sample(srng) - 1];
+      const double roll = double(srng.index(1000)) / 1000.0;
+      if (roll < p.dup_frac) {
+        b->sys->subscribe(h, b->scheme, base);
+      } else if (roll < p.dup_frac + p.shrink_frac) {
+        b->sys->subscribe(h, b->scheme,
+                          pubsub::Subscription(shrink(base.range(), 0.1)));
+      } else {
+        b->sys->subscribe(h, b->scheme, gen.make_subscription());
+      }
+    }
+  }
+  b->sim->run();
+
+  // Hot-topic feed: most events land inside a Zipf-popular interest (the
+  // rank skew mirrors the subscription side — popular topics attract both
+  // subscribers and traffic), the rest are background uniform events.
+  for (std::size_t i = 0; i < p.event_pool; ++i) {
+    if (double(srng.index(1000)) / 1000.0 < p.hot_topic_frac) {
+      const HyperRect& r = interests[isub.sample(srng) - 1].range();
+      Point pt;
+      for (const auto& iv : r.dims()) {
+        pt.push_back(iv.lo +
+                     (double(srng.index(1000)) / 1000.0) * iv.length());
+      }
+      b->pool.push_back(pubsub::Event{0, std::move(pt)});
+    } else {
+      b->pool.push_back(gen.make_event());
+    }
+  }
+  b->zipf = std::make_unique<ZipfSampler>(p.event_pool, p.zipf_skew);
+  b->publishers = p.publishers;
+  b->burst = p.burst;
+
+  for (std::size_t r = 0; r < p.warm_rounds; ++r) b->round();
+  b->sys->finalize_events();
+  b->sys->reset_metrics();
+  b->net->reset_traffic();
+  return b;
+}
+
+RunResult run_config(const Params& p, bool cover) {
+  auto b = make_bench(p, cover);
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < p.rounds; ++r) b->round();
+  b->sys->finalize_events();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.snap = metrics::snapshot(*b->sys);
+  res.mean_bandwidth_kb = res.snap.mean_bandwidth_kb;
+  res.mean_publish_hops = res.snap.mean_max_hops;
+  res.deliveries = b->sink.count();
+  res.delivery_hash = b->sink.hash();
+  res.cover = b->sys->cover_counters();
+  res.wall_ns_per_event =
+      double(std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 -
+                                                                  wall0)
+                 .count()) /
+      double(p.rounds * p.burst);
+  return res;
+}
+
+bool emit_json(const std::string& path, const Params& p,
+               const RunResult& off, const RunResult& on,
+               double reg_reduction, double subid_reduction,
+               double bw_reduction) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_cover\",\n");
+  hypersub::bench::write_host_json(f);
+  std::fprintf(f, "  \"workload\": \"table1 zipf interest pool\",\n");
+  std::fprintf(f,
+               "  \"nodes\": %zu, \"subs_per_node\": %zu, "
+               "\"interest_pool\": %zu, \"dup_frac\": %.2f, "
+               "\"shrink_frac\": %.2f,\n",
+               p.nodes, p.subs_per_node, p.interest_pool, p.dup_frac,
+               p.shrink_frac);
+  std::fprintf(f, "  \"events\": %zu, \"burst\": %zu, \"zipf_skew\": %.2f,\n",
+               p.rounds * p.burst, p.burst, p.zipf_skew);
+  std::fprintf(f,
+               "  \"registration\": {\"stored\": %llu, "
+               "\"representatives\": %llu, \"quenched\": %llu, "
+               "\"reduction\": %.4f},\n",
+               (unsigned long long)(on.cover.representatives +
+                                    on.cover.quenched),
+               (unsigned long long)on.cover.representatives,
+               (unsigned long long)on.cover.quenched, reg_reduction);
+  const double events = double(p.rounds * p.burst);
+  std::fprintf(f,
+               "  \"subid_bytes\": {\"off_per_event\": %.1f, "
+               "\"on_per_event\": %.1f, \"reduction\": %.4f, "
+               "\"saved\": %llu},\n",
+               double(off.cover.subid_wire_bytes) / events,
+               double(on.cover.subid_wire_bytes) / events, subid_reduction,
+               (unsigned long long)on.cover.subid_bytes_saved);
+  std::fprintf(f,
+               "  \"bandwidth\": {\"off_kb_per_event\": %.4f, "
+               "\"on_kb_per_event\": %.4f, \"reduction\": %.4f},\n",
+               off.mean_bandwidth_kb, on.mean_bandwidth_kb, bw_reduction);
+  std::fprintf(f,
+               "  \"delivery\": {\"off_count\": %llu, \"on_count\": %llu, "
+               "\"off_hash\": %llu, \"on_hash\": %llu, "
+               "\"identical\": %s},\n",
+               (unsigned long long)off.deliveries,
+               (unsigned long long)on.deliveries,
+               (unsigned long long)off.delivery_hash,
+               (unsigned long long)on.delivery_hash,
+               off.deliveries == on.deliveries &&
+                       off.delivery_hash == on.delivery_hash
+                   ? "true"
+                   : "false");
+  std::fprintf(f, "  \"configs\": [\n");
+  const struct {
+    const char* name;
+    const RunResult* r;
+  } rows[] = {{"cover_off", &off}, {"cover_on", &on}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mean_publish_hops\": %.4f, "
+                 "\"mean_bandwidth_kb\": %.4f, \"deliveries\": %llu, "
+                 "\"wall_ns_per_event\": %.1f,\n     \"snapshot\": %s}%s\n",
+                 rows[i].name, rows[i].r->mean_publish_hops,
+                 rows[i].r->mean_bandwidth_kb,
+                 (unsigned long long)rows[i].r->deliveries,
+                 rows[i].r->wall_ns_per_event,
+                 rows[i].r->snap.to_json().c_str(), i == 0 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_cover.json";
+  Params p;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      p.nodes = 150;
+      p.subs_per_node = 10;
+      p.warm_rounds = 10;
+      p.rounds = 40;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      p.nodes = 1000;
+      p.warm_rounds = 40;
+      p.rounds = 200;
+    }
+  }
+
+  std::printf(
+      "cover aggregation (%zu nodes, %zu subs, interest pool %zu, "
+      "%zu events)\n",
+      p.nodes, p.nodes * p.subs_per_node, p.interest_pool,
+      p.rounds * p.burst);
+  const RunResult off = run_config(p, false);
+  const RunResult on = run_config(p, true);
+
+  const std::uint64_t stored = on.cover.representatives + on.cover.quenched;
+  const double reg_reduction =
+      stored > 0 ? double(on.cover.quenched) / double(stored) : 0.0;
+  const double subid_reduction =
+      off.cover.subid_wire_bytes > 0
+          ? 1.0 - double(on.cover.subid_wire_bytes) /
+                      double(off.cover.subid_wire_bytes)
+          : 0.0;
+  const double bw_reduction =
+      off.mean_bandwidth_kb > 0.0
+          ? 1.0 - on.mean_bandwidth_kb / off.mean_bandwidth_kb
+          : 0.0;
+
+  std::printf("%12s %16s %16s %12s %16s\n", "config", "bandwidth KB/ev",
+              "publish hops", "deliveries", "wall ns/ev");
+  std::printf("%12s %16.3f %16.2f %12llu %16.0f\n", "cover_off",
+              off.mean_bandwidth_kb, off.mean_publish_hops,
+              (unsigned long long)off.deliveries, off.wall_ns_per_event);
+  std::printf("%12s %16.3f %16.2f %12llu %16.0f\n", "cover_on",
+              on.mean_bandwidth_kb, on.mean_publish_hops,
+              (unsigned long long)on.deliveries, on.wall_ns_per_event);
+  std::printf(
+      "registration: %llu stored = %llu representatives + %llu quenched "
+      "(%.1f%% reduction)\n",
+      (unsigned long long)stored,
+      (unsigned long long)on.cover.representatives,
+      (unsigned long long)on.cover.quenched, 100.0 * reg_reduction);
+  const double events = double(p.rounds * p.burst);
+  std::printf(
+      "subid transport: %.1f -> %.1f bytes/event (%.1f%% reduction, "
+      "%llu bytes saved, %llu promotions)\n",
+      double(off.cover.subid_wire_bytes) / events,
+      double(on.cover.subid_wire_bytes) / events, 100.0 * subid_reduction,
+      (unsigned long long)on.cover.subid_bytes_saved,
+      (unsigned long long)on.cover.promotions);
+  std::printf("total bandwidth: %.3f -> %.3f KB/event (%.1f%% reduction)\n",
+              off.mean_bandwidth_kb, on.mean_bandwidth_kb,
+              100.0 * bw_reduction);
+
+  // Aggregation must not change what gets delivered — count and content.
+  if (off.deliveries != on.deliveries ||
+      off.delivery_hash != on.delivery_hash) {
+    std::fprintf(stderr,
+                 "FAIL: delivery sets diverge (off=%llu/%016llx "
+                 "on=%llu/%016llx)\n",
+                 (unsigned long long)off.deliveries,
+                 (unsigned long long)off.delivery_hash,
+                 (unsigned long long)on.deliveries,
+                 (unsigned long long)on.delivery_hash);
+    return 1;
+  }
+
+  if (!emit_json(json_path, p, off, on, reg_reduction, subid_reduction,
+                 bw_reduction))
+    return 1;
+  return 0;
+}

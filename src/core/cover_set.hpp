@@ -1,0 +1,104 @@
+#pragma once
+// Covering/subsumption bookkeeping for one zone's subscriptions
+// (ROADMAP "Subscription aggregation"; Shi et al., PAPERS.md).
+//
+// When a new subscription's full-space hyper-rect is contained in the rect
+// of a subscription already registered in the same zone, delivering the
+// covering subscription's events is sufficient to decide the covered one:
+// every event inside the covered rect is inside the coverer's rect, so the
+// zone can *quench* the newcomer — keep it in the arena but leave it out
+// of the insertion-order list and the SubIndex. Quenched subscriptions are
+// re-materialized only at match time, after their representative's rect
+// has already admitted the event (ZoneState::match expands each matching
+// representative's coverees with an exact per-sub containment check), so
+// the delivery set is identical to the unaggregated one.
+//
+// Because projection is monotone (each projected interval is the full
+// interval of a subscheme attribute), a quenched rect's projection is also
+// contained in its representative's projection — quenching can never
+// change the zone's summary filter, which is why quenched subscriptions
+// need no piece propagation ("not registered upward").
+//
+// Invariants maintained by ZoneState:
+//   * representatives live in order_/SubIndex; coverees only here,
+//   * cover relations are one level deep (a coveree is never a coverer),
+//   * when a representative is removed (unsubscribe/extract), its coverees
+//     are promoted in quench order: each re-covers against the surviving
+//     representatives (including ones promoted earlier in the same pass)
+//     or becomes a representative itself — deterministic either way.
+//
+// CoverSet itself is pure bookkeeping over SubArena refs; the geometry
+// (which rect covers which) is decided by the caller. Iteration over the
+// internal hash maps is never exposed: callers enumerate coverees per
+// representative, in quench order, so nothing depends on bucket order.
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sub_arena.hpp"
+
+namespace hypersub::core {
+
+class CoverSet {
+ public:
+  using Ref = SubArena::Ref;
+
+  /// Record `coveree` as quenched under representative `rep`.
+  void quench(Ref rep, Ref coveree) {
+    assert(rep_of_.find(coveree) == rep_of_.end());
+    assert(rep_of_.find(rep) == rep_of_.end());  // one level deep
+    by_rep_[rep].push_back(coveree);
+    rep_of_.emplace(coveree, rep);
+  }
+
+  /// Detach a quenched ref from its representative (unsubscribe of a
+  /// coveree). Returns false if the ref is not quenched.
+  bool release(Ref coveree) {
+    const auto it = rep_of_.find(coveree);
+    if (it == rep_of_.end()) return false;
+    auto& list = by_rep_[it->second];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == coveree) {
+        list.erase(list.begin() + std::ptrdiff_t(i));
+        break;
+      }
+    }
+    if (list.empty()) by_rep_.erase(it->second);
+    rep_of_.erase(it);
+    return true;
+  }
+
+  /// Remove a representative, handing back its coverees in quench order
+  /// (the caller re-homes them: re-quench or promote).
+  std::vector<Ref> take_coverees(Ref rep) {
+    const auto it = by_rep_.find(rep);
+    if (it == by_rep_.end()) return {};
+    std::vector<Ref> out = std::move(it->second);
+    by_rep_.erase(it);
+    for (const Ref r : out) rep_of_.erase(r);
+    return out;
+  }
+
+  /// Coverees of `rep` in quench order; null when it has none.
+  const std::vector<Ref>* coverees(Ref rep) const {
+    const auto it = by_rep_.find(rep);
+    return it == by_rep_.end() ? nullptr : &it->second;
+  }
+
+  /// Representative of a quenched ref; kNullRef when not quenched.
+  Ref rep_of(Ref coveree) const {
+    const auto it = rep_of_.find(coveree);
+    return it == rep_of_.end() ? SubArena::kNullRef : it->second;
+  }
+
+  std::size_t quenched_count() const noexcept { return rep_of_.size(); }
+  bool empty() const noexcept { return rep_of_.empty(); }
+
+ private:
+  std::unordered_map<Ref, std::vector<Ref>> by_rep_;
+  std::unordered_map<Ref, Ref> rep_of_;
+};
+
+}  // namespace hypersub::core

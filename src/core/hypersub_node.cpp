@@ -78,7 +78,7 @@ std::optional<pubsub::Subscription> HyperSubNode::local_sub(
 }
 
 ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
-  auto [it, inserted] = zones_.try_emplace(addr, addr, index_threshold_);
+  auto [it, inserted] = zones_.try_emplace(addr, addr, index_threshold_, cover_);
   if (inserted) {
     // A key aliases a zone and its rightmost descendants, so several zones
     // sharing one key is the normal case, not a collision.
@@ -104,7 +104,7 @@ const ZoneState* HyperSubNode::find_zone_by_key(Id rotated_key) const {
 ZoneState& HyperSubNode::replica_zone_state(const ZoneAddr& addr,
                                             Id rotated_key) {
   auto [it, inserted] =
-      replica_zones_.try_emplace(addr, addr, index_threshold_);
+      replica_zones_.try_emplace(addr, addr, index_threshold_, cover_);
   if (inserted) replicas_by_key_[rotated_key].push_back(addr);
   return it->second;
 }

@@ -33,8 +33,12 @@ struct MigratedRepo {
 class HyperSubNode {
  public:
   HyperSubNode(net::HostIndex host, Id node_id,
-               std::size_t index_threshold = ZoneState::kDefaultIndexThreshold)
-      : host_(host), node_id_(node_id), index_threshold_(index_threshold) {}
+               std::size_t index_threshold = ZoneState::kDefaultIndexThreshold,
+               bool cover_aggregation = false)
+      : host_(host),
+        node_id_(node_id),
+        index_threshold_(index_threshold),
+        cover_(cover_aggregation) {}
 
   net::HostIndex host() const noexcept { return host_; }
   Id node_id() const noexcept { return node_id_; }
@@ -132,6 +136,7 @@ class HyperSubNode {
   net::HostIndex host_;
   Id node_id_;
   std::size_t index_threshold_;
+  bool cover_ = false;  // forwarded into every hosted ZoneState
   std::uint32_t iid_counter_ = 0;
   std::uint32_t token_counter_ = 0;
   std::vector<LocalEntry> local_entries_;  // index = iid - 1

@@ -14,7 +14,8 @@ HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
   caches_.reserve(dht.size());
   for (net::HostIndex h = 0; h < dht.size(); ++h) {
     nodes_.push_back(std::make_unique<HyperSubNode>(
-        h, dht.id_of(h), cfg_.match_index_threshold));
+        h, dht.id_of(h), cfg_.match_index_threshold,
+        cfg_.cover_aggregation));
     caches_.push_back(
         std::make_unique<RouteCache>(cfg_.route_cache_capacity));
   }
@@ -748,10 +749,23 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
     }
     routed.emplace_back(next.host, subid);
   }
-  std::stable_sort(routed.begin(), routed.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first < b.first;
-                   });
+  // Under cover aggregation the sort additionally orders each hop's sublist
+  // by subid target, so same-subscriber runs sit adjacent for the grouped
+  // wire encoding (subid_list_wire_bytes). Off-path the host-only stable
+  // sort keeps the historical per-group insertion order byte-for-byte.
+  if (cfg_.cover_aggregation) {
+    std::stable_sort(routed.begin(), routed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first != b.first
+                                  ? a.first < b.first
+                                  : a.second.target < b.second.target;
+                     });
+  } else {
+    std::stable_sort(routed.begin(), routed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
   for (std::size_t i = 0; i < routed.size();) {
     const net::HostIndex to = routed[i].first;
     std::size_t j = i;
@@ -840,13 +854,28 @@ void HyperSubSystem::send_frame(
   // and batch-counter attribution is deferred, with the per-chunk sizes
   // snapshotted now — the receiver consumes the sublists later.
   std::uint64_t bytes = overlay::kHeaderBytes;
+  std::uint64_t grouping_saved = 0;
+  std::uint64_t subid_wire = 0;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> sizes;
   sizes.reserve(chunks->size());
   for (const FrameChunk& c : *chunks) {
-    const std::uint64_t chunk_bytes =
-        kEventBytes + kSubIdBytes * c.subids->size();
+    const std::uint64_t subid_bytes =
+        subid_list_wire_bytes(*c.subids, cfg_.cover_aggregation);
+    const std::uint64_t chunk_bytes = kEventBytes + subid_bytes;
+    subid_wire += subid_bytes;
+    if (cfg_.cover_aggregation) {
+      grouping_saved +=
+          kSubIdBytes * c.subids->size() -
+          subid_list_wire_bytes(*c.subids, true);
+    }
     bytes += chunk_bytes;
     sizes.emplace_back(c.ctx->seq, chunk_bytes);
+  }
+  if (subid_wire > 0 || grouping_saved > 0) {
+    simulator().defer_ordered([this, subid_wire, grouping_saved] {
+      subid_wire_bytes_ += subid_wire;
+      cover_subid_bytes_saved_ += grouping_saved;
+    });
   }
   simulator().defer_ordered([this, sizes = std::move(sizes)] {
     bool header_charged = false;
@@ -1135,8 +1164,26 @@ void HyperSubSystem::reset_metrics() {
   rel_ = metrics::ReliabilityCounters{};
   channel_.reset_stats();
   batch_ = metrics::BatchCounters{};
+  cover_subid_bytes_saved_ = 0;
+  subid_wire_bytes_ = 0;
   // Cached routes stay warm across a reset; only their counters restart.
   for (auto& c : caches_) c->reset_counters();
+}
+
+metrics::CoverCounters HyperSubSystem::cover_counters() const {
+  metrics::CoverCounters sum;
+  sum.subid_bytes_saved = cover_subid_bytes_saved_;
+  sum.subid_wire_bytes = subid_wire_bytes_;
+  // Primary zones only: replica zones mirror the same subscriptions and
+  // would double-count the gauges.
+  for (const auto& nd : nodes_) {
+    for (const auto& [addr, z] : nd->zones()) {
+      sum.representatives += z.cover_representatives();
+      sum.quenched += z.cover_quenched();
+      sum.promotions += z.cover_promotions();
+    }
+  }
+  return sum;
 }
 
 metrics::RouteCacheCounters HyperSubSystem::route_cache_counters() const {
@@ -1159,6 +1206,54 @@ bool HyperSubSystem::check_zone_invariants() const {
       }
       // Summary is the exact hull of contents.
       if (!(zone.exact_summary() == zone.summary())) return false;
+      // Migrated buckets with exact rects: the hull of the recorded
+      // per-sub rects must equal the bucket summary (an over-covering
+      // summary forwards events into the hull's dead corners; an
+      // under-covering one loses deliveries), and the rects must be
+      // exactly the deduplicated projected rects of the subscriptions the
+      // live acceptor actually holds under the pointer's token.
+      for (const auto& b : zone.buckets()) {
+        if (b.sub_rects.empty()) continue;  // bare bucket (hull-only mode)
+        HyperRect hull;
+        for (const HyperRect& r : b.sub_rects) hull = hull.hull(r);
+        if (!(hull == b.summary)) return false;
+        if (b.pointer.kind != SubIdKind::kMigrated) continue;
+        const HyperSubNode* acceptor = nullptr;
+        for (const auto& n2 : nodes_) {
+          if (n2->node_id() == b.pointer.target) {
+            acceptor = n2.get();
+            break;
+          }
+        }
+        if (acceptor == nullptr || !dht_.network().alive(acceptor->host())) {
+          continue;  // acceptor gone — the pointer is dead weight, not wrong
+        }
+        const MigratedRepo* repo = acceptor->find_migrated(b.pointer.iid);
+        if (repo == nullptr) return false;
+        std::vector<HyperRect> expect;
+        for (std::uint32_t r = 0; r < std::uint32_t(repo->subs.size()); ++r) {
+          const HyperRect pr = repo->subs.projected_rect(r);
+          bool dup = false;
+          for (const HyperRect& e : expect) {
+            if (e == pr) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) expect.push_back(pr);
+        }
+        if (expect.size() != b.sub_rects.size()) return false;
+        for (const HyperRect& e : expect) {
+          bool found = false;
+          for (const HyperRect& r : b.sub_rects) {
+            if (r == e) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
+      }
       // Cached child pieces are exactly summary ∩ child extent.
       if (!zsys.is_leaf(addr.zone)) {
         for (int c = 0; c < zsys.base(); ++c) {

@@ -106,6 +106,16 @@ class HyperSubSystem {
     /// for million-event runs. CDF views come back empty; the snapshot
     /// means are unchanged. Survives reset_metrics().
     bool stream_event_metrics = false;
+    /// Covering-based subscription aggregation (core::CoverSet): a
+    /// subscription whose full-space rect is contained in one already
+    /// registered at the same zone is quenched — stored locally under the
+    /// covering representative, kept out of the SubIndex and upward piece
+    /// propagation, and re-expanded (with an exact per-sub check) only at
+    /// the matching node. In-flight subid lists are additionally sorted by
+    /// target so same-subscriber runs collapse under the grouped wire
+    /// encoding (subid_list_wire_bytes). Delivery sets are identical with
+    /// the flag on or off. Off by default = paper behavior.
+    bool cover_aggregation = false;
   };
 
   /// Per-publish observer: fires once per delivery of that event.
@@ -219,6 +229,10 @@ class HyperSubSystem {
   metrics::RouteCacheCounters route_cache_counters() const;
   /// Frame-coalescing counters (all zero unless config().batch_forwarding).
   metrics::BatchCounters batch_counters() const noexcept { return batch_; }
+  /// Covering-aggregation counters: representative/quenched gauges summed
+  /// over live primary zones, plus promotion and wire-savings counters
+  /// (all zero unless config().cover_aggregation).
+  metrics::CoverCounters cover_counters() const;
 
   /// Attach (or detach, with nullptr) a span recorder. Wires the whole
   /// stack: the pub/sub core, the reliable event channel, and the DHT
@@ -382,6 +396,11 @@ class HyperSubSystem {
   DeliverySink* sink_ = &default_sink_;
   metrics::EventMetrics event_metrics_;
   metrics::BatchCounters batch_;
+  /// Monotone cover-aggregation tallies (promotions are read from zones on
+  /// demand; these hold what zones can't: wire bytes saved by grouping and
+  /// the subid payload bytes actually sent, counted in both modes).
+  std::uint64_t cover_subid_bytes_saved_ = 0;
+  std::uint64_t subid_wire_bytes_ = 0;
   /// Per-event cost accounting. The map itself (and every Tracker inside)
   /// is mutated only from the main context: worker-side touches ride
   /// Simulator::defer_ordered closures applied in deterministic order at

@@ -182,12 +182,18 @@ void LoadBalancer::migrate(net::HostIndex h,
             });
   const std::size_t k = acceptors.size();
 
+  // Zones whose summary shrank from extraction; propagated after the loop
+  // (propagate_pieces can synchronously register a piece into a zone this
+  // very node owns, i.e. insert into the map being iterated here).
+  std::vector<ZoneAddr> shrunk;
   for (auto& [addr, zone] : me.zones()) {
     if (zone.subscription_count() == 0) continue;
     const SchemeRuntime& rt = sys_.scheme_runtime(addr.scheme);
     const Subscheme& ss = rt.subscheme(addr.subscheme);
     const Id zone_key = ss.zone_key(addr.zone);
     const std::size_t dims = rt.scheme().arity();
+    const std::size_t proj_dims = ss.attributes().size();
+    const HyperRect before_extract = zone.summary();
 
     for (std::size_t i = 0; i < k; ++i) {
       // Arc [A_i, A_{i+1}); the last acceptor takes [A_k, N).
@@ -196,9 +202,25 @@ void LoadBalancer::migrate(net::HostIndex h,
       auto extracted = zone.extract_subscribers_in_arc(lo, hi);
       if (extracted.empty()) continue;
 
-      // Summary of what leaves (projected space) — the pointer filter.
+      // The pointer filter: deduplicated exact projected rects of what
+      // leaves, plus their hull as a fast reject. The hull alone
+      // over-covers — events in its dead corners chased the pointer to the
+      // acceptor and matched nothing there.
       HyperRect summary;
-      for (const auto& s : extracted) summary = summary.hull(s.projected);
+      std::vector<HyperRect> sub_rects;
+      for (const auto& s : extracted) {
+        summary = summary.hull(s.projected);
+        bool dup = false;
+        for (const HyperRect& r : sub_rects) {
+          if (r == s.projected) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) sub_rects.push_back(s.projected);
+      }
+      auto rects =
+          std::make_shared<std::vector<HyperRect>>(std::move(sub_rects));
 
       // Failure-atomic handoff: the subscriptions count as migrated only
       // once the acceptor stored them AND the surrogate pointer landed
@@ -229,8 +251,8 @@ void LoadBalancer::migrate(net::HostIndex h,
       }
       sys_.channel_.send(
           h, acceptor.host, total_bytes,
-          [this, h, acceptor, origin_addr, zone_key, summary, bucket, count,
-           dims, mtrace, mspan] {
+          [this, h, acceptor, origin_addr, zone_key, summary, rects, bucket,
+           count, proj_dims, mtrace, mspan] {
             HyperSubNode& acc = sys_.node(acceptor.host);
             const std::uint32_t token =
                 acc.accept_migration(zone_key, std::move(*bucket));
@@ -238,11 +260,14 @@ void LoadBalancer::migrate(net::HostIndex h,
             // origin dies before confirming, the bucket stays matchable at
             // the acceptor but unreachable — counted as failed, not
             // migrated (the origin's zone state died with it either way).
+            // The pointer message carries the exact rects, not just the
+            // hull; the wire cost scales with their count.
             sys_.channel_.send(
                 acceptor.host, h,
-                overlay::kHeaderBytes + kSubIdBytes + 16 * dims,
-                [this, h, acceptor, origin_addr, zone_key, summary, token,
-                 count, mspan] {
+                overlay::kHeaderBytes + kSubIdBytes +
+                    16 * proj_dims * rects->size(),
+                [this, h, acceptor, origin_addr, zone_key, summary, rects,
+                 token, count, mspan] {
                   if (auto* tr = sys_.tracer()) {
                     tr->end(mspan, sys_.simulator().now());
                   }
@@ -250,7 +275,7 @@ void LoadBalancer::migrate(net::HostIndex h,
                   ZoneState& zs = origin.zone_state(origin_addr, zone_key);
                   const HyperRect before = zs.summary();
                   zs.add_migrated_bucket(MigratedBucket{
-                      summary,
+                      summary, std::move(*rects),
                       SubId{acceptor.id, token, SubIdKind::kMigrated}});
                   // Balancer-global counter mutated from h's shard: joins
                   // the deferred stream (inline in sequential mode).
@@ -295,7 +320,14 @@ void LoadBalancer::migrate(net::HostIndex h,
           },
           trace::TraceCtx{mtrace, mspan});
     }
+    // Extraction shrinks the summary exactly (it used to stay unshrunk, so
+    // the donor kept attracting events that matched nothing locally for
+    // the rest of the run — permanently after a failed pointer leg, which
+    // leaves no bucket to forward through). Tell the ancestors; the
+    // asynchronous pointer legs re-propagate if they re-grow it later.
+    if (!(zone.summary() == before_extract)) shrunk.push_back(addr);
   }
+  for (const ZoneAddr& addr : shrunk) sys_.propagate_pieces(h, addr);
 }
 
 }  // namespace hypersub::core

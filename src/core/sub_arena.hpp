@@ -124,6 +124,20 @@ class SubArena {
     return true;
   }
 
+  /// Full containment of another range in r's full-space range
+  /// (interval-wise, dimension counts must match) — the covering test
+  /// CoverSet quenching runs at registration; allocation-free like
+  /// full_contains.
+  bool full_covers(Ref r, std::span<const Interval> inner) const {
+    const Slot& s = slots_[r];
+    assert(inner.size() == s.full_dims);
+    const Interval* iv = full_pool_.data() + s.full_off;
+    for (std::uint16_t i = 0; i < s.full_dims; ++i) {
+      if (iv[i].lo > inner[i].lo || iv[i].hi < inner[i].hi) return false;
+    }
+    return true;
+  }
+
   HyperRect full_rect(Ref r) const {
     const auto d = full(r);
     return HyperRect(std::vector<Interval>(d.begin(), d.end()));

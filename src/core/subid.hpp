@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/ids.hpp"
 
@@ -39,6 +40,33 @@ struct SubId {
 inline constexpr std::uint64_t kSubIdBytes = 9;
 /// Wire size of the event payload in an event message.
 inline constexpr std::uint64_t kEventBytes = 100;
+
+/// Wire size of a subid list inside an event message.
+///
+/// `grouped` is the covering-aggregation encoding: a run of >= 2 adjacent
+/// subids sharing one (target, kind) is sent as one 8 B target + 1 B
+/// run-tag (kind + count in the iid byte's spare bits) + 1 B per iid —
+/// 9 + n bytes instead of 9 n. Singleton runs keep the plain 9 B form, so
+/// grouping never costs bytes. The encoding is lossless (the receiver
+/// expands runs back to individual subids), so only the byte accounting
+/// changes — senders order each hop's sublist by target to maximize runs
+/// (HyperSubSystem Phase 2 under Config::cover_aggregation).
+inline std::uint64_t subid_list_wire_bytes(const std::vector<SubId>& list,
+                                           bool grouped) {
+  if (!grouped) return kSubIdBytes * list.size();
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < list.size();) {
+    std::size_t j = i + 1;
+    while (j < list.size() && list[j].target == list[i].target &&
+           list[j].kind == list[i].kind) {
+      ++j;
+    }
+    const std::uint64_t n = j - i;
+    bytes += n == 1 ? kSubIdBytes : 8 + 1 + n;
+    i = j;
+  }
+  return bytes;
+}
 
 struct SubIdHash {
   std::size_t operator()(const SubId& s) const noexcept {

@@ -55,8 +55,70 @@ void ZoneState::drop_index() {
   st.indexed = false;
 }
 
+SubArena::Ref ZoneState::find_coverer(SubStore& st,
+                                      const HyperRect& full) const {
+  if (!st.indexed) {
+    for (const SubArena::Ref ref : st.order) {
+      if (st.arena.full_covers(ref, full.dims())) return ref;
+    }
+    return SubArena::kNullRef;
+  }
+  // A coverer contains every point of `full`, including its lo corner —
+  // probe the index there, then take the first covering candidate in
+  // insertion order (same pick as the scan path, so indexed and scan zones
+  // quench identically).
+  st.probe.clear();
+  for (const Interval& d : full.dims()) st.probe.push_back(d.lo);
+  st.cand.clear();
+  st.index.candidates(st.probe, st.cand);
+  for (auto& c : st.cand) c = std::uint32_t(st.pos_of_slot[c]);
+  std::sort(st.cand.begin(), st.cand.end());
+  for (const std::uint32_t pos : st.cand) {
+    const SubArena::Ref ref = st.order[pos];
+    if (st.arena.full_covers(ref, full.dims())) return ref;
+  }
+  return SubArena::kNullRef;
+}
+
+void ZoneState::append_representative(SubStore& st, SubArena::Ref ref) {
+  if (st.indexed) {
+    const std::uint32_t slot = st.index.insert(st.arena.full_rect(ref));
+    st.slots.push_back(slot);
+    if (st.pos_of_slot.size() <= slot) st.pos_of_slot.resize(slot + 1, kNoPos);
+    st.pos_of_slot[slot] = st.order.size();
+  }
+  st.order.push_back(ref);
+  if (!st.indexed && st.order.size() >= index_threshold_) build_index();
+}
+
+void ZoneState::rehome_coveree(SubStore& st, SubArena::Ref ref) {
+  const HyperRect full = st.arena.full_rect(ref);
+  const SubArena::Ref rep = find_coverer(st, full);
+  if (rep != SubArena::kNullRef) {
+    st.covers.quench(rep, ref);
+    return;
+  }
+  // Promoted representatives immediately become coverer candidates for the
+  // orphans re-homed after them (exact-duplicate groups collapse back to
+  // one representative).
+  append_representative(st, ref);
+  ++cover_promotions_;
+}
+
 bool ZoneState::add_subscription(StoredSub s) {
   SubStore& st = store();
+  if (cover_) {
+    const SubArena::Ref rep = find_coverer(st, s.sub.range());
+    if (rep != SubArena::kNullRef) {
+      // Quenched: stored and matched via the representative, but never
+      // registered in order_/SubIndex. Projection is monotone, so the
+      // quenched projection is inside the representative's — the summary
+      // cannot grow and nothing propagates upward.
+      assert(summary_.covers(s.projected));
+      st.covers.quench(rep, st.arena.add(s));
+      return false;
+    }
+  }
   const HyperRect grown = summary_.hull(s.projected);
   if (st.indexed) {
     const std::uint32_t slot = st.index.insert(s.sub.range());
@@ -81,9 +143,34 @@ std::optional<StoredSub> ZoneState::remove_subscription(const SubId& owner) {
       break;
     }
   }
-  if (pos == st.order.size()) return std::nullopt;
-  StoredSub out = st.arena.materialize(st.order[pos]);
-  st.arena.remove(st.order[pos]);
+  if (pos == st.order.size()) {
+    // Not a representative — maybe a quenched coveree. Enumerate via the
+    // representatives (insertion order), never the hash maps, so lookup
+    // order is deterministic.
+    if (!cover_ || st.covers.empty()) return std::nullopt;
+    for (const SubArena::Ref rep : st.order) {
+      const auto* list = st.covers.coverees(rep);
+      if (list == nullptr) continue;
+      for (const SubArena::Ref ref : *list) {
+        if (st.arena.owner(ref) == owner) {
+          StoredSub out = st.arena.materialize(ref);
+          st.covers.release(ref);
+          st.arena.remove(ref);
+          // A coveree lies inside its representative's rect, which is
+          // still registered: the summary is unchanged.
+          return out;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  const SubArena::Ref ref = st.order[pos];
+  // Un-quench promotion: the leaving representative's coverees re-home in
+  // quench order — each re-quenches under the first surviving coverer or
+  // becomes a representative itself.
+  std::vector<SubArena::Ref> orphans = st.covers.take_coverees(ref);
+  StoredSub out = st.arena.materialize(ref);
+  st.arena.remove(ref);
   st.order.erase(st.order.begin() + std::ptrdiff_t(pos));
   if (st.indexed) {
     // Once built, the index sticks below the threshold (hysteresis): churn
@@ -95,6 +182,7 @@ std::optional<StoredSub> ZoneState::remove_subscription(const SubId& owner) {
       st.pos_of_slot[st.slots[i]] = i;
     }
   }
+  for (const SubArena::Ref o : orphans) rehome_coveree(st, o);
   recompute_summary();
   return out;
 }
@@ -123,12 +211,32 @@ std::vector<StoredSub> ZoneState::extract_subscribers_in_arc(Id lo, Id hi) {
   if (!store_) return {};
   SubStore& st = *store_;
   std::vector<StoredSub> out;
+  // Coverees leaving with the arc (their relation is dropped and they are
+  // materialized after the representatives), and coverees staying behind
+  // while their representative leaves (re-homed below).
+  std::vector<SubArena::Ref> leaving_coverees;
+  std::vector<SubArena::Ref> orphans;
   std::size_t kept = 0;
   for (std::size_t i = 0; i < st.order.size(); ++i) {
-    if (ring::in_closed_open(st.arena.owner(st.order[i]).target, lo, hi)) {
+    const SubArena::Ref ref = st.order[i];
+    const bool leaves =
+        ring::in_closed_open(st.arena.owner(ref).target, lo, hi);
+    if (cover_) {
+      if (const auto* list = st.covers.coverees(ref)) {
+        for (const SubArena::Ref c : *list) {
+          if (ring::in_closed_open(st.arena.owner(c).target, lo, hi)) {
+            leaving_coverees.push_back(c);
+          } else if (leaves) {
+            orphans.push_back(c);
+          }
+        }
+      }
+      if (leaves) st.covers.take_coverees(ref);
+    }
+    if (leaves) {
       if (st.indexed) st.index.remove(st.slots[i]);
-      out.push_back(st.arena.materialize(st.order[i]));
-      st.arena.remove(st.order[i]);
+      out.push_back(st.arena.materialize(ref));
+      st.arena.remove(ref);
     } else {
       if (kept != i) {
         st.order[kept] = st.order[i];
@@ -145,6 +253,17 @@ std::vector<StoredSub> ZoneState::extract_subscribers_in_arc(Id lo, Id hi) {
       st.pos_of_slot[st.slots[i]] = i;
     }
   }
+  for (const SubArena::Ref c : leaving_coverees) {
+    st.covers.release(c);  // no-op for coverees of a representative that left
+    out.push_back(st.arena.materialize(c));
+    st.arena.remove(c);
+  }
+  for (const SubArena::Ref o : orphans) rehome_coveree(st, o);
+  // Shrink the summary exactly. Leaving it "still a valid cover" (the old
+  // contract) meant a donor kept attracting events that matched nothing
+  // locally forever after a migration — and after a failed pointer leg,
+  // with no bucket to forward through, those events were pure waste.
+  recompute_summary();
   return out;
 }
 
@@ -152,11 +271,24 @@ void ZoneState::match(const Point& full, const Point& projected,
                       std::vector<SubId>& out) const {
   if (store_) {
     SubStore& st = *store_;
+    // A representative hit is expanded to its coverees right away (quench
+    // order), each re-checked exactly: a coveree's rect is contained in the
+    // representative's but may still exclude this event.
+    const bool expand = cover_ && !st.covers.empty();
+    const auto emit = [&](SubArena::Ref ref) {
+      out.push_back(st.arena.owner(ref));
+      if (!expand) return;
+      if (const auto* list = st.covers.coverees(ref)) {
+        for (const SubArena::Ref c : *list) {
+          if (st.arena.full_contains(c, full)) {
+            out.push_back(st.arena.owner(c));
+          }
+        }
+      }
+    };
     if (!st.indexed) {
       for (const SubArena::Ref ref : st.order) {
-        if (st.arena.full_contains(ref, full)) {
-          out.push_back(st.arena.owner(ref));
-        }
+        if (st.arena.full_contains(ref, full)) emit(ref);
       }
     } else {
       st.cand.clear();
@@ -168,9 +300,7 @@ void ZoneState::match(const Point& full, const Point& projected,
       std::sort(st.cand.begin(), st.cand.end());
       for (const std::uint32_t pos : st.cand) {
         const SubArena::Ref ref = st.order[pos];
-        if (st.arena.full_contains(ref, full)) {
-          out.push_back(st.arena.owner(ref));
-        }
+        if (st.arena.full_contains(ref, full)) emit(ref);
       }
     }
   }
@@ -179,7 +309,22 @@ void ZoneState::match(const Point& full, const Point& projected,
   }
   if (store_) {
     for (const auto& b : store_->buckets) {
-      if (b.summary.contains(projected)) out.push_back(b.pointer);
+      // Hull first (cheap reject), then the exact per-sub rects: an event in
+      // the hull's dead corners would otherwise chase the pointer and match
+      // nothing at the acceptor. Empty sub_rects = trust the hull (tests
+      // installing bare buckets).
+      if (!b.summary.contains(projected)) continue;
+      if (!b.sub_rects.empty()) {
+        bool hit = false;
+        for (const HyperRect& r : b.sub_rects) {
+          if (r.contains(projected)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) continue;
+      }
+      out.push_back(b.pointer);
     }
   }
 }
@@ -187,9 +332,14 @@ void ZoneState::match(const Point& full, const Point& projected,
 std::vector<StoredSub> ZoneState::subscriptions() const {
   if (!store_) return {};
   std::vector<StoredSub> out;
-  out.reserve(store_->order.size());
+  out.reserve(store_->arena.size());
   for (const SubArena::Ref ref : store_->order) {
     out.push_back(store_->arena.materialize(ref));
+    if (const auto* list = store_->covers.coverees(ref)) {
+      for (const SubArena::Ref c : *list) {
+        out.push_back(store_->arena.materialize(c));
+      }
+    }
   }
   return out;
 }

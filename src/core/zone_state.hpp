@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/hyperrect.hpp"
+#include "core/cover_set.hpp"
 #include "core/sub_arena.hpp"
 #include "core/sub_index.hpp"
 #include "core/subid.hpp"
@@ -71,6 +72,11 @@ struct ZoneAddrHash {
 /// Pointer to subscriptions migrated away by load balancing.
 struct MigratedBucket {
   HyperRect summary;  ///< projected-space hull of the migrated subs
+  /// Deduplicated exact projected rects of the migrated subs. The hull
+  /// alone over-covers (events in its dead corners would chase the pointer
+  /// and match nothing at the acceptor); match() uses the hull as a fast
+  /// reject and forwards only when one of these rects contains the point.
+  std::vector<HyperRect> sub_rects;
   SubId pointer;      ///< kMigrated: acceptor node id + bucket token
 };
 
@@ -85,8 +91,11 @@ class ZoneState {
   static constexpr std::size_t kDefaultIndexThreshold = 64;
 
   explicit ZoneState(ZoneAddr addr,
-                     std::size_t index_threshold = kDefaultIndexThreshold)
-      : addr_(addr), index_threshold_(index_threshold) {}
+                     std::size_t index_threshold = kDefaultIndexThreshold,
+                     bool cover_aggregation = false)
+      : addr_(addr),
+        index_threshold_(index_threshold),
+        cover_(cover_aggregation) {}
 
   const ZoneAddr& addr() const noexcept { return addr_; }
 
@@ -100,10 +109,17 @@ class ZoneState {
   bool index_active() const noexcept { return store_ && store_->indexed; }
 
   /// Register a real subscription. Returns true if the summary filter grew.
+  /// Under cover aggregation, a subscription whose full-space rect is
+  /// contained in an already-registered one's is quenched: stored in the
+  /// arena against the first covering representative (insertion order) but
+  /// kept out of order_/SubIndex — it can never grow the summary, so the
+  /// return is always false for quenched installs.
   bool add_subscription(StoredSub s);
 
   /// Remove a subscription by owner identity; returns the removed entry.
-  /// Shrinks the summary filter (recomputed exactly).
+  /// Shrinks the summary filter (recomputed exactly). Removing a covering
+  /// representative promotes its coverees in quench order: each either
+  /// re-quenches under a surviving representative or joins order_/SubIndex.
   std::optional<StoredSub> remove_subscription(const SubId& owner);
 
   /// Install/refresh the surrogate piece from the parent zone. Returns true
@@ -113,9 +129,14 @@ class ZoneState {
   /// Record a migrated bucket pointer (kept by the migration origin).
   void add_migrated_bucket(MigratedBucket b);
 
-  /// Remove and return the stored subscriptions whose subscriber node id
-  /// lies in the clockwise ring arc [lo, hi). Used by migration. The
-  /// summary filter is left unshrunk (still a valid cover).
+  /// Remove and return the stored subscriptions (representatives and
+  /// quenched coverees alike) whose subscriber node id lies in the
+  /// clockwise ring arc [lo, hi). Used by migration. Coverees orphaned by
+  /// a leaving representative are re-homed (re-quenched or promoted), and
+  /// the summary filter is recomputed exactly — it used to be left
+  /// unshrunk, which kept attracting events that matched nothing here for
+  /// the rest of the run. Callers owning a changed summary must propagate
+  /// the shrink (LoadBalancer::migrate does, like unsubscribe).
   std::vector<StoredSub> extract_subscribers_in_arc(Id lo, Id hi);
 
   /// Event matching for this zone (Alg. 5's event_match): appends the
@@ -137,8 +158,22 @@ class ZoneState {
            (store_ ? store_->buckets.size() : 0);
   }
   std::size_t subscription_count() const noexcept {
+    // Arena size = representatives + quenched coverees: a quenched sub is
+    // still stored (and migrated) here, so it still contributes load.
+    return store_ ? store_->arena.size() : 0;
+  }
+
+  /// Cover-aggregation accounting: subscriptions registered upward (in
+  /// order_/SubIndex), subscriptions quenched under a representative, and
+  /// promotions performed when a representative left.
+  std::size_t cover_representatives() const noexcept {
     return store_ ? store_->order.size() : 0;
   }
+  std::size_t cover_quenched() const noexcept {
+    return store_ ? store_->covers.quenched_count() : 0;
+  }
+  std::uint64_t cover_promotions() const noexcept { return cover_promotions_; }
+  bool cover_aggregation() const noexcept { return cover_; }
 
   /// Materialized copies of the stored subscriptions, in insertion order.
   /// Audit/test convenience — O(n) allocations; the arena is the storage.
@@ -173,18 +208,31 @@ class ZoneState {
   // `slots[i]` is the index slot of `order[i]`; `pos_of_slot` inverts it.
   struct SubStore {
     SubArena arena;                     // SoA storage of stored subs
-    std::vector<SubArena::Ref> order;   // live refs, insertion order
+    std::vector<SubArena::Ref> order;   // live representative refs,
+                                        // insertion order (coverees live
+                                        // only in arena + covers)
     std::vector<MigratedBucket> buckets;
     SubIndex index;
     bool indexed = false;
     std::vector<std::uint32_t> slots;
     std::vector<std::size_t> pos_of_slot;
-    std::vector<std::uint32_t> cand;  // match() scratch
+    std::vector<std::uint32_t> cand;  // match()/find_coverer() scratch
+    CoverSet covers;                  // quench bookkeeping (cover_ only)
+    Point probe;                      // find_coverer() scratch point
   };
 
   SubStore& store();  // find-or-create
   void build_index();
   void drop_index();
+  /// First representative (insertion order) whose full rect covers `full`;
+  /// kNullRef if none. Index-accelerated when the index is live.
+  SubArena::Ref find_coverer(SubStore& st, const HyperRect& full) const;
+  /// Append a rep to order_ (+ SubIndex when live) without re-adding it to
+  /// the arena — promotion of an already-stored coveree.
+  void append_representative(SubStore& st, SubArena::Ref ref);
+  /// Re-home a coveree whose representative left: re-quench under the
+  /// first surviving coverer or promote to representative.
+  void rehome_coveree(SubStore& st, SubArena::Ref ref);
 
   ZoneAddr addr_;
   std::unique_ptr<SubStore> store_;  // null until a sub/bucket arrives
@@ -192,6 +240,8 @@ class ZoneState {
   HyperRect summary_;  // empty() == no content
   std::vector<HyperRect> child_pieces_;  // lazily sized to the zone base
   std::size_t index_threshold_;
+  bool cover_ = false;  // covering-based quench at registration
+  std::uint64_t cover_promotions_ = 0;
 };
 
 }  // namespace hypersub::core

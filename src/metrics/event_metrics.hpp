@@ -78,6 +78,12 @@ class EventMetrics {
     return n_ ? sum_header_bytes_ / double(n_) : 0.0;
   }
 
+  /// Whether the *_cdf() views below are meaningful. In streaming mode the
+  /// per-event records are folded away, so the CDFs come back empty —
+  /// indistinguishable from a run with no traffic. Consumers must check
+  /// this (and report "not available", not zeros) before reading them.
+  bool cdfs_available() const noexcept { return !streaming_; }
+
   Cdf pct_matched_cdf() const;
   Cdf hops_cdf() const;
   Cdf latency_cdf() const;

@@ -44,4 +44,29 @@ struct BatchCounters {
   }
 };
 
+/// Covering-based subscription aggregation statistics (core::CoverSet).
+/// representatives/quenched are gauges summed over live primary zones;
+/// promotions/subid_bytes_saved are monotone counters.
+struct CoverCounters {
+  std::uint64_t representatives = 0;  ///< subs registered upward (order_)
+  std::uint64_t quenched = 0;     ///< subs stored locally under a coverer
+  std::uint64_t promotions = 0;   ///< coverees re-homed after a rep left
+  std::uint64_t subid_bytes_saved = 0;  ///< wire bytes saved by run grouping
+  /// Subid payload bytes actually sent (grouped when cover_aggregation is
+  /// on, flat otherwise). Counted in both modes so a bench can compare the
+  /// subid transport cost directly — the total frame bandwidth is
+  /// dominated by the per-edge event payload, which aggregation leaves
+  /// untouched by design (identical delivery sets).
+  std::uint64_t subid_wire_bytes = 0;
+
+  CoverCounters& operator+=(const CoverCounters& o) {
+    representatives += o.representatives;
+    quenched += o.quenched;
+    promotions += o.promotions;
+    subid_bytes_saved += o.subid_bytes_saved;
+    subid_wire_bytes += o.subid_wire_bytes;
+    return *this;
+  }
+};
+
 }  // namespace hypersub::metrics

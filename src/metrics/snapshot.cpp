@@ -33,19 +33,56 @@ Snapshot snapshot(const core::HyperSubSystem& sys) {
   }
   s.total_subscriptions = sys.total_subscriptions();
 
+  // CDF quantiles only when per-event records exist; in streaming mode
+  // they are reported unavailable (rendered null), never as zeros.
+  if (ev.cdfs_available() && s.events > 0) {
+    s.event_cdfs_available = true;
+    const Cdf hops = ev.hops_cdf();
+    const Cdf lat = ev.latency_cdf();
+    const Cdf bw = ev.bandwidth_kb_cdf();
+    const Cdf hdr = ev.header_bytes_cdf();
+    s.p50_max_hops = hops.quantile(0.50);
+    s.p99_max_hops = hops.quantile(0.99);
+    s.p50_max_latency_ms = lat.quantile(0.50);
+    s.p99_max_latency_ms = lat.quantile(0.99);
+    s.p50_bandwidth_kb = bw.quantile(0.50);
+    s.p99_bandwidth_kb = bw.quantile(0.99);
+    s.p50_header_bytes = hdr.quantile(0.50);
+    s.p99_header_bytes = hdr.quantile(0.99);
+  }
+
   s.cache = sys.route_cache_counters();
   s.batching = sys.batch_counters();
+  s.cover = sys.cover_counters();
   return s;
 }
 
 std::string Snapshot::to_json() const {
-  char buf[1536];
+  // The CDF block renders as null when the records were folded away
+  // (streaming mode): absent-but-present-as-null is distinguishable from
+  // a legitimate all-zero run, which empty CDFs were not.
+  char cdfs[320];
+  if (event_cdfs_available) {
+    std::snprintf(
+        cdfs, sizeof(cdfs),
+        "{\"p50_max_hops\": %.1f, \"p99_max_hops\": %.1f, "
+        "\"p50_max_latency_ms\": %.3f, \"p99_max_latency_ms\": %.3f, "
+        "\"p50_bandwidth_kb\": %.4f, \"p99_bandwidth_kb\": %.4f, "
+        "\"p50_header_bytes\": %.1f, \"p99_header_bytes\": %.1f}",
+        p50_max_hops, p99_max_hops, p50_max_latency_ms, p99_max_latency_ms,
+        p50_bandwidth_kb, p99_bandwidth_kb, p50_header_bytes,
+        p99_header_bytes);
+  } else {
+    std::snprintf(cdfs, sizeof(cdfs), "null");
+  }
+  char buf[2560];
   std::snprintf(
       buf, sizeof(buf),
       "{\"events\": %zu, \"avg_pct_matched\": %.4f, "
       "\"mean_max_hops\": %.4f, \"mean_max_latency_ms\": %.3f, "
       "\"mean_bandwidth_kb\": %.4f, \"mean_header_bytes\": %.2f, "
       "\"truncated_events\": %zu, "
+      "\"event_cdfs\": %s, "
       "\"reliability\": {\"messages_sent\": %llu, \"acks\": %llu, "
       "\"retries\": %llu, \"expirations\": %llu, \"reroutes\": %llu, "
       "\"unmasked_drops\": %llu, \"duplicates_suppressed\": %llu, "
@@ -56,9 +93,12 @@ std::string Snapshot::to_json() const {
       "\"insertions\": %llu, \"stale_corrections\": %llu, "
       "\"invalidations\": %llu, \"evictions\": %llu, \"entries\": %llu}, "
       "\"batching\": {\"frames\": %llu, \"chunks\": %llu, "
-      "\"header_bytes_saved\": %llu}}",
+      "\"header_bytes_saved\": %llu}, "
+      "\"cover\": {\"representatives\": %llu, \"quenched\": %llu, "
+      "\"promotions\": %llu, \"subid_bytes_saved\": %llu, "
+      "\"subid_wire_bytes\": %llu}}",
       events, avg_pct_matched, mean_max_hops, mean_max_latency_ms,
-      mean_bandwidth_kb, mean_header_bytes, truncated_events,
+      mean_bandwidth_kb, mean_header_bytes, truncated_events, cdfs,
       static_cast<unsigned long long>(reliability.messages_sent),
       static_cast<unsigned long long>(reliability.acks),
       static_cast<unsigned long long>(reliability.retries),
@@ -77,7 +117,12 @@ std::string Snapshot::to_json() const {
       static_cast<unsigned long long>(cache.entries),
       static_cast<unsigned long long>(batching.frames),
       static_cast<unsigned long long>(batching.chunks),
-      static_cast<unsigned long long>(batching.header_bytes_saved));
+      static_cast<unsigned long long>(batching.header_bytes_saved),
+      static_cast<unsigned long long>(cover.representatives),
+      static_cast<unsigned long long>(cover.quenched),
+      static_cast<unsigned long long>(cover.promotions),
+      static_cast<unsigned long long>(cover.subid_bytes_saved),
+      static_cast<unsigned long long>(cover.subid_wire_bytes));
   return std::string(buf);
 }
 

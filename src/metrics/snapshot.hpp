@@ -39,9 +39,27 @@ struct Snapshot {
   double load_mean = 0.0;
   std::size_t total_subscriptions = 0;
 
+  // Per-event CDF quantiles. Only meaningful when the metrics kept
+  // per-event records: under stream_event_metrics the records are folded
+  // away, event_cdfs_available is false, and to_json() renders the block
+  // as null — NOT as zeros, which consumers (trace_report, bench_sanity)
+  // used to misread as "no traffic".
+  bool event_cdfs_available = false;
+  double p50_max_hops = 0.0;
+  double p99_max_hops = 0.0;
+  double p50_max_latency_ms = 0.0;
+  double p99_max_latency_ms = 0.0;
+  double p50_bandwidth_kb = 0.0;
+  double p99_bandwidth_kb = 0.0;
+  double p50_header_bytes = 0.0;
+  double p99_header_bytes = 0.0;
+
   // Publish fast lane.
   RouteCacheCounters cache;
   BatchCounters batching;
+
+  // Covering-based subscription aggregation (zero unless cover_aggregation).
+  CoverCounters cover;
 
   /// Compact single-object JSON rendering (no trailing newline).
   std::string to_json() const;

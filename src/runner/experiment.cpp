@@ -43,6 +43,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sc.ancestor_probing = cfg.ancestor_probing;
   sc.route_cache = cfg.route_cache;
   sc.batch_forwarding = cfg.batch_forwarding;
+  sc.cover_aggregation = cfg.cover_aggregation;
   sc.trace_sample_rate = cfg.trace_sample_rate;
   sc.stream_event_metrics = cfg.stream_metrics;
   core::HyperSubSystem sys(chord, sc);
@@ -170,6 +171,7 @@ std::string config_label(const ExperimentConfig& cfg) {
      << (cfg.load_balancing ? "LB" : "no LB");
   if (cfg.route_cache) os << ",cache";
   if (cfg.batch_forwarding) os << ",batch";
+  if (cfg.cover_aggregation) os << ",cover";
   return os.str();
 }
 

@@ -39,6 +39,7 @@ struct ExperimentConfig {
   // publish fast lane
   bool route_cache = false;       ///< rendezvous key -> owner LRU cache
   bool batch_forwarding = false;  ///< per-next-hop frame coalescing
+  bool cover_aggregation = false;  ///< covering-based quench at zones
   // workload
   workload::WorkloadSpec workload = workload::table1_spec();
   std::size_t subs_per_node = 10;

@@ -181,6 +181,7 @@ TEST_P(ArenaParity, RandomizedMutationsMatchOldLayout) {
     // A migrated bucket every other round.
     if (round % 2 == 0) {
       const MigratedBucket b{gen.make_subscription().range(),
+                             {},
                              SubId{Id(round), std::uint32_t(round),
                                    SubIdKind::kMigrated}};
       ref.buckets.push_back(b);

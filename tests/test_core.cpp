@@ -75,6 +75,7 @@ TEST(ZoneState, MatchProducesAllKinds) {
   z.set_parent_piece(HyperRect({{0, 5}, {0, 5}}), 1234);
   z.add_migrated_bucket(
       MigratedBucket{HyperRect({{0, 3}, {0, 3}}),
+                     {},
                      SubId{99, 7, SubIdKind::kMigrated}});
   std::vector<SubId> out;
   z.match(Point{2, 2}, Point{2, 2}, out);

@@ -36,6 +36,9 @@ struct RunOpts {
   bool batch = false;
   bool churn = false;
   bool load_balance = false;
+  // Covering-based aggregation; subscriptions are drawn from a small pool
+  // (instead of all-fresh) so quench/promotion paths actually execute.
+  bool cover = false;
   double sample_rate = 1.0;
   // Parallel engine: >1 worker threads shard execution by host. Lookahead
   // clamps the minimum network latency in BOTH modes, so the sequential
@@ -76,6 +79,7 @@ RunOutput run_once(RunOpts o) {
   sc.replicas = o.replicas;
   sc.route_cache = o.cache;
   sc.batch_forwarding = o.batch;
+  sc.cover_aggregation = o.cover;
   sc.trace_sample_rate = o.sample_rate;
   core::HyperSubSystem sys(chord, sc);
   trace::Tracer tracer;
@@ -86,9 +90,14 @@ RunOutput run_once(RunOpts o) {
   opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
   const auto scheme = sys.add_scheme(gen.scheme(), opt);
   Rng rng(19);
+  std::vector<pubsub::Subscription> pool;
+  if (o.cover) {
+    for (int i = 0; i < 24; ++i) pool.push_back(gen.make_subscription());
+  }
   for (int i = 0; i < 120; ++i) {
     sys.subscribe(net::HostIndex(rng.index(kHosts)), scheme,
-                  gen.make_subscription());
+                  o.cover ? pool[rng.index(pool.size())]
+                          : gen.make_subscription());
   }
   sim.run();
 
@@ -144,6 +153,11 @@ TEST(Determinism, FastLaneRunIsReproducible) {
 
 TEST(Determinism, ChurnWithReliabilityIsReproducible) {
   const RunOpts o{.reliable = true, .replicas = 2, .churn = true};
+  expect_identical(run_once(o), run_once(o));
+}
+
+TEST(Determinism, CoverAggregationRunIsReproducible) {
+  const RunOpts o{.load_balance = true, .cover = true};
   expect_identical(run_once(o), run_once(o));
 }
 
@@ -207,6 +221,13 @@ TEST(ParallelDeterminism, FastLaneMatchesSequential) {
 TEST(ParallelDeterminism, ChurnWithReliabilityMatchesSequential) {
   expect_parallel_matches_sequential(
       {.reliable = true, .replicas = 2, .churn = true});
+}
+
+TEST(ParallelDeterminism, CoverAggregationMatchesSequential) {
+  // Quench/promotion bookkeeping is per-zone state on the owner's shard,
+  // and the cover counters are commutative sums — thread count must not
+  // show anywhere, pool-workload duplicates included.
+  expect_parallel_matches_sequential({.load_balance = true, .cover = true});
 }
 
 TEST(ParallelDeterminism, SampledTracingMatchesSequential) {

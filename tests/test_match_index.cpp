@@ -167,6 +167,7 @@ TEST(MatchIndexParity, RandomizedMutationSequence) {
     indexed.set_parent_piece(piece, Id{42});
     linear.set_parent_piece(piece, Id{42});
     const core::MigratedBucket bucket{stored.back().projected,
+                                      {},
                                       SubId{Id{7}, 1, SubIdKind::kMigrated}};
     indexed.add_migrated_bucket(bucket);
     linear.add_migrated_bucket(bucket);

@@ -308,15 +308,18 @@ TEST(LoadBalancerMigration, AcceptorDeathRollsBackExtractedBucket) {
   EXPECT_EQ(lb.migrated_count(), 0u);
   EXPECT_GT(lb.failed_migrations(), 0u);
   EXPECT_EQ(s.sys->node(h).load(), 120u);  // rolled back, nothing lost
-  // The reinstalled zone is internally exact: its summary still covers
-  // every subscription (the full invariant walk needs piece propagation,
-  // which inject_load bypasses on purpose).
+  // The reinstalled zones are internally exact: each summary still covers
+  // every subscription. Extraction shrinks the summary exactly and the
+  // rollback re-grows it, so the re-propagation can leave structural
+  // piece-only zones at the origin — count subscriptions across zones.
+  std::size_t reinstalled = 0;
   for (const auto& [addr, zone] : s.sys->node(h).zones()) {
-    EXPECT_EQ(zone.subscription_count(), 120u);
+    reinstalled += zone.subscription_count();
     for (const auto& sub : zone.subscriptions()) {
       EXPECT_TRUE(zone.summary().covers(sub.projected));
     }
   }
+  EXPECT_EQ(reinstalled, 120u);
 }
 
 TEST(LoadBalancerMigration, HealthyMigrationConfirmsAndCounts) {

@@ -44,6 +44,17 @@ Subcommands:
       in one process): keeping a tracer attached at sample rate 0 must
       cost at most F (default 2%) over running with no tracer at all, and
       the sampled run must have produced complete causal trees.
+
+  cover FRESH.json [--min-reg-reduction F] [--min-bytes-reduction F]
+      Validate a fresh micro_cover run (self-relative): the delivery
+      multiset must be identical between cover_aggregation off and on
+      (count and order-independent hash — the aggregation's semantic
+      contract), upward registrations must shrink by at least the
+      reduction floor, and the subid transport bytes/event must shrink by
+      at least the bytes floor. Total frame bandwidth is reported for
+      context only: the per-edge event payload is identical in both
+      configs by design (same delivery trees), so aggregation can only
+      compress the subid transport riding on those frames.
 """
 
 import argparse
@@ -54,6 +65,18 @@ import sys
 def load_json(path):
     with open(path) as f:
         return json.load(f)
+
+
+def snapshot_cdfs(snap):
+    """Return a snapshot's event_cdfs dict, or None when unavailable.
+
+    Streaming-mode runs (stream_metrics on) fold per-event records into
+    running sums, so the snapshot renders "event_cdfs": null. Callers must
+    treat None as "quantiles not recorded", never as an all-zero
+    distribution — a legitimate zero-traffic run still renders a dict.
+    """
+    cdfs = snap.get("event_cdfs")
+    return cdfs if isinstance(cdfs, dict) else None
 
 
 # ---------------------------------------------------------------------------
@@ -305,6 +328,69 @@ def cmd_sim(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# cover: subscription aggregation must shrink state + subid transport
+# without touching a single delivery
+# ---------------------------------------------------------------------------
+
+def cmd_cover(args):
+    doc = load_json(args.fresh)
+    reg = doc.get("registration")
+    subid = doc.get("subid_bytes")
+    bw = doc.get("bandwidth")
+    dlv = doc.get("delivery")
+    if not (reg and subid and bw and dlv):
+        sys.exit(f"error: {args.fresh} lacks registration/subid_bytes/"
+                 f"bandwidth/delivery sections (rerun bench/micro_cover)")
+
+    print(f"cover aggregation ({doc.get('nodes')} nodes, "
+          f"{reg['stored']} subs, interest pool {doc.get('interest_pool')}, "
+          f"{doc.get('events')} events):")
+    print(f"  registration : {reg['stored']} stored = "
+          f"{reg['representatives']} representatives + "
+          f"{reg['quenched']} quenched "
+          f"({reg['reduction']:.1%} reduction, "
+          f"floor {args.min_reg_reduction:.0%})")
+    print(f"  subid bytes  : {subid['off_per_event']:.1f} -> "
+          f"{subid['on_per_event']:.1f} per event "
+          f"({subid['reduction']:.1%} reduction, "
+          f"floor {args.min_bytes_reduction:.0%})")
+    print(f"  bandwidth    : {bw['off_kb_per_event']:.3f} -> "
+          f"{bw['on_kb_per_event']:.3f} KB/event "
+          f"({bw['reduction']:.1%}, informational — event payload "
+          f"identical by design)")
+    print(f"  deliveries   : off {dlv['off_count']} (hash "
+          f"{dlv['off_hash']}) vs on {dlv['on_count']} (hash "
+          f"{dlv['on_hash']})")
+    for cfg in doc.get("configs", []):
+        cdfs = snapshot_cdfs(cfg.get("snapshot", {}))
+        state = (f"p50/p99 hops {cdfs['p50_max_hops']:.0f}/"
+                 f"{cdfs['p99_max_hops']:.0f}" if cdfs
+                 else "not recorded (streaming mode)")
+        print(f"  cdfs {cfg['name']:<10}: {state}")
+
+    failures = []
+    if not dlv.get("identical", False) or \
+            dlv["off_count"] != dlv["on_count"] or \
+            dlv["off_hash"] != dlv["on_hash"]:
+        failures.append("delivery sets diverge between cover off/on")
+    if reg["reduction"] < args.min_reg_reduction:
+        failures.append(f"registration reduction {reg['reduction']:.1%} "
+                        f"below {args.min_reg_reduction:.0%} floor")
+    if subid["reduction"] < args.min_bytes_reduction:
+        failures.append(f"subid transport reduction {subid['reduction']:.1%} "
+                        f"below {args.min_bytes_reduction:.0%} floor")
+    if reg["quenched"] <= 0:
+        failures.append("aggregation never quenched a subscription")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -355,6 +441,17 @@ def main():
                    help="allowed fractional cost of an attached-but-idle "
                         "tracer (default 0.02)")
     t.set_defaults(fn=cmd_trace)
+
+    c = sub.add_parser("cover",
+                       help="subscription aggregation parity + reduction")
+    c.add_argument("fresh", help="freshly produced BENCH_cover.json")
+    c.add_argument("--min-reg-reduction", type=float, default=0.20,
+                   help="required fractional reduction in upward "
+                        "registrations (default 0.20)")
+    c.add_argument("--min-bytes-reduction", type=float, default=0.15,
+                   help="required fractional reduction in subid transport "
+                        "bytes/event (default 0.15)")
+    c.set_defaults(fn=cmd_cover)
 
     args = ap.parse_args()
     return args.fn(args)
