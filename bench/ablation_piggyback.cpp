@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
     cp.probe_fingers = true;
     cp.piggyback_maintenance = piggyback;
     chord::ChordNet chord(net, cp);
-    chord.oracle_build();
-
-    core::HyperSubSystem sys(chord);
+    core::HyperSubSystem::Config sc;
+    sc.bootstrap = core::BootstrapMode::kOracle;
+    core::HyperSubSystem sys(chord, sc);
     core::CountingDeliverySink sink;  // counts only; skip the full log
     sys.set_delivery_sink(sink);
     workload::WorkloadGenerator gen(workload::table1_spec(), 11);

@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
     sim::Simulator sim;
     net::Network net(sim, topo);
     chord::ChordNet chord(net, {});
-    chord.oracle_build();
-    core::HyperSubSystem sys(chord);
+    core::HyperSubSystem::Config sc;
+    sc.bootstrap = core::BootstrapMode::kOracle;
+    core::HyperSubSystem sys(chord, sc);
 
     Rng rng(7);
     for (int s = 0; s < kSchemes; ++s) {

@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
     sim::Simulator sim;
     net::Network net(sim, topo);
     chord::ChordNet chord(net, {});
-    chord.oracle_build();
-    core::HyperSubSystem sys(chord);
+    core::HyperSubSystem::Config sc;
+    sc.bootstrap = core::BootstrapMode::kOracle;
+    core::HyperSubSystem sys(chord, sc);
     core::CountingDeliverySink sink;  // counts only; skip the full log
     sys.set_delivery_sink(sink);
 

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
         cfg.hot_event_pool = 64;
         cfg.publishers = 6;
       }
-      cfg.route_cache = (mode == 3);
-      cfg.batch_forwarding = (mode == 3);
+      cfg.system.route_cache = (mode == 3);
+      cfg.system.batch_forwarding = (mode == 3);
       cfgs.push_back(cfg);
     }
   }

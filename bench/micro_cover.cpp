@@ -125,9 +125,9 @@ std::unique_ptr<BenchRun> make_bench(const Params& p, bool cover) {
   chord::ChordNet::Params cp;
   cp.seed = 9;
   b->chord = std::make_unique<chord::ChordNet>(*b->net, cp);
-  b->chord->oracle_build();
 
   core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.cover_aggregation = cover;
   b->sys = std::make_unique<core::HyperSubSystem>(*b->chord, sc);
   b->sys->set_delivery_sink(b->sink);

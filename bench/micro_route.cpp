@@ -91,9 +91,9 @@ std::unique_ptr<BenchRun> make_bench(const Params& p, bool fast,
   chord::ChordNet::Params cp;
   cp.seed = 9;
   b->chord = std::make_unique<chord::ChordNet>(*b->net, cp);
-  b->chord->oracle_build();
 
   core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.route_cache = fast;
   sc.batch_forwarding = fast;
   sc.trace_sample_rate = sample_rate;

@@ -103,8 +103,9 @@ PointResult run_point(std::size_t nodes, std::size_t subs_per_node,
   chord::ChordNet::Params cp;
   cp.seed = 11;
   chord::ChordNet chord(net, cp);
-  chord.oracle_build(o.setup_threads);
   core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
+  sc.build_threads = o.setup_threads;
   sc.stream_event_metrics = !o.legacy;  // big runs never materialize records
   sc.trace_sample_rate = o.trace_sample_rate;
   core::HyperSubSystem sys(chord, sc);

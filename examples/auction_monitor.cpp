@@ -26,8 +26,9 @@ int main(int argc, char** argv) {
   sim::Simulator simulator;
   net::Network network(simulator, topo);
   chord::ChordNet chord(network, {});
-  chord.oracle_build();
-  core::HyperSubSystem hypersub(chord);
+  core::HyperSubSystem::Config cfg;
+  cfg.bootstrap = core::BootstrapMode::kOracle;
+  core::HyperSubSystem hypersub(chord, cfg);
 
   pubsub::Scheme auctions("auctions", {
                                           {"category", {0.0, 100.0}},

@@ -1,8 +1,11 @@
 // Churn demo: HyperSub over a ring maintained by the live Chord protocol
 // (join/stabilize/failure detection) rather than oracle construction —
-// the paper's future-work scenario. Nodes join one by one, the system
-// operates, then a batch of nodes crashes mid-service and the remaining
-// ring repairs itself while events keep flowing.
+// the paper's future-work scenario. Nodes enter through the unified
+// lifecycle API (HyperSubSystem::join_node — protocol join plus live zone
+// state transfer), the system operates, a batch of nodes crashes
+// (crash_node) mid-service, the ring repairs itself while events keep
+// flowing, and finally one node departs gracefully (leave_node), handing
+// its zones to its successor before it goes.
 //
 //   $ ./examples/churn_demo [nodes]
 
@@ -26,12 +29,13 @@ int main(int argc, char** argv) {
   chord::ChordNet chord(network, {});
   core::HyperSubSystem hypersub(chord);
 
-  // Bootstrap: host 0 alone, everyone else joins via the protocol.
+  // Bootstrap: host 0 alone, everyone else joins via the lifecycle API
+  // (protocol join + state-transfer handshake against the current owner).
   chord.node(0).set_predecessor(chord.node(0).self());
   chord.node(0).set_successor(chord.node(0).self());
   chord.start_maintenance();
   for (net::HostIndex h = 1; h < nodes; ++h) {
-    chord.join(h, 0);
+    hypersub.join_node(h, 0);
     simulator.run_until(simulator.now() + 800.0);
   }
   simulator.run_until(simulator.now() + 30000.0);
@@ -77,10 +81,10 @@ int main(int argc, char** argv) {
   std::printf("steady state: 50 events -> %zu deliveries\n",
               publish_batch(50));
 
-  // Crash 1/8 of the nodes.
+  // Crash 1/8 of the nodes (abrupt: no handshake, state dies with them).
   std::size_t killed = 0;
   for (net::HostIndex h = 1; h < nodes && killed < nodes / 8; h += 8, ++killed) {
-    chord.fail(h);
+    hypersub.crash_node(h);
   }
   std::printf("crashed %zu nodes; repairing...\n", killed);
   simulator.run_until(simulator.now() + 120000.0);
@@ -99,6 +103,20 @@ int main(int argc, char** argv) {
               "(subscriptions stored on dead nodes are lost; the paper "
               "defers replication to the DHT layer)\n",
               publish_batch(50));
+  // One graceful departure: the leaver pushes its zones to its successor
+  // before splicing out, so its hosted subscriptions survive.
+  net::HostIndex leaver = 2;
+  while (leaver < nodes && !network.alive(leaver)) ++leaver;
+  if (leaver < nodes) {
+    hypersub.leave_node(leaver);
+    simulator.run_until(simulator.now() + 60000.0);
+    const auto& js = hypersub.join_stats();
+    std::printf("graceful leave of host %u: %llu zones handed off, "
+                "%llu transfer bytes total this run\n",
+                unsigned(leaver),
+                (unsigned long long)js.zones_transferred,
+                (unsigned long long)js.transfer_bytes);
+  }
   std::printf("messages dropped at dead hosts: %llu\n",
               (unsigned long long)network.dropped());
   return 0;

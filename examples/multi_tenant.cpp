@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
   sim::Simulator simulator;
   net::Network network(simulator, topo);
   chord::ChordNet chord(network, {});
-  chord.oracle_build();
-  core::HyperSubSystem hypersub(chord);
+  core::HyperSubSystem::Config cfg;
+  cfg.bootstrap = core::BootstrapMode::kOracle;
+  core::HyperSubSystem hypersub(chord, cfg);
 
   // --- three tenants, three shapes of content space ------------------------
   pubsub::Scheme weather("weather", {{"temperature_c", {-40.0, 55.0}},

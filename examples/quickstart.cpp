@@ -27,11 +27,13 @@ int main() {
 
   // 2. A Chord ring over the hosts (with proximity neighbor selection).
   chord::ChordNet chord(network, {});
-  chord.oracle_build();
 
-  // 3. The pub/sub service and a stock-quote scheme. The publish fast
-  //    lane (rendezvous route cache + frame batching) is on by request.
+  // 3. The pub/sub service and a stock-quote scheme. The overlay is
+  //    oracle-built by the system (BootstrapMode::kOracle); the publish
+  //    fast lane (rendezvous route cache + frame batching) is on by
+  //    request.
   core::HyperSubSystem::Config cfg;
+  cfg.bootstrap = core::BootstrapMode::kOracle;
   cfg.route_cache = true;
   cfg.batch_forwarding = true;
   core::HyperSubSystem hypersub(chord, cfg);

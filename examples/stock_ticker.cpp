@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   sim::Simulator simulator;
   net::Network network(simulator, topo);
   chord::ChordNet chord(network, {});
-  chord.oracle_build();
-  core::HyperSubSystem hypersub(chord);
+  core::HyperSubSystem::Config cfg;
+  cfg.bootstrap = core::BootstrapMode::kOracle;
+  core::HyperSubSystem hypersub(chord, cfg);
   // We only need counts at this scale, not the full delivery log.
   core::CountingDeliverySink deliveries;
   hypersub.set_delivery_sink(deliveries);

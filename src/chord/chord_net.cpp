@@ -541,11 +541,14 @@ void ChordNet::check_predecessor(net::HostIndex h) {
   });
 }
 
-void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
+bool ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
                     std::function<void()> on_joined) {
   assert(net_.alive(host));
   ChordNode& nd = *nodes_[host];
-  with_pred_watch(host, [](ChordNode& me) { me.clear_predecessor(); });
+  // A rejoining node must not route through its previous life's view:
+  // stale successors/fingers could claim ownership or shortcut lookups
+  // around the very owner it needs to fetch state from.
+  with_pred_watch(host, [](ChordNode& me) { me.reset_routing_state(); });
   route(bootstrap, nd.id(), 0,
         [this, host, on_joined = std::move(on_joined)](const RouteResult& r) {
           // Runs at the owner; apply the join result on the joiner's shard.
@@ -559,9 +562,156 @@ void ChordNet::join(net::HostIndex host, net::HostIndex bootstrap,
                 if (on_joined) on_joined();
               });
         });
+  return true;
+}
+
+bool ChordNet::leave(net::HostIndex host, std::function<void()> on_left) {
+  if (!net_.alive(host)) return false;
+  ChordNode& nd = *nodes_[host];
+  const NodeRef pred = nd.predecessor();
+  const NodeRef succ = nd.successor();
+  const bool have_succ =
+      succ.valid() && succ.id != nd.id() && net_.alive(succ.host);
+  const bool have_pred =
+      pred.valid() && pred.id != nd.id() && net_.alive(pred.host);
+
+  auto pending = std::make_shared<int>((have_succ ? 1 : 0) +
+                                       (have_pred ? 1 : 0));
+  auto finish = std::make_shared<std::function<void()>>(std::move(on_left));
+  const auto step = [this, host, pending, finish] {
+    if (--*pending > 0) return;
+    // Depart only after both splice messages landed; the kill touches
+    // network-global state, so it runs in the exclusive context.
+    net_.simulator().schedule_on(sim::kNoShard, 0.0, [this, host, finish] {
+      if (net_.alive(host)) net_.kill(host);
+      if (*finish) (*finish)();
+    });
+  };
+
+  if (have_succ) {
+    // "I am leaving; my predecessor is yours now." Adopting it moves the
+    // successor's ownership boundary — with_pred_watch fires the overlay
+    // ownership listener, exactly like a death-driven flip would.
+    net_.send(host, succ.host, kHeaderBytes + 2 * kNodeRefBytes,
+              [this, host, to = succ.host, pred, step] {
+                with_pred_watch(to, [&](ChordNode& peer) {
+                  const Id leaver = nodes_[host]->id();
+                  const NodeRef cur = peer.predecessor();
+                  if (cur.valid() && cur.id == leaver) {
+                    if (pred.valid() && pred.id != leaver) {
+                      peer.set_predecessor(pred);
+                    } else {
+                      peer.clear_predecessor();
+                    }
+                  }
+                  peer.remove_peer(leaver);
+                });
+                step();
+              });
+  }
+  if (have_pred) {
+    // "Splice past me": the predecessor adopts our successor list.
+    const std::vector<NodeRef> slist = nd.successor_list();
+    net_.send(host, pred.host,
+              kHeaderBytes + kNodeRefBytes * (1 + slist.size()),
+              [this, host, to = pred.host, succ, slist, have_succ, step] {
+                ChordNode& peer = *nodes_[to];
+                const Id leaver = nodes_[host]->id();
+                if (have_succ) {
+                  const std::vector<NodeRef> rest(
+                      slist.begin() + 1, slist.end());
+                  peer.adopt_successor_list(succ, rest);
+                }
+                peer.remove_peer(leaver);
+                step();
+              });
+  }
+  if (*pending == 0) {
+    // Isolated node: nothing to splice, just depart.
+    net_.kill(host);
+    if (*finish) (*finish)();
+  }
+  return true;
 }
 
 void ChordNet::fail(net::HostIndex host) { net_.kill(host); }
+
+void ChordNet::save_state(common::ByteWriter& w) const {
+  const auto save_ref = [&w](const NodeRef& n) {
+    w.u64(n.id);
+    w.u64(std::uint64_t(n.host));
+    w.boolean(n.valid());
+  };
+  w.u32(std::uint32_t(nodes_.size()));
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    const ChordNode& nd = *nodes_[h];
+    w.u64(nd.id());
+    save_ref(nd.predecessor());
+    const auto& sl = nd.successor_list();
+    w.u32(std::uint32_t(sl.size()));
+    for (const NodeRef& s : sl) save_ref(s);
+    for (int i = 0; i < kIdBits; ++i) save_ref(nd.finger(i));
+    w.u32(std::uint32_t(next_finger_[h]));
+    w.u32(std::uint32_t(next_probe_[h]));
+    // Piggyback liveness evidence, sorted for deterministic bytes.
+    std::vector<std::pair<Id, double>> heard(last_heard_[h].begin(),
+                                             last_heard_[h].end());
+    std::sort(heard.begin(), heard.end());
+    w.u32(std::uint32_t(heard.size()));
+    for (const auto& [peer, at] : heard) {
+      w.u64(peer);
+      w.f64(at);
+    }
+  }
+  w.u64(route_reroutes_);
+  w.u64(route_drops_);
+  w.u64(pings_sent_);
+  w.u64(pings_saved_);
+  route_channel_.save_stats(w);
+}
+
+void ChordNet::restore_state(common::ByteReader& r) {
+  const auto load_ref = [&r] {
+    NodeRef n;
+    n.id = r.u64();
+    n.host = net::HostIndex(r.u64());
+    if (!r.boolean()) n = NodeRef{};
+    return n;
+  };
+  const std::uint32_t n = r.u32();
+  assert(n == nodes_.size());
+  (void)n;
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    ChordNode& nd = *nodes_[h];
+    const Id id = r.u64();
+    assert(id == nd.id());  // ids are ctor-deterministic from the seed
+    (void)id;
+    nd.reset_routing_state();
+    nd.set_predecessor(load_ref());
+    const std::uint32_t n_succ = r.u32();
+    std::vector<NodeRef> sl;
+    sl.reserve(n_succ);
+    for (std::uint32_t i = 0; i < n_succ; ++i) sl.push_back(load_ref());
+    if (!sl.empty()) {
+      nd.adopt_successor_list(sl.front(),
+                              {sl.begin() + 1, sl.end()});
+    }
+    for (int i = 0; i < kIdBits; ++i) nd.set_finger(i, load_ref());
+    next_finger_[h] = int(r.u32());
+    next_probe_[h] = int(r.u32());
+    last_heard_[h].clear();
+    const std::uint32_t n_heard = r.u32();
+    for (std::uint32_t i = 0; i < n_heard; ++i) {
+      const Id peer = r.u64();
+      last_heard_[h][peer] = r.f64();
+    }
+  }
+  route_reroutes_ = r.u64();
+  route_drops_ = r.u64();
+  pings_sent_ = r.u64();
+  pings_saved_ = r.u64();
+  route_channel_.restore_stats(r);
+}
 
 void ChordNet::maintenance_round() {
   for (net::HostIndex h = 0; h < nodes_.size(); ++h) {

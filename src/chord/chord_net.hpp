@@ -122,6 +122,9 @@ class ChordNet final : public overlay::Overlay {
   /// thread count.
   void oracle_build(unsigned threads = 1);
 
+  /// overlay::Overlay's lifecycle name for oracle_build().
+  void build(unsigned threads) override { oracle_build(threads); }
+
   /// Ground truth: the live node that owns `key` (its successor). Used by
   /// tests and by metrics, never by the protocol paths.
   NodeRef oracle_successor(Id key) const;
@@ -156,8 +159,16 @@ class ChordNet final : public overlay::Overlay {
 
   /// Protocol join of `host` using `bootstrap` as the entry point. The host
   /// must be alive in the network. Integration completes via maintenance.
-  void join(net::HostIndex host, net::HostIndex bootstrap,
-            std::function<void()> on_joined = {});
+  /// Rejoins are supported: stale routing state from a previous life is
+  /// cleared before the bootstrap lookup. `on_joined` fires once the
+  /// joiner's successor is set (state transfer can start).
+  bool join(net::HostIndex host, net::HostIndex bootstrap,
+            std::function<void()> on_joined = {}) override;
+
+  /// Graceful departure: the successor adopts `host`'s predecessor (an
+  /// ownership flip, so the listener fires), the predecessor splices its
+  /// successor list past `host`, then the host leaves the network.
+  bool leave(net::HostIndex host, std::function<void()> on_left = {}) override;
 
   /// Crash-stop failure: the host drops all messages from now on.
   void fail(net::HostIndex host);
@@ -192,6 +203,15 @@ class ChordNet final : public overlay::Overlay {
   const net::ReliableChannel& route_channel() const noexcept {
     return route_channel_;
   }
+
+  // -- checkpointing ----------------------------------------------------------
+
+  /// Serialize every node's routing state (pred, successor list, fingers),
+  /// the maintenance cursors, the piggyback liveness tables, and the lookup
+  /// reliability counters. Node ids are ctor-deterministic (same seed =>
+  /// same ids), so they are asserted, not stored.
+  void save_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
 
   // -- tracing ---------------------------------------------------------------
 

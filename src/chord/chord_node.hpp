@@ -49,6 +49,14 @@ class ChordNode {
   void set_predecessor(NodeRef p) { pred_ = p; }
   void clear_predecessor() { pred_ = NodeRef{}; }
 
+  /// Forget everything (successors, fingers, predecessor) — a rejoining
+  /// node must not route through its previous life's stale view.
+  void reset_routing_state() {
+    succ_.clear();
+    pred_ = NodeRef{};
+    fingers_.fill(NodeRef{});
+  }
+
   // -- fingers -------------------------------------------------------------
 
   const NodeRef& finger(int i) const { return fingers_[std::size_t(i)]; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/state_wire.hpp"
+
 namespace hypersub::core {
 
 namespace {
@@ -87,6 +89,29 @@ ZoneState& HyperSubNode::zone_state(const ZoneAddr& addr, Id rotated_key) {
   return it->second;
 }
 
+namespace {
+
+template <class ZoneMap, class KeyIndex>
+void erase_keyed_zone(ZoneMap& zones, KeyIndex& by_key, const ZoneAddr& addr,
+                      Id rotated_key) {
+  if (zones.erase(addr) == 0) return;
+  const auto it = by_key.find(rotated_key);
+  if (it == by_key.end()) return;
+  auto& addrs = it->second;
+  addrs.erase(std::remove(addrs.begin(), addrs.end(), addr), addrs.end());
+  if (addrs.empty()) by_key.erase(it);
+}
+
+}  // namespace
+
+void HyperSubNode::erase_zone(const ZoneAddr& addr, Id rotated_key) {
+  erase_keyed_zone(zones_, zones_by_key_, addr, rotated_key);
+}
+
+void HyperSubNode::erase_replica_zone(const ZoneAddr& addr, Id rotated_key) {
+  erase_keyed_zone(replica_zones_, replicas_by_key_, addr, rotated_key);
+}
+
 std::vector<ZoneState*> HyperSubNode::find_zones_by_key(Id rotated_key) {
   return zones_for_key(zones_, zones_by_key_, rotated_key);
 }
@@ -152,6 +177,144 @@ std::size_t HyperSubNode::stored_entries() const {
   for (const auto& [addr, z] : zones_) n += z.entry_count();
   for (const auto& [tok, repo] : migrated_in_) n += repo.subs.size();
   return n;
+}
+
+namespace {
+
+// Serialize one keyed zone map (primary or replica) by ascending key; the
+// per-key address vector keeps its live order — append_zones_by_key order
+// feeds match emission, so it is part of the behavior contract.
+template <typename ZoneMap, typename KeyMap>
+void save_keyed_zones(common::ByteWriter& w, const ZoneMap& zones,
+                      const KeyMap& by_key) {
+  std::vector<Id> keys;
+  keys.reserve(by_key.size());
+  for (const auto& [key, addrs] : by_key) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u32(std::uint32_t(keys.size()));
+  for (const Id key : keys) {
+    const auto& addrs = by_key.at(key);
+    w.u64(key);
+    w.u32(std::uint32_t(addrs.size()));
+    for (const ZoneAddr& addr : addrs) {
+      save_zone_addr(w, addr);
+      zones.at(addr).save(w);
+    }
+  }
+}
+
+}  // namespace
+
+void HyperSubNode::save(common::ByteWriter& w) const {
+  w.u32(iid_counter_);
+  w.u32(token_counter_);
+
+  // Subscriber-side store, verbatim (offsets included) so a save of the
+  // restored node is byte-identical to this one.
+  w.u32(std::uint32_t(local_entries_.size()));
+  for (const LocalEntry& e : local_entries_) {
+    w.u32(e.off);
+    w.u16(e.dims);
+    w.boolean(e.live);
+  }
+  w.u32(std::uint32_t(local_pool_.size()));
+  for (const Interval& iv : local_pool_) {
+    w.f64(iv.lo);
+    w.f64(iv.hi);
+  }
+  w.u64(local_live_);
+
+  save_keyed_zones(w, zones_, zones_by_key_);
+  save_keyed_zones(w, replica_zones_, replicas_by_key_);
+
+  std::vector<std::uint32_t> tokens;
+  tokens.reserve(migrated_in_.size());
+  for (const auto& [tok, repo] : migrated_in_) tokens.push_back(tok);
+  std::sort(tokens.begin(), tokens.end());
+  w.u32(std::uint32_t(tokens.size()));
+  for (const std::uint32_t tok : tokens) {
+    const MigratedRepo& repo = migrated_in_.at(tok);
+    w.u32(tok);
+    w.u64(repo.origin_zone_key);
+    w.boolean(repo.indexed);
+    // Refs are the dense acceptance order 0..n-1 (append-never repo).
+    const std::uint32_t n = std::uint32_t(repo.subs.size());
+    w.u32(n);
+    for (std::uint32_t ref = 0; ref < n; ++ref) {
+      save_stored_sub(w, repo.subs.materialize(ref));
+    }
+  }
+}
+
+void HyperSubNode::restore(common::ByteReader& r) {
+  local_entries_.clear();
+  local_pool_.clear();
+  local_live_ = 0;
+  reset_surrogate_state();
+
+  iid_counter_ = r.u32();
+  token_counter_ = r.u32();
+
+  const std::uint32_t n_entries = r.u32();
+  local_entries_.reserve(n_entries);
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    LocalEntry e;
+    e.off = r.u32();
+    e.dims = r.u16();
+    e.live = r.boolean();
+    local_entries_.push_back(e);
+  }
+  const std::uint32_t n_pool = r.u32();
+  local_pool_.reserve(n_pool);
+  for (std::uint32_t i = 0; i < n_pool; ++i) {
+    const double lo = r.f64();
+    const double hi = r.f64();
+    local_pool_.push_back(Interval{lo, hi});
+  }
+  local_live_ = std::size_t(r.u64());
+
+  const auto load_keyed = [&](auto& zones, auto& by_key) {
+    const std::uint32_t n_keys = r.u32();
+    for (std::uint32_t i = 0; i < n_keys; ++i) {
+      const Id key = r.u64();
+      const std::uint32_t n_addrs = r.u32();
+      auto& addrs = by_key[key];
+      addrs.reserve(n_addrs);
+      for (std::uint32_t j = 0; j < n_addrs; ++j) {
+        const ZoneAddr addr = load_zone_addr(r);
+        addrs.push_back(addr);
+        auto [it, inserted] =
+            zones.try_emplace(addr, addr, index_threshold_, cover_);
+        assert(inserted);
+        it->second.restore(r);
+      }
+    }
+  };
+  load_keyed(zones_, zones_by_key_);
+  load_keyed(replica_zones_, replicas_by_key_);
+
+  const std::uint32_t n_repos = r.u32();
+  for (std::uint32_t i = 0; i < n_repos; ++i) {
+    const std::uint32_t tok = r.u32();
+    MigratedRepo repo;
+    repo.origin_zone_key = r.u64();
+    repo.indexed = r.boolean();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const StoredSub s = load_stored_sub(r);
+      repo.subs.add(s);
+      if (repo.indexed) repo.index.insert(s.sub.range());
+    }
+    migrated_in_.emplace(tok, std::move(repo));
+  }
+}
+
+void HyperSubNode::reset_surrogate_state() {
+  zones_.clear();
+  zones_by_key_.clear();
+  replica_zones_.clear();
+  replicas_by_key_.clear();
+  migrated_in_.clear();
 }
 
 }  // namespace hypersub::core

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "core/zone_state.hpp"
 #include "net/topology.hpp"
 
@@ -87,6 +88,10 @@ class HyperSubNode {
 
   // -- replicated zone state (robustness extension) ---------------------------
 
+  /// Drop a hosted zone and its key-index entry (ownership handed off to
+  /// another node). No-op if the zone is not hosted here.
+  void erase_zone(const ZoneAddr& addr, Id rotated_key);
+
   /// Find-or-create replica state of a zone whose primary lives elsewhere.
   /// Replicas are matched only after the primary's failure promotes this
   /// node to owner of the key.
@@ -97,6 +102,10 @@ class HyperSubNode {
   std::size_t replica_zone_count() const noexcept {
     return replica_zones_.size();
   }
+
+  /// Drop a replica copy and its key-index entry (superseded by a primary
+  /// install or a re-seeded image). No-op if no replica exists.
+  void erase_replica_zone(const ZoneAddr& addr, Id rotated_key);
 
   // -- migrated-in buckets ---------------------------------------------------
 
@@ -121,6 +130,23 @@ class HyperSubNode {
   /// Piece-inclusive storage footprint: everything in load() plus the
   /// summary-filter pieces registered into hosted zones.
   std::size_t stored_entries() const;
+
+  // -- state transfer / checkpointing ---------------------------------------
+
+  /// Serialize everything this node hosts: subscriber-side store, hosted
+  /// zones (keyed, preserving per-key registration order), replica zones,
+  /// migrated-in buckets, and the id/token counters. Map iteration is by
+  /// sorted key, so the bytes are deterministic.
+  void save(common::ByteWriter& w) const;
+
+  /// Rebuild from save()'s encoding; replaces all current state.
+  void restore(common::ByteReader& r);
+
+  /// Drop all surrogate-side state (hosted zones, replicas, migrated-in
+  /// buckets) ahead of a protocol rejoin: the node re-acquires zone state
+  /// through transfer. Subscriber-side entries and the iid counter are
+  /// kept — this node's own subscriptions stay installed in the system.
+  void reset_surrogate_state();
 
  private:
   // Subscriber-side SoA store: entry iid-1 holds the range's offset into

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
+
+#include "core/state_wire.hpp"
 
 namespace hypersub::core {
 
@@ -21,7 +24,14 @@ HyperSubSystem::HyperSubSystem(overlay::Overlay& dht, Config cfg)
   }
   batches_.resize(dht.size());
   delivered_subs_.resize(dht.size());
+  transfers_out_.resize(dht.size());
+  warm_.resize(dht.size());
   event_metrics_.set_streaming(cfg_.stream_event_metrics);
+  if (cfg_.bootstrap == BootstrapMode::kOracle) {
+    // Setup, not a runtime flip: build before the ownership listener goes
+    // in so the initial table construction does not spam invalidations.
+    dht_.build(cfg_.build_threads);
+  }
   if (cfg_.route_cache) {
     // Coherence hook: when a node's owned key range moves (stabilization,
     // failure repair, oracle rebuild), cached resolutions pointing at it
@@ -141,29 +151,59 @@ void HyperSubSystem::unsubscribe_impl(net::HostIndex subscriber,
   dht_.route(subscriber, lph.key, install_bytes(ss.attributes().size()),
                [this, addr, key = lph.key, owner](
                    const overlay::Overlay::RouteResult& r) {
-                 HyperSubNode& nd = *nodes_[r.owner.host];
-                 ZoneState& zs = nd.zone_state(addr, key);
-                 const HyperRect before = zs.summary();
-                 if (!zs.remove_subscription(owner)) return;
-                 // Mirror the removal at the replicas.
-                 if (cfg_.replicas > 0) {
-                   const std::size_t dims =
-                       scheme_runtime(addr.scheme).scheme().arity();
-                   for (const auto& peer :
-                        dht_.replica_set(r.owner.host, cfg_.replicas)) {
-                     network().send(
-                         r.owner.host, peer.host, install_bytes(dims),
-                         [this, host = peer.host, addr, key, owner] {
-                           nodes_[host]
-                               ->replica_zone_state(addr, key)
-                               .remove_subscription(owner);
-                         });
-                   }
-                 }
-                 if (!(zs.summary() == before)) {
-                   propagate_pieces(r.owner.host, addr);
-                 }
+                 remove_subscription_at(r.owner.host, addr, key, owner);
                });
+}
+
+void HyperSubSystem::remove_subscription_at(net::HostIndex owner,
+                                            const ZoneAddr& addr,
+                                            Id rotated_key, const SubId& sub) {
+  if (WarmState& ws = warm_[owner]; ws.warming) {
+    // The authoritative copy is still in flight; run the removal once the
+    // transferred state has landed.
+    ws.ops.push_back([this, owner, addr, rotated_key, sub] {
+      remove_subscription_at(owner, addr, rotated_key, sub);
+    });
+    return;
+  }
+  if (TransferOut& t = transfers_out_[owner];
+      t.active && transfer_moves(t, rotated_key)) {
+    if (t.committed) {
+      // Leave bridge: this node already shipped the range; hand the
+      // removal to the new owner through the full path.
+      const std::size_t dims = scheme_runtime(addr.scheme).scheme().arity();
+      network().send(owner, t.target, install_bytes(dims),
+                     [this, to = t.target, addr, rotated_key, sub] {
+                       remove_subscription_at(to, addr, rotated_key, sub);
+                     });
+      return;
+    }
+    // Write-behind: apply locally below AND queue a zone-local replay.
+    queue_transfer_op(
+        t, install_bytes(scheme_runtime(addr.scheme).scheme().arity()),
+        [this, to = t.target, addr, rotated_key, sub] {
+          nodes_[to]->zone_state(addr, rotated_key).remove_subscription(sub);
+        });
+  }
+  HyperSubNode& nd = *nodes_[owner];
+  ZoneState& zs = nd.zone_state(addr, rotated_key);
+  const HyperRect before = zs.summary();
+  if (!zs.remove_subscription(sub)) return;
+  // Mirror the removal at the replicas.
+  if (cfg_.replicas > 0) {
+    const std::size_t dims = scheme_runtime(addr.scheme).scheme().arity();
+    for (const auto& peer : dht_.replica_set(owner, cfg_.replicas)) {
+      network().send(owner, peer.host, install_bytes(dims),
+                     [this, host = peer.host, addr, rotated_key, sub] {
+                       nodes_[host]
+                           ->replica_zone_state(addr, rotated_key)
+                           .remove_subscription(sub);
+                     });
+    }
+  }
+  if (!(zs.summary() == before)) {
+    propagate_pieces(owner, addr);
+  }
 }
 
 namespace {
@@ -386,6 +426,37 @@ void HyperSubSystem::register_subscription_at(net::HostIndex owner,
                                               const ZoneAddr& addr,
                                               Id rotated_key,
                                               StoredSub stored) {
+  if (WarmState& ws = warm_[owner]; ws.warming) {
+    // The routed install reached a warming joiner: the zone's prior
+    // contents are still in flight, so defer the full registration (with
+    // its replica copies and piece propagation) until commit.
+    ws.ops.push_back([this, owner, addr, rotated_key,
+                      stored = std::move(stored)]() mutable {
+      register_subscription_at(owner, addr, rotated_key, std::move(stored));
+    });
+    return;
+  }
+  if (TransferOut& t = transfers_out_[owner];
+      t.active && transfer_moves(t, rotated_key)) {
+    if (t.committed) {
+      // Leave bridge: the range already shipped; forward to the new owner.
+      const std::uint64_t bytes = install_bytes(stored.projected.dimensions());
+      network().send(owner, t.target, bytes,
+                     [this, to = t.target, addr, rotated_key,
+                      stored = std::move(stored)]() mutable {
+                       register_subscription_at(to, addr, rotated_key,
+                                                std::move(stored));
+                     });
+      return;
+    }
+    // Write-behind: apply locally below AND queue a zone-local replay.
+    queue_transfer_op(t, install_bytes(stored.projected.dimensions()),
+                      [this, to = t.target, addr, rotated_key, stored] {
+                        nodes_[to]
+                            ->zone_state(addr, rotated_key)
+                            .add_subscription(stored);
+                      });
+  }
   HyperSubNode& nd = *nodes_[owner];
   ZoneState& zs = nd.zone_state(addr, rotated_key);
   if (cfg_.replicas > 0) {
@@ -407,6 +478,38 @@ void HyperSubSystem::register_subscription_at(net::HostIndex owner,
 void HyperSubSystem::register_piece_at(net::HostIndex owner,
                                        const ZoneAddr& addr, Id rotated_key,
                                        HyperRect piece, Id parent_key) {
+  if (WarmState& ws = warm_[owner]; ws.warming) {
+    ws.ops.push_back(
+        [this, owner, addr, rotated_key, piece = std::move(piece),
+         parent_key]() mutable {
+          register_piece_at(owner, addr, rotated_key, std::move(piece),
+                            parent_key);
+        });
+    return;
+  }
+  if (TransferOut& t = transfers_out_[owner];
+      t.active && transfer_moves(t, rotated_key)) {
+    const std::size_t dims =
+        piece.empty()
+            ? schemes_[addr.scheme]->subscheme(addr.subscheme).attributes().size()
+            : piece.dimensions();
+    if (t.committed) {
+      network().send(owner, t.target, install_bytes(dims),
+                     [this, to = t.target, addr, rotated_key, piece,
+                      parent_key]() mutable {
+                       register_piece_at(to, addr, rotated_key,
+                                         std::move(piece), parent_key);
+                     });
+      return;
+    }
+    queue_transfer_op(t, install_bytes(dims),
+                      [this, to = t.target, addr, rotated_key, piece,
+                       parent_key] {
+                        nodes_[to]
+                            ->zone_state(addr, rotated_key)
+                            .set_parent_piece(piece, parent_key);
+                      });
+  }
   HyperSubNode& nd = *nodes_[owner];
   ZoneState& zs = nd.zone_state(addr, rotated_key);
   if (cfg_.replicas > 0) {
@@ -582,6 +685,28 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
                                            const EventCtxPtr& ctx,
                                            std::vector<SubId> list,
                                            int hops, trace::SpanId via) {
+  if (WarmState& ws = warm_[host]; ws.warming) {
+    // A warming joiner already owns its key range but its zone state is
+    // still in flight. Park any message that would match here (it would
+    // match against emptiness and silently lose deliveries) and replay it
+    // after the transferred state lands. Pure forwarding work (no owned
+    // subid) proceeds normally.
+    bool owned = false;
+    for (const SubId& subid : list) {
+      if (dht_.owns(host, subid.target)) {
+        owned = true;
+        break;
+      }
+    }
+    if (owned) {
+      ws.ops.push_back([this, host, ctx, list = std::move(list), hops,
+                        via]() mutable {
+        process_event_message(host, ctx, std::move(list), hops, via);
+      });
+      simulator().defer_ordered([this] { ++join_stats_.events_buffered; });
+      return;
+    }
+  }
   HyperSubNode& nd = *nodes_[host];
   // Tracker accounting is deferred: trackers_ is a system-global map, so
   // worker-context touches are applied at the window barrier in
@@ -1317,7 +1442,722 @@ bool HyperSubSystem::check_zone_invariants() const {
       }
     }
   }
+  // Lifecycle pass: outside an active handover, no live node may be left
+  // holding populated primary zone state for a key another live node
+  // unambiguously owns — a join-driven ownership flip that skipped the
+  // transfer/retire protocol strands exactly that (and silently splits
+  // deliveries between the copies). Hosts participating in a transfer (as
+  // source, target, or warming joiner) are mid-handover by construction.
+  std::vector<bool> mid_handover(nodes_.size(), false);
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    const TransferOut& t = transfers_out_[h];
+    if (t.active) {
+      mid_handover[h] = true;
+      if (t.target < nodes_.size()) mid_handover[t.target] = true;
+    }
+    const WarmState& ws = warm_[h];
+    if (ws.warming) {
+      mid_handover[h] = true;
+      if (ws.source < nodes_.size()) mid_handover[ws.source] = true;
+    }
+  }
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    if (!dht_.network().alive(h) || mid_handover[h]) continue;
+    for (const auto& [addr, zone] : nodes_[h]->zones()) {
+      if (zone.subscription_count() == 0 && zone.buckets().empty()) continue;
+      const Id key = zone_key_of(addr);
+      if (dht_.owns(h, key)) continue;
+      net::HostIndex owner = overlay::Peer::kInvalidHost;
+      bool ambiguous = false;
+      for (net::HostIndex o = 0; o < nodes_.size(); ++o) {
+        if (o == h || !dht_.network().alive(o) || !dht_.owns(o, key)) continue;
+        if (owner != overlay::Peer::kInvalidHost) {
+          ambiguous = true;
+          break;
+        }
+        owner = o;
+      }
+      if (owner == overlay::Peer::kInvalidHost || ambiguous) continue;
+      if (mid_handover[owner]) continue;
+      return false;
+    }
+  }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Node lifecycle: protocol join/leave with live state transfer.
+//
+// Join: the joiner enters the ring via the overlay's join protocol, then
+// "warms" — it buffers everything addressed to it — while pulling a snapshot
+// of the moved zones from the current owner. The owner keeps serving and
+// write-behind-queues every in-range mutation; a periodic tick ships the
+// queue and, once stabilization flips ownership to the joiner, sends a
+// commit that flushes the warm buffers and retires the owner's copies.
+//
+// Leave: the same machinery inverted — the leaver pushes its whole zone set
+// to its successor, drains the queue, bridges late arrivals, then splices
+// out of the ring and dies.
+//
+// Every handler below runs on the shard of the host whose state it touches
+// (transfer frames land at their destination); global counters ride
+// defer_ordered. That keeps the protocol deterministic under --threads=N.
+
+namespace {
+
+/// Deterministic zone ordering for transfer images: by rotated key, then
+/// address (map iteration order is not stable across runs).
+bool zone_order(const std::pair<Id, ZoneAddr>& x,
+                const std::pair<Id, ZoneAddr>& y) {
+  if (x.first != y.first) return x.first < y.first;
+  const ZoneAddr& a = x.second;
+  const ZoneAddr& b = y.second;
+  if (a.scheme != b.scheme) return a.scheme < b.scheme;
+  if (a.subscheme != b.subscheme) return a.subscheme < b.subscheme;
+  if (a.zone.level != b.zone.level) return a.zone.level < b.zone.level;
+  return a.zone.code < b.zone.code;
+}
+
+}  // namespace
+
+bool HyperSubSystem::transfer_moves(const TransferOut& t, Id key) {
+  if (t.leaving) return true;
+  // Successor geometry: after the flip the old owner keeps (joiner, self];
+  // every other key it held belongs to the joiner.
+  const Id a = t.target_id;
+  const Id b = t.my_id;
+  const bool keeps = a < b ? (key > a && key <= b) : (key > a || key <= b);
+  return !keeps;
+}
+
+Id HyperSubSystem::zone_key_of(const ZoneAddr& addr) const {
+  return schemes_[addr.scheme]->subscheme(addr.subscheme).zone_key(addr.zone);
+}
+
+void HyperSubSystem::queue_transfer_op(TransferOut& t, std::uint64_t bytes,
+                                       std::function<void()> op) {
+  t.queue.push_back(std::move(op));
+  t.queue_bytes += bytes;
+}
+
+std::vector<std::uint8_t> HyperSubSystem::serialize_moved_zones(
+    net::HostIndex owner, const TransferOut& t) const {
+  const HyperSubNode& nd = *nodes_[owner];
+  std::vector<std::pair<Id, ZoneAddr>> moved;
+  for (const auto& [addr, zone] : nd.zones()) {
+    const Id key = zone_key_of(addr);
+    if (transfer_moves(t, key)) moved.emplace_back(key, addr);
+  }
+  std::sort(moved.begin(), moved.end(), zone_order);
+  common::ByteWriter w;
+  w.u32(std::uint32_t(moved.size()));
+  for (const auto& [key, addr] : moved) {
+    w.u64(key);
+    save_zone_addr(w, addr);
+    nd.zones().at(addr).save(w);
+  }
+  return w.take();
+}
+
+void HyperSubSystem::install_transferred_zones(net::HostIndex host,
+                                               common::ByteReader& r) {
+  HyperSubNode& nd = *nodes_[host];
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Id key = r.u64();
+    const ZoneAddr addr = load_zone_addr(r);
+    // The shipped image is authoritative: it supersedes any primary
+    // leftover from a past life and the replica copy of the same zone.
+    nd.erase_zone(addr, key);
+    nd.erase_replica_zone(addr, key);
+    nd.zone_state(addr, key).restore(r);
+  }
+}
+
+void HyperSubSystem::reseed_replicas(net::HostIndex owner, const ZoneAddr& addr,
+                                     Id key) {
+  if (cfg_.replicas == 0) return;
+  const auto& zones = nodes_[owner]->zones();
+  const auto it = zones.find(addr);
+  if (it == zones.end()) return;
+  // One full image, replacing (not merging into) each heir's copy — the
+  // write-behind replays are replica-blind, so merge would drift.
+  auto image = std::make_shared<std::vector<std::uint8_t>>();
+  {
+    common::ByteWriter w;
+    it->second.save(w);
+    *image = w.take();
+  }
+  const std::uint64_t bytes = overlay::kHeaderBytes + image->size();
+  std::uint64_t sent = 0;
+  for (const auto& peer : dht_.replica_set(owner, cfg_.replicas)) {
+    if (peer.host == owner || !network().alive(peer.host)) continue;
+    sent += bytes;
+    network().send(owner, peer.host, bytes,
+                   [this, host = peer.host, addr, key, image] {
+                     HyperSubNode& nd = *nodes_[host];
+                     nd.erase_replica_zone(addr, key);
+                     common::ByteReader r(*image);
+                     nd.replica_zone_state(addr, key).restore(r);
+                   });
+  }
+  if (sent > 0) {
+    simulator().defer_ordered(
+        [this, sent] { join_stats_.transfer_bytes += sent; });
+  }
+}
+
+void HyperSubSystem::join_node(net::HostIndex host, net::HostIndex bootstrap) {
+  assert(!simulator().in_worker_context());
+  assert(host < nodes_.size() && bootstrap < nodes_.size());
+  assert(host != bootstrap);
+  assert(network().alive(bootstrap));
+  if (!network().alive(host)) network().revive(host);
+  // A fresh life: surrogate-side state comes back through the transfer;
+  // this node's own subscriptions stay installed at their surrogates.
+  nodes_[host]->reset_surrogate_state();
+  WarmState& ws = warm_[host];
+  const std::uint64_t epoch = ws.epoch + 1;
+  ws = WarmState{};
+  ws.epoch = epoch;
+  ws.warming = true;
+  ws.started_ms = simulator().now();
+  ++join_stats_.joins_started;
+  if (!dht_.join(host, bootstrap,
+                 [this, host] { begin_state_transfer(host); })) {
+    // Substrate without a join protocol (e.g. Pastry stub): nothing will
+    // arrive — serve cold immediately.
+    ws.warming = false;
+    return;
+  }
+  // Failsafe: if the snapshot source dies or stabilization stalls, stop
+  // warming and serve with whatever arrived — degraded but live.
+  simulator().schedule_on(host, cfg_.handover_timeout_ms,
+                          [this, host, epoch] {
+                            WarmState& w2 = warm_[host];
+                            if (w2.warming && w2.epoch == epoch &&
+                                network().alive(host)) {
+                              simulator().defer_ordered(
+                                  [this] { ++join_stats_.joins_aborted; });
+                              finish_warming(host);
+                            }
+                          });
+}
+
+void HyperSubSystem::begin_state_transfer(net::HostIndex joiner) {
+  WarmState& ws = warm_[joiner];
+  if (!ws.warming || !network().alive(joiner)) return;
+  const overlay::Peer heir = dht_.heir_of(joiner);
+  if (!heir.valid() || heir.host == joiner || !network().alive(heir.host)) {
+    // Nobody to pull from (first node in, or the successor is gone):
+    // serve with whatever replication and maintenance bring.
+    finish_warming(joiner);
+    return;
+  }
+  ws.source = heir.host;
+  // TRANSFER_REQ: header + two node refs.
+  network().send(joiner, heir.host, overlay::kHeaderBytes + 16,
+                 [this, owner = heir.host, joiner] {
+                   handle_transfer_request(owner, joiner);
+                 });
+}
+
+void HyperSubSystem::handle_transfer_request(net::HostIndex owner,
+                                             net::HostIndex joiner) {
+  if (!network().alive(owner) || !network().alive(joiner)) return;
+  TransferOut& t = transfers_out_[owner];
+  // One outbound session at a time; a second joiner pulling the same owner
+  // is dropped and degrades via its warm timeout (rare under real churn).
+  if (t.active) return;
+  const std::uint64_t epoch = t.epoch + 1;
+  t = TransferOut{};
+  t.epoch = epoch;
+  t.active = true;
+  t.target = joiner;
+  t.target_id = dht_.id_of(joiner);
+  t.my_id = dht_.id_of(owner);
+  t.started_ms = simulator().now();
+  t.deadline_ms = simulator().now() + cfg_.handover_timeout_ms;
+  // Snapshot synchronously: every mutation after this instant is captured
+  // by the write-behind queue, so snapshot + replay = exact state.
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(
+      serialize_moved_zones(owner, t));
+  std::uint32_t zones = 0;
+  {
+    common::ByteReader peek(*frame);
+    zones = peek.u32();
+  }
+  const std::uint64_t bytes = overlay::kHeaderBytes + frame->size();
+  simulator().defer_ordered([this, bytes, zones] {
+    join_stats_.transfer_bytes += bytes;
+    join_stats_.zones_transferred += zones;
+  });
+  network().send(owner, joiner, bytes, [this, joiner, frame] {
+    WarmState& ws = warm_[joiner];
+    if (ws.warming) {
+      ws.staged.push_back(std::move(*frame));
+    }
+    // Not warming (timeout already fired): drop — the owner aborts at its
+    // deadline and keeps the authoritative copy.
+  });
+  schedule_handover_tick(owner, epoch);
+}
+
+void HyperSubSystem::schedule_handover_tick(net::HostIndex owner,
+                                            std::uint64_t epoch) {
+  simulator().schedule_on(owner, cfg_.handover_tick_ms,
+                          [this, owner, epoch] { handover_tick(owner, epoch); });
+}
+
+void HyperSubSystem::handover_tick(net::HostIndex owner, std::uint64_t epoch) {
+  TransferOut& t = transfers_out_[owner];
+  if (!t.active || t.epoch != epoch || t.committed) return;
+  if (!network().alive(owner)) return;  // died mid-transfer: crash semantics
+  if (!network().alive(t.target) || simulator().now() >= t.deadline_ms) {
+    abort_transfer(owner);
+    return;
+  }
+  if (!t.queue.empty()) {
+    // Ship the write-behind batch. FIFO per host pair keeps every batch
+    // ordered after the snapshot frame and before the commit.
+    auto ops = std::make_shared<std::vector<std::function<void()>>>(
+        std::move(t.queue));
+    t.queue.clear();
+    const std::uint64_t bytes = overlay::kHeaderBytes + t.queue_bytes;
+    t.queue_bytes = 0;
+    simulator().defer_ordered(
+        [this, bytes] { join_stats_.transfer_bytes += bytes; });
+    network().send(owner, t.target, bytes, [this, to = t.target, ops] {
+      WarmState& ws = warm_[to];
+      if (ws.warming) {
+        for (auto& op : *ops) ws.transfer_ops.push_back(std::move(op));
+      } else {
+        // Leave target (or a degraded joiner): the snapshot is already
+        // installed, apply in place.
+        for (auto& op : *ops) op();
+      }
+    });
+    schedule_handover_tick(owner, epoch);
+    return;
+  }
+  if (!t.leaving && dht_.owns(owner, t.target_id)) {
+    // Stabilization has not flipped ownership to the joiner yet.
+    schedule_handover_tick(owner, epoch);
+    return;
+  }
+  if (t.leaving) {
+    commit_leave_handover(owner);
+  } else {
+    commit_join_handover(owner);
+  }
+}
+
+void HyperSubSystem::commit_join_handover(net::HostIndex owner) {
+  TransferOut& t = transfers_out_[owner];
+  t.committed = true;  // stop ticking; await the joiner's ack
+  const std::uint64_t epoch = t.epoch;
+  // Lost-ack failsafe (the joiner died with the commit in flight): clear
+  // the session at the deadline so the owner can serve future transfers.
+  simulator().schedule_on(
+      owner,
+      std::max(0.0, t.deadline_ms - simulator().now()) + cfg_.handover_tick_ms,
+      [this, owner, epoch] {
+        TransferOut& t2 = transfers_out_[owner];
+        if (t2.active && t2.epoch == epoch) abort_transfer(owner);
+      });
+  network().send(
+      owner, t.target, overlay::kHeaderBytes,
+      [this, owner, joiner = t.target, epoch, started = t.started_ms] {
+        WarmState& ws = warm_[joiner];
+        const bool ok = ws.warming;
+        if (ok) {
+          finish_warming(joiner);
+          const double handoff = simulator().now() - started;
+          simulator().defer_ordered([this, handoff] {
+            ++join_stats_.joins_committed;
+            join_stats_.total_handoff_ms += handoff;
+            if (handoff > join_stats_.max_handoff_ms) {
+              join_stats_.max_handoff_ms = handoff;
+            }
+          });
+        }
+        network().send(joiner, owner, overlay::kHeaderBytes,
+                       [this, owner, epoch, ok] {
+          TransferOut& t2 = transfers_out_[owner];
+          if (!t2.active || t2.epoch != epoch) return;
+          if (ok) {
+            // The joiner serves the range now: retire the moved zones and
+            // flush every cached route that pointed at them — the same
+            // invalidation a death or LB migration emits.
+            HyperSubNode& nd = *nodes_[owner];
+            std::vector<std::pair<Id, ZoneAddr>> moved;
+            for (const auto& [addr, zone] : nd.zones()) {
+              const Id key = zone_key_of(addr);
+              if (transfer_moves(t2, key)) moved.emplace_back(key, addr);
+            }
+            std::sort(moved.begin(), moved.end(), zone_order);
+            for (const auto& [key, addr] : moved) {
+              nd.erase_zone(addr, key);
+              invalidate_cached_route(key);
+            }
+          } else {
+            // The joiner gave up warming before the commit arrived: keep
+            // the zones — this is an abort, not a commit.
+            simulator().defer_ordered(
+                [this] { ++join_stats_.joins_aborted; });
+          }
+          const std::uint64_t e = t2.epoch;
+          t2 = TransferOut{};
+          t2.epoch = e;
+        });
+      });
+}
+
+void HyperSubSystem::commit_leave_handover(net::HostIndex owner) {
+  TransferOut& t = transfers_out_[owner];
+  t.committed = true;  // bridge mode: late in-range ops forward to target
+  const std::uint64_t epoch = t.epoch;
+  // Everything moved; collect the set for the target-side fixups.
+  auto moved = std::make_shared<std::vector<std::pair<Id, ZoneAddr>>>();
+  for (const auto& [addr, zone] : nodes_[owner]->zones()) {
+    moved->emplace_back(zone_key_of(addr), addr);
+  }
+  std::sort(moved->begin(), moved->end(), zone_order);
+  simulator().schedule_on(
+      owner,
+      std::max(0.0, t.deadline_ms - simulator().now()) + cfg_.handover_tick_ms,
+      [this, owner, epoch] {
+        TransferOut& t2 = transfers_out_[owner];
+        if (t2.active && t2.epoch == epoch && network().alive(owner)) {
+          abort_transfer(owner);  // target died with the commit in flight
+        }
+      });
+  network().send(
+      owner, t.target, overlay::kHeaderBytes,
+      [this, owner, target = t.target, moved, epoch] {
+        // At the successor: the shipped zones are installed (the snapshot
+        // and write-behind frames precede this one, FIFO). Fix the derived
+        // state the zone-local replays skipped: re-propagate child pieces
+        // and re-seed the replica chain from the new owner.
+        for (const auto& [key, addr] : *moved) {
+          if (!nodes_[target]->zones().contains(addr)) continue;
+          propagate_pieces(target, addr);
+          reseed_replicas(target, addr, key);
+        }
+        network().send(target, owner, overlay::kHeaderBytes,
+                       [this, owner, moved, epoch] {
+          TransferOut& t2 = transfers_out_[owner];
+          if (!t2.active || t2.epoch != epoch) return;
+          // Route-cache coherence for the moved range (same events a
+          // death emits), then splice out of the ring and die. The
+          // leaver keeps its zones — it serves events until the splice
+          // lands and the copies die with the node.
+          for (const auto& [key, addr] : *moved) invalidate_cached_route(key);
+          const double handoff = simulator().now() - t2.started_ms;
+          simulator().defer_ordered([this, handoff] {
+            ++join_stats_.leaves_completed;
+            join_stats_.total_handoff_ms += handoff;
+            if (handoff > join_stats_.max_handoff_ms) {
+              join_stats_.max_handoff_ms = handoff;
+            }
+          });
+          dht_.leave(owner, [this, owner] {
+            const std::uint64_t e = transfers_out_[owner].epoch;
+            transfers_out_[owner] = TransferOut{};
+            transfers_out_[owner].epoch = e;
+          });
+        });
+      });
+}
+
+void HyperSubSystem::abort_transfer(net::HostIndex owner) {
+  TransferOut& t = transfers_out_[owner];
+  if (!t.active) return;
+  const std::uint64_t epoch = t.epoch;
+  t = TransferOut{};
+  t.epoch = epoch;
+  simulator().defer_ordered([this] { ++join_stats_.joins_aborted; });
+}
+
+void HyperSubSystem::finish_warming(net::HostIndex joiner) {
+  WarmState& ws = warm_[joiner];
+  if (!ws.warming) return;
+  WarmState done = std::move(ws);
+  ws = WarmState{};
+  ws.epoch = done.epoch;
+  // 1. Install the staged zone snapshots (structure-exact restore).
+  for (const auto& frame : done.staged) {
+    common::ByteReader r(frame);
+    install_transferred_zones(joiner, r);
+  }
+  // 2. Replay the write-behind batches zone-locally, in capture order.
+  for (auto& op : done.transfer_ops) op();
+  // 3. Fix the derived state the zone-local replays skipped: re-propagate
+  //    child pieces (idempotent at children the old owner already updated)
+  //    and re-seed the replica chain from the new owner.
+  std::vector<std::pair<Id, ZoneAddr>> hosted;
+  for (const auto& [addr, zone] : nodes_[joiner]->zones()) {
+    hosted.emplace_back(zone_key_of(addr), addr);
+  }
+  std::sort(hosted.begin(), hosted.end(), zone_order);
+  for (const auto& [key, addr] : hosted) {
+    propagate_pieces(joiner, addr);
+    reseed_replicas(joiner, addr, key);
+  }
+  // 4. Replay the deferred full-path work (installs, removals, buffered
+  //    events) — warming is off, so these now execute for real.
+  for (auto& op : done.ops) op();
+  const std::uint64_t q = done.transfer_ops.size();
+  const std::uint64_t w = done.ops.size();
+  simulator().defer_ordered([this, q, w] {
+    join_stats_.queued_ops_replayed += q;
+    join_stats_.warm_ops_replayed += w;
+  });
+}
+
+void HyperSubSystem::leave_node(net::HostIndex host) {
+  assert(!simulator().in_worker_context());
+  if (!network().alive(host)) return;
+  if (transfers_out_[host].active || warm_[host].warming) return;
+  const overlay::Peer heir = dht_.heir_of(host);
+  if (!heir.valid() || heir.host == host || !network().alive(heir.host)) {
+    // No live successor to inherit the state: plain departure.
+    if (!dht_.leave(host, {})) crash_node(host);
+    return;
+  }
+  TransferOut& t = transfers_out_[host];
+  const std::uint64_t epoch = t.epoch + 1;
+  t = TransferOut{};
+  t.epoch = epoch;
+  t.active = true;
+  t.leaving = true;
+  t.target = heir.host;
+  t.target_id = dht_.id_of(heir.host);
+  t.my_id = dht_.id_of(host);
+  t.started_ms = simulator().now();
+  t.deadline_ms = simulator().now() + cfg_.handover_timeout_ms;
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(
+      serialize_moved_zones(host, t));
+  std::uint32_t zones = 0;
+  {
+    common::ByteReader peek(*frame);
+    zones = peek.u32();
+  }
+  const std::uint64_t bytes = overlay::kHeaderBytes + frame->size();
+  join_stats_.transfer_bytes += bytes;  // main context: direct
+  join_stats_.zones_transferred += zones;
+  // The successor installs immediately (it is not warming): primary copies
+  // supersede its replica copies of the same zones. It starts matching them
+  // only when the splice makes it owner; until then the leaver serves.
+  network().send(host, heir.host, bytes, [this, to = heir.host, frame] {
+    common::ByteReader r(*frame);
+    install_transferred_zones(to, r);
+  });
+  schedule_handover_tick(host, epoch);
+}
+
+void HyperSubSystem::crash_node(net::HostIndex host) {
+  assert(!simulator().in_worker_context());
+  // Abrupt: no handshake. Clear any transfer machinery this host ran.
+  {
+    TransferOut& t = transfers_out_[host];
+    const std::uint64_t e = t.epoch;
+    t = TransferOut{};
+    t.epoch = e;
+  }
+  {
+    WarmState& ws = warm_[host];
+    const std::uint64_t e = ws.epoch;
+    ws = WarmState{};
+    ws.epoch = e;
+  }
+  network().kill(host);
+}
+
+std::vector<std::uint8_t> HyperSubSystem::snapshot_node(
+    net::HostIndex host) const {
+  common::ByteWriter w;
+  w.u32(common::kWireVersion);
+  nodes_[host]->save(w);
+  return w.take();
+}
+
+void HyperSubSystem::restore_node(net::HostIndex host,
+                                  const std::vector<std::uint8_t>& snapshot,
+                                  net::HostIndex bootstrap) {
+  assert(!simulator().in_worker_context());
+  if (!network().alive(host)) network().revive(host);
+  common::ByteReader r(snapshot);
+  const std::uint32_t ver = r.u32();
+  assert(ver == common::kWireVersion);
+  (void)ver;
+  nodes_[host]->restore(r);
+  // Re-splice with no warming: the node resumes from its own disk image —
+  // a node whose range drifted while down wants join_node() instead.
+  dht_.join(host, bootstrap, {});
+}
+
+void HyperSubSystem::restore_node(net::HostIndex host,
+                                  const std::vector<std::uint8_t>& snapshot) {
+  net::HostIndex bootstrap = overlay::Peer::kInvalidHost;
+  for (net::HostIndex h = 0; h < nodes_.size(); ++h) {
+    if (h != host && network().alive(h)) {
+      bootstrap = h;
+      break;
+    }
+  }
+  assert(bootstrap != overlay::Peer::kInvalidHost);
+  restore_node(host, snapshot, bootstrap);
+}
+
+bool HyperSubSystem::transfer_active() const noexcept {
+  for (const auto& t : transfers_out_) {
+    if (t.active) return true;
+  }
+  for (const auto& w : warm_) {
+    if (w.warming) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system checkpointing.
+
+void HyperSubSystem::save_state(common::ByteWriter& w) const {
+  // Quiescence contract (see header): simulator drained, finalize_events()
+  // called, batches flushed, no transfer session or warming joiner.
+  assert(trackers_.empty());
+  assert(!transfer_active());
+#ifndef NDEBUG
+  for (const auto& b : batches_) assert(b.empty());
+#endif
+  w.u32(common::kWireVersion);
+  w.u32(std::uint32_t(schemes_.size()));
+  w.u64(event_seq_);
+  w.u64(std::uint64_t(total_subs_));
+  w.u64(cover_subid_bytes_saved_);
+  w.u64(subid_wire_bytes_);
+  // Layer-decision reliability counters (transport stats ride channel_).
+  w.u64(rel_.messages_sent);
+  w.u64(rel_.acks);
+  w.u64(rel_.retries);
+  w.u64(rel_.expirations);
+  w.u64(rel_.reroutes);
+  w.u64(rel_.unmasked_drops);
+  w.u64(rel_.duplicates_suppressed);
+  w.u64(rel_.truncated_events);
+  w.u64(batch_.frames);
+  w.u64(batch_.chunks);
+  w.u64(batch_.header_bytes_saved);
+  w.u64(join_stats_.joins_started);
+  w.u64(join_stats_.joins_committed);
+  w.u64(join_stats_.joins_aborted);
+  w.u64(join_stats_.leaves_completed);
+  w.u64(join_stats_.zones_transferred);
+  w.u64(join_stats_.transfer_bytes);
+  w.u64(join_stats_.queued_ops_replayed);
+  w.u64(join_stats_.warm_ops_replayed);
+  w.u64(join_stats_.events_buffered);
+  w.f64(join_stats_.total_handoff_ms);
+  w.f64(join_stats_.max_handoff_ms);
+  event_metrics_.save_state(w);
+  channel_.save_stats(w);
+  for (const auto& c : caches_) c->save_state(w);
+  // Built-in sink rows (append order is the deterministic deferred order).
+  const auto& rows = default_sink_.rows();
+  w.u64(rows.size());
+  for (const Delivery& d : rows) {
+    w.u64(d.event_seq);
+    w.u64(std::uint64_t(d.subscriber));
+    w.u32(d.iid);
+    w.u32(std::uint32_t(d.hops));
+    w.f64(d.latency_ms);
+  }
+  // Per-host dedup sets, iterated in sorted-seq order for stable bytes.
+  for (const auto& m : delivered_subs_) {
+    w.u32(std::uint32_t(m.size()));
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(m.size());
+    for (const auto& [seq, subs] : m) seqs.push_back(seq);
+    std::sort(seqs.begin(), seqs.end());
+    for (const std::uint64_t seq : seqs) {
+      const auto& subs = m.at(seq);
+      w.u64(seq);
+      w.u32(std::uint32_t(subs.size()));
+      for (const auto& [id, iid] : subs) {
+        w.u64(id);
+        w.u32(iid);
+      }
+    }
+  }
+  for (const auto& nd : nodes_) nd->save(w);
+}
+
+void HyperSubSystem::restore_state(common::ByteReader& r) {
+  const std::uint32_t ver = r.u32();
+  assert(ver == common::kWireVersion);
+  (void)ver;
+  const std::uint32_t nschemes = r.u32();
+  assert(nschemes == schemes_.size());
+  (void)nschemes;
+  event_seq_ = r.u64();
+  total_subs_ = std::size_t(r.u64());
+  cover_subid_bytes_saved_ = r.u64();
+  subid_wire_bytes_ = r.u64();
+  rel_ = metrics::ReliabilityCounters{};
+  rel_.messages_sent = r.u64();
+  rel_.acks = r.u64();
+  rel_.retries = r.u64();
+  rel_.expirations = r.u64();
+  rel_.reroutes = r.u64();
+  rel_.unmasked_drops = r.u64();
+  rel_.duplicates_suppressed = r.u64();
+  rel_.truncated_events = r.u64();
+  batch_ = metrics::BatchCounters{};
+  batch_.frames = r.u64();
+  batch_.chunks = r.u64();
+  batch_.header_bytes_saved = r.u64();
+  join_stats_ = JoinStats{};
+  join_stats_.joins_started = r.u64();
+  join_stats_.joins_committed = r.u64();
+  join_stats_.joins_aborted = r.u64();
+  join_stats_.leaves_completed = r.u64();
+  join_stats_.zones_transferred = r.u64();
+  join_stats_.transfer_bytes = r.u64();
+  join_stats_.queued_ops_replayed = r.u64();
+  join_stats_.warm_ops_replayed = r.u64();
+  join_stats_.events_buffered = r.u64();
+  join_stats_.total_handoff_ms = r.f64();
+  join_stats_.max_handoff_ms = r.f64();
+  event_metrics_.restore_state(r);
+  channel_.restore_stats(r);
+  for (auto& c : caches_) c->restore_state(r);
+  default_sink_.reset();
+  const std::uint64_t nrows = r.u64();
+  for (std::uint64_t i = 0; i < nrows; ++i) {
+    Delivery d;
+    d.event_seq = r.u64();
+    d.subscriber = net::HostIndex(r.u64());
+    d.iid = r.u32();
+    d.hops = int(r.u32());
+    d.latency_ms = r.f64();
+    default_sink_.on_delivery(d);
+  }
+  for (auto& m : delivered_subs_) {
+    m.clear();
+    const std::uint32_t nseq = r.u32();
+    for (std::uint32_t i = 0; i < nseq; ++i) {
+      const std::uint64_t seq = r.u64();
+      auto& subs = m[seq];
+      const std::uint32_t nsub = r.u32();
+      for (std::uint32_t j = 0; j < nsub; ++j) {
+        const Id id = r.u64();
+        const std::uint32_t iid = r.u32();
+        subs.emplace(id, iid);
+      }
+    }
+  }
+  for (auto& nd : nodes_) nd->restore(r);
 }
 
 std::vector<std::size_t> HyperSubSystem::node_loads() const {

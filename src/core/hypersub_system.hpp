@@ -39,6 +39,17 @@ namespace hypersub::core {
 
 class LoadBalancer;
 
+/// How the overlay acquires its routing state when the system is built.
+enum class BootstrapMode {
+  /// The overlay starts as constructed; nodes enter via join_node() (or
+  /// the caller drives the substrate directly). Protocol-faithful path.
+  kNone,
+  /// One-shot oracle build (Overlay::build): every node's routing state is
+  /// computed from global knowledge — the "after stabilization" setup for
+  /// large experiments, equivalent to a fully converged join sequence.
+  kOracle,
+};
+
 /// Identifies one installed subscription: returned by subscribe(),
 /// consumed by unsubscribe(). Callers no longer need to retain (and
 /// re-pass bit-identically) the Subscription itself — the subscriber node
@@ -116,6 +127,23 @@ class HyperSubSystem {
     /// encoding (subid_list_wire_bytes). Delivery sets are identical with
     /// the flag on or off. Off by default = paper behavior.
     bool cover_aggregation = false;
+    /// Overlay bootstrap at construction (see BootstrapMode). kOracle runs
+    /// Overlay::build(build_threads) in the constructor, before the
+    /// ownership listener is installed — the initial table construction is
+    /// setup, not a runtime ownership flip.
+    BootstrapMode bootstrap = BootstrapMode::kNone;
+    /// Worker threads for the oracle build (substrates that cannot shard
+    /// ignore it).
+    unsigned build_threads = 1;
+    /// Interval of the old owner's handover tick during a live state
+    /// transfer: the write-behind queue is shipped and the
+    /// ownership-flip/commit condition re-checked this often.
+    double handover_tick_ms = 5.0;
+    /// Abort an unfinished transfer after this long (joiner death,
+    /// stabilization never flipping ownership, snapshot source death). The
+    /// old owner keeps its zones on abort; the joiner stops warming and
+    /// serves with whatever arrived.
+    double handover_timeout_ms = 10000.0;
   };
 
   /// Per-publish observer: fires once per delivery of that event.
@@ -196,6 +224,75 @@ class HyperSubSystem {
   /// system-wide delivery sink.
   std::uint64_t publish(net::HostIndex publisher, std::uint32_t scheme,
                         pubsub::Event event, DeliveryCallback on_delivery);
+
+  // -- node lifecycle ----------------------------------------------------------
+  // One surface for every way a node enters or exits the system. Oracle
+  // builds are Config::bootstrap; everything at runtime goes through here.
+
+  /// Counters of the join/leave state-transfer machinery.
+  struct JoinStats {
+    std::uint64_t joins_started = 0;
+    std::uint64_t joins_committed = 0;   ///< handshake completed, state live
+    std::uint64_t joins_aborted = 0;     ///< timeout / peer death mid-transfer
+    std::uint64_t leaves_completed = 0;
+    std::uint64_t zones_transferred = 0; ///< zone snapshots shipped
+    std::uint64_t transfer_bytes = 0;    ///< snapshot + queued-op + re-seed frames
+    std::uint64_t queued_ops_replayed = 0;  ///< write-behind ops applied at target
+    std::uint64_t warm_ops_replayed = 0;    ///< full-path ops deferred at joiners
+    std::uint64_t events_buffered = 0;      ///< event messages parked while warming
+    double total_handoff_ms = 0.0;  ///< handover start -> commit, summed
+                                    ///< over joins and graceful leaves
+    double max_handoff_ms = 0.0;
+  };
+
+  /// Protocol join with live state transfer: revives `host` if dead, wipes
+  /// its surrogate-side state (its own subscriptions stay installed),
+  /// splices it into the overlay via `bootstrap`, then runs the
+  /// snapshot-then-replay handshake against the current owner of the zone
+  /// range it acquires. Until the handshake commits the joiner "warms":
+  /// installs and owned events arriving at it are buffered and replayed
+  /// after the transferred state lands. Asynchronous — drive the simulator
+  /// to completion; join_stats() records the commit.
+  void join_node(net::HostIndex host, net::HostIndex bootstrap);
+
+  /// Graceful departure: pushes every hosted zone to the successor (same
+  /// snapshot + write-behind machinery, inverted), bridges late installs,
+  /// then splices out of the overlay and dies. Asynchronous.
+  void leave_node(net::HostIndex host);
+
+  /// Abrupt failure: the existing kill path (no state transfer; replicas
+  /// and DHT repair are the only recovery).
+  void crash_node(net::HostIndex host);
+
+  /// Serialize one node's complete pub/sub state (HyperSubNode::save).
+  std::vector<std::uint8_t> snapshot_node(net::HostIndex host) const;
+
+  /// Resurrect `host` from a snapshot_node() image: revive, restore state
+  /// verbatim, re-splice into the overlay via `bootstrap` (no transfer —
+  /// the node resumes as if it never lost its disk). The 2-arg overload
+  /// picks the lowest-index live host as bootstrap. Intended for
+  /// whole-system checkpoint workflows; a node whose keys drifted to other
+  /// owners while it was down should use join_node() instead.
+  void restore_node(net::HostIndex host,
+                    const std::vector<std::uint8_t>& snapshot,
+                    net::HostIndex bootstrap);
+  void restore_node(net::HostIndex host,
+                    const std::vector<std::uint8_t>& snapshot);
+
+  const JoinStats& join_stats() const noexcept { return join_stats_; }
+  /// True while any transfer session or warming joiner is outstanding.
+  bool transfer_active() const noexcept;
+
+  // -- whole-system checkpointing ---------------------------------------------
+
+  /// Serialize all mutable pub/sub state: every node, route caches, event
+  /// metrics, counters, the delivery sink rows, and dedup sets. Call only
+  /// at quiescence (simulator drained, finalize_events() called, no
+  /// transfer active); schemes are config, re-added by the caller before
+  /// restore_state(). Composes with Network/Overlay/Tracer save_state into
+  /// a full-run checkpoint (runner::checkpoint).
+  void save_state(common::ByteWriter& w) const;
+  void restore_state(common::ByteReader& r);
 
   // -- observability -----------------------------------------------------------
 
@@ -328,12 +425,79 @@ class HyperSubSystem {
     trace::SpanId fwd_span = trace::kNoSpan;
   };
 
+  // -- live state transfer (join/leave tentpole) ------------------------------
+  // One outbound session per old owner and one warm buffer per joiner, each
+  // touched only on its own host's shard — handlers run where the transfer
+  // messages land, so the protocol is deterministic under --threads=N.
+
+  /// Outbound handover at the old owner: snapshot already shipped; every
+  /// in-range mutation is applied locally AND queued as a zone-local replay
+  /// closure (write-behind) until the commit condition holds.
+  struct TransferOut {
+    bool active = false;
+    bool leaving = false;    ///< leave push: no ownership watch, bridge after
+    bool committed = false;  ///< leave only: snapshot shipped, bridging installs
+    net::HostIndex target = overlay::Peer::kInvalidHost;
+    Id target_id = 0;
+    Id my_id = 0;
+    std::uint64_t epoch = 0;  ///< guards stale tick timers
+    double started_ms = 0.0;
+    double deadline_ms = 0.0;
+    std::vector<std::function<void()>> queue;  ///< zone-local ops at target
+    std::uint64_t queue_bytes = 0;             ///< wire size of queued ops
+  };
+
+  /// Warm buffer at a joiner: zone snapshots and write-behind batches stage
+  /// here; full-path work (installs, removals, owned events) defers here.
+  struct WarmState {
+    bool warming = false;
+    std::uint64_t epoch = 0;  ///< guards stale timeout timers
+    double started_ms = 0.0;
+    net::HostIndex source = overlay::Peer::kInvalidHost;
+    std::vector<std::vector<std::uint8_t>> staged;       ///< snapshot frames
+    std::vector<std::function<void()>> transfer_ops;     ///< write-behind replays
+    std::vector<std::function<void()>> ops;              ///< deferred full-path work
+  };
+
+  void begin_state_transfer(net::HostIndex joiner);
+  void handle_transfer_request(net::HostIndex owner, net::HostIndex joiner);
+  void schedule_handover_tick(net::HostIndex owner, std::uint64_t epoch);
+  void handover_tick(net::HostIndex owner, std::uint64_t epoch);
+  void commit_join_handover(net::HostIndex owner);
+  void commit_leave_handover(net::HostIndex owner);
+  void abort_transfer(net::HostIndex owner);
+  /// Apply everything a warming joiner staged and stop warming. Called by
+  /// the commit frame (normal path) or the warm timeout (source died).
+  void finish_warming(net::HostIndex joiner);
+  /// True if `key` belongs to the target's post-flip range.
+  static bool transfer_moves(const TransferOut& t, Id key);
+  /// The rotated key of a hosted zone (pure function of its address).
+  Id zone_key_of(const ZoneAddr& addr) const;
+  /// Serialize the owner's hosted zones whose key moves with the session,
+  /// sorted by (key, addr) for deterministic bytes.
+  std::vector<std::uint8_t> serialize_moved_zones(net::HostIndex owner,
+                                                  const TransferOut& t) const;
+  /// Install zones from a serialize_moved_zones() image as primary state at
+  /// `host`, replacing any primary/replica leftovers for the same address.
+  void install_transferred_zones(net::HostIndex host, common::ByteReader& r);
+  /// Push a full replica image of (addr, key) to the owner's current heirs
+  /// (replaces their replica copy — the post-handover replica chain).
+  void reseed_replicas(net::HostIndex owner, const ZoneAddr& addr, Id key);
+  /// Queue a zone-local replay op (plus its wire size) on an active
+  /// outbound session.
+  void queue_transfer_op(TransferOut& t, std::uint64_t bytes,
+                         std::function<void()> op);
+
   void unsubscribe_impl(net::HostIndex subscriber, std::uint32_t scheme,
                         std::uint32_t iid, const pubsub::Subscription& sub);
 
   // Alg. 3: registration at the surrogate node + piece propagation.
   void register_subscription_at(net::HostIndex owner, const ZoneAddr& addr,
                                 Id rotated_key, StoredSub stored);
+  /// Removal at the surrogate (the inverse of register_subscription_at):
+  /// mirrors to replicas and propagates the summary shrink.
+  void remove_subscription_at(net::HostIndex owner, const ZoneAddr& addr,
+                              Id rotated_key, const SubId& sub);
   void register_piece_at(net::HostIndex owner, const ZoneAddr& addr,
                          Id rotated_key, HyperRect piece, Id parent_key);
   void propagate_pieces(net::HostIndex host, const ZoneAddr& addr);
@@ -422,6 +586,11 @@ class HyperSubSystem {
   std::uint64_t event_seq_ = 0;
   std::size_t total_subs_ = 0;
   bool owns_ownership_listener_ = false;
+  /// Live-transfer machinery, indexed by host (see TransferOut/WarmState).
+  std::vector<TransferOut> transfers_out_;
+  std::vector<WarmState> warm_;
+  /// Global transfer counters; shard-context touches ride defer_ordered.
+  JoinStats join_stats_;
 
   // Event-delivery scratch, reused across process_event_message calls to
   // keep the hot path allocation-free, one set per worker slot (slot 0 is

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "common/ids.hpp"
+#include "common/wire.hpp"
 #include "metrics/fastlane_metrics.hpp"
 #include "net/topology.hpp"
 #include "overlay/peer.hpp"
@@ -65,6 +66,43 @@ class RouteCache {
     return c;
   }
   void reset_counters() { counters_ = metrics::RouteCacheCounters{}; }
+
+  /// Checkpoint entries (MRU-first, preserving LRU order exactly) and
+  /// counters.
+  void save_state(common::ByteWriter& w) const {
+    w.u64(capacity_);
+    w.u32(std::uint32_t(lru_.size()));
+    for (const Entry& e : lru_) {
+      w.u64(e.key);
+      w.u64(std::uint64_t(e.owner));
+    }
+    w.u64(counters_.hits);
+    w.u64(counters_.misses);
+    w.u64(counters_.insertions);
+    w.u64(counters_.stale_corrections);
+    w.u64(counters_.invalidations);
+    w.u64(counters_.evictions);
+  }
+  void restore_state(common::ByteReader& r) {
+    capacity_ = std::size_t(r.u64());
+    lru_.clear();
+    map_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      e.key = r.u64();
+      e.owner = net::HostIndex(r.u64());
+      lru_.push_back(e);
+      map_.emplace(e.key, std::prev(lru_.end()));
+    }
+    counters_ = metrics::RouteCacheCounters{};
+    counters_.hits = r.u64();
+    counters_.misses = r.u64();
+    counters_.insertions = r.u64();
+    counters_.stale_corrections = r.u64();
+    counters_.invalidations = r.u64();
+    counters_.evictions = r.u64();
+  }
 
  private:
   struct Entry {

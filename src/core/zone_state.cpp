@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/ids.hpp"
+#include "core/state_wire.hpp"
 
 namespace hypersub::core {
 
@@ -388,6 +390,165 @@ bool ZoneState::recompute_summary() {
   if (fresh == summary_) return false;
   summary_ = std::move(fresh);
   return true;
+}
+
+bool ZoneState::has_subscription(const SubId& owner) const {
+  if (!store_) return false;
+  const SubStore& st = *store_;
+  for (const SubArena::Ref ref : st.order) {
+    if (st.arena.owner(ref) == owner) return true;
+    if (const auto* list = st.covers.coverees(ref)) {
+      for (const SubArena::Ref c : *list) {
+        if (st.arena.owner(c) == owner) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ZoneState::save(common::ByteWriter& w) const {
+  // Parent piece, child-piece cache, summary, promotion counter.
+  w.boolean(parent_piece_.has_value());
+  if (parent_piece_) {
+    save_rect(w, parent_piece_->first);
+    w.u64(parent_piece_->second);
+  }
+  w.u32(std::uint32_t(child_pieces_.size()));
+  for (const HyperRect& p : child_pieces_) save_rect(w, p);
+  save_rect(w, summary_);
+  w.u64(cover_promotions_);
+
+  // The boxed store: representatives in insertion order, each carrying its
+  // coverees in quench order, then migrated buckets, then the index flag.
+  w.boolean(store_ != nullptr);
+  if (!store_) return;
+  const SubStore& st = *store_;
+  w.u32(std::uint32_t(st.order.size()));
+  for (const SubArena::Ref ref : st.order) {
+    save_stored_sub(w, st.arena.materialize(ref));
+    const auto* list = st.covers.coverees(ref);
+    w.u32(list ? std::uint32_t(list->size()) : 0);
+    if (list) {
+      for (const SubArena::Ref c : *list) {
+        save_stored_sub(w, st.arena.materialize(c));
+      }
+    }
+  }
+  w.u32(std::uint32_t(st.buckets.size()));
+  for (const MigratedBucket& b : st.buckets) {
+    save_rect(w, b.summary);
+    w.u32(std::uint32_t(b.sub_rects.size()));
+    for (const HyperRect& r : b.sub_rects) save_rect(w, r);
+    save_subid(w, b.pointer);
+  }
+  w.boolean(st.indexed);
+}
+
+void ZoneState::restore(common::ByteReader& r) {
+  assert(!store_ && summary_.empty());  // restore into a fresh zone only
+  if (r.boolean()) {
+    HyperRect rect = load_rect(r);
+    const Id parent_key = r.u64();
+    parent_piece_ = {std::move(rect), parent_key};
+  }
+  const std::uint32_t n_children = r.u32();
+  child_pieces_.clear();
+  child_pieces_.reserve(n_children);
+  for (std::uint32_t i = 0; i < n_children; ++i) {
+    child_pieces_.push_back(load_rect(r));
+  }
+  HyperRect summary = load_rect(r);
+  cover_promotions_ = r.u64();
+
+  if (r.boolean()) {
+    SubStore& st = store();
+    const std::uint32_t n_reps = r.u32();
+    st.order.reserve(n_reps);
+    for (std::uint32_t i = 0; i < n_reps; ++i) {
+      // Forced structure: the serialized rep/coveree split is replayed as
+      // recorded — no find_coverer re-run, no threshold-triggered index
+      // build mid-restore — so refs land in the same insertion order and
+      // quench relations the source zone had.
+      const SubArena::Ref rep = st.arena.add(load_stored_sub(r));
+      st.order.push_back(rep);
+      const std::uint32_t n_cov = r.u32();
+      for (std::uint32_t j = 0; j < n_cov; ++j) {
+        st.covers.quench(rep, st.arena.add(load_stored_sub(r)));
+      }
+    }
+    const std::uint32_t n_buckets = r.u32();
+    st.buckets.reserve(n_buckets);
+    for (std::uint32_t i = 0; i < n_buckets; ++i) {
+      MigratedBucket b;
+      b.summary = load_rect(r);
+      const std::uint32_t n_rects = r.u32();
+      b.sub_rects.reserve(n_rects);
+      for (std::uint32_t j = 0; j < n_rects; ++j) {
+        b.sub_rects.push_back(load_rect(r));
+      }
+      b.pointer = load_subid(r);
+      st.buckets.push_back(std::move(b));
+    }
+    if (r.boolean()) build_index();
+  }
+  summary_ = std::move(summary);
+}
+
+std::uint64_t ZoneState::fingerprint() const {
+  const auto mix_rect = [](std::uint64_t h, const HyperRect& r) {
+    h = splitmix64(h ^ r.dimensions());
+    for (const Interval& d : r.dims()) {
+      std::uint64_t lo, hi;
+      std::memcpy(&lo, &d.lo, sizeof lo);
+      std::memcpy(&hi, &d.hi, sizeof hi);
+      h = splitmix64(h ^ lo);
+      h = splitmix64(h ^ hi);
+    }
+    return h;
+  };
+  const auto mix_subid = [](std::uint64_t h, const SubId& s) {
+    h = splitmix64(h ^ s.target);
+    h = splitmix64(h ^ ((std::uint64_t(s.iid) << 8) | std::uint64_t(s.kind)));
+    return h;
+  };
+
+  // Order-insensitive over the stored set: hash each entry independently,
+  // sort the digests, fold. Protocol joins permute insertion order and
+  // quench assignment relative to an oracle build; both are semantically
+  // irrelevant to delivery sets.
+  std::vector<std::uint64_t> parts;
+  if (store_) {
+    const SubStore& st = *store_;
+    const auto sub_digest = [&](SubArena::Ref ref) {
+      std::uint64_t h = mix_subid(0x5b5b5b5bull, st.arena.owner(ref));
+      h = mix_rect(h, st.arena.full_rect(ref));
+      return mix_rect(h, st.arena.projected_rect(ref));
+    };
+    for (const SubArena::Ref ref : st.order) {
+      parts.push_back(sub_digest(ref));
+      if (const auto* list = st.covers.coverees(ref)) {
+        for (const SubArena::Ref c : *list) parts.push_back(sub_digest(c));
+      }
+    }
+    for (const MigratedBucket& b : st.buckets) {
+      std::uint64_t h = mix_rect(0xb0b0b0b0ull, b.summary);
+      for (const HyperRect& r : b.sub_rects) h = mix_rect(h, r);
+      parts.push_back(mix_subid(h, b.pointer));
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  std::uint64_t h = 0x9e3779b9ull;
+  for (const std::uint64_t p : parts) h = splitmix64(h ^ p);
+  if (parent_piece_) {
+    h = mix_rect(splitmix64(h ^ parent_piece_->second), parent_piece_->first);
+  }
+  // Child pieces compare as a sparse map digit -> piece: trailing empties
+  // (a lazily-sized cache) must not distinguish two equivalent zones.
+  for (std::size_t d = 0; d < child_pieces_.size(); ++d) {
+    if (child_pieces_[d].empty()) continue;
+    h = mix_rect(splitmix64(h ^ d), child_pieces_[d]);
+  }
+  return mix_rect(h, summary_);
 }
 
 }  // namespace hypersub::core

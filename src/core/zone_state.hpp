@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/hyperrect.hpp"
+#include "common/wire.hpp"
 #include "core/cover_set.hpp"
 #include "core/sub_arena.hpp"
 #include "core/sub_index.hpp"
@@ -195,6 +196,32 @@ class ZoneState {
   /// The exact hull of current contents, freshly folded without touching
   /// the maintained summary (invariant audits).
   HyperRect exact_summary() const;
+
+  /// True if a subscription with this owner identity is stored here
+  /// (representative or quenched coveree).
+  bool has_subscription(const SubId& owner) const;
+
+  // -- state transfer / checkpointing ---------------------------------------
+
+  /// Serialize the complete repository: representatives in insertion order
+  /// (each with its coverees in quench order), migrated buckets, parent
+  /// piece, child-piece cache, summary, index flag, promotion counter. The
+  /// address is NOT included — the receiving side keys zones externally.
+  void save(common::ByteWriter& w) const;
+
+  /// Rebuild from save()'s encoding into a freshly-constructed ZoneState
+  /// (same addr / threshold / cover flags). Structure-exact: insertion
+  /// order, quench relations, and the indexed flag are reproduced verbatim
+  /// — not re-derived — so match() emission order is identical to the
+  /// source zone's.
+  void restore(common::ByteReader& r);
+
+  /// Order-insensitive semantic digest: the stored subscription set, the
+  /// parent piece, buckets, non-empty child pieces, and the summary. Two
+  /// zones with the same digest deliver the same events; insertion order,
+  /// quench assignment, and index state are deliberately excluded (a
+  /// protocol-built zone permutes them relative to an oracle-built one).
+  std::uint64_t fingerprint() const;
 
  private:
   // Subscription storage + matching index, boxed behind one pointer and

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/wire.hpp"
 
 namespace hypersub::metrics {
 
@@ -89,6 +90,54 @@ class EventMetrics {
   Cdf latency_cdf() const;
   Cdf bandwidth_kb_cdf() const;
   Cdf header_bytes_cdf() const;
+
+  /// Checkpoint: records (when stored), running sums, and mode.
+  void save_state(common::ByteWriter& w) const {
+    w.boolean(streaming_);
+    w.u64(n_);
+    w.u64(truncated_);
+    w.f64(sum_pct_matched_);
+    w.f64(sum_hops_);
+    w.f64(sum_latency_ms_);
+    w.f64(sum_bandwidth_kb_);
+    w.f64(sum_header_bytes_);
+    w.u64(records_.size());
+    for (const EventRecord& r : records_) {
+      w.u64(r.seq);
+      w.u64(r.matched);
+      w.f64(r.pct_matched);
+      w.u32(std::uint32_t(r.max_hops));
+      w.f64(r.max_latency_ms);
+      w.u64(r.bandwidth_bytes);
+      w.u64(r.header_bytes);
+      w.boolean(r.truncated);
+    }
+  }
+  void restore_state(common::ByteReader& rd) {
+    streaming_ = rd.boolean();
+    n_ = std::size_t(rd.u64());
+    truncated_ = std::size_t(rd.u64());
+    sum_pct_matched_ = rd.f64();
+    sum_hops_ = rd.f64();
+    sum_latency_ms_ = rd.f64();
+    sum_bandwidth_kb_ = rd.f64();
+    sum_header_bytes_ = rd.f64();
+    records_.clear();
+    const std::size_t n = std::size_t(rd.u64());
+    records_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EventRecord r;
+      r.seq = rd.u64();
+      r.matched = std::size_t(rd.u64());
+      r.pct_matched = rd.f64();
+      r.max_hops = int(rd.u32());
+      r.max_latency_ms = rd.f64();
+      r.bandwidth_bytes = rd.u64();
+      r.header_bytes = rd.u64();
+      r.truncated = rd.boolean();
+      records_.push_back(r);
+    }
+  }
 
  private:
   std::vector<EventRecord> records_;

@@ -120,4 +120,37 @@ void Network::reset_traffic() {
   dropped_ = 0;
 }
 
+void Network::save_state(common::ByteWriter& w) const {
+  w.u32(std::uint32_t(alive_.size()));
+  for (std::size_t h = 0; h < alive_.size(); ++h) {
+    w.boolean(alive_[h]);
+    const HostTraffic& t = traffic_[h];
+    w.u64(t.bytes_in);
+    w.u64(t.bytes_out);
+    w.u64(t.msgs_in);
+    w.u64(t.msgs_out);
+  }
+  w.u64(total_messages_);
+  w.u64(total_bytes_);
+  w.u64(dropped_);
+}
+
+void Network::restore_state(common::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  assert(n == alive_.size());
+  (void)n;
+  for (std::size_t h = 0; h < alive_.size(); ++h) {
+    alive_[h] = r.boolean();
+    HostTraffic& t = traffic_[h];
+    t.bytes_in = r.u64();
+    t.bytes_out = r.u64();
+    t.msgs_in = r.u64();
+    t.msgs_out = r.u64();
+  }
+  total_messages_ = r.u64();
+  total_bytes_ = r.u64();
+  dropped_ = r.u64();
+  refresh_lookahead_floor();
+}
+
 }  // namespace hypersub::net

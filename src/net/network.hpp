@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
@@ -76,6 +77,12 @@ class Network {
   std::uint64_t total_messages() const noexcept { return total_messages_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Checkpoint liveness + traffic counters. Call only at quiescence (no
+  /// in-flight messages; worker deltas folded).
+  void save_state(common::ByteWriter& w) const;
+  /// Restore; re-derives the adaptive lookahead floor if enabled.
+  void restore_state(common::ByteReader& r);
 
  private:
   /// Counter increments made by one worker during one window; folded into

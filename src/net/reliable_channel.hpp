@@ -23,12 +23,14 @@
 // retry/expire accounting) stays on the sender's shard via the simulator's
 // shard-inheriting timers, and Stats are kept per host and summed on read.
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "net/network.hpp"
 #include "trace/tracer.hpp"
 
@@ -97,6 +99,33 @@ class ReliableChannel {
   const Stats& host_stats(HostIndex h) const { return per_host_[h]; }
   void reset_stats();
   const Config& config() const noexcept { return cfg_; }
+
+  /// Checkpoint the per-host counters. The in-flight machinery (send
+  /// counters, receiver dedup sets) is deliberately NOT saved: checkpoints
+  /// are taken at quiescence, when nothing is in flight, and a restarted
+  /// channel minting ids from zero behaves identically.
+  void save_stats(common::ByteWriter& w) const {
+    w.u32(std::uint32_t(per_host_.size()));
+    for (const Stats& s : per_host_) {
+      w.u64(s.sent);
+      w.u64(s.acked);
+      w.u64(s.retries);
+      w.u64(s.expired);
+      w.u64(s.duplicates_suppressed);
+    }
+  }
+  void restore_stats(common::ByteReader& r) {
+    const std::uint32_t n = r.u32();
+    assert(n == per_host_.size());
+    (void)n;
+    for (Stats& s : per_host_) {
+      s.sent = r.u64();
+      s.acked = r.u64();
+      s.retries = r.u64();
+      s.expired = r.u64();
+      s.duplicates_suppressed = r.u64();
+    }
+  }
 
  private:
   struct Message {

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "net/network.hpp"
 #include "overlay/peer.hpp"
 
@@ -83,6 +84,46 @@ class Overlay {
   /// the clockwise leaves). At most `k` peers; may return fewer.
   virtual std::vector<Peer> replica_set(net::HostIndex h,
                                         std::size_t k) const = 0;
+
+  // -- lifecycle -------------------------------------------------------------
+
+  /// Construct routing state for every live host from global knowledge (the
+  /// paper's "after system stabilization" shortcut). `threads` may shard
+  /// the computation; the result must be thread-count independent.
+  virtual void build(unsigned threads) = 0;
+
+  /// Protocol join of `host` via `bootstrap`; `on_joined` fires (simulated
+  /// time) once the joiner knows its successor — i.e. the moment the
+  /// pub/sub layer can start its state-transfer handshake. Returns false if
+  /// this substrate has no join protocol (callers fall back to build()).
+  virtual bool join(net::HostIndex /*host*/, net::HostIndex /*bootstrap*/,
+                    std::function<void()> /*on_joined*/ = {}) {
+    return false;
+  }
+
+  /// Graceful departure of `host`: neighbors splice around it, then the
+  /// host leaves the network (messages stop). `on_left` fires after the
+  /// splice lands. Returns false if unsupported (callers fall back to a
+  /// crash-stop kill).
+  virtual bool leave(net::HostIndex /*host*/,
+                     std::function<void()> /*on_left*/ = {}) {
+    return false;
+  }
+
+  /// The peer that inherits `h`'s key range when `h` departs — the state
+  /// handover target for a graceful leave. Invalid peer when unknown.
+  Peer heir_of(net::HostIndex h) const {
+    const auto r = replica_set(h, 1);
+    return r.empty() ? Peer{} : r.front();
+  }
+
+  // -- checkpointing ---------------------------------------------------------
+
+  /// Serialize all routing state (deterministic bytes; host order).
+  virtual void save_state(common::ByteWriter& /*w*/) const {}
+  /// Rebuild routing state from save_state()'s encoding. The overlay must
+  /// have been constructed identically (same topology, params, seed).
+  virtual void restore_state(common::ByteReader& /*r*/) {}
 
   /// Ground-truth key→owner table for bulk (oracle) state installation:
   /// the live nodes in ascending id order, such that the owner of `key` is

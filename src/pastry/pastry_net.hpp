@@ -117,6 +117,10 @@ class PastryNet final : public overlay::Overlay {
   /// Global-knowledge construction of leaf sets + routing tables.
   void oracle_build();
 
+  /// overlay::Overlay's lifecycle name for oracle_build() (the construction
+  /// is cheap enough that `threads` is ignored).
+  void build(unsigned /*threads*/) override { oracle_build(); }
+
   /// Ground truth: the live node numerically closest to `key`.
   Peer oracle_owner(Id key) const;
 

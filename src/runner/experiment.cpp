@@ -36,16 +36,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   cp.pns = cfg.pns;
   cp.seed = cfg.seed + 1;
   chord::ChordNet chord(network, cp);
-  chord.oracle_build(cfg.setup_threads);
 
   // --- pub/sub system --------------------------------------------------------
-  core::HyperSubSystem::Config sc;
-  sc.ancestor_probing = cfg.ancestor_probing;
-  sc.route_cache = cfg.route_cache;
-  sc.batch_forwarding = cfg.batch_forwarding;
-  sc.cover_aggregation = cfg.cover_aggregation;
-  sc.trace_sample_rate = cfg.trace_sample_rate;
-  sc.stream_event_metrics = cfg.stream_metrics;
+  // The embedded system config passes through verbatim; the runner owns
+  // only the bootstrap (experiments measure the post-stabilization system,
+  // so the overlay is oracle-built by the system constructor).
+  core::HyperSubSystem::Config sc = cfg.system;
+  sc.bootstrap = core::BootstrapMode::kOracle;
+  sc.build_threads = cfg.setup_threads;
   core::HyperSubSystem sys(chord, sc);
   if (cfg.tracer) sys.set_tracer(cfg.tracer);
   // Large runs only need delivery counts, not the full log.
@@ -169,9 +167,9 @@ std::string config_label(const ExperimentConfig& cfg) {
   os << "Base " << (1 << cfg.base_bits) << ",level "
      << cfg.code_bits / cfg.base_bits << ','
      << (cfg.load_balancing ? "LB" : "no LB");
-  if (cfg.route_cache) os << ",cache";
-  if (cfg.batch_forwarding) os << ",batch";
-  if (cfg.cover_aggregation) os << ",cover";
+  if (cfg.system.route_cache) os << ",cache";
+  if (cfg.system.batch_forwarding) os << ",batch";
+  if (cfg.system.cover_aggregation) os << ",cover";
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/hypersub_system.hpp"
 #include "core/load_balancer.hpp"
 #include "trace/tracer.hpp"
 #include "metrics/event_metrics.hpp"
@@ -28,18 +29,22 @@ struct ExperimentConfig {
   int base_bits = 1;    ///< base 2 ("Base 2, level 20")
   int code_bits = 20;   ///< bits of the identifier used for zone codes
   bool rotation = true;
-  bool ancestor_probing = false;
   std::vector<std::vector<std::size_t>> subschemes;  ///< §3.5; empty = off
+  // pub/sub system — passed through verbatim (ancestor probing, replicas,
+  // reliability, route cache, batching, cover aggregation, streaming
+  // metrics, transfer knobs...). The runner only overrides bootstrap (it
+  // always oracle-builds, with `setup_threads` workers) and
+  // stream_event_metrics plumbing it already owns. The former mirrored
+  // fields (route_cache, batch_forwarding, cover_aggregation,
+  // stream_metrics, ancestor_probing, trace_sample_rate) live here now —
+  // see DESIGN.md, "Runner configuration".
+  core::HyperSubSystem::Config system;
   // load balancing
   bool load_balancing = false;
   core::LoadBalancer::Config lb{/*period_ms=*/30000.0, /*delta=*/0.1,
                                 /*probe_level=*/1, /*max_acceptors=*/4,
                                 /*min_load=*/8, /*reply_timeout_ms=*/1500.0};
   std::size_t lb_warm_rounds = 2;  ///< static pre-adjustment rounds
-  // publish fast lane
-  bool route_cache = false;       ///< rendezvous key -> owner LRU cache
-  bool batch_forwarding = false;  ///< per-next-hop frame coalescing
-  bool cover_aggregation = false;  ///< covering-based quench at zones
   // workload
   workload::WorkloadSpec workload = workload::table1_spec();
   std::size_t subs_per_node = 10;
@@ -48,9 +53,9 @@ struct ExperimentConfig {
   std::size_t hot_event_pool = 0;  ///< >0: draw events Zipf-ranked from a pool
   double zipf_skew = 0.95;         ///< rank skew of the hot pool
   std::size_t publishers = 0;      ///< >0: restrict the feed to this many nodes
-  // tracing (observability; off unless a tracer is supplied)
+  // tracing (observability; off unless a tracer is supplied — the sample
+  // rate is system.trace_sample_rate)
   trace::Tracer* tracer = nullptr;   ///< span recorder for the whole stack
-  double trace_sample_rate = 1.0;    ///< fraction of publishes/installs kept
   // parallel engine (defaults = sequential, zero-lookahead: seed behavior)
   unsigned sim_threads = 1;    ///< worker threads; >1 enables sharded runs
   double lookahead_ms = 0.0;   ///< min network latency = safe window width
@@ -68,9 +73,6 @@ struct ExperimentConfig {
   /// Worker threads for oracle overlay construction and bulk installation
   /// (results are independent of this count).
   unsigned setup_threads = 1;
-  /// Fold per-event metrics into running sums instead of storing records
-  /// (O(1) metrics memory; CDF views of the result come back empty).
-  bool stream_metrics = false;
   // misc
   std::uint64_t seed = 42;
 };

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "trace/span.hpp"
 
 namespace hypersub::sim {
@@ -127,6 +128,56 @@ class Tracer {
     spans_.clear();
     index_.clear();
     dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  // -- checkpointing ---------------------------------------------------------
+
+  /// Serialize the span log and the per-context id counters so a restored
+  /// run keeps appending exactly where the checkpointed one stopped.
+  void save_state(common::ByteWriter& w) const {
+    w.u32(std::uint32_t(trace_ctr_.size()));
+    for (const std::uint64_t c : trace_ctr_) w.u64(c);
+    w.u32(std::uint32_t(span_ctr_.size()));
+    for (const std::uint64_t c : span_ctr_) w.u64(c);
+    w.u64(dropped_.load(std::memory_order_relaxed));
+    w.u64(spans_.size());
+    for (const Span& s : spans_) {
+      w.u64(s.trace);
+      w.u64(s.id);
+      w.u64(s.parent);
+      w.u8(std::uint8_t(s.kind));
+      w.u64(std::uint64_t(s.node));
+      w.f64(s.start_ms);
+      w.f64(s.end_ms);
+      w.u64(s.a);
+      w.u64(s.b);
+    }
+  }
+
+  void restore_state(common::ByteReader& r) {
+    trace_ctr_.assign(r.u32(), 0);
+    for (std::uint64_t& c : trace_ctr_) c = r.u64();
+    span_ctr_.assign(r.u32(), 0);
+    for (std::uint64_t& c : span_ctr_) c = r.u64();
+    dropped_.store(r.u64(), std::memory_order_relaxed);
+    spans_.clear();
+    index_.clear();
+    const std::size_t n = std::size_t(r.u64());
+    spans_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Span s;
+      s.trace = r.u64();
+      s.id = r.u64();
+      s.parent = r.u64();
+      s.kind = SpanKind(r.u8());
+      s.node = net::HostIndex(r.u64());
+      s.start_ms = r.f64();
+      s.end_ms = r.f64();
+      s.a = r.u64();
+      s.b = r.u64();
+      index_.emplace(s.id, spans_.size());
+      spans_.push_back(s);
+    }
   }
 
   // -- ambient context -------------------------------------------------------

@@ -53,7 +53,7 @@ struct Stack {
       : topo(topo_params()),
         net(sim, topo),
         chord(net, chord_params()),
-        sys((chord.oracle_build(), chord), cfg) {
+        sys(chord, (cfg.bootstrap = core::BootstrapMode::kOracle, cfg)) {
     workload::WorkloadGenerator gen(workload::table1_spec(), kSeed + 1);
     core::SchemeOptions opt;
     opt.zone_cfg = {1, 20};
@@ -223,10 +223,11 @@ TEST(BulkSetup, FallsBackToRoutedInstallsWithoutOracleTable) {
   pastry::PastryNet::Params pp;
   pp.seed = 3;
   pastry::PastryNet pastry(net, pp);
-  pastry.oracle_build();
   ASSERT_TRUE(pastry.oracle_owner_table().empty());
 
-  HyperSubSystem sys(pastry);
+  HyperSubSystem::Config pc;
+  pc.bootstrap = core::BootstrapMode::kOracle;  // Overlay::build via the system
+  HyperSubSystem sys(pastry, pc);
   workload::WorkloadGenerator gen(workload::table1_spec(), 5);
   core::SchemeOptions opt;
   opt.zone_cfg = {1, 20};

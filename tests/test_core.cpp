@@ -199,7 +199,7 @@ Stack make_stack(std::size_t n, HyperSubSystem::Config sc = {},
   chord::ChordNet::Params cp;
   cp.seed = seed;
   s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
-  s.chord->oracle_build();
+  sc.bootstrap = BootstrapMode::kOracle;
   s.sys = std::make_unique<HyperSubSystem>(*s.chord, sc);
   return s;
 }

@@ -73,8 +73,8 @@ RunOutput run_once(RunOpts o) {
   cp.seed = 13;
   cp.reliable_routing = o.reliable;
   chord::ChordNet chord(net, cp);
-  chord.oracle_build();
   core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.reliable_delivery = o.reliable;
   sc.replicas = o.replicas;
   sc.route_cache = o.cache;

@@ -33,8 +33,9 @@ Stack make_stack(std::size_t n, std::uint64_t seed = 1) {
   chord::ChordNet::Params cp;
   cp.seed = seed;
   s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
-  s.chord->oracle_build();
-  s.sys = std::make_unique<core::HyperSubSystem>(*s.chord);
+  core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
+  s.sys = std::make_unique<core::HyperSubSystem>(*s.chord, sc);
   return s;
 }
 

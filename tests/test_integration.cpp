@@ -41,6 +41,12 @@ Stack make_stack(std::size_t n, std::uint64_t seed = 1,
   return s;
 }
 
+core::HyperSubSystem::Config oracle_cfg(
+    core::HyperSubSystem::Config sc = {}) {
+  sc.bootstrap = core::BootstrapMode::kOracle;
+  return sc;
+}
+
 // Delivery works over a ring assembled purely by the join protocol.
 TEST(Integration, DeliveryOverProtocolBuiltRing) {
   auto s = make_stack(24, 3);
@@ -104,8 +110,7 @@ TEST(Integration, DeliveryOverProtocolBuiltRing) {
 // Surrogate-subscription chains: the piece stored at an event's leaf zone
 // leads, zone by zone, to every ancestor holding a covering subscription.
 TEST(Integration, ZoneChainsReachCoveringSubscriptions) {
-  auto s = make_stack(30, 9);
-  s.chord->oracle_build();
+  auto s = make_stack(30, 9, oracle_cfg());
   workload::WorkloadGenerator gen(workload::tiny_spec(), 11);
   core::SchemeOptions opt;
   opt.zone_cfg = lph::ZoneSystem::Config::for_dims(2);
@@ -145,8 +150,7 @@ TEST(Integration, ZoneChainsReachCoveringSubscriptions) {
 // Node failures during the event phase: deliveries to live subscribers
 // keep flowing once the ring repairs.
 TEST(Integration, DeliveryAfterFailuresAndRepair) {
-  auto s = make_stack(40, 13);
-  s.chord->oracle_build();
+  auto s = make_stack(40, 13, oracle_cfg());
   s.chord->start_maintenance();
   workload::WorkloadGenerator gen(workload::tiny_spec(), 15);
   core::SchemeOptions opt;
@@ -186,8 +190,7 @@ TEST(Integration, DeliveryAfterFailuresAndRepair) {
 // Multi-scheme rotation: the same zone structure of two schemes must land
 // on different nodes when rotation is on.
 TEST(Integration, RotationSpreadsSchemesAcrossNodes) {
-  auto s = make_stack(50, 17);
-  s.chord->oracle_build();
+  auto s = make_stack(50, 17, oracle_cfg());
   auto spec_a = workload::tiny_spec();
   spec_a.scheme_name = "alpha";
   auto spec_b = workload::tiny_spec();
@@ -214,8 +217,7 @@ TEST(Integration, AncestorProbingAgreesWithPieces) {
   for (const bool probing : {false, true}) {
     core::HyperSubSystem::Config sc;
     sc.ancestor_probing = probing;
-    auto s = make_stack(40, 21, sc);
-    s.chord->oracle_build();
+    auto s = make_stack(40, 21, oracle_cfg(sc));
     workload::WorkloadGenerator gen(workload::table1_spec(), 23);
     core::SchemeOptions opt;
     opt.zone_cfg = {1, 20};

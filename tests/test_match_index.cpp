@@ -212,9 +212,8 @@ TEST(MatchIndexParity, EndToEndDeliveryEqualsBruteForce) {
   chord::ChordNet::Params cp;
   cp.seed = 9;
   chord::ChordNet chord(net, cp);
-  chord.oracle_build();
-
   core::HyperSubSystem::Config cfg;
+  cfg.bootstrap = core::BootstrapMode::kOracle;
   cfg.match_index_threshold = 1;
   core::HyperSubSystem sys(chord, cfg);
   workload::WorkloadGenerator gen(workload::table1_spec(), 99);

@@ -45,8 +45,8 @@ Stack make_stack(std::size_t n, std::uint64_t seed = 1,
   cp.seed = seed;
   cp.reliable_routing = reliable;
   s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
-  s.chord->oracle_build();
   HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.reliable_delivery = reliable;
   s.sys = std::make_unique<core::HyperSubSystem>(*s.chord, sc);
   return s;

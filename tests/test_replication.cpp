@@ -37,8 +37,8 @@ Stack make_stack(std::size_t n, std::size_t replicas, std::uint64_t seed) {
   chord::ChordNet::Params cp;
   cp.seed = seed;
   s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
-  s.chord->oracle_build();
   core::HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.replicas = replicas;
   s.sys = std::make_unique<core::HyperSubSystem>(*s.chord, sc);
   return s;

@@ -154,8 +154,8 @@ Stack make_stack(std::size_t n, std::uint64_t seed, StackOpts o = {}) {
   cp.seed = seed;
   cp.reliable_routing = o.reliable;
   s.chord = std::make_unique<chord::ChordNet>(*s.net, cp);
-  s.chord->oracle_build();
   HyperSubSystem::Config sc;
+  sc.bootstrap = core::BootstrapMode::kOracle;
   sc.reliable_delivery = o.reliable;
   sc.replicas = o.replicas;
   sc.route_cache = o.cache;

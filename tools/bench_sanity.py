@@ -55,6 +55,16 @@ Subcommands:
       context only: the per-edge event payload is identical in both
       configs by design (same delivery trees), so aggregation can only
       compress the subid transport riding on those frames.
+
+  join FRESH.json [--mtbf N] [--replicas R] [--min-delivery F]
+      Validate a fresh `ablation_churn --protocol-join` run
+      (self-relative): at the gated churn point (default MTBF=4
+      stabilization periods, 2 replicas) the delivery ratio must stay at
+      or above the floor (default 0.99) while nodes continuously leave
+      gracefully and rejoin through the live state-transfer handshake; at
+      least one join must have committed and moved a nonzero number of
+      zones/bytes, and no handshake may have aborted at any churn rate —
+      nothing crashes in this bench, so a timeout abort is a protocol bug.
 """
 
 import argparse
@@ -391,6 +401,66 @@ def cmd_cover(args):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# join: lifecycle churn must keep delivering while state moves between nodes
+# ---------------------------------------------------------------------------
+
+def cmd_join(args):
+    doc = load_json(args.fresh)
+    rows = doc.get("rows")
+    if not rows:
+        sys.exit(f"error: {args.fresh} has no rows (rerun "
+                 f"bench/ablation_churn --protocol-join)")
+
+    print(f"lifecycle churn ({doc.get('nodes')} nodes, "
+          f"{doc.get('events')} events, graceful leave + protocol join):")
+    gated = None
+    for r in rows:
+        marker = ""
+        if r["mtbf_periods"] == args.mtbf and r["replicas"] == args.replicas:
+            gated = r
+            marker = "  <- gated point"
+        print(f"  mtbf {r['mtbf_periods']:>3.0f} replicas {r['replicas']}: "
+              f"delivery {r['delivery_ratio']:.4f}, "
+              f"{r['joins_committed']} joins "
+              f"({r['joins_aborted']} aborted), "
+              f"{r['zones_transferred']} zones / "
+              f"{r['transfer_bytes']} bytes moved, "
+              f"handoff avg {r['avg_handoff_ms']:.1f} ms "
+              f"(max {r['max_handoff_ms']:.1f}){marker}")
+
+    failures = []
+    if gated is None:
+        failures.append(f"no row at mtbf={args.mtbf} "
+                        f"replicas={args.replicas}")
+    else:
+        if gated["delivery_ratio"] < args.min_delivery:
+            failures.append(f"delivery ratio {gated['delivery_ratio']:.4f} "
+                            f"below {args.min_delivery} at the gated point")
+        if gated["joins_committed"] < 1:
+            failures.append("no protocol join ever committed")
+        if gated["leaves_completed"] < 1:
+            failures.append("no graceful leave ever completed")
+        if gated["zones_transferred"] <= 0:
+            failures.append("handovers moved zero zones")
+        if gated["transfer_bytes"] <= 0:
+            failures.append("handovers moved zero bytes")
+    # Every row, not just the gated one: an abort means a handshake died on
+    # a timeout even though nothing crashed in this bench.
+    for r in rows:
+        if r["joins_aborted"] > 0:
+            failures.append(f"{r['joins_aborted']} aborted joins at "
+                            f"mtbf={r['mtbf_periods']:.0f} "
+                            f"replicas={r['replicas']}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -452,6 +522,19 @@ def main():
                    help="required fractional reduction in subid transport "
                         "bytes/event (default 0.15)")
     c.set_defaults(fn=cmd_cover)
+
+    j = sub.add_parser("join",
+                       help="lifecycle churn delivery + transfer gate")
+    j.add_argument("fresh", help="freshly produced BENCH_join.json")
+    j.add_argument("--mtbf", type=float, default=4.0,
+                   help="gated MTBF point in stabilization periods "
+                        "(default 4)")
+    j.add_argument("--replicas", type=int, default=2,
+                   help="gated replica count (default 2)")
+    j.add_argument("--min-delivery", type=float, default=0.99,
+                   help="required delivery ratio at the gated point "
+                        "(default 0.99)")
+    j.set_defaults(fn=cmd_join)
 
     args = ap.parse_args()
     return args.fn(args)
