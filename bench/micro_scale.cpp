@@ -22,11 +22,16 @@
 // largest point's value is a true per-point peak. The gated quick run has
 // exactly one point for this reason.
 //
-// --check-determinism re-runs the gated 100k point twice — sequential and
-// threads=2, both under the adaptive lookahead floor and work-stealing
+// --check-determinism re-runs the gated 100k point — sequential and then
+// threads 2, 4, 8, all under the adaptive lookahead floor and work-stealing
 // windows — and fails (exit 1) unless the metrics snapshot JSON and the
 // sampled span logs are byte-identical. It runs after the measured sweep
 // so it cannot disturb the recorded per-point peak RSS.
+//
+// Each point also records the zone-tree memory breakdown (materialized
+// zones, compressed-chain records, key indexes) separately from
+// subscription storage; --mem-breakdown prints it, --no-compress disables
+// path-compressed zone chains for before/after comparisons.
 
 #include <chrono>
 #include <cstdio>
@@ -69,6 +74,17 @@ struct PointResult {
   bool legacy = false;
   double setup_seconds = 0.0;
   std::size_t peak_rss_bytes = 0;
+  // Zone-tree memory breakdown, summed over all nodes after setup: the
+  // compression target (zone_tree_bytes) separated from subscription
+  // storage (sub_bytes) so the sanity gate can compare representations.
+  std::size_t materialized_zones = 0;
+  std::size_t chain_records = 0;
+  std::size_t implicit_zones = 0;
+  std::size_t zone_materialized_bytes = 0;
+  std::size_t zone_chain_bytes = 0;
+  std::size_t zone_index_bytes = 0;
+  std::size_t zone_tree_bytes = 0;
+  std::size_t sub_bytes = 0;
   std::uint64_t executed = 0;
   double events_per_sec = 0.0;
   std::uint64_t deliveries = 0;
@@ -83,6 +99,7 @@ struct RunOpts {
   unsigned threads = 1;
   unsigned setup_threads = 1;
   bool legacy = false;     ///< simulated install cascade (pre-arena path)
+  bool compress = true;    ///< path-compressed structural zone chains
   bool adaptive = false;   ///< lookahead floor from min live link latency
   trace::Tracer* tracer = nullptr;
   double trace_sample_rate = 1.0;
@@ -107,6 +124,7 @@ PointResult run_point(std::size_t nodes, std::size_t subs_per_node,
   sc.bootstrap = core::BootstrapMode::kOracle;
   sc.build_threads = o.setup_threads;
   sc.stream_event_metrics = !o.legacy;  // big runs never materialize records
+  sc.compress_zone_chains = o.compress;
   sc.trace_sample_rate = o.trace_sample_rate;
   core::HyperSubSystem sys(chord, sc);
   core::CountingDeliverySink sink;
@@ -137,6 +155,17 @@ PointResult run_point(std::size_t nodes, std::size_t subs_per_node,
   }
   sim.run();  // drain the install traffic: setup ends here
   const auto t1 = Clock::now();
+  core::HyperSubNode::ZoneMemoryBreakdown mb{};
+  for (net::HostIndex h = 0; h < nodes; ++h) {
+    const auto b = sys.node(h).memory_breakdown();
+    mb.materialized_zones += b.materialized_zones;
+    mb.chain_records += b.chain_records;
+    mb.implicit_zones += b.implicit_zones;
+    mb.zone_bytes += b.zone_bytes;
+    mb.chain_bytes += b.chain_bytes;
+    mb.key_index_bytes += b.key_index_bytes;
+    mb.sub_bytes += b.sub_bytes;
+  }
   sys.reset_metrics();
   if (o.tracer) o.tracer->reset();
 
@@ -163,6 +192,14 @@ PointResult run_point(std::size_t nodes, std::size_t subs_per_node,
   r.legacy = o.legacy;
   r.setup_seconds = secs_between(t0, t1);
   r.peak_rss_bytes = bench::peak_rss_bytes();
+  r.materialized_zones = mb.materialized_zones;
+  r.chain_records = mb.chain_records;
+  r.implicit_zones = mb.implicit_zones;
+  r.zone_materialized_bytes = mb.zone_bytes;
+  r.zone_chain_bytes = mb.chain_bytes;
+  r.zone_index_bytes = mb.key_index_bytes;
+  r.zone_tree_bytes = mb.zone_tree_bytes();
+  r.sub_bytes = mb.sub_bytes;
   r.executed = sim.executed() - before;
   r.events_per_sec = double(r.executed) / secs_between(t2, t3);
   r.deliveries = sink.count();
@@ -183,64 +220,88 @@ void print_point(const char* tag, const PointResult& r) {
       (unsigned long long)r.deliveries, (unsigned long long)r.snapshot_hash);
 }
 
+void print_mem_breakdown(const PointResult& r) {
+  const double mib = 1024.0 * 1024.0;
+  std::printf(
+      "[micro_scale]   zone tree: %.1f MiB "
+      "(materialized %zu zones = %.1f MiB, %zu chains / %zu implicit zones "
+      "= %.1f MiB, key index %.1f MiB); subscriptions: %.1f MiB\n",
+      double(r.zone_tree_bytes) / mib, r.materialized_zones,
+      double(r.zone_materialized_bytes) / mib, r.chain_records,
+      r.implicit_zones, double(r.zone_chain_bytes) / mib,
+      double(r.zone_index_bytes) / mib, double(r.sub_bytes) / mib);
+}
+
 /// The scale-point leg of the parallel-determinism suite: the gated 100k
-/// point, sequential vs threads=2, adaptive lookahead + work-stealing,
-/// byte-compared on the metrics snapshot JSON and the sampled span log.
-bool check_determinism_at_scale(std::size_t events) {
+/// point, sequential vs each of threads {2, 4, 8}, adaptive lookahead +
+/// work-stealing, byte-compared on the metrics snapshot JSON and the
+/// sampled span log.
+bool check_determinism_at_scale(std::size_t events, bool compress) {
   std::printf("[micro_scale] determinism check @ 100k subs"
-              " (adaptive lookahead, threads 1 vs 2)...\n");
+              " (adaptive lookahead, threads 1 vs {2,4,8}, compress=%s)...\n",
+              compress ? "on" : "off");
   RunOpts o;
   o.events = events;
   o.lookahead_ms = 0.0;  // the adaptive floor is what admits parallelism
   o.adaptive = true;
+  o.compress = compress;
   o.trace_sample_rate = 0.05;
-  trace::Tracer seq_tracer, par_tracer;
+  trace::Tracer seq_tracer;
   o.threads = 1;
   o.tracer = &seq_tracer;
   const PointResult seq = run_point(2000, 50, o);
-  o.threads = 2;
-  o.tracer = &par_tracer;
-  const PointResult par = run_point(2000, 50, o);
 
-  bool ok = true;
-  if (seq.snapshot_json != par.snapshot_json) {
-    std::fprintf(stderr,
-                 "[micro_scale] FAIL: snapshot JSON diverges"
-                 " (hash %016llx vs %016llx)\n",
-                 (unsigned long long)seq.snapshot_hash,
-                 (unsigned long long)par.snapshot_hash);
-    ok = false;
-  }
-  if (seq.deliveries != par.deliveries) {
-    std::fprintf(stderr, "[micro_scale] FAIL: deliveries %llu vs %llu\n",
-                 (unsigned long long)seq.deliveries,
-                 (unsigned long long)par.deliveries);
-    ok = false;
-  }
-  const auto& a = seq_tracer.spans();
-  const auto& b = par_tracer.spans();
-  if (a.size() != b.size()) {
-    std::fprintf(stderr, "[micro_scale] FAIL: span count %zu vs %zu\n",
-                 a.size(), b.size());
-    ok = false;
-  } else {
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (!(a[i] == b[i])) {
-        std::fprintf(stderr,
-                     "[micro_scale] FAIL: span log diverges at index %zu\n",
-                     i);
-        ok = false;
-        break;
+  bool all_ok = true;
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    trace::Tracer par_tracer;
+    o.threads = threads;
+    o.tracer = &par_tracer;
+    const PointResult par = run_point(2000, 50, o);
+
+    bool ok = true;
+    if (seq.snapshot_json != par.snapshot_json) {
+      std::fprintf(stderr,
+                   "[micro_scale] FAIL @ threads=%u: snapshot JSON diverges"
+                   " (hash %016llx vs %016llx)\n",
+                   threads, (unsigned long long)seq.snapshot_hash,
+                   (unsigned long long)par.snapshot_hash);
+      ok = false;
+    }
+    if (seq.deliveries != par.deliveries) {
+      std::fprintf(stderr,
+                   "[micro_scale] FAIL @ threads=%u: deliveries %llu vs %llu\n",
+                   threads, (unsigned long long)seq.deliveries,
+                   (unsigned long long)par.deliveries);
+      ok = false;
+    }
+    const auto& a = seq_tracer.spans();
+    const auto& b = par_tracer.spans();
+    if (a.size() != b.size()) {
+      std::fprintf(stderr,
+                   "[micro_scale] FAIL @ threads=%u: span count %zu vs %zu\n",
+                   threads, a.size(), b.size());
+      ok = false;
+    } else {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) {
+          std::fprintf(
+              stderr,
+              "[micro_scale] FAIL @ threads=%u: span log diverges at %zu\n",
+              threads, i);
+          ok = false;
+          break;
+        }
       }
     }
+    if (ok) {
+      std::printf("[micro_scale] threads=%u byte-identical:"
+                  " %zu spans, %llu deliveries, hash %016llx\n",
+                  threads, a.size(), (unsigned long long)seq.deliveries,
+                  (unsigned long long)seq.snapshot_hash);
+    }
+    all_ok = all_ok && ok;
   }
-  if (ok) {
-    std::printf("[micro_scale] determinism check passed:"
-                " %zu spans, %llu deliveries, hash %016llx\n",
-                a.size(), (unsigned long long)seq.deliveries,
-                (unsigned long long)seq.snapshot_hash);
-  }
-  return ok;
+  return all_ok;
 }
 
 }  // namespace
@@ -254,6 +315,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_scale.json";
   bool quick = false;
   bool check_determinism = false;
+  bool mem_breakdown = false;
   std::size_t nodes_override = 0, spn_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -264,6 +326,10 @@ int main(int argc, char** argv) {
       points = {{600, 10}, {2000, 50}, {10000, 100}};
     } else if (std::strcmp(argv[i], "--legacy") == 0) {
       opts.legacy = true;
+    } else if (std::strcmp(argv[i], "--no-compress") == 0) {
+      opts.compress = false;
+    } else if (std::strcmp(argv[i], "--mem-breakdown") == 0) {
+      mem_breakdown = true;
     } else if (std::strcmp(argv[i], "--check-determinism") == 0) {
       check_determinism = true;
     } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
@@ -287,6 +353,7 @@ int main(int argc, char** argv) {
   for (const auto& pt : points) {
     results.push_back(run_point(pt.nodes, pt.subs_per_node, opts));
     print_point("point", results.back());
+    if (mem_breakdown) print_mem_breakdown(results.back());
   }
 
   FILE* f = std::fopen(json_path.c_str(), "w");
@@ -299,16 +366,26 @@ int main(int argc, char** argv) {
   std::fprintf(f, " \"quick\": %s,\n \"events\": %zu,\n \"mode\": \"%s\",\n",
                quick ? "true" : "false", opts.events,
                opts.legacy ? "legacy" : "fast");
+  std::fprintf(f, " \"compress\": %s,\n", opts.compress ? "true" : "false");
   std::fprintf(f, " \"points\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PointResult& r = results[i];
     std::fprintf(f,
                  "  {\"nodes\": %zu, \"subs_per_node\": %zu, \"subs\": %zu, "
                  "\"threads\": %u, \"setup_seconds\": %.3f, "
-                 "\"peak_rss_bytes\": %zu, \"events_per_sec\": %.0f, "
+                 "\"peak_rss_bytes\": %zu, "
+                 "\"materialized_zones\": %zu, \"chain_records\": %zu, "
+                 "\"implicit_zones\": %zu, "
+                 "\"zone_materialized_bytes\": %zu, "
+                 "\"zone_chain_bytes\": %zu, \"zone_index_bytes\": %zu, "
+                 "\"zone_tree_bytes\": %zu, \"sub_bytes\": %zu, "
+                 "\"events_per_sec\": %.0f, "
                  "\"deliveries\": %llu, \"snapshot_hash\": \"%016llx\"}%s\n",
                  r.nodes, r.subs_per_node, r.subs, r.threads, r.setup_seconds,
-                 r.peak_rss_bytes, r.events_per_sec,
+                 r.peak_rss_bytes, r.materialized_zones, r.chain_records,
+                 r.implicit_zones, r.zone_materialized_bytes,
+                 r.zone_chain_bytes, r.zone_index_bytes, r.zone_tree_bytes,
+                 r.sub_bytes, r.events_per_sec,
                  (unsigned long long)r.deliveries,
                  (unsigned long long)r.snapshot_hash,
                  i + 1 < results.size() ? "," : "");
@@ -317,6 +394,9 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("[micro_scale] wrote %s\n", json_path.c_str());
 
-  if (check_determinism && !check_determinism_at_scale(opts.events)) return 1;
+  if (check_determinism &&
+      !check_determinism_at_scale(opts.events, opts.compress)) {
+    return 1;
+  }
   return 0;
 }

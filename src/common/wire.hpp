@@ -22,7 +22,9 @@
 namespace hypersub::common {
 
 /// Bump when any save()/restore() schema below changes shape.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: node images append a compressed-chain section after replica zones
+/// (path-compressed zone tree); v1 images (no chain section) still load.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 class ByteWriter {
  public:

@@ -14,10 +14,10 @@ namespace {
 template <typename ZoneMap, typename KeyMap, typename Out>
 void append_zones_for_key(ZoneMap& zones, const KeyMap& by_key,
                           Id rotated_key, Out& out) {
-  const auto it = by_key.find(rotated_key);
-  if (it == by_key.end()) return;
-  out.reserve(out.size() + it->second.size());
-  for (const auto& addr : it->second) {
+  const auto* addrs = by_key.find(rotated_key);
+  if (addrs == nullptr) return;
+  out.reserve(out.size() + addrs->size());
+  for (const auto& addr : *addrs) {
     const auto zit = zones.find(addr);
     if (zit != zones.end()) out.push_back(&zit->second);
   }
@@ -95,11 +95,10 @@ template <class ZoneMap, class KeyIndex>
 void erase_keyed_zone(ZoneMap& zones, KeyIndex& by_key, const ZoneAddr& addr,
                       Id rotated_key) {
   if (zones.erase(addr) == 0) return;
-  const auto it = by_key.find(rotated_key);
-  if (it == by_key.end()) return;
-  auto& addrs = it->second;
-  addrs.erase(std::remove(addrs.begin(), addrs.end(), addr), addrs.end());
-  if (addrs.empty()) by_key.erase(it);
+  auto* addrs = by_key.find(rotated_key);
+  if (addrs == nullptr) return;
+  addrs->erase(std::remove(addrs->begin(), addrs->end(), addr), addrs->end());
+  if (addrs->empty()) by_key.erase(rotated_key);
 }
 
 }  // namespace
@@ -175,8 +174,52 @@ std::size_t HyperSubNode::load() const {
 std::size_t HyperSubNode::stored_entries() const {
   std::size_t n = 0;
   for (const auto& [addr, z] : zones_) n += z.entry_count();
+  n += chains_.total_span();  // one piece entry per implicit member
   for (const auto& [tok, repo] : migrated_in_) n += repo.subs.size();
   return n;
+}
+
+HyperSubNode::ZoneMemoryBreakdown HyperSubNode::memory_breakdown() const {
+  ZoneMemoryBreakdown b;
+  b.materialized_zones = zones_.size();
+  b.chain_records = chains_.size();
+  b.implicit_zones = chains_.total_span();
+
+  // Hashed-container overhead estimate for the node-based maps: one bucket
+  // pointer per bucket plus, per node, next pointer + cached hash on top of
+  // the value pair.
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  const auto tally_zone_map = [&](const auto& zmap) {
+    b.zone_bytes += zmap.bucket_count() * sizeof(void*);
+    for (const auto& [addr, z] : zmap) {
+      b.zone_bytes += sizeof(addr) + sizeof(z) + kNodeOverhead;
+      b.zone_bytes += z.structural_bytes();
+      b.sub_bytes += z.store_bytes();
+    }
+  };
+  tally_zone_map(zones_);
+  tally_zone_map(replica_zones_);
+
+  b.chain_bytes = chains_.memory_bytes();
+
+  const auto tally_key_index = [&](const auto& by_key) {
+    b.key_index_bytes += by_key.memory_bytes();
+    by_key.for_each([&](const Id&, const std::vector<ZoneAddr>& addrs) {
+      b.key_index_bytes += addrs.capacity() * sizeof(ZoneAddr);
+    });
+  };
+  tally_key_index(zones_by_key_);
+  tally_key_index(replicas_by_key_);
+
+  b.sub_bytes += local_entries_.capacity() * sizeof(LocalEntry) +
+                 local_pool_.capacity() * sizeof(Interval);
+  b.sub_bytes += migrated_in_.bucket_count() * sizeof(void*);
+  for (const auto& [tok, repo] : migrated_in_) {
+    b.sub_bytes += sizeof(tok) + sizeof(repo) + kNodeOverhead;
+    b.sub_bytes += repo.subs.memory_bytes();
+    if (repo.indexed) b.sub_bytes += repo.index.memory_bytes();
+  }
+  return b;
 }
 
 namespace {
@@ -189,23 +232,37 @@ void save_keyed_zones(common::ByteWriter& w, const ZoneMap& zones,
                       const KeyMap& by_key) {
   std::vector<Id> keys;
   keys.reserve(by_key.size());
-  for (const auto& [key, addrs] : by_key) keys.push_back(key);
+  by_key.for_each([&](const Id& key, const auto&) { keys.push_back(key); });
   std::sort(keys.begin(), keys.end());
   w.u32(std::uint32_t(keys.size()));
   for (const Id key : keys) {
-    const auto& addrs = by_key.at(key);
+    const auto* addrs = by_key.find(key);
     w.u64(key);
-    w.u32(std::uint32_t(addrs.size()));
-    for (const ZoneAddr& addr : addrs) {
+    w.u32(std::uint32_t(addrs->size()));
+    for (const ZoneAddr& addr : *addrs) {
       save_zone_addr(w, addr);
       zones.at(addr).save(w);
     }
   }
 }
 
+// Canonical chain order for serialization: tails are unique across live
+// chains (a zone belongs to at most one), so (scheme, subscheme, tail)
+// totally orders them.
+bool chain_before(const CompressedChain& a, const CompressedChain& b) {
+  if (a.scheme != b.scheme) return a.scheme < b.scheme;
+  if (a.subscheme != b.subscheme) return a.subscheme < b.subscheme;
+  if (a.tail.level != b.tail.level) return a.tail.level < b.tail.level;
+  return a.tail.code < b.tail.code;
+}
+
 }  // namespace
 
-void HyperSubNode::save(common::ByteWriter& w) const {
+void HyperSubNode::save(common::ByteWriter& w, std::uint32_t version) const {
+  assert(version >= 1 && version <= common::kWireVersion);
+  // v1 images have no chain section; a node carrying chains cannot be
+  // downgraded (callers decompress or bump the version first).
+  assert(version >= 2 || chains_.empty());
   w.u32(iid_counter_);
   w.u32(token_counter_);
 
@@ -227,6 +284,20 @@ void HyperSubNode::save(common::ByteWriter& w) const {
   save_keyed_zones(w, zones_, zones_by_key_);
   save_keyed_zones(w, replica_zones_, replicas_by_key_);
 
+  if (version >= 2) {
+    std::vector<const CompressedChain*> order;
+    order.reserve(chains_.size());
+    chains_.for_each([&](std::uint32_t, const CompressedChain& c) {
+      order.push_back(&c);
+    });
+    std::sort(order.begin(), order.end(),
+              [](const CompressedChain* a, const CompressedChain* b) {
+                return chain_before(*a, *b);
+              });
+    w.u32(std::uint32_t(order.size()));
+    for (const CompressedChain* c : order) save_chain(w, *c);
+  }
+
   std::vector<std::uint32_t> tokens;
   tokens.reserve(migrated_in_.size());
   for (const auto& [tok, repo] : migrated_in_) tokens.push_back(tok);
@@ -246,7 +317,8 @@ void HyperSubNode::save(common::ByteWriter& w) const {
   }
 }
 
-void HyperSubNode::restore(common::ByteReader& r) {
+void HyperSubNode::restore(common::ByteReader& r, std::uint32_t version) {
+  assert(version >= 1 && version <= common::kWireVersion);
   local_entries_.clear();
   local_pool_.clear();
   local_live_ = 0;
@@ -293,6 +365,13 @@ void HyperSubNode::restore(common::ByteReader& r) {
   load_keyed(zones_, zones_by_key_);
   load_keyed(replica_zones_, replicas_by_key_);
 
+  if (version >= 2) {
+    const std::uint32_t n_chains = r.u32();
+    for (std::uint32_t i = 0; i < n_chains; ++i) {
+      chains_.insert(load_chain(r));
+    }
+  }
+
   const std::uint32_t n_repos = r.u32();
   for (std::uint32_t i = 0; i < n_repos; ++i) {
     const std::uint32_t tok = r.u32();
@@ -314,6 +393,7 @@ void HyperSubNode::reset_surrogate_state() {
   zones_by_key_.clear();
   replica_zones_.clear();
   replicas_by_key_.clear();
+  chains_.clear();
   migrated_in_.clear();
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/wire.hpp"
+#include "core/flat_map.hpp"
+#include "core/zone_chain.hpp"
 #include "core/zone_state.hpp"
 #include "net/topology.hpp"
 
@@ -86,6 +88,11 @@ class HyperSubNode {
     return zones_;
   }
 
+  /// Path-compressed structural zone chains hosted by this node (populated
+  /// only when the system's compression is enabled; see zone_chain.hpp).
+  ZoneChainSet& chains() noexcept { return chains_; }
+  const ZoneChainSet& chains() const noexcept { return chains_; }
+
   // -- replicated zone state (robustness extension) ---------------------------
 
   /// Drop a hosted zone and its key-index entry (ownership handed off to
@@ -128,24 +135,50 @@ class HyperSubNode {
   std::size_t load() const;
 
   /// Piece-inclusive storage footprint: everything in load() plus the
-  /// summary-filter pieces registered into hosted zones.
+  /// summary-filter pieces registered into hosted zones. Implicit chain
+  /// members count one piece entry each, so the footprint is independent
+  /// of whether a structural zone is materialized or compressed.
   std::size_t stored_entries() const;
+
+  /// Attributable memory estimate of this node's pub/sub state, split so
+  /// the zone-tree representation (the compression target) is separable
+  /// from subscription storage. All numbers are allocator-level estimates
+  /// (capacities, not sizes; map overhead approximated).
+  struct ZoneMemoryBreakdown {
+    std::size_t materialized_zones = 0;  ///< ZoneState count
+    std::size_t chain_records = 0;       ///< CompressedChain count
+    std::size_t implicit_zones = 0;      ///< sum of chain spans
+    std::size_t zone_bytes = 0;       ///< ZoneState structs + structural heap
+    std::size_t chain_bytes = 0;      ///< chain records + chain key index
+    std::size_t key_index_bytes = 0;  ///< zones_by_key_ map + addr vectors
+    std::size_t sub_bytes = 0;  ///< SubStores + local store + migrated repos
+
+    std::size_t zone_tree_bytes() const noexcept {
+      return zone_bytes + chain_bytes + key_index_bytes;
+    }
+  };
+  ZoneMemoryBreakdown memory_breakdown() const;
 
   // -- state transfer / checkpointing ---------------------------------------
 
   /// Serialize everything this node hosts: subscriber-side store, hosted
   /// zones (keyed, preserving per-key registration order), replica zones,
-  /// migrated-in buckets, and the id/token counters. Map iteration is by
-  /// sorted key, so the bytes are deterministic.
-  void save(common::ByteWriter& w) const;
+  /// compressed chains (wire v2+), migrated-in buckets, and the id/token
+  /// counters. Map iteration is by sorted key, so the bytes are
+  /// deterministic. Writing a v1 image requires an empty chain set.
+  void save(common::ByteWriter& w,
+            std::uint32_t version = common::kWireVersion) const;
 
-  /// Rebuild from save()'s encoding; replaces all current state.
-  void restore(common::ByteReader& r);
+  /// Rebuild from save()'s encoding; replaces all current state. `version`
+  /// is the image's format (v1 images carry no chain section).
+  void restore(common::ByteReader& r,
+               std::uint32_t version = common::kWireVersion);
 
-  /// Drop all surrogate-side state (hosted zones, replicas, migrated-in
-  /// buckets) ahead of a protocol rejoin: the node re-acquires zone state
-  /// through transfer. Subscriber-side entries and the iid counter are
-  /// kept — this node's own subscriptions stay installed in the system.
+  /// Drop all surrogate-side state (hosted zones, replicas, chains,
+  /// migrated-in buckets) ahead of a protocol rejoin: the node re-acquires
+  /// zone state through transfer. Subscriber-side entries and the iid
+  /// counter are kept — this node's own subscriptions stay installed in
+  /// the system.
   void reset_surrogate_state();
 
  private:
@@ -169,9 +202,13 @@ class HyperSubNode {
   std::vector<Interval> local_pool_;
   std::size_t local_live_ = 0;
   std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> zones_;
-  std::unordered_map<Id, std::vector<ZoneAddr>> zones_by_key_;
+  // Key indexes are open-addressing flat maps: at saturation scale the
+  // node-based unordered_map paid one allocation plus bucket/next pointers
+  // per entry on top of the address vector payload.
+  FlatMap<Id, std::vector<ZoneAddr>> zones_by_key_;
   std::unordered_map<ZoneAddr, ZoneState, ZoneAddrHash> replica_zones_;
-  std::unordered_map<Id, std::vector<ZoneAddr>> replicas_by_key_;
+  FlatMap<Id, std::vector<ZoneAddr>> replicas_by_key_;
+  ZoneChainSet chains_;
   std::unordered_map<std::uint32_t, MigratedRepo> migrated_in_;
 };
 

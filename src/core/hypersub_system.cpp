@@ -182,10 +182,19 @@ void HyperSubSystem::remove_subscription_at(net::HostIndex owner,
     queue_transfer_op(
         t, install_bytes(scheme_runtime(addr.scheme).scheme().arity()),
         [this, to = t.target, addr, rotated_key, sub] {
-          nodes_[to]->zone_state(addr, rotated_key).remove_subscription(sub);
+          HyperSubNode& tn = *nodes_[to];
+          if (compress_enabled() && tn.zones().find(addr) == tn.zones().end())
+            return;  // nothing stored there — don't create a husk
+          tn.zone_state(addr, rotated_key).remove_subscription(sub);
         });
   }
   HyperSubNode& nd = *nodes_[owner];
+  if (compress_enabled() && nd.zones().find(addr) == nd.zones().end()) {
+    // Under compression a removal miss must not materialize a husk; a
+    // compressed chain member cannot hold subscriptions, so there is
+    // nothing to remove either way.
+    return;
+  }
   ZoneState& zs = nd.zone_state(addr, rotated_key);
   const HyperRect before = zs.summary();
   if (!zs.remove_subscription(sub)) return;
@@ -204,6 +213,9 @@ void HyperSubSystem::remove_subscription_at(net::HostIndex owner,
   if (!(zs.summary() == before)) {
     propagate_pieces(owner, addr);
   }
+  // The removal may have drained the zone down to a bare summary-filter
+  // piece; fold it back into a compressed chain.
+  try_absorb_zone(owner, addr, rotated_key);
 }
 
 namespace {
@@ -345,6 +357,7 @@ std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
   // the queue entries rather than going through the Subscheme's memoized
   // key cache, which would grow by one mutex-guarded map entry per zone.
   if (!cfg_.ancestor_probing) {
+    const bool comp = compress_enabled();
     struct PendingZone {
       std::uint32_t ssi = 0;
       Id code = 0;
@@ -377,6 +390,7 @@ std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
       for (const PendingZone& pz : batch) {
         const Subscheme& ss = rt.subscheme(pz.ssi);
         const lph::ZoneSystem& zsys = ss.zones();
+        const int bb = zsys.base_bits();
         const lph::Zone zone{pz.code, level};
         if (zsys.is_leaf(zone)) continue;
         const net::HostIndex host =
@@ -384,9 +398,34 @@ std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
         const ZoneAddr addr{scheme, pz.ssi, zone};
         HyperSubNode& nd = *nodes_[host];
         const auto zit = nd.zones().find(addr);
-        if (zit == nd.zones().end()) continue;
-        ZoneState& zs = zit->second;
-        const HyperRect summary = zs.summary();
+        ZoneState* zs = zit == nd.zones().end() ? nullptr : &zit->second;
+        // Under compression a pending structural zone lives in a chain
+        // created or extended earlier in this pass; its summary is the
+        // derived rect, and — because a zone is enqueued exactly when it
+        // first gets a piece, before its own children are visited — it is
+        // that chain's tail. (An interior member's children already carry
+        // their derived state; nothing to do.)
+        std::uint32_t cid = ZoneChainSet::kNone;
+        HyperRect summary;
+        if (zs != nullptr) {
+          summary = zs->summary();
+        } else {
+          if (!comp) continue;
+          cid = nd.chains().find_containing(scheme, pz.ssi, zone, pz.key, bb);
+          if (cid == ZoneChainSet::kNone) continue;
+          const CompressedChain& c = nd.chains().get(cid);
+          if (!(c.tail == zone)) continue;
+          const HyperRect ext = zsys.extent(zone);
+          if (c.piece.overlaps(ext)) summary = c.piece.intersect(ext);
+        }
+        // A chain may only grow through a sole non-empty child piece.
+        int nonempty_children = 0;
+        if (cid != ZoneChainSet::kNone && !summary.empty()) {
+          for (int digit = 0; digit < zsys.base(); ++digit) {
+            if (summary.overlaps(zsys.extent(zsys.child(zone, digit))))
+              ++nonempty_children;
+          }
+        }
         for (int digit = 0; digit < zsys.base(); ++digit) {
           const lph::Zone child = zsys.child(zone, digit);
           HyperRect piece;
@@ -394,8 +433,12 @@ std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
             const HyperRect ext = zsys.extent(child);
             if (summary.overlaps(ext)) piece = summary.intersect(ext);
           }
-          if (piece == zs.child_piece(digit)) continue;
-          zs.set_child_piece(digit, piece);
+          if (zs != nullptr) {
+            if (piece == zs->child_piece(digit)) continue;
+            zs->set_child_piece(digit, piece);
+          } else if (piece.empty()) {
+            continue;  // chained parent: no implicit state below this edge
+          }
           const ZoneAddr child_addr{scheme, pz.ssi, child};
           const Id child_key = lph::zone_key(zsys, child, ss.rotation());
           const net::HostIndex child_host =
@@ -408,12 +451,76 @@ std::vector<SubscriptionHandle> HyperSubSystem::bulk_subscribe(
                   .set_parent_piece(piece, pz.key);
             }
           }
-          ZoneState& czs =
-              nodes_[child_host]->zone_state(child_addr, child_key);
-          if (czs.set_parent_piece(std::move(piece), pz.key)) {
-            pending[std::size_t(child.level)].push_back(
-                {pz.ssi, child.code, child_key});
+          if (!comp) {
+            ZoneState& czs =
+                nodes_[child_host]->zone_state(child_addr, child_key);
+            if (czs.set_parent_piece(std::move(piece), pz.key)) {
+              pending[std::size_t(child.level)].push_back(
+                  {pz.ssi, child.code, child_key});
+            }
+            continue;
           }
+          // Compression: apply at the child without materializing husks.
+          // The cascade from an empty tree only ever grows pieces, so a
+          // child with no state and an empty piece needs nothing.
+          HyperSubNode& cnd = *nodes_[child_host];
+          if (const auto cit = cnd.zones().find(child_addr);
+              cit != cnd.zones().end()) {
+            if (cit->second.set_parent_piece(std::move(piece), pz.key)) {
+              pending[std::size_t(child.level)].push_back(
+                  {pz.ssi, child.code, child_key});
+            }
+            continue;
+          }
+          if (const std::uint32_t ccid = cnd.chains().find_containing(
+                  scheme, pz.ssi, child, child_key, bb);
+              ccid != ZoneChainSet::kNone) {
+            // Re-entrant build over an already-compressed tree. If the
+            // member's derived state already equals the incoming piece the
+            // install is a no-op; otherwise split the member out and apply
+            // normally.
+            {
+              const CompressedChain& cc = cnd.chains().get(ccid);
+              const HyperRect ext = zsys.extent(child);
+              HyperRect derived;
+              if (cc.piece.overlaps(ext)) derived = cc.piece.intersect(ext);
+              if (derived == piece && cc.parent_key_at(child.level) == pz.key)
+                continue;
+            }
+            materialize_if_chained(child_host, child_addr, child_key);
+            if (cnd.zone_state(child_addr, child_key)
+                    .set_parent_piece(std::move(piece), pz.key)) {
+              pending[std::size_t(child.level)].push_back(
+                  {pz.ssi, child.code, child_key});
+            }
+            continue;
+          }
+          if (piece.empty()) continue;
+          // Fresh structural child: grow the parent's chain when this is
+          // its sole non-empty child on the same node, else start a new
+          // single-member chain. Either way the child joins the queue (its
+          // piece grew from nothing).
+          if (cid != ZoneChainSet::kNone && nonempty_children == 1 &&
+              child_host == host) {
+            CompressedChain grown = nd.chains().get(cid);
+            nd.chains().erase(cid);
+            grown.tail = child;
+            grown.span += 1;
+            grown.level_keys.push_back(child_key);
+            cid = nd.chains().insert(std::move(grown));
+          } else {
+            CompressedChain fresh;
+            fresh.scheme = scheme;
+            fresh.subscheme = pz.ssi;
+            fresh.tail = child;
+            fresh.span = 1;
+            fresh.piece = std::move(piece);
+            fresh.parent_key = pz.key;
+            fresh.level_keys.assign(1, child_key);
+            cnd.chains().insert(std::move(fresh));
+          }
+          pending[std::size_t(child.level)].push_back(
+              {pz.ssi, child.code, child_key});
         }
       }
       batch = {};  // processed — free before the next level's wave
@@ -452,11 +559,16 @@ void HyperSubSystem::register_subscription_at(net::HostIndex owner,
     // Write-behind: apply locally below AND queue a zone-local replay.
     queue_transfer_op(t, install_bytes(stored.projected.dimensions()),
                       [this, to = t.target, addr, rotated_key, stored] {
+                        materialize_if_chained(to, addr, rotated_key);
                         nodes_[to]
                             ->zone_state(addr, rotated_key)
                             .add_subscription(stored);
                       });
   }
+  // A compressed chain member can't hold subscriptions: split it out into a
+  // real ZoneState first (no-op when compression is off or nothing covers
+  // the address).
+  materialize_if_chained(owner, addr, rotated_key);
   HyperSubNode& nd = *nodes_[owner];
   ZoneState& zs = nd.zone_state(addr, rotated_key);
   if (cfg_.replicas > 0) {
@@ -505,12 +617,33 @@ void HyperSubSystem::register_piece_at(net::HostIndex owner,
     queue_transfer_op(t, install_bytes(dims),
                       [this, to = t.target, addr, rotated_key, piece,
                        parent_key] {
-                        nodes_[to]
-                            ->zone_state(addr, rotated_key)
-                            .set_parent_piece(piece, parent_key);
+                        // Zone-local replay at the transfer target: the old
+                        // owner already cascaded to the children, so a
+                        // materialized zone just takes the value. A
+                        // compressed target restructures its chain; the
+                        // deltas it routes are idempotent at the receivers.
+                        HyperSubNode& tn = *nodes_[to];
+                        if (const auto it = tn.zones().find(addr);
+                            it != tn.zones().end()) {
+                          it->second.set_parent_piece(piece, parent_key);
+                        } else if (compress_enabled()) {
+                          chain_install_piece(to, addr, rotated_key, piece,
+                                              parent_key);
+                        } else {
+                          tn.zone_state(addr, rotated_key)
+                              .set_parent_piece(piece, parent_key);
+                        }
                       });
   }
   HyperSubNode& nd = *nodes_[owner];
+  if (compress_enabled() && nd.zones().find(addr) == nd.zones().end()) {
+    // Structural zone with no materialized state: absorb the piece into the
+    // path-compressed chain representation (replicas are 0 whenever
+    // compression is on, so the replica fan-out below is dead here).
+    chain_install_piece(owner, addr, rotated_key, std::move(piece),
+                        parent_key);
+    return;
+  }
   ZoneState& zs = nd.zone_state(addr, rotated_key);
   if (cfg_.replicas > 0) {
     const std::size_t dims = piece.empty()
@@ -531,6 +664,9 @@ void HyperSubSystem::register_piece_at(net::HostIndex owner,
   }
   const bool changed = zs.set_parent_piece(std::move(piece), parent_key);
   if (changed) propagate_pieces(owner, addr);
+  // If the zone was already a bare piece holder (or just became one), fold
+  // it into a chain; no-op with compression off or while it stores more.
+  try_absorb_zone(owner, addr, rotated_key);
 }
 
 void HyperSubSystem::propagate_pieces(net::HostIndex host,
@@ -564,6 +700,494 @@ void HyperSubSystem::propagate_pieces(net::HostIndex host,
                    register_piece_at(r.owner.host, child_addr, child_key,
                                      piece, my_key);
                  });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path-compressed structural zone chains
+//
+// All chain state lives in the owning node's ZoneChainSet; every mutation
+// below happens on that node's shard, so the compressed representation is
+// exactly as parallel-deterministic as the materialized one. Pieces still
+// enter a chain only through its head (children of the tail receive routed
+// register_piece_at like before), which is what lets a cascade cross a
+// whole chain in one step instead of one hop per level.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Derived rectangle a chain stores implicitly at member `z`: the head
+/// piece clipped to the member's extent. Extents nest along the chain, so
+/// this is simultaneously the member's installed parent piece and its
+/// summary.
+HyperRect chain_rect_at(const CompressedChain& c, const lph::ZoneSystem& zsys,
+                        const lph::Zone& z) {
+  const HyperRect ext = zsys.extent(z);
+  if (c.piece.empty() || !c.piece.overlaps(ext)) return HyperRect{};
+  return c.piece.intersect(ext);
+}
+
+/// `down` can be appended to `up` as one chain: up's tail is down's head's
+/// parent, its only non-empty derived child piece is exactly down's head,
+/// that piece equals down's, and the stored parent key links match.
+bool chains_mergeable(const CompressedChain& up, const CompressedChain& down,
+                      const lph::ZoneSystem& zsys, int bb) {
+  if (up.scheme != down.scheme || up.subscheme != down.subscheme) return false;
+  const lph::Zone head = down.member(down.head_level(), bb);
+  if (head.level != up.tail.level + 1) return false;
+  if (zsys.is_leaf(up.tail)) return false;
+  if (!(zsys.parent(head) == up.tail)) return false;
+  if (down.parent_key != up.level_keys.back()) return false;
+  for (int digit = 0; digit < zsys.base(); ++digit) {
+    const lph::Zone ch = zsys.child(up.tail, digit);
+    const bool nonempty =
+        !up.piece.empty() && up.piece.overlaps(zsys.extent(ch));
+    if (nonempty != (ch.code == head.code)) return false;
+  }
+  return chain_rect_at(up, zsys, head) == down.piece;
+}
+
+/// Concatenate `up` + `down` into one record (callers check mergeability).
+CompressedChain chains_concat(const CompressedChain& up,
+                              const CompressedChain& down) {
+  CompressedChain m;
+  m.scheme = up.scheme;
+  m.subscheme = up.subscheme;
+  m.tail = down.tail;
+  m.span = up.span + down.span;
+  m.piece = up.piece;
+  m.parent_key = up.parent_key;
+  m.level_keys.reserve(up.level_keys.size() + down.level_keys.size());
+  m.level_keys = up.level_keys;
+  m.level_keys.insert(m.level_keys.end(), down.level_keys.begin(),
+                      down.level_keys.end());
+  return m;
+}
+
+}  // namespace
+
+void HyperSubSystem::route_tail_child_deltas(
+    net::HostIndex owner, std::uint32_t scheme, std::uint32_t subscheme,
+    const lph::Zone& tail, Id tail_key, const HyperRect& old_piece,
+    const HyperRect& new_piece) {
+  const Subscheme& ss = schemes_[scheme]->subscheme(subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  if (zsys.is_leaf(tail)) return;
+  for (int digit = 0; digit < zsys.base(); ++digit) {
+    const lph::Zone child = zsys.child(tail, digit);
+    const HyperRect ext = zsys.extent(child);
+    HyperRect oldp;
+    if (!old_piece.empty() && old_piece.overlaps(ext))
+      oldp = old_piece.intersect(ext);
+    HyperRect newp;
+    if (!new_piece.empty() && new_piece.overlaps(ext))
+      newp = new_piece.intersect(ext);
+    if (oldp == newp) continue;
+    const ZoneAddr child_addr{scheme, subscheme, child};
+    const Id child_key = lph::zone_key(zsys, child, ss.rotation());
+    dht_.route(owner, child_key, install_bytes(ss.attributes().size()),
+               [this, child_addr, child_key, piece = std::move(newp),
+                tail_key](const overlay::Overlay::RouteResult& r) {
+                 register_piece_at(r.owner.host, child_addr, child_key, piece,
+                                   tail_key);
+               });
+  }
+}
+
+void HyperSubSystem::chain_install_piece(net::HostIndex owner,
+                                         const ZoneAddr& addr, Id rotated_key,
+                                         HyperRect piece, Id parent_key) {
+  HyperSubNode& nd = *nodes_[owner];
+  const Subscheme& ss = schemes_[addr.scheme]->subscheme(addr.subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  const int bb = zsys.base_bits();
+
+  const std::uint32_t id = nd.chains().find_containing(
+      addr.scheme, addr.subscheme, addr.zone, rotated_key, bb);
+  if (id == ZoneChainSet::kNone) {
+    if (piece.empty()) return;  // clearing a zone that stores nothing
+    // Fresh structural zone: a single-member chain, then the fresh-zone
+    // cascade to every child whose derived piece is non-empty.
+    CompressedChain c;
+    c.scheme = addr.scheme;
+    c.subscheme = addr.subscheme;
+    c.tail = addr.zone;
+    c.span = 1;
+    c.piece = std::move(piece);
+    c.parent_key = parent_key;
+    c.level_keys.assign(1, rotated_key);
+    const HyperRect sent = c.piece;
+    nd.chains().insert(std::move(c));
+    // Routing can resolve synchronously (the child's owner may be this very
+    // node), re-entering the chain machinery — so no chain ids or
+    // references survive across it; the merge re-resolves by address.
+    route_tail_child_deltas(owner, addr.scheme, addr.subscheme, addr.zone,
+                            rotated_key, HyperRect{}, sent);
+    chain_merge_at(owner, addr.scheme, addr.subscheme, addr.zone, rotated_key);
+    return;
+  }
+
+  CompressedChain c = nd.chains().get(id);
+  const int level = addr.zone.level;
+  if (level > c.head_level()) {
+    // A piece reached a member below the head. The only legitimate such
+    // arrival is a converging duplicate of the member's derived state (an
+    // idempotent re-propagation after a merge or handover) — drop it.
+    // Anything else predates the chain's current shape: split the prefix
+    // off and re-run the install against the suffix headed here.
+    if (piece == chain_rect_at(c, zsys, addr.zone) &&
+        parent_key == c.parent_key_at(level)) {
+      return;
+    }
+    nd.chains().erase(id);
+    CompressedChain pre;
+    pre.scheme = c.scheme;
+    pre.subscheme = c.subscheme;
+    pre.tail = c.member(level - 1, bb);
+    pre.span = std::uint32_t(level - c.head_level());
+    pre.piece = c.piece;
+    pre.parent_key = c.parent_key;
+    pre.level_keys.assign(c.level_keys.begin(),
+                          c.level_keys.begin() + (level - c.head_level()));
+    nd.chains().insert(std::move(pre));
+    CompressedChain suf;
+    suf.scheme = c.scheme;
+    suf.subscheme = c.subscheme;
+    suf.tail = c.tail;
+    suf.span = std::uint32_t(c.tail.level - level + 1);
+    suf.piece = chain_rect_at(c, zsys, addr.zone);
+    suf.parent_key = c.parent_key_at(level);
+    suf.level_keys.assign(
+        c.level_keys.begin() + (level - c.head_level()),
+        c.level_keys.end());
+    chain_reshape(owner, std::move(suf), std::move(piece), parent_key);
+    return;
+  }
+
+  // Install at the head.
+  if (piece == c.piece && parent_key == c.parent_key) return;
+  nd.chains().erase(id);
+  chain_reshape(owner, std::move(c), std::move(piece), parent_key);
+}
+
+void HyperSubSystem::chain_reshape(net::HostIndex owner, CompressedChain old_c,
+                                   HyperRect piece, Id parent_key) {
+  HyperSubNode& nd = *nodes_[owner];
+  const Subscheme& ss = schemes_[old_c.scheme]->subscheme(old_c.subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  const int bb = zsys.base_bits();
+  const int head = old_c.head_level();
+  const int tail_level = old_c.tail.level;
+
+  if (piece.empty()) {
+    // The head stores nothing now: the whole chain dissolves. Only the old
+    // tail's children carry installed state derived from it (interior
+    // members' other children were empty by the chain invariant), so clear
+    // those and stop.
+    route_tail_child_deltas(owner, old_c.scheme, old_c.subscheme, old_c.tail,
+                            old_c.level_keys.back(), old_c.piece, HyperRect{});
+    return;
+  }
+
+  // Longest surviving prefix: member L stays interior while, under the new
+  // piece, exactly one of its children derives a non-empty piece and it is
+  // the stored next member.
+  int keep = head;
+  for (int L = head; L < tail_level; ++L) {
+    const lph::Zone zl = old_c.member(L, bb);
+    const lph::Zone next = old_c.member(L + 1, bb);
+    bool still_interior = true;
+    for (int digit = 0; digit < zsys.base(); ++digit) {
+      const lph::Zone ch = zsys.child(zl, digit);
+      const bool nonempty = piece.overlaps(zsys.extent(ch));
+      if (nonempty != (ch.code == next.code)) {
+        still_interior = false;
+        break;
+      }
+    }
+    if (!still_interior) break;
+    keep = L + 1;
+  }
+
+  CompressedChain pre;
+  pre.scheme = old_c.scheme;
+  pre.subscheme = old_c.subscheme;
+  pre.tail = old_c.member(keep, bb);
+  pre.span = std::uint32_t(keep - head + 1);
+  pre.piece = piece;
+  pre.parent_key = parent_key;
+  pre.level_keys.assign(old_c.level_keys.begin(),
+                        old_c.level_keys.begin() + (keep - head + 1));
+  nd.chains().insert(std::move(pre));
+
+  if (keep == tail_level) {
+    // Shape preserved head-to-tail: the whole cascade below collapses to
+    // one frontier diff at the old tail. The routed installs may re-enter
+    // synchronously and reshape this very chain, so `pid` is dead after the
+    // call — the merge re-resolves by address.
+    route_tail_child_deltas(owner, old_c.scheme, old_c.subscheme, old_c.tail,
+                            old_c.level_keys.back(), old_c.piece, piece);
+    chain_merge_at(owner, old_c.scheme, old_c.subscheme, old_c.member(head, bb),
+                   old_c.key_at(head));
+    return;
+  }
+
+  // The suffix [keep+1 .. old tail] detaches. It keeps its old derived
+  // state as its own chain, then takes whatever the new piece derives for
+  // its head (possibly empty, dissolving it) — exactly as if the parent
+  // had re-sent the piece down that edge.
+  const lph::Zone sh = old_c.member(keep + 1, bb);
+  const Id suf_parent = old_c.key_at(keep);
+  CompressedChain suf;
+  suf.scheme = old_c.scheme;
+  suf.subscheme = old_c.subscheme;
+  suf.tail = old_c.tail;
+  suf.span = std::uint32_t(tail_level - keep);
+  suf.piece = chain_rect_at(old_c, zsys, sh);
+  suf.parent_key = suf_parent;
+  suf.level_keys.assign(old_c.level_keys.begin() + (keep + 1 - head),
+                        old_c.level_keys.end());
+  HyperRect fresh;
+  {
+    const HyperRect ext = zsys.extent(sh);
+    if (piece.overlaps(ext)) fresh = piece.intersect(ext);
+  }
+  chain_reshape(owner, std::move(suf), std::move(fresh), suf_parent);
+
+  // New frontier at `keep`: children other than the old on-path member had
+  // empty derived pieces before; install any that are non-empty now.
+  const lph::Zone kz = old_c.member(keep, bb);
+  for (int digit = 0; digit < zsys.base(); ++digit) {
+    const lph::Zone ch = zsys.child(kz, digit);
+    if (ch.code == sh.code) continue;  // handled via the suffix above
+    const HyperRect ext = zsys.extent(ch);
+    if (!piece.overlaps(ext)) continue;
+    HyperRect np = piece.intersect(ext);
+    const ZoneAddr child_addr{old_c.scheme, old_c.subscheme, ch};
+    const Id child_key = lph::zone_key(zsys, ch, ss.rotation());
+    dht_.route(owner, child_key, install_bytes(ss.attributes().size()),
+               [this, child_addr, child_key, np = std::move(np),
+                pk = suf_parent](const overlay::Overlay::RouteResult& r) {
+                 register_piece_at(r.owner.host, child_addr, child_key, np,
+                                   pk);
+               });
+  }
+  chain_merge_at(owner, old_c.scheme, old_c.subscheme, old_c.member(head, bb),
+                 old_c.key_at(head));
+}
+
+void HyperSubSystem::chain_merge_at(net::HostIndex owner, std::uint32_t scheme,
+                                    std::uint32_t subscheme, const lph::Zone& z,
+                                    Id key) {
+  HyperSubNode& nd = *nodes_[owner];
+  const int bb = schemes_[scheme]->subscheme(subscheme).zones().base_bits();
+  const std::uint32_t id =
+      nd.chains().find_containing(scheme, subscheme, z, key, bb);
+  if (id != ZoneChainSet::kNone) chain_try_merge(owner, id);
+}
+
+std::uint32_t HyperSubSystem::chain_try_merge(net::HostIndex owner,
+                                              std::uint32_t id) {
+  HyperSubNode& nd = *nodes_[owner];
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const CompressedChain& c = nd.chains().get(id);
+    const Subscheme& ss = schemes_[c.scheme]->subscheme(c.subscheme);
+    const lph::ZoneSystem& zsys = ss.zones();
+    const int bb = zsys.base_bits();
+
+    // Merge up: a chain on this node ending at our head's parent.
+    if (c.head_level() > 1) {
+      const lph::Zone head = c.member(c.head_level(), bb);
+      const lph::Zone par = zsys.parent(head);
+      const std::uint32_t up = nd.chains().find_containing(
+          c.scheme, c.subscheme, par, c.parent_key, bb);
+      if (up != ZoneChainSet::kNone && up != id) {
+        const CompressedChain& d = nd.chains().get(up);
+        if (d.tail == par && d.key_at(par.level) == c.parent_key &&
+            chains_mergeable(d, c, zsys, bb)) {
+          CompressedChain m = chains_concat(d, c);
+          nd.chains().erase(up);
+          nd.chains().erase(id);
+          id = nd.chains().insert(std::move(m));
+          progressed = true;
+          continue;
+        }
+      }
+    }
+
+    // Merge down: our tail's single non-empty derived child heads a chain
+    // on this node carrying exactly the derived state.
+    if (!zsys.is_leaf(c.tail)) {
+      int nonempty = 0;
+      lph::Zone only{};
+      for (int digit = 0; digit < zsys.base(); ++digit) {
+        const lph::Zone ch = zsys.child(c.tail, digit);
+        if (c.piece.overlaps(zsys.extent(ch))) {
+          ++nonempty;
+          only = ch;
+        }
+      }
+      if (nonempty == 1) {
+        const Id ck = lph::zone_key(zsys, only, ss.rotation());
+        const std::uint32_t dn = nd.chains().find_containing(
+            c.scheme, c.subscheme, only, ck, bb);
+        if (dn != ZoneChainSet::kNone && dn != id) {
+          const CompressedChain& s = nd.chains().get(dn);
+          if (s.head_level() == only.level && chains_mergeable(c, s, zsys, bb)) {
+            CompressedChain m = chains_concat(c, s);
+            nd.chains().erase(dn);
+            nd.chains().erase(id);
+            id = nd.chains().insert(std::move(m));
+            progressed = true;
+          }
+        }
+      }
+    }
+  }
+  return id;
+}
+
+void HyperSubSystem::materialize_if_chained(net::HostIndex owner,
+                                            const ZoneAddr& addr,
+                                            Id rotated_key) {
+  if (!compress_enabled()) return;
+  HyperSubNode& nd = *nodes_[owner];
+  const Subscheme& ss = schemes_[addr.scheme]->subscheme(addr.subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  const int bb = zsys.base_bits();
+  const std::uint32_t id = nd.chains().find_containing(
+      addr.scheme, addr.subscheme, addr.zone, rotated_key, bb);
+  if (id == ZoneChainSet::kNone) return;
+  const CompressedChain c = nd.chains().get(id);
+  nd.chains().erase(id);
+  const int level = addr.zone.level;
+  const int head = c.head_level();
+  if (level > head) {
+    CompressedChain pre;
+    pre.scheme = c.scheme;
+    pre.subscheme = c.subscheme;
+    pre.tail = c.member(level - 1, bb);
+    pre.span = std::uint32_t(level - head);
+    pre.piece = c.piece;
+    pre.parent_key = c.parent_key;
+    pre.level_keys.assign(c.level_keys.begin(),
+                          c.level_keys.begin() + (level - head));
+    nd.chains().insert(std::move(pre));
+  }
+  if (level < c.tail.level) {
+    CompressedChain suf;
+    suf.scheme = c.scheme;
+    suf.subscheme = c.subscheme;
+    suf.tail = c.tail;
+    suf.span = std::uint32_t(c.tail.level - level);
+    suf.piece = chain_rect_at(c, zsys, c.member(level + 1, bb));
+    suf.parent_key = c.key_at(level);
+    suf.level_keys.assign(c.level_keys.begin() + (level + 1 - head),
+                          c.level_keys.end());
+    nd.chains().insert(std::move(suf));
+  }
+  // Materialize the member with its derived piece, seeding the child-piece
+  // cache with the derived values so the next propagate resends nothing.
+  const HyperRect rect = chain_rect_at(c, zsys, addr.zone);
+  const Id pk = c.parent_key_at(level);
+  ZoneState& zs = nd.zone_state(addr, rotated_key);
+  zs.set_parent_piece(rect, pk);
+  if (!rect.empty() && !zsys.is_leaf(addr.zone)) {
+    for (int digit = 0; digit < zsys.base(); ++digit) {
+      const lph::Zone ch = zsys.child(addr.zone, digit);
+      const HyperRect ext = zsys.extent(ch);
+      if (!rect.overlaps(ext)) continue;
+      zs.set_child_piece(digit, rect.intersect(ext));
+    }
+  }
+}
+
+void HyperSubSystem::drop_chain_member(HyperSubNode& nd, std::uint32_t id,
+                                       const lph::Zone& z) {
+  const CompressedChain c = nd.chains().get(id);
+  const Subscheme& ss = schemes_[c.scheme]->subscheme(c.subscheme);
+  const lph::ZoneSystem& zsys = ss.zones();
+  const int bb = zsys.base_bits();
+  nd.chains().erase(id);
+  const int head = c.head_level();
+  if (z.level > head) {
+    CompressedChain pre;
+    pre.scheme = c.scheme;
+    pre.subscheme = c.subscheme;
+    pre.tail = c.member(z.level - 1, bb);
+    pre.span = std::uint32_t(z.level - head);
+    pre.piece = c.piece;
+    pre.parent_key = c.parent_key;
+    pre.level_keys.assign(c.level_keys.begin(),
+                          c.level_keys.begin() + (z.level - head));
+    nd.chains().insert(std::move(pre));
+  }
+  if (z.level < c.tail.level) {
+    CompressedChain suf;
+    suf.scheme = c.scheme;
+    suf.subscheme = c.subscheme;
+    suf.tail = c.tail;
+    suf.span = std::uint32_t(c.tail.level - z.level);
+    suf.piece = chain_rect_at(c, zsys, c.member(z.level + 1, bb));
+    suf.parent_key = c.key_at(z.level);
+    suf.level_keys.assign(c.level_keys.begin() + (z.level + 1 - head),
+                          c.level_keys.end());
+    nd.chains().insert(std::move(suf));
+  }
+}
+
+void HyperSubSystem::try_absorb_zone(net::HostIndex owner, const ZoneAddr& addr,
+                                     Id rotated_key) {
+  if (!compress_enabled()) return;
+  HyperSubNode& nd = *nodes_[owner];
+  const auto it = nd.zones().find(addr);
+  if (it == nd.zones().end()) return;
+  ZoneState& zs = it->second;
+  if (addr.zone.level < 1) return;  // the root never joins a chain
+  if (zs.subscription_count() > 0 || !zs.buckets().empty()) return;
+  if (!zs.has_parent_piece() || zs.parent_piece()->first.empty()) {
+    // Stores nothing at all: a husk (e.g. restored from an image taken
+    // before compression) — drop it outright.
+    if (zs.summary().empty()) nd.erase_zone(addr, rotated_key);
+    return;
+  }
+  const HyperRect piece = zs.parent_piece()->first;
+  const Id pk = zs.parent_piece()->second;
+  nd.erase_zone(addr, rotated_key);
+  CompressedChain c;
+  c.scheme = addr.scheme;
+  c.subscheme = addr.subscheme;
+  c.tail = addr.zone;
+  c.span = 1;
+  c.piece = piece;
+  c.parent_key = pk;
+  c.level_keys.assign(1, rotated_key);
+  chain_try_merge(owner, nd.chains().insert(std::move(c)));
+}
+
+void HyperSubSystem::repush_chain_frontiers(net::HostIndex host) {
+  if (!compress_enabled()) return;
+  HyperSubNode& nd = *nodes_[host];
+  if (nd.chains().empty()) return;
+  std::vector<CompressedChain> cs;
+  cs.reserve(nd.chains().size());
+  nd.chains().for_each(
+      [&](std::uint32_t, const CompressedChain& c) { cs.push_back(c); });
+  std::sort(cs.begin(), cs.end(),
+            [](const CompressedChain& a, const CompressedChain& b) {
+              return std::tie(a.scheme, a.subscheme, a.tail.level,
+                              a.tail.code) <
+                     std::tie(b.scheme, b.subscheme, b.tail.level,
+                              b.tail.code);
+            });
+  // Passing an empty "old" forces every non-empty derived tail child to be
+  // re-sent; the installs are exact duplicates at up-to-date receivers and
+  // repairs at stale ones.
+  for (const CompressedChain& c : cs) {
+    route_tail_child_deltas(host, c.scheme, c.subscheme, c.tail,
+                            c.level_keys.back(), HyperRect{}, c.piece);
   }
 }
 
@@ -785,6 +1409,32 @@ void HyperSubSystem::process_event_message(net::HostIndex host,
           if (zs->addr().scheme != ctx->scheme) continue;
           const Point& proj = ctx->projected[zs->addr().subscheme];
           zs->match(ctx->event.point, proj, list);
+        }
+        // Implicit chain members indexed under this key. Each matches
+        // exactly like the piece-only ZoneState it replaces: the member's
+        // installed piece (head piece ∩ member extent) contains the
+        // projected point iff both factors do, and a match climbs by
+        // emitting the member's parent key. Members sharing one key sit on
+        // consecutive levels and their extents nest, so the first extent
+        // miss ends the run; the per-message key dedupe above absorbs
+        // re-emissions.
+        if (!nd.chains().empty()) {
+          nd.chains().for_each_at_key(
+              subid.target, [&](std::uint32_t, const CompressedChain& c) {
+                if (c.scheme != ctx->scheme) return;
+                const Subscheme& ss =
+                    schemes_[c.scheme]->subscheme(c.subscheme);
+                const lph::ZoneSystem& zsys = ss.zones();
+                const int bb = zsys.base_bits();
+                const Point& proj = ctx->projected[c.subscheme];
+                if (!c.piece.contains(proj)) return;
+                for (int L = c.head_level(); L <= c.tail.level; ++L) {
+                  if (c.key_at(L) != subid.target) continue;
+                  if (!zsys.extent(c.member(L, bb)).contains(proj)) break;
+                  list.push_back(
+                      SubId{c.parent_key_at(L), 0, SubIdKind::kZone});
+                }
+              });
         }
         break;
       }
@@ -1396,6 +2046,57 @@ bool HyperSubSystem::check_zone_invariants() const {
         }
       }
     }
+    // Chain pass: every compressed chain must be a well-formed maximal run
+    // of piece-only zones — correct keys, a non-empty piece inside the
+    // head's extent, exactly one non-empty derived child piece at each
+    // interior member (the next member), and no materialized primary state
+    // shadowing any member.
+    bool chains_ok = true;
+    nd->chains().for_each([&](std::uint32_t, const CompressedChain& c) {
+      if (!chains_ok) return;
+      const SchemeRuntime& rt = *schemes_[c.scheme];
+      const Subscheme& ss = rt.subscheme(c.subscheme);
+      const lph::ZoneSystem& zsys = ss.zones();
+      const int bb = zsys.base_bits();
+      if (c.span < 1 || c.head_level() < 1 ||
+          c.level_keys.size() != c.span) {
+        chains_ok = false;
+        return;
+      }
+      const lph::Zone head = c.member(c.head_level(), bb);
+      if (c.piece.empty() || !zsys.extent(head).covers(c.piece)) {
+        chains_ok = false;
+        return;
+      }
+      if (c.parent_key !=
+          lph::zone_key(zsys, zsys.parent(head), ss.rotation())) {
+        chains_ok = false;
+        return;
+      }
+      for (int L = c.head_level(); L <= c.tail.level; ++L) {
+        const lph::Zone z = c.member(L, bb);
+        if (c.key_at(L) != lph::zone_key(zsys, z, ss.rotation())) {
+          chains_ok = false;
+          return;
+        }
+        if (nd->zones().count(ZoneAddr{c.scheme, c.subscheme, z}) != 0) {
+          chains_ok = false;
+          return;
+        }
+        if (L < c.tail.level) {
+          const lph::Zone next = c.member(L + 1, bb);
+          for (int digit = 0; digit < zsys.base(); ++digit) {
+            const lph::Zone ch = zsys.child(z, digit);
+            const bool nonempty = c.piece.overlaps(zsys.extent(ch));
+            if (nonempty != (ch.code == next.code)) {
+              chains_ok = false;
+              return;
+            }
+          }
+        }
+      }
+    });
+    if (!chains_ok) return false;
   }
   // Cross-node pass: the piece a parent zone caches for each child must
   // equal the piece actually installed at the child zone's live owner —
@@ -1433,6 +2134,18 @@ bool HyperSubSystem::check_zone_invariants() const {
             it != child_zones.end()) {
           const auto& pp = it->second.parent_piece();
           if (pp && pp->second == my_key) installed = pp->first;
+        } else if (const std::uint32_t cid =
+                       nodes_[owner]->chains().find_containing(
+                           addr.scheme, addr.subscheme, child, child_key,
+                           zsys.base_bits());
+                   cid != ZoneChainSet::kNone) {
+          // A compressed child can only hang under this parent as a chain
+          // HEAD (an interior member's tree parent is the previous member,
+          // which is never materialized).
+          const CompressedChain& cc = nodes_[owner]->chains().get(cid);
+          if (cc.head_level() == child.level && cc.parent_key == my_key) {
+            installed = cc.piece;
+          }
         }
         const HyperRect& cached = zone.child_piece(c);
         if (!(installed == cached) &&
@@ -1441,6 +2154,62 @@ bool HyperSubSystem::check_zone_invariants() const {
         }
       }
     }
+    // Chain-frontier pass: the derived piece a chain's tail implies for
+    // each child plays the cached-piece role above; the child's live owner
+    // must hold exactly that state (materialized, or as the head of a
+    // deeper chain).
+    bool frontier_ok = true;
+    nodes_[h]->chains().for_each([&](std::uint32_t,
+                                     const CompressedChain& c) {
+      if (!frontier_ok) return;
+      const SchemeRuntime& rt = *schemes_[c.scheme];
+      const Subscheme& ss = rt.subscheme(c.subscheme);
+      const lph::ZoneSystem& zsys = ss.zones();
+      if (zsys.is_leaf(c.tail)) return;
+      const Id tail_key = c.level_keys.back();
+      if (!dht_.owns(h, tail_key)) return;
+      for (int digit = 0; digit < zsys.base(); ++digit) {
+        const lph::Zone child = zsys.child(c.tail, digit);
+        const Id child_key = lph::zone_key(zsys, child, ss.rotation());
+        net::HostIndex owner = overlay::Peer::kInvalidHost;
+        bool ambiguous = false;
+        for (net::HostIndex o = 0; o < nodes_.size(); ++o) {
+          if (!dht_.network().alive(o) || !dht_.owns(o, child_key)) continue;
+          if (owner != overlay::Peer::kInvalidHost) {
+            ambiguous = true;
+            break;
+          }
+          owner = o;
+        }
+        if (owner == overlay::Peer::kInvalidHost || ambiguous) continue;
+        const HyperRect ext = zsys.extent(child);
+        HyperRect derived;
+        if (c.piece.overlaps(ext)) derived = c.piece.intersect(ext);
+        HyperRect installed;
+        const ZoneAddr child_addr{c.scheme, c.subscheme, child};
+        const auto& child_zones = nodes_[owner]->zones();
+        if (const auto it = child_zones.find(child_addr);
+            it != child_zones.end()) {
+          const auto& pp = it->second.parent_piece();
+          if (pp && pp->second == tail_key) installed = pp->first;
+        } else if (const std::uint32_t cid =
+                       nodes_[owner]->chains().find_containing(
+                           c.scheme, c.subscheme, child, child_key,
+                           zsys.base_bits());
+                   cid != ZoneChainSet::kNone) {
+          const CompressedChain& cc = nodes_[owner]->chains().get(cid);
+          if (cc.head_level() == child.level && cc.parent_key == tail_key) {
+            installed = cc.piece;
+          }
+        }
+        if (!(installed == derived) &&
+            !(installed.empty() && derived.empty())) {
+          frontier_ok = false;
+          return;
+        }
+      }
+    });
+    if (!frontier_ok) return false;
   }
   // Lifecycle pass: outside an active handover, no live node may be left
   // holding populated primary zone state for a key another live node
@@ -1483,6 +2252,62 @@ bool HyperSubSystem::check_zone_invariants() const {
     }
   }
   return true;
+}
+
+std::uint64_t HyperSubSystem::zone_content_digest() const {
+  // Commutative fold (sum of full-avalanche row hashes), so the digest is
+  // independent of map iteration order, host assignment within a node, and
+  // whether a structural zone is materialized or an implicit chain member.
+  std::uint64_t acc = 0;
+  const auto fold = [&acc](const ZoneAddr& addr, std::uint64_t fp) {
+    std::uint64_t h = splitmix64(addr.zone.code);
+    h = splitmix64(h ^ ((std::uint64_t(addr.scheme) << 32) |
+                        std::uint64_t(addr.subscheme)));
+    h = splitmix64(h ^ std::uint64_t(std::uint32_t(addr.zone.level)));
+    h = splitmix64(h ^ fp);
+    acc += h;
+  };
+  const auto husk = [](const ZoneState& zs) {
+    return zs.subscription_count() == 0 && zs.buckets().empty() &&
+           (!zs.has_parent_piece() || zs.parent_piece()->first.empty());
+  };
+  for (net::HostIndex host = 0; host < net::HostIndex(nodes_.size()); ++host) {
+    // Departed nodes keep dead copies of their zones and chains until the
+    // process goes (commit_leave_handover serves events through the
+    // splice); only the live placement is system content.
+    if (!dht_.network().alive(host)) continue;
+    const auto& nd = nodes_[host];
+    for (const auto& [addr, zone] : nd->zones()) {
+      if (husk(zone)) continue;  // stores nothing a chain would represent
+      fold(addr, zone.fingerprint());
+    }
+    nd->chains().for_each([&](std::uint32_t, const CompressedChain& c) {
+      const Subscheme& ss = schemes_[c.scheme]->subscheme(c.subscheme);
+      const lph::ZoneSystem& zsys = ss.zones();
+      const int bb = zsys.base_bits();
+      for (int L = c.head_level(); L <= c.tail.level; ++L) {
+        const lph::Zone z = c.member(L, bb);
+        const HyperRect rect = chain_rect_at(c, zsys, z);
+        if (rect.empty()) continue;
+        const ZoneAddr addr{c.scheme, c.subscheme, z};
+        // Synthesize the member as the ZoneState an uncompressed run would
+        // hold: derived parent piece, derived child-piece cache.
+        ZoneState zs(addr, cfg_.match_index_threshold, cfg_.cover_aggregation);
+        zs.set_parent_piece(rect, c.parent_key_at(L));
+        if (!zsys.is_leaf(z)) {
+          for (int digit = 0; digit < zsys.base(); ++digit) {
+            const lph::Zone ch = zsys.child(z, digit);
+            const HyperRect ext = zsys.extent(ch);
+            if (rect.overlaps(ext)) {
+              zs.set_child_piece(digit, rect.intersect(ext));
+            }
+          }
+        }
+        fold(addr, zs.fingerprint());
+      }
+    });
+  }
+  return acc;
 }
 
 // ---------------------------------------------------------------------------
@@ -1541,7 +2366,8 @@ void HyperSubSystem::queue_transfer_op(TransferOut& t, std::uint64_t bytes,
 }
 
 std::vector<std::uint8_t> HyperSubSystem::serialize_moved_zones(
-    net::HostIndex owner, const TransferOut& t) const {
+    net::HostIndex owner, const TransferOut& t,
+    std::uint32_t* moved_entries) const {
   const HyperSubNode& nd = *nodes_[owner];
   std::vector<std::pair<Id, ZoneAddr>> moved;
   for (const auto& [addr, zone] : nd.zones()) {
@@ -1555,6 +2381,56 @@ std::vector<std::uint8_t> HyperSubSystem::serialize_moved_zones(
     w.u64(key);
     save_zone_addr(w, addr);
     nd.zones().at(addr).save(w);
+  }
+  // Compressed chains ship as sub-chain frames: each run of consecutive
+  // members whose keys move carries the run head's derived piece and parent
+  // key, so the frame is a self-contained chain for the target. Non-moved
+  // runs stay behind (the ack-side retire drops the moved ones).
+  std::vector<CompressedChain> frames;
+  nd.chains().for_each([&](std::uint32_t, const CompressedChain& c) {
+    const Subscheme& ss = schemes_[c.scheme]->subscheme(c.subscheme);
+    const lph::ZoneSystem& zsys = ss.zones();
+    const int bb = zsys.base_bits();
+    int L = c.head_level();
+    while (L <= c.tail.level) {
+      const bool moves = transfer_moves(t, c.key_at(L));
+      int R = L;
+      while (R + 1 <= c.tail.level &&
+             transfer_moves(t, c.key_at(R + 1)) == moves) {
+        ++R;
+      }
+      if (moves) {
+        CompressedChain f;
+        f.scheme = c.scheme;
+        f.subscheme = c.subscheme;
+        f.tail = c.member(R, bb);
+        f.span = std::uint32_t(R - L + 1);
+        const lph::Zone rh = c.member(L, bb);
+        const HyperRect ext = zsys.extent(rh);
+        if (c.piece.overlaps(ext)) f.piece = c.piece.intersect(ext);
+        f.parent_key = c.parent_key_at(L);
+        f.level_keys.assign(
+            c.level_keys.begin() + std::size_t(L - c.head_level()),
+            c.level_keys.begin() + std::size_t(R - c.head_level() + 1));
+        frames.push_back(std::move(f));
+      }
+      L = R + 1;
+    }
+  });
+  std::sort(frames.begin(), frames.end(),
+            [](const CompressedChain& a, const CompressedChain& b) {
+              if (a.scheme != b.scheme) return a.scheme < b.scheme;
+              if (a.subscheme != b.subscheme) return a.subscheme < b.subscheme;
+              if (a.tail.level != b.tail.level)
+                return a.tail.level < b.tail.level;
+              return a.tail.code < b.tail.code;
+            });
+  w.u32(std::uint32_t(frames.size()));
+  for (const CompressedChain& f : frames) save_chain(w, f);
+  if (moved_entries != nullptr) {
+    std::uint32_t n = std::uint32_t(moved.size());
+    for (const CompressedChain& f : frames) n += f.span;
+    *moved_entries = n;
   }
   return w.take();
 }
@@ -1570,7 +2446,39 @@ void HyperSubSystem::install_transferred_zones(net::HostIndex host,
     // leftover from a past life and the replica copy of the same zone.
     nd.erase_zone(addr, key);
     nd.erase_replica_zone(addr, key);
+    // ... including a compressed leftover covering the same address.
+    if (const std::uint32_t cid = nd.chains().find_containing(
+            addr.scheme, addr.subscheme, addr.zone, key,
+            schemes_[addr.scheme]
+                ->subscheme(addr.subscheme)
+                .zones()
+                .base_bits());
+        cid != ZoneChainSet::kNone) {
+      drop_chain_member(nd, cid, addr.zone);
+    }
     nd.zone_state(addr, key).restore(r);
+  }
+  const std::uint32_t n_chains = r.u32();
+  for (std::uint32_t i = 0; i < n_chains; ++i) {
+    CompressedChain f = load_chain(r);
+    const Subscheme& ss = schemes_[f.scheme]->subscheme(f.subscheme);
+    const lph::ZoneSystem& zsys = ss.zones();
+    const int bb = zsys.base_bits();
+    // Clear stale state at every member address before the frame lands.
+    for (int L = f.head_level(); L <= f.tail.level; ++L) {
+      const lph::Zone z = f.member(L, bb);
+      const ZoneAddr addr{f.scheme, f.subscheme, z};
+      const Id key = f.key_at(L);
+      nd.erase_zone(addr, key);
+      nd.erase_replica_zone(addr, key);
+      if (const std::uint32_t cid = nd.chains().find_containing(
+              f.scheme, f.subscheme, z, key, bb);
+          cid != ZoneChainSet::kNone) {
+        drop_chain_member(nd, cid, z);
+      }
+    }
+    const std::uint32_t id = nd.chains().insert(std::move(f));
+    if (compress_enabled()) chain_try_merge(host, id);
   }
 }
 
@@ -1680,13 +2588,9 @@ void HyperSubSystem::handle_transfer_request(net::HostIndex owner,
   t.deadline_ms = simulator().now() + cfg_.handover_timeout_ms;
   // Snapshot synchronously: every mutation after this instant is captured
   // by the write-behind queue, so snapshot + replay = exact state.
-  auto frame = std::make_shared<std::vector<std::uint8_t>>(
-      serialize_moved_zones(owner, t));
   std::uint32_t zones = 0;
-  {
-    common::ByteReader peek(*frame);
-    zones = peek.u32();
-  }
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(
+      serialize_moved_zones(owner, t, &zones));
   const std::uint64_t bytes = overlay::kHeaderBytes + frame->size();
   simulator().defer_ordered([this, bytes, zones] {
     join_stats_.transfer_bytes += bytes;
@@ -1800,6 +2704,63 @@ void HyperSubSystem::commit_join_handover(net::HostIndex owner) {
               nd.erase_zone(addr, key);
               invalidate_cached_route(key);
             }
+            // Chains whose member keys moved retire the same way: split
+            // each affected record into movedness runs, keep the runs that
+            // stay (self-contained: derived piece + parent key at the run
+            // head), drop the rest, and flush the moved keys' routes.
+            if (!nd.chains().empty()) {
+              std::vector<std::uint32_t> affected;
+              nd.chains().for_each(
+                  [&](std::uint32_t id, const CompressedChain& c) {
+                    for (const Id k : c.level_keys) {
+                      if (transfer_moves(t2, k)) {
+                        affected.push_back(id);
+                        return;
+                      }
+                    }
+                  });
+              for (const std::uint32_t id : affected) {
+                const CompressedChain c = nd.chains().get(id);
+                nd.chains().erase(id);
+                const Subscheme& ss =
+                    schemes_[c.scheme]->subscheme(c.subscheme);
+                const lph::ZoneSystem& zsys = ss.zones();
+                const int bb = zsys.base_bits();
+                const int head = c.head_level();
+                int L = head;
+                while (L <= c.tail.level) {
+                  const bool mv = transfer_moves(t2, c.key_at(L));
+                  int R = L;
+                  while (R < c.tail.level &&
+                         transfer_moves(t2, c.key_at(R + 1)) == mv) {
+                    ++R;
+                  }
+                  if (mv) {
+                    Id last = 0;
+                    bool have = false;
+                    for (int j = L; j <= R; ++j) {
+                      const Id k = c.key_at(j);
+                      if (!have || k != last) invalidate_cached_route(k);
+                      last = k;
+                      have = true;
+                    }
+                  } else {
+                    CompressedChain keep;
+                    keep.scheme = c.scheme;
+                    keep.subscheme = c.subscheme;
+                    keep.tail = c.member(R, bb);
+                    keep.span = std::uint32_t(R - L + 1);
+                    keep.piece = chain_rect_at(c, zsys, c.member(L, bb));
+                    keep.parent_key = c.parent_key_at(L);
+                    keep.level_keys.assign(
+                        c.level_keys.begin() + (L - head),
+                        c.level_keys.begin() + (R - head) + 1);
+                    nd.chains().insert(std::move(keep));
+                  }
+                  L = R + 1;
+                }
+              }
+            }
           } else {
             // The joiner gave up warming before the commit arrived: keep
             // the zones — this is an abort, not a commit.
@@ -1844,6 +2805,7 @@ void HyperSubSystem::commit_leave_handover(net::HostIndex owner) {
           propagate_pieces(target, addr);
           reseed_replicas(target, addr, key);
         }
+        repush_chain_frontiers(target);
         network().send(target, owner, overlay::kHeaderBytes,
                        [this, owner, moved, epoch] {
           TransferOut& t2 = transfers_out_[owner];
@@ -1904,6 +2866,7 @@ void HyperSubSystem::finish_warming(net::HostIndex joiner) {
     propagate_pieces(joiner, addr);
     reseed_replicas(joiner, addr, key);
   }
+  repush_chain_frontiers(joiner);
   // 4. Replay the deferred full-path work (installs, removals, buffered
   //    events) — warming is off, so these now execute for real.
   for (auto& op : done.ops) op();
@@ -1936,13 +2899,9 @@ void HyperSubSystem::leave_node(net::HostIndex host) {
   t.my_id = dht_.id_of(host);
   t.started_ms = simulator().now();
   t.deadline_ms = simulator().now() + cfg_.handover_timeout_ms;
-  auto frame = std::make_shared<std::vector<std::uint8_t>>(
-      serialize_moved_zones(host, t));
   std::uint32_t zones = 0;
-  {
-    common::ByteReader peek(*frame);
-    zones = peek.u32();
-  }
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(
+      serialize_moved_zones(host, t, &zones));
   const std::uint64_t bytes = overlay::kHeaderBytes + frame->size();
   join_stats_.transfer_bytes += bytes;  // main context: direct
   join_stats_.zones_transferred += zones;
@@ -1989,9 +2948,8 @@ void HyperSubSystem::restore_node(net::HostIndex host,
   if (!network().alive(host)) network().revive(host);
   common::ByteReader r(snapshot);
   const std::uint32_t ver = r.u32();
-  assert(ver == common::kWireVersion);
-  (void)ver;
-  nodes_[host]->restore(r);
+  assert(ver >= 1 && ver <= common::kWireVersion);
+  nodes_[host]->restore(r, ver);
   // Re-splice with no warming: the node resumes from its own disk image —
   // a node whose range drifted while down wants join_node() instead.
   dht_.join(host, bootstrap, {});
@@ -2095,8 +3053,7 @@ void HyperSubSystem::save_state(common::ByteWriter& w) const {
 
 void HyperSubSystem::restore_state(common::ByteReader& r) {
   const std::uint32_t ver = r.u32();
-  assert(ver == common::kWireVersion);
-  (void)ver;
+  assert(ver >= 1 && ver <= common::kWireVersion);
   const std::uint32_t nschemes = r.u32();
   assert(nschemes == schemes_.size());
   (void)nschemes;
@@ -2157,7 +3114,7 @@ void HyperSubSystem::restore_state(common::ByteReader& r) {
       }
     }
   }
-  for (auto& nd : nodes_) nd->restore(r);
+  for (auto& nd : nodes_) nd->restore(r, ver);
 }
 
 std::vector<std::size_t> HyperSubSystem::node_loads() const {

@@ -127,6 +127,16 @@ class HyperSubSystem {
     /// encoding (subid_list_wire_bytes). Delivery sets are identical with
     /// the flag on or off. Off by default = paper behavior.
     bool cover_aggregation = false;
+    /// Path-compressed zone tree (core::ZoneChainSet): maximal chains of
+    /// piece-only structural zones — no subscriptions, no buckets, exactly
+    /// one non-empty child piece — are stored as single compressed records
+    /// instead of one ZoneState per level. Cuts the zone tree's memory and
+    /// lets piece cascades jump head-to-tail in one step; event matching,
+    /// zone fingerprints, and delivery sets are identical with the flag on
+    /// or off. Effective only without ancestor probing (which needs every
+    /// ancestor materialized) and without replicas (replica images mirror
+    /// materialized zones); in those modes the flag is ignored.
+    bool compress_zone_chains = true;
     /// Overlay bootstrap at construction (see BootstrapMode). kOracle runs
     /// Overlay::build(build_threads) in the constructor, before the
     /// ownership listener is installed — the initial table construction is
@@ -377,6 +387,14 @@ class HyperSubSystem {
   /// summary ∩ child-extent. Returns false (and stops) on first violation.
   bool check_zone_invariants() const;
 
+  /// Order-insensitive digest of the logical zone tree: every stored zone
+  /// row — materialized or an implicit compressed-chain member — folds in
+  /// as hash(scheme, subscheme, code, level, fingerprint). Husks (zones
+  /// storing nothing: no subscriptions, no buckets, no parent piece) are
+  /// skipped on both sides, so compressed and uncompressed runs of the
+  /// same workload must produce the same digest.
+  std::uint64_t zone_content_digest() const;
+
  private:
   friend class LoadBalancer;
 
@@ -474,9 +492,13 @@ class HyperSubSystem {
   /// The rotated key of a hosted zone (pure function of its address).
   Id zone_key_of(const ZoneAddr& addr) const;
   /// Serialize the owner's hosted zones whose key moves with the session,
-  /// sorted by (key, addr) for deterministic bytes.
-  std::vector<std::uint8_t> serialize_moved_zones(net::HostIndex owner,
-                                                  const TransferOut& t) const;
+  /// sorted by (key, addr) for deterministic bytes. Compressed chains ship
+  /// as self-contained sub-chain frames after the zone section. When
+  /// `moved_entries` is non-null it receives the moved zone count plus the
+  /// moved chain member count (the zones_transferred metric).
+  std::vector<std::uint8_t> serialize_moved_zones(
+      net::HostIndex owner, const TransferOut& t,
+      std::uint32_t* moved_entries = nullptr) const;
   /// Install zones from a serialize_moved_zones() image as primary state at
   /// `host`, replacing any primary/replica leftovers for the same address.
   void install_transferred_zones(net::HostIndex host, common::ByteReader& r);
@@ -490,6 +512,62 @@ class HyperSubSystem {
 
   void unsubscribe_impl(net::HostIndex subscriber, std::uint32_t scheme,
                         std::uint32_t iid, const pubsub::Subscription& sub);
+
+  // -- path-compressed structural zone chains (zone_chain.hpp) ---------------
+  // All chain state lives in the owning node's ZoneChainSet and is mutated
+  // only on that node's shard, so compression is parallel-deterministic for
+  // free. Every helper below is a no-op (or unreachable) when
+  // compress_enabled() is false — the uncompressed paths are byte-for-byte
+  // the pre-compression behavior.
+
+  /// Compression is active: flag on, and neither ablation mode that
+  /// requires every structural zone materialized.
+  bool compress_enabled() const noexcept {
+    return cfg_.compress_zone_chains && !cfg_.ancestor_probing &&
+           cfg_.replicas == 0;
+  }
+  /// A summary-filter piece landed on a zone with no materialized state:
+  /// create/extend/reshape/dissolve the compressed chain covering it and
+  /// route the resulting child-piece deltas.
+  void chain_install_piece(net::HostIndex owner, const ZoneAddr& addr,
+                           Id rotated_key, HyperRect piece, Id parent_key);
+  /// Apply a new head piece to a chain whose record was already removed
+  /// from the set: keep the longest surviving prefix, split off (and
+  /// re-install into) the suffix, and route the frontier deltas.
+  void chain_reshape(net::HostIndex owner, CompressedChain old_c,
+                     HyperRect piece, Id parent_key);
+  /// Re-absorb merge-eligible neighbors above and below; returns the id of
+  /// the surviving record.
+  std::uint32_t chain_try_merge(net::HostIndex owner, std::uint32_t id);
+  /// Merge after a routed cascade: re-resolves the chain containing `z` by
+  /// address (chain ids do not survive the synchronous re-entry a route can
+  /// trigger) and runs chain_try_merge on it; no-op if no chain holds `z`.
+  void chain_merge_at(net::HostIndex owner, std::uint32_t scheme,
+                      std::uint32_t subscheme, const lph::Zone& z, Id key);
+  /// If `addr` is a compressed chain member, split it out and materialize
+  /// it as a ZoneState carrying its derived piece (and the derived child
+  /// pieces in the cache, so the next propagate resends nothing).
+  void materialize_if_chained(net::HostIndex owner, const ZoneAddr& addr,
+                              Id rotated_key);
+  /// Fold a materialized zone that stores only its parent piece back into
+  /// a chain (and erase it entirely if it stores nothing at all).
+  void try_absorb_zone(net::HostIndex owner, const ZoneAddr& addr,
+                       Id rotated_key);
+  /// Remove one member from chain `id` (which must contain `z`), splitting
+  /// the remainder into prefix/suffix records. Purely structural — no
+  /// materialization, no routing; transfer/retire bookkeeping only.
+  void drop_chain_member(HyperSubNode& nd, std::uint32_t id,
+                         const lph::Zone& z);
+  /// Route register_piece_at for every child of `tail` whose derived piece
+  /// changes between old_piece and new_piece (including clears).
+  void route_tail_child_deltas(net::HostIndex owner, std::uint32_t scheme,
+                               std::uint32_t subscheme, const lph::Zone& tail,
+                               Id tail_key, const HyperRect& old_piece,
+                               const HyperRect& new_piece);
+  /// After a handover installs chains on `host`, re-send every hosted
+  /// chain's derived tail-child pieces (receivers drop exact duplicates) —
+  /// the chain analogue of the propagate_pieces fixup pass.
+  void repush_chain_frontiers(net::HostIndex host);
 
   // Alg. 3: registration at the surrogate node + piece propagation.
   void register_subscription_at(net::HostIndex owner, const ZoneAddr& addr,

@@ -9,6 +9,7 @@
 #include "common/wire.hpp"
 #include "core/sub_arena.hpp"
 #include "core/subid.hpp"
+#include "core/zone_chain.hpp"
 #include "core/zone_state.hpp"
 
 namespace hypersub::core {
@@ -61,6 +62,31 @@ inline ZoneAddr load_zone_addr(common::ByteReader& r) {
   a.zone.code = r.u64();
   a.zone.level = int(r.u32());
   return a;
+}
+
+inline void save_chain(common::ByteWriter& w, const CompressedChain& c) {
+  w.u32(c.scheme);
+  w.u32(c.subscheme);
+  w.u64(c.tail.code);
+  w.u32(std::uint32_t(c.tail.level));
+  w.u32(c.span);
+  save_rect(w, c.piece);
+  w.u64(c.parent_key);
+  for (const Id k : c.level_keys) w.u64(k);
+}
+
+inline CompressedChain load_chain(common::ByteReader& r) {
+  CompressedChain c;
+  c.scheme = r.u32();
+  c.subscheme = r.u32();
+  c.tail.code = r.u64();
+  c.tail.level = int(r.u32());
+  c.span = r.u32();
+  c.piece = load_rect(r);
+  c.parent_key = r.u64();
+  c.level_keys.reserve(c.span);
+  for (std::uint32_t i = 0; i < c.span; ++i) c.level_keys.push_back(r.u64());
+  return c;
 }
 
 inline void save_stored_sub(common::ByteWriter& w, const StoredSub& s) {

@@ -154,6 +154,14 @@ class SubArena {
                      projected_rect(r)};
   }
 
+  /// Flat-array footprint of the SoA pools (capacity, not size — this is
+  /// what the allocator actually holds).
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) +
+           (full_pool_.capacity() + proj_pool_.capacity()) * sizeof(Interval) +
+           free_.capacity() * sizeof(Ref);
+  }
+
  private:
   struct Slot {
     SubId owner;

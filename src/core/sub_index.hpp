@@ -66,6 +66,23 @@ class SubIndex {
   /// `p` — a superset of the exact answer; verify candidates exactly.
   void candidates(const Point& p, std::vector<std::uint32_t>& out) const;
 
+  /// Estimated heap footprint (bitset grids + per-slot ranges).
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = dims_.capacity() * sizeof(Dim) +
+                        rects_.capacity() * sizeof(HyperRect) +
+                        free_.capacity() * sizeof(std::uint32_t) +
+                        scratch_.capacity() * sizeof(std::uint64_t);
+    for (const Dim& d : dims_) {
+      bytes += d.bounds.capacity() * sizeof(double) +
+               d.cells.capacity() * sizeof(std::vector<std::uint64_t>);
+      for (const auto& c : d.cells) bytes += c.capacity() * sizeof(std::uint64_t);
+    }
+    for (const HyperRect& r : rects_) {
+      bytes += r.dims().capacity() * sizeof(Interval);
+    }
+    return bytes;
+  }
+
  private:
   struct Dim {
     std::vector<double> bounds;  ///< inner cell boundaries, ascending

@@ -1,0 +1,118 @@
+#include "core/zone_chain.hpp"
+
+#include <cassert>
+
+namespace hypersub::core {
+
+std::uint32_t ZoneChainSet::insert(CompressedChain c) {
+  assert(c.span > 0);
+  assert(c.level_keys.size() == c.span);
+  std::uint32_t id;
+  if (!free_chains_.empty()) {
+    id = free_chains_.back();
+    free_chains_.pop_back();
+    chains_[id] = std::move(c);
+  } else {
+    id = std::uint32_t(chains_.size());
+    chains_.push_back(std::move(c));
+  }
+  const CompressedChain& stored = chains_[id];
+  // Equal keys occupy consecutive levels; index each distinct key once.
+  for (std::size_t i = 0; i < stored.level_keys.size(); ++i) {
+    if (i > 0 && stored.level_keys[i] == stored.level_keys[i - 1]) continue;
+    index_add(stored.level_keys[i], id);
+  }
+  ++live_;
+  total_span_ += stored.span;
+  return id;
+}
+
+void ZoneChainSet::erase(std::uint32_t id) {
+  CompressedChain& c = chains_[id];
+  assert(c.span > 0);
+  for (std::size_t i = 0; i < c.level_keys.size(); ++i) {
+    if (i > 0 && c.level_keys[i] == c.level_keys[i - 1]) continue;
+    index_remove(c.level_keys[i], id);
+  }
+  --live_;
+  total_span_ -= c.span;
+  c = CompressedChain{};  // span = 0: free slot
+  free_chains_.push_back(id);
+}
+
+std::uint32_t ZoneChainSet::find_containing(std::uint32_t scheme,
+                                            std::uint32_t subscheme,
+                                            const lph::Zone& z, Id key,
+                                            int base_bits) const {
+  const std::uint32_t* head = index_.find(key);
+  if (head == nullptr) return kNone;
+  for (std::uint32_t e = *head; e != kNone; e = entries_[e].next) {
+    const CompressedChain& c = chains_[entries_[e].chain];
+    if (c.scheme == scheme && c.subscheme == subscheme &&
+        c.has_member(z, base_bits)) {
+      return entries_[e].chain;
+    }
+  }
+  return kNone;
+}
+
+void ZoneChainSet::clear() {
+  chains_.clear();
+  free_chains_.clear();
+  index_.clear();
+  entries_.clear();
+  free_entries_.clear();
+  live_ = 0;
+  total_span_ = 0;
+}
+
+std::size_t ZoneChainSet::memory_bytes() const {
+  std::size_t bytes = chains_.capacity() * sizeof(CompressedChain) +
+                      free_chains_.capacity() * sizeof(std::uint32_t) +
+                      entries_.capacity() * sizeof(KeyEntry) +
+                      free_entries_.capacity() * sizeof(std::uint32_t) +
+                      index_.memory_bytes();
+  for (const CompressedChain& c : chains_) {
+    bytes += c.level_keys.capacity() * sizeof(Id) +
+             c.piece.dims().capacity() * sizeof(Interval);
+  }
+  return bytes;
+}
+
+void ZoneChainSet::index_add(Id key, std::uint32_t id) {
+  std::uint32_t e;
+  if (!free_entries_.empty()) {
+    e = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    e = std::uint32_t(entries_.size());
+    entries_.push_back(KeyEntry{});
+  }
+  entries_[e].chain = id;
+  if (std::uint32_t* head = index_.find(key)) {
+    entries_[e].next = *head;
+    *head = e;
+  } else {
+    entries_[e].next = kNone;
+    index_.insert(key, e);
+  }
+}
+
+void ZoneChainSet::index_remove(Id key, std::uint32_t id) {
+  std::uint32_t* head = index_.find(key);
+  assert(head != nullptr);
+  std::uint32_t* link = head;
+  for (std::uint32_t e = *head; e != kNone; e = entries_[e].next) {
+    if (entries_[e].chain == id) {
+      *link = entries_[e].next;
+      entries_[e] = KeyEntry{};
+      free_entries_.push_back(e);
+      if (*head == kNone) index_.erase(key);
+      return;
+    }
+    link = &entries_[e].next;
+  }
+  assert(false && "chain id missing from key index");
+}
+
+}  // namespace hypersub::core

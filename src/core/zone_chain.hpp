@@ -1,0 +1,145 @@
+#pragma once
+// Path-compressed storage of structural (piece-only) zone chains.
+//
+// At saturation scale most hosted zones are structural: no subscriptions,
+// no buckets — they exist only to carry a summary-filter piece one level
+// down the tree, and almost all of them have exactly one non-empty child
+// piece. Materializing each as a ZoneState (plus a zones_by_key_ entry)
+// dominates peak RSS, and every cascade walks them one level at a time.
+//
+// A CompressedChain collapses a maximal run of such zones into one record:
+// the deepest member (tail), the member count (span), the rect the head's
+// parent installed (piece), and the head's parent key. Everything else is
+// derived: member zone codes are prefixes of tail.code, and the rect
+// installed at member level L is piece ∩ extent(z_L) — exact, because zone
+// extents nest along a parent path and a piece-only zone's summary equals
+// its parent piece.
+//
+// Per-member rotated zone keys are stored explicitly (level_keys): they are
+// pure functions of the zone address, but keeping them in the record makes
+// key-indexed dispatch (event climbs, erases, serialization) independent of
+// the Subscheme layer. Along a parent->child descent the key changes only
+// when the appended digit is not all-ones, so equal keys occupy consecutive
+// levels — the event path scans one run per key.
+//
+// Chain invariants (audited by check_zone_invariants):
+//   * span >= 1, head level >= 1 (the root holds subscriptions or nothing),
+//   * piece is non-empty and contained in extent(head),
+//   * every member level L < tail.level has exactly one non-empty derived
+//     child piece, and it is the next member,
+//   * no materialized primary ZoneState exists at any member address.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hyperrect.hpp"
+#include "core/flat_map.hpp"
+#include "core/subid.hpp"
+#include "lph/zone.hpp"
+
+namespace hypersub::core {
+
+/// One maximal run of piece-only zones, head to tail along a parent path.
+struct CompressedChain {
+  std::uint32_t scheme = 0;
+  std::uint32_t subscheme = 0;
+  lph::Zone tail;              ///< deepest member
+  std::uint32_t span = 0;      ///< member count head..tail; 0 = free slot
+  HyperRect piece;             ///< rect installed by the head's parent
+  Id parent_key = 0;           ///< rotated key of the head's parent zone
+  std::vector<Id> level_keys;  ///< member keys, head..tail (size == span)
+
+  int head_level() const noexcept { return tail.level - int(span) + 1; }
+  Id code_at(int level, int base_bits) const noexcept {
+    return tail.code >> (std::uint64_t(tail.level - level) * base_bits);
+  }
+  lph::Zone member(int level, int base_bits) const noexcept {
+    return lph::Zone{code_at(level, base_bits), level};
+  }
+  Id key_at(int level) const {
+    return level_keys[std::size_t(level - head_level())];
+  }
+  /// Rotated key of the member's parent: the stored parent_key for the
+  /// head, the preceding member's key otherwise.
+  Id parent_key_at(int level) const {
+    return level == head_level() ? parent_key : key_at(level - 1);
+  }
+  bool has_member(const lph::Zone& z, int base_bits) const noexcept {
+    return span > 0 && z.level >= head_level() && z.level <= tail.level &&
+           code_at(z.level, base_bits) == z.code;
+  }
+};
+
+/// Per-node container of compressed chains with a rotated-key index.
+///
+/// One key can map to several chains: a zone key aliases its rightmost
+/// descendants, and a materialized (sub-bearing) zone can sit between two
+/// chained runs on the same rightmost path. The index therefore keeps a
+/// singly-linked entry list per key. All structural mutation is
+/// erase + insert — spans are bounded by the tree depth, so rebuilding a
+/// record is cheap next to keeping partial-update paths correct.
+class ZoneChainSet {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t insert(CompressedChain c);
+  void erase(std::uint32_t id);
+
+  CompressedChain& get(std::uint32_t id) { return chains_[id]; }
+  const CompressedChain& get(std::uint32_t id) const { return chains_[id]; }
+
+  /// The chain holding `z` as a member, keyed by z's rotated key (the probe
+  /// is index-first: only chains registered under `key` are examined).
+  std::uint32_t find_containing(std::uint32_t scheme, std::uint32_t subscheme,
+                                const lph::Zone& z, Id key,
+                                int base_bits) const;
+
+  /// Visit every chain registered under `key` as fn(id, chain). A chain
+  /// with several members aliased to one key is visited once.
+  template <typename F>
+  void for_each_at_key(Id key, F&& fn) const {
+    const std::uint32_t* head = index_.find(key);
+    if (head == nullptr) return;
+    for (std::uint32_t e = *head; e != kNone; e = entries_[e].next) {
+      fn(entries_[e].chain, chains_[entries_[e].chain]);
+    }
+  }
+
+  /// Visit every live chain as fn(id, chain), in slot order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::uint32_t id = 0; id < chains_.size(); ++id) {
+      if (chains_[id].span > 0) fn(id, chains_[id]);
+    }
+  }
+
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+  /// Total implicit zones represented (sum of spans) — each counts as one
+  /// stored piece entry in load/footprint accounting.
+  std::size_t total_span() const noexcept { return total_span_; }
+
+  void clear();
+
+  /// Estimated heap footprint: records, per-record heap, key index.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct KeyEntry {
+    std::uint32_t chain = kNone;
+    std::uint32_t next = kNone;
+  };
+
+  void index_add(Id key, std::uint32_t id);
+  void index_remove(Id key, std::uint32_t id);
+
+  std::vector<CompressedChain> chains_;  // span == 0 marks a free slot
+  std::vector<std::uint32_t> free_chains_;
+  FlatMap<Id, std::uint32_t> index_;  // key -> head of entry list
+  std::vector<KeyEntry> entries_;
+  std::vector<std::uint32_t> free_entries_;
+  std::size_t live_ = 0;
+  std::size_t total_span_ = 0;
+};
+
+}  // namespace hypersub::core

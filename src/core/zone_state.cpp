@@ -352,6 +352,18 @@ const HyperRect& ZoneState::child_piece(int digit) const {
 }
 
 void ZoneState::set_child_piece(int digit, HyperRect piece) {
+  if (piece.empty()) {
+    // Clearing: release the cache vector entirely when the last non-empty
+    // entry goes — zones demoted to structural (and later chain-absorbed)
+    // must not keep a base-sized rect vector alive.
+    if (std::size_t(digit) >= child_pieces_.size()) return;
+    child_pieces_[std::size_t(digit)] = HyperRect{};
+    for (const HyperRect& p : child_pieces_) {
+      if (!p.empty()) return;
+    }
+    child_pieces_ = {};
+    return;
+  }
   if (std::size_t(digit) >= child_pieces_.size()) {
     child_pieces_.resize(std::size_t(digit) + 1);
   }
@@ -549,6 +561,41 @@ std::uint64_t ZoneState::fingerprint() const {
     h = mix_rect(splitmix64(h ^ d), child_pieces_[d]);
   }
   return mix_rect(h, summary_);
+}
+
+namespace {
+
+std::size_t rect_heap_bytes(const HyperRect& r) noexcept {
+  return r.dims().capacity() * sizeof(Interval);
+}
+
+}  // namespace
+
+std::size_t ZoneState::structural_bytes() const noexcept {
+  std::size_t bytes = rect_heap_bytes(summary_);
+  if (parent_piece_) bytes += rect_heap_bytes(parent_piece_->first);
+  bytes += child_pieces_.capacity() * sizeof(HyperRect);
+  for (const HyperRect& p : child_pieces_) bytes += rect_heap_bytes(p);
+  return bytes;
+}
+
+std::size_t ZoneState::store_bytes() const noexcept {
+  if (!store_) return 0;
+  const SubStore& st = *store_;
+  std::size_t bytes = sizeof(SubStore) + st.arena.memory_bytes() +
+                      st.order.capacity() * sizeof(SubArena::Ref) +
+                      st.buckets.capacity() * sizeof(MigratedBucket) +
+                      st.slots.capacity() * sizeof(std::uint32_t) +
+                      st.pos_of_slot.capacity() * sizeof(std::size_t) +
+                      st.cand.capacity() * sizeof(std::uint32_t) +
+                      st.probe.capacity() * sizeof(double);
+  if (st.indexed) bytes += st.index.memory_bytes();
+  for (const MigratedBucket& b : st.buckets) {
+    bytes += rect_heap_bytes(b.summary) +
+             b.sub_rects.capacity() * sizeof(HyperRect);
+    for (const HyperRect& r : b.sub_rects) bytes += rect_heap_bytes(r);
+  }
+  return bytes;
 }
 
 }  // namespace hypersub::core

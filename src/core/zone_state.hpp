@@ -223,6 +223,15 @@ class ZoneState {
   /// protocol-built zone permutes them relative to an oracle-built one).
   std::uint64_t fingerprint() const;
 
+  /// Estimated heap bytes of the structural (zone-tree) part: summary,
+  /// parent piece, and the child-piece cache. Excludes the SubStore and
+  /// sizeof(ZoneState) itself (the caller owns the map entry).
+  std::size_t structural_bytes() const noexcept;
+
+  /// Estimated heap bytes of subscription storage: the boxed SubStore with
+  /// its arena pools, ordering/index bookkeeping, and migrated buckets.
+  std::size_t store_bytes() const noexcept;
+
  private:
   // Subscription storage + matching index, boxed behind one pointer and
   // allocated on first use. The vast majority of zones in a large run are

@@ -22,8 +22,10 @@ std::vector<std::uint8_t> checkpoint(core::HyperSubSystem& sys,
 void restore(core::HyperSubSystem& sys, const std::vector<std::uint8_t>& blob,
              trace::Tracer* tracer) {
   common::ByteReader r(blob);
+  // v1 checkpoints still load: only the node-image layout gained a section
+  // in v2, and HyperSubSystem::restore_state handles both shapes.
   const std::uint32_t ver = r.u32();
-  assert(ver == common::kWireVersion);
+  assert(ver >= 1 && ver <= common::kWireVersion);
   (void)ver;
   // Advance the fresh simulator's clock to the checkpointed time by
   // draining an empty task scheduled there — timers laid out after the

@@ -19,6 +19,7 @@ Subcommands:
 
   scale BASELINE.json FRESH.json [--point SUBS] [--min-setup-speedup X]
         [--min-rss-reduction F] [--max-rss-gib G]
+        [--precompress-baseline PRE.json] [--min-zone-tree-reduction F]
       Compare a fresh micro_scale run against the committed pre-arena
       baseline (bench/BENCH_scale_baseline.json) at the gated
       100k-subscription point: the arena/bulk-setup path must have cut
@@ -26,7 +27,12 @@ Subcommands:
       least the reduction fraction, and the fresh peak RSS must stay
       under an absolute ceiling (the CI smoke budget). Both runs measure
       the same workload seeds on the same host class, so the ratios are
-      stable where absolute seconds are not.
+      stable where absolute seconds are not. When a pre-compression
+      baseline (bench/BENCH_scale_precompress.json — the same build with
+      --no-compress) is supplied, the fresh run's zone-tree bytes must
+      additionally shrink by at least the zone-tree-reduction floor, and
+      delivery parity against that baseline is enforced (compression is a
+      representation change, not a behavior change).
 
   sim FRESH.json [--floor T:S ...]
       Validate a fresh micro_sim run (self-relative): every thread count
@@ -241,6 +247,38 @@ def cmd_scale(args):
     if speedup < args.min_setup_speedup:
         failures.append(f"setup speedup {speedup:.2f}x below "
                         f"{args.min_setup_speedup:.1f}x floor")
+
+    # Path-compressed zone tree: gate the representation's memory win
+    # against the same-build uncompressed run, and its behavior against
+    # the same run's deliveries/hash.
+    if args.precompress_baseline:
+        pre_doc, pre = load_scale_point(args.precompress_baseline, args.point)
+        if "zone_tree_bytes" not in fresh or "zone_tree_bytes" not in pre:
+            sys.exit("error: zone_tree_bytes missing — rerun both sides of "
+                     "bench/micro_scale with --mem-breakdown")
+        zreduction = 1.0 - fresh["zone_tree_bytes"] / pre["zone_tree_bytes"]
+        mib = 1.0 / (1 << 20)
+        print(f"  zone tree: uncompressed "
+              f"{pre['zone_tree_bytes'] * mib:.1f} MiB -> compressed "
+              f"{fresh['zone_tree_bytes'] * mib:.1f} MiB "
+              f"(-{zreduction:.1%}, floor "
+              f"{args.min_zone_tree_reduction:.0%}); "
+              f"{fresh.get('chain_records', 0)} chains cover "
+              f"{fresh.get('implicit_zones', 0)} implicit zones, "
+              f"{fresh.get('materialized_zones', 0)} materialized")
+        if zreduction < args.min_zone_tree_reduction:
+            failures.append(f"zone-tree reduction {zreduction:.1%} below "
+                            f"{args.min_zone_tree_reduction:.0%} floor")
+        if fresh.get("implicit_zones", 0) <= 0:
+            failures.append("compressed run has no implicit zones "
+                            "(chains never formed)")
+        if pre_doc.get("events") == fresh_doc.get("events"):
+            if fresh["deliveries"] != pre["deliveries"]:
+                failures.append("delivery count diverges from uncompressed "
+                                "run (compression changed behavior)")
+            if fresh.get("snapshot_hash") != pre.get("snapshot_hash"):
+                failures.append("snapshot hash diverges from uncompressed "
+                                "run (compression changed behavior)")
     if rss_reduction < args.min_rss_reduction:
         failures.append(f"peak-RSS reduction {rss_reduction:.1%} below "
                         f"{args.min_rss_reduction:.0%} floor")
@@ -494,6 +532,13 @@ def main():
     sc.add_argument("--max-rss-gib", type=float, default=1.5,
                     help="absolute fresh peak-RSS ceiling in GiB "
                          "(default 1.5)")
+    sc.add_argument("--precompress-baseline", default=None,
+                    help="committed BENCH_scale_precompress.json (same "
+                         "build, --no-compress); enables the zone-tree "
+                         "memory gate")
+    sc.add_argument("--min-zone-tree-reduction", type=float, default=0.25,
+                    help="required fractional zone-tree-bytes reduction vs "
+                         "the pre-compression baseline (default 0.25)")
     sc.set_defaults(fn=cmd_scale)
 
     s = sub.add_parser("sim", help="parallel engine determinism + speedup")
